@@ -1,0 +1,102 @@
+"""E10 (ablations): design choices called out in DESIGN.md.
+
+* Polygon rasterization path: direct scanline vs. the GPU-style
+  tessellate-then-rasterize-triangles pipeline.
+* Index-join grid sizing: candidate-set quality vs. cell resolution.
+* Boundary handling cost: what the accurate variant's exact pass adds
+  over the bounded one, as canvas resolution changes the boundary-pixel
+  population.
+"""
+
+import pytest
+
+from repro.core import SpatialAggregation, accurate_raster_join, bounded_raster_join
+from repro.geometry import triangulate_ring_vertices
+from repro.raster import (
+    Viewport,
+    coverage_fragments,
+    rasterize_triangles,
+)
+from repro.baselines import grid_index_join
+
+QUERY = SpatialAggregation.count()
+
+
+@pytest.mark.benchmark(group="E10a polygon rasterization path")
+@pytest.mark.parametrize("path", ["scanline", "triangulated"])
+def test_rasterization_path(benchmark, bench_regions, path):
+    regions = bench_regions["neighborhoods"]
+    viewport = Viewport.fit(regions.bbox, 512)
+    geometries = list(regions.geometries)
+
+    if path == "scanline":
+        def run():
+            for geom in geometries:
+                coverage_fragments(geom, viewport)
+    else:
+        # Tessellation happens once (the GPU uploads triangles once);
+        # per-frame cost is triangle rasterization.
+        triangle_soups = [triangulate_ring_vertices(g.exterior)
+                          for g in geometries]
+
+        def run():
+            for soup in triangle_soups:
+                rasterize_triangles(soup, viewport)
+
+    benchmark(run)
+    benchmark.extra_info["polygons"] = len(geometries)
+
+
+@pytest.mark.benchmark(group="E10a2 boundary detection path")
+@pytest.mark.parametrize("path", ["exact-traversal", "sampled-dilated"])
+def test_boundary_detection_path(benchmark, bench_regions, path):
+    from repro.raster import boundary_pixels, boundary_pixels_sampled
+
+    regions = bench_regions["neighborhoods"]
+    viewport = Viewport.fit(regions.bbox, 512)
+    geometries = list(regions.geometries)
+    fn = boundary_pixels if path == "exact-traversal" else (
+        boundary_pixels_sampled)
+
+    def run():
+        return sum(len(fn(g, viewport)) for g in geometries)
+
+    total = benchmark(run)
+    benchmark.extra_info["boundary_pixels_total"] = total
+
+
+@pytest.mark.benchmark(group="E10b index grid sizing")
+@pytest.mark.parametrize("grid_resolution", [16, 64, 256])
+def test_grid_cell_sizing(benchmark, bench_taxi, bench_regions,
+                          grid_resolution):
+    from repro.index import PointGridIndex
+
+    taxi = bench_taxi["200k"]
+    regions = bench_regions["neighborhoods"]
+    index = PointGridIndex(taxi.x, taxi.y, taxi.bbox,
+                           nx=grid_resolution, ny=grid_resolution)
+
+    result = benchmark(grid_index_join, taxi, regions, QUERY, index=index)
+    benchmark.extra_info["grid"] = f"{grid_resolution}x{grid_resolution}"
+    benchmark.extra_info["candidates_tested"] = result.stats[
+        "candidates_tested"]
+
+
+@pytest.mark.benchmark(group="E10c boundary handling cost")
+@pytest.mark.parametrize("resolution", [128, 512])
+@pytest.mark.parametrize("variant", ["bounded", "accurate"])
+def test_boundary_cost(benchmark, warm_engine, bench_taxi, bench_regions,
+                       resolution, variant):
+    taxi = bench_taxi["200k"]
+    regions = bench_regions["neighborhoods"]
+    viewport = Viewport.fit(regions.bbox, resolution)
+    fragments = warm_engine.fragments_for(regions, viewport)
+    run = bounded_raster_join if variant == "bounded" else accurate_raster_join
+
+    result = benchmark(run, taxi, regions, QUERY, viewport,
+                       fragments=fragments)
+    benchmark.extra_info["boundary_fragments"] = result.stats[
+        "boundary_fragments"]
+    if variant == "accurate":
+        benchmark.extra_info["boundary_points_tested"] = result.stats[
+            "boundary_points_tested"]

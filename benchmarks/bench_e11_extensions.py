@@ -1,0 +1,101 @@
+"""E11 (extensions): features beyond the demo's minimum.
+
+* **Shared-pass multi-aggregate** — the GPU multiple-render-targets
+  analog: several aggregates over one filter signature share the filter
+  mask and point projection.  Expected: shared pass beats issuing the
+  aggregates separately.
+* **Region x time heat matrix** — one labeling pass for all (region,
+  bucket) pairs vs. one bounded raster join per bucket.  Expected: the
+  labeling pass wins by roughly the bucket count.
+* **SQL front end** — parsing overhead must be negligible next to
+  execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpatialAggregation,
+    bounded_raster_join,
+    bounded_raster_join_multi,
+    parse_query,
+    region_time_matrix,
+)
+from repro.raster import Viewport
+from repro.table import TimeRange
+
+MULTI_QUERIES = [
+    SpatialAggregation.count(),
+    SpatialAggregation.sum_of("fare"),
+    SpatialAggregation.avg_of("fare"),
+    SpatialAggregation.avg_of("tip"),
+]
+
+
+@pytest.mark.benchmark(group="E11a multi-aggregate pass")
+@pytest.mark.parametrize("mode", ["separate", "shared"])
+def test_multi_aggregate(benchmark, warm_engine, bench_taxi, bench_regions,
+                         mode):
+    taxi = bench_taxi["800k"]
+    regions = bench_regions["neighborhoods"]
+    viewport = Viewport.fit(regions.bbox, 512)
+    fragments = warm_engine.fragments_for(regions, viewport)
+
+    if mode == "separate":
+        def run():
+            return [bounded_raster_join(taxi, regions, q, viewport,
+                                        fragments=fragments)
+                    for q in MULTI_QUERIES]
+    else:
+        def run():
+            return bounded_raster_join_multi(taxi, regions, MULTI_QUERIES,
+                                             viewport, fragments=fragments)
+
+    results = benchmark(run)
+    benchmark.extra_info["aggregates"] = len(results)
+
+
+@pytest.mark.benchmark(group="E11b region x time matrix")
+@pytest.mark.parametrize("mode", ["per-bucket-joins", "labeling-pass"])
+def test_heat_matrix(benchmark, warm_engine, bench_taxi, bench_regions,
+                     mode):
+    taxi = bench_taxi["200k"]
+    regions = bench_regions["neighborhoods"]
+    viewport = Viewport.fit(regions.bbox, 512)
+    fragments = warm_engine.fragments_for(regions, viewport)
+    bucket_s = 7 * 86_400  # weekly buckets over the generated window
+    t = taxi.values("t")
+    t0 = int(t.min()) // bucket_s * bucket_s
+    nbuckets = int((int(t.max()) - t0) // bucket_s) + 1
+
+    if mode == "per-bucket-joins":
+        def run():
+            out = []
+            for b in range(nbuckets):
+                query = SpatialAggregation.count(
+                    TimeRange("t", t0 + b * bucket_s,
+                              t0 + (b + 1) * bucket_s))
+                out.append(bounded_raster_join(
+                    taxi, regions, query, viewport,
+                    fragments=fragments).values)
+            return np.column_stack(out)
+    else:
+        def run():
+            return region_time_matrix(
+                taxi, regions, viewport, bucket_seconds=bucket_s,
+                fragments=fragments).values
+
+    matrix = benchmark(run)
+    benchmark.extra_info["buckets"] = nbuckets
+    benchmark.extra_info["total"] = float(np.asarray(matrix).sum())
+
+
+@pytest.mark.benchmark(group="E11c SQL front end")
+def test_sql_parse_overhead(benchmark):
+    sql = ("SELECT AVG(tip) FROM taxi, neighborhoods "
+           "WHERE taxi.loc INSIDE neighborhoods.geometry "
+           "AND payment = 'card' AND fare BETWEEN 5 AND 50 "
+           "AND (distance_km > 2 OR tip > 3) "
+           "GROUP BY neighborhoods.id")
+    parsed = benchmark(parse_query, sql)
+    assert parsed.aggregation.agg == "avg"

@@ -1,0 +1,89 @@
+"""E12 (extensions): streaming ingestion and sliding-window queries.
+
+The social-sensor scenario: batches keep arriving while the view stays
+open.  Expected shape: per-batch append cost is small and flat (the
+incremental state is O(batch)), the O(1) matrix snapshot is effectively
+free, and a sliding-window query costs O(window) — far below
+re-aggregating the whole history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialAggregation, SpatialAggregationEngine
+from repro.data import CityModel, generate_social_posts, voronoi_regions
+from repro.stream import PointStream
+from repro.table import F
+
+
+@pytest.fixture(scope="module")
+def feed():
+    city = CityModel(seed=42)
+    regions = voronoi_regions(city, 71, name="stream-hoods")
+    posts, __ = generate_social_posts(city, 400_000, seed=11)
+    return regions, posts
+
+
+@pytest.fixture(scope="module")
+def loaded_stream(feed):
+    regions, posts = feed
+    stream = PointStream(regions, resolution=512, bucket_seconds=1_800)
+    stream.append(posts)
+    stream.table()  # consolidate
+    return stream
+
+
+@pytest.mark.benchmark(group="E12a stream ingestion")
+def test_append_batch(benchmark, feed):
+    regions, posts = feed
+    # Pin the batch's timestamps to the feed's max so re-appending it on
+    # every bench round stays legal (non-decreasing) — this isolates the
+    # per-batch append cost from the one-time polygon raster the stream
+    # builds at construction.
+    from repro.table import timestamp_column
+
+    tail = posts.take(np.arange(len(posts) - 25_000, len(posts)))
+    tmax = int(posts.values("t").max())
+    batch = tail.with_column(
+        timestamp_column("t", np.full(len(tail), tmax, dtype=np.int64)))
+    stream = PointStream(regions, resolution=512, bucket_seconds=1_800)
+    stream.append(batch)
+
+    benchmark(stream.append, batch)
+    benchmark.extra_info["batch_rows"] = len(batch)
+
+
+@pytest.mark.benchmark(group="E12b live views")
+def test_matrix_snapshot(benchmark, loaded_stream):
+    matrix = benchmark(loaded_stream.matrix)
+    benchmark.extra_info["buckets"] = matrix.num_buckets
+
+
+@pytest.mark.benchmark(group="E12b live views")
+def test_hot_region_scan(benchmark, loaded_stream):
+    benchmark(loaded_stream.hot_regions, 1, 48, 2.0)
+
+
+@pytest.mark.benchmark(group="E12c window query vs history")
+@pytest.mark.parametrize("scope", ["6h-window", "full-history"])
+def test_window_query(benchmark, feed, loaded_stream, scope):
+    regions, posts = feed
+    engine = SpatialAggregationEngine(default_resolution=512)
+    engine.fragments_for(regions, loaded_stream.viewport)
+    query = SpatialAggregation.count(F("topic") == "events")
+    now = loaded_stream.last_timestamp
+
+    if scope == "6h-window":
+        def run():
+            window = loaded_stream.window_table(now - 6 * 3_600, now + 1)
+            return engine.execute(window, regions, query,
+                                  viewport=loaded_stream.viewport,
+                                  method="bounded")
+    else:
+        def run():
+            return engine.execute(loaded_stream.table(), regions, query,
+                                  viewport=loaded_stream.viewport,
+                                  method="bounded")
+
+    result = benchmark(run)
+    benchmark.extra_info["rows_scanned"] = result.stats["points_total"]

@@ -1,0 +1,31 @@
+"""E3: query latency vs. polygon resolution.
+
+Sweeping the region hierarchy from 5 boroughs to ~1000 tracts.  The
+index joins pay per candidate point *per polygon test* and their
+latency climbs with polygon count and boundary complexity; the raster
+join's point pass is independent of the polygon set, so its latency
+should stay nearly flat (only the fragment join grows, mildly).
+"""
+
+import pytest
+
+from repro.core import SpatialAggregation
+
+pytestmark = pytest.mark.benchmark(group="E3 scale regions")
+
+QUERY = SpatialAggregation.count()
+
+
+@pytest.mark.parametrize("level", ["boroughs", "neighborhoods",
+                                   "districts", "tracts"])
+@pytest.mark.parametrize("method", ["bounded", "accurate", "grid"])
+def test_scale_regions(benchmark, warm_engine, bench_taxi, bench_regions,
+                       level, method):
+    taxi = bench_taxi["200k"]
+    regions = bench_regions[level]
+    warm_engine.execute(taxi, regions, QUERY, method=method)
+
+    result = benchmark(warm_engine.execute, taxi, regions, QUERY,
+                       method=method)
+    benchmark.extra_info["regions"] = len(regions)
+    benchmark.extra_info["total_vertices"] = regions.total_vertices

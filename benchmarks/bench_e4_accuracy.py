@@ -1,0 +1,45 @@
+"""E4: bounded raster join accuracy vs. canvas resolution.
+
+The epsilon knob.  Each benchmark times the bounded join at one canvas
+resolution and records, in extra_info, the geometric guarantee
+(epsilon), the hard numeric bound width, and the error actually
+observed against the exact answer.  Expected shape: observed error <=
+bound, both shrinking roughly linearly in pixel size; latency grows
+only mildly with resolution (the scatter dominates).
+"""
+
+import pytest
+
+from repro.core import (
+    SpatialAggregation,
+    bounded_raster_join,
+    relative_bound_width,
+)
+from repro.raster import Viewport
+
+pytestmark = pytest.mark.benchmark(group="E4 accuracy vs resolution")
+
+QUERY = SpatialAggregation.count()
+
+
+@pytest.mark.parametrize("resolution", [64, 128, 256, 512, 1024, 2048])
+def test_accuracy_vs_resolution(benchmark, warm_engine, bench_taxi,
+                                bench_regions, resolution):
+    taxi = bench_taxi["200k"]
+    regions = bench_regions["neighborhoods"]
+    exact = warm_engine.execute(taxi, regions, QUERY, method="accurate")
+    viewport = Viewport.fit(regions.bbox, resolution)
+    fragments = warm_engine.fragments_for(regions, viewport)
+
+    result = benchmark(bounded_raster_join, taxi, regions, QUERY, viewport,
+                       fragments=fragments)
+
+    metrics = result.compare_to(exact)
+    assert result.bounds_contain(exact)
+    benchmark.extra_info["epsilon_m"] = round(
+        result.stats["epsilon_world_units"], 2)
+    benchmark.extra_info["max_rel_error_pct"] = round(
+        metrics["max_rel_error"] * 100, 4)
+    benchmark.extra_info["rel_bound_width_pct"] = round(
+        relative_bound_width(result.lower, result.upper, result.values)
+        * 100, 4)

@@ -1,0 +1,34 @@
+"""E6: aggregate-function coverage.
+
+The query template supports COUNT / SUM / AVG / MIN / MAX.  COUNT and
+SUM are single-canvas scatters; AVG blends two canvases; MIN/MAX use
+sort-based blending (the GPU analog is min/max blend equations).
+Expected shape: COUNT ~ SUM < AVG < MIN ~ MAX, all interactive.
+"""
+
+import pytest
+
+from repro.core import SpatialAggregation
+
+pytestmark = pytest.mark.benchmark(group="E6 aggregates")
+
+QUERIES = {
+    "count": SpatialAggregation.count(),
+    "sum": SpatialAggregation.sum_of("fare"),
+    "avg": SpatialAggregation.avg_of("fare"),
+    "min": SpatialAggregation.min_of("fare"),
+    "max": SpatialAggregation.max_of("fare"),
+}
+
+
+@pytest.mark.parametrize("agg", list(QUERIES))
+@pytest.mark.parametrize("method", ["bounded", "accurate"])
+def test_aggregates(benchmark, warm_engine, bench_taxi, bench_regions,
+                    agg, method):
+    taxi = bench_taxi["800k"]
+    regions = bench_regions["neighborhoods"]
+    query = QUERIES[agg]
+    warm_engine.execute(taxi, regions, query, method=method)
+
+    benchmark(warm_engine.execute, taxi, regions, query, method=method)
+    benchmark.extra_info["aggregate"] = agg

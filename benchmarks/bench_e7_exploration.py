@@ -1,0 +1,62 @@
+"""E7: the data-exploration view.
+
+The view issues one spatial aggregation per (data set, indicator) and
+normalizes/ranks the matrix.  Expected shape: the whole multi-data-set
+matrix refresh remains interactive through the bounded raster join, and
+re-weighting (scores/ranking on the cached matrix) is effectively free.
+"""
+
+import pytest
+
+from repro.core import SpatialAggregation
+from repro.urbane import DataExplorationView, DataManager, Indicator
+
+pytestmark = pytest.mark.benchmark(group="E7 exploration view")
+
+
+@pytest.fixture(scope="module")
+def manager(bench_datasets, bench_regions):
+    dm = DataManager()
+    for name, table in bench_datasets.items():
+        dm.add_dataset(table, name)
+    dm.add_region_set(bench_regions["neighborhoods"], "neighborhoods")
+    return dm
+
+
+INDICATORS = [
+    Indicator("activity", "taxi", SpatialAggregation.count()),
+    Indicator("avg-fare", "taxi", SpatialAggregation.avg_of("fare")),
+    Indicator("complaints", "complaints311", SpatialAggregation.count(),
+              higher_is_better=False),
+    Indicator("crime-severity", "crime",
+              SpatialAggregation.sum_of("severity"),
+              higher_is_better=False),
+]
+
+
+@pytest.mark.parametrize("method", ["bounded", "accurate"])
+def test_exploration_matrix(benchmark, manager, method):
+    view = DataExplorationView(manager, "neighborhoods", method=method)
+    view.compute(INDICATORS)  # warm the fragment cache
+
+    matrix = benchmark(view.compute, INDICATORS)
+    benchmark.extra_info["indicators"] = len(INDICATORS)
+    benchmark.extra_info["regions"] = matrix.raw.shape[0]
+
+
+def test_reweight_and_rank(benchmark, manager):
+    view = DataExplorationView(manager, "neighborhoods", method="bounded")
+    matrix = view.compute(INDICATORS)
+
+    def reweight():
+        matrix.ranking({"activity": 2.0, "avg-fare": 0.5,
+                        "complaints": 1.0, "crime-severity": 3.0})
+
+    benchmark(reweight)
+
+
+def test_similarity_search(benchmark, manager):
+    view = DataExplorationView(manager, "neighborhoods", method="bounded")
+    matrix = view.compute(INDICATORS)
+    target = matrix.ranking()[0][0]
+    benchmark(matrix.similar_to, target, 10)

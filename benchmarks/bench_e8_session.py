@@ -1,0 +1,63 @@
+"""E8: end-to-end interactive session.
+
+Replays a representative 13-gesture exploration (time brushes, filter
+toggles, aggregation and resolution switches) and times the whole
+session; extra_info records the per-gesture p95.  The demo's claim is
+that *every* gesture stays under the interactivity bar on laptop-scale
+data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialAggregation
+from repro.data import month_window
+from repro.table import F
+from repro.urbane import DataManager, InteractiveSession
+
+pytestmark = pytest.mark.benchmark(group="E8 interactive session")
+
+
+@pytest.fixture(scope="module")
+def manager(bench_datasets, bench_regions):
+    dm = DataManager()
+    for name, table in bench_datasets.items():
+        dm.add_dataset(table, name)
+    dm.add_region_set(bench_regions["boroughs"], "boroughs")
+    dm.add_region_set(bench_regions["neighborhoods"], "neighborhoods")
+    dm.add_region_set(bench_regions["tracts"], "tracts")
+    return dm
+
+
+def _run_session(manager):
+    session = InteractiveSession(manager, "taxi", "neighborhoods",
+                                 method="bounded", resolution=512)
+    start, end = month_window(0)
+    session.brush_time(start, end)
+    session.add_filter(F("payment") == "card")
+    session.add_filter(F("fare") > 10.0)
+    session.set_aggregation(SpatialAggregation.avg_of("tip"))
+    session.clear_filters()
+    session.set_aggregation(SpatialAggregation.count())
+    session.set_region_level("boroughs")
+    session.set_region_level("tracts")
+    session.set_region_level("neighborhoods")
+    session.set_dataset("crime")
+    session.set_aggregation(SpatialAggregation.sum_of("severity"))
+    session.set_dataset("taxi")
+    session.clear_time_brush()
+    return session
+
+
+def test_full_session(benchmark, manager):
+    _run_session(manager)  # warm every fragment cache the session touches
+
+    session = benchmark(_run_session, manager)
+    lat = session.latencies()
+    benchmark.extra_info["gestures"] = len(lat)
+    benchmark.extra_info["p95_gesture_ms"] = round(
+        float(np.quantile(lat, 0.95)) * 1000, 1)
+    benchmark.extra_info["max_gesture_ms"] = round(
+        float(lat.max()) * 1000, 1)
+    benchmark.extra_info["interactive_fraction"] = session.summary()[
+        "interactive_fraction"]

@@ -1,0 +1,87 @@
+"""E9: pre-aggregation vs. on-the-fly evaluation.
+
+The trade-off the paper motivates Raster Join with.  The cube answers
+*anticipated* queries fastest of all — but only those: it pays a heavy
+build, and every ad-hoc polygon set or predicate raises CubeError.
+Expected shape: cube slice << bounded raster join on aligned queries;
+cube build >> any single query; cube coverage of an ad-hoc workload is
+a small fraction while raster join answers all of it.
+"""
+
+import pytest
+
+from repro.baselines import DataCube
+from repro.core import SpatialAggregation
+from repro.data import SECONDS_PER_DAY
+from repro.table import F
+
+pytestmark = pytest.mark.benchmark(group="E9 cube vs raster join")
+
+ALIGNED = SpatialAggregation.count().during(
+    "t", 1_230_768_000, 1_230_768_000 + 30 * SECONDS_PER_DAY)
+
+AD_HOC_WORKLOAD = [
+    SpatialAggregation.count(F("fare") > 12.0),
+    SpatialAggregation.avg_of("tip", F("payment") == "card"),
+    SpatialAggregation.count().during("t", 1_230_768_000 + 3_600,
+                                      1_230_768_000 + 90_000),
+    SpatialAggregation.sum_of("fare", F("distance_km") > 3.0),
+    SpatialAggregation.count(F("payment") == "card"),
+]
+
+
+@pytest.fixture(scope="module")
+def cube(bench_taxi, bench_regions):
+    return DataCube(bench_taxi["800k"], bench_regions["neighborhoods"],
+                    time_column="t", time_bucket_s=SECONDS_PER_DAY,
+                    category_columns=("payment",), value_column="fare")
+
+
+def test_cube_build(benchmark, bench_taxi, bench_regions):
+    result = benchmark.pedantic(
+        DataCube,
+        args=(bench_taxi["200k"], bench_regions["neighborhoods"]),
+        kwargs={"time_column": "t", "time_bucket_s": SECONDS_PER_DAY,
+                "category_columns": ("payment",), "value_column": "fare"},
+        rounds=2, iterations=1)
+    benchmark.extra_info["cube_bytes"] = result.memory_bytes()
+
+
+def test_cube_aligned_query(benchmark, cube, bench_regions):
+    result = benchmark(cube.answer, bench_regions["neighborhoods"], ALIGNED)
+    assert result.exact
+
+
+def test_raster_join_same_query(benchmark, warm_engine, bench_taxi,
+                                bench_regions, cube):
+    taxi = bench_taxi["800k"]
+    regions = bench_regions["neighborhoods"]
+    warm_engine.execute(taxi, regions, ALIGNED, method="bounded")
+
+    raster = benchmark(warm_engine.execute, taxi, regions, ALIGNED,
+                       method="bounded")
+    # Cross-check: the cube's exact answer lies inside the raster bounds.
+    exact = cube.answer(regions, ALIGNED)
+    assert raster.bounds_contain(exact)
+
+
+def test_adhoc_workload_coverage(benchmark, warm_engine, cube, bench_taxi,
+                                 bench_regions):
+    """Run the ad-hoc workload through the raster join and record how
+    little of it the cube could have served."""
+    taxi = bench_taxi["800k"]
+    regions = bench_regions["neighborhoods"]
+    for query in AD_HOC_WORKLOAD:
+        warm_engine.execute(taxi, regions, query, method="bounded")
+
+    def run_workload():
+        for query in AD_HOC_WORKLOAD:
+            warm_engine.execute(taxi, regions, query, method="bounded")
+
+    benchmark(run_workload)
+    answerable = sum(cube.can_answer(regions, q) for q in AD_HOC_WORKLOAD)
+    benchmark.extra_info["cube_answerable"] = (
+        f"{answerable}/{len(AD_HOC_WORKLOAD)}")
+    benchmark.extra_info["raster_answerable"] = (
+        f"{len(AD_HOC_WORKLOAD)}/{len(AD_HOC_WORKLOAD)}")
+    assert answerable <= 1  # only the payment-equality query aligns

@@ -1,0 +1,79 @@
+"""Figure 1 of the paper, headless: taxi pickups for one month,
+aggregated over neighborhoods, rendered as a choropleth.
+
+Recreates the demo's map-view scenario:
+
+1. register the taxi data and the region resolutions with Urbane's
+   data manager;
+2. brush the timeline to the first month (the paper shows Jan 2009);
+3. render the neighborhood choropleth (PPM file + ASCII preview);
+4. re-render at a finer resolution, as a demo visitor switching from
+   neighborhoods to tracts would.
+
+Run:  python examples/taxi_exploration.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import SpatialAggregation
+from repro.data import load_demo_workload, month_window
+from repro.urbane import DataManager, MapView, TimelineView
+
+OUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def main() -> None:
+    workload = load_demo_workload(taxi_rows=400_000, complaint_rows=50_000,
+                                  crime_rows=30_000)
+    manager = DataManager()
+    for name, table in workload.datasets.items():
+        manager.add_dataset(table, name)
+    for name, regions in workload.regions.items():
+        manager.add_region_set(regions, name)
+
+    # Timeline: find the first month and brush it.
+    timeline = TimelineView(manager)
+    series = timeline.series("taxi", bucket="day")
+    print("taxi pickups per day:")
+    print(" ", series.sparkline(70))
+    start, end = month_window(0)
+    brush = series.brush(0, min(30, len(series)))
+    print(f"  brushed window: [{brush.start}, {brush.end}) "
+          f"(~{(brush.end - brush.start) // 86_400} days)\n")
+
+    # Map view: the Figure-1 choropleth.
+    view = MapView(manager, resolution=512, ramp="viridis", mode="sqrt")
+    query = SpatialAggregation.count().during("t", start, end)
+    choropleth = view.choropleth("taxi", "neighborhoods", query)
+
+    print("taxi pickups, month 1, by neighborhood:")
+    print(choropleth.ascii(max_cols=72, max_rows=26))
+    print()
+    for name, value in choropleth.result.top_k(5):
+        print(f"  {name:<24} {value:>12,.0f}")
+
+    OUT_DIR.mkdir(exist_ok=True)
+    out = OUT_DIR / "taxi_neighborhoods.ppm"
+    choropleth.save_ppm(out)
+    print(f"\nchoropleth image written to {out}")
+
+    # Switch the spatial resolution, as the demo visitors do.
+    fine = view.choropleth("taxi", "tracts", query)
+    fine.save_ppm(OUT_DIR / "taxi_tracts.ppm")
+    print(f"tract-level version written to {OUT_DIR / 'taxi_tracts.ppm'}")
+    print(f"  ({len(fine.result)} regions, "
+          f"query time {fine.result.stats['time_execute_s'] * 1000:.1f}ms)")
+
+    # Raw point-density layer (no regions), the map's context heatmap.
+    from repro.urbane import density_image, write_ppm
+
+    canvas, heat_vp = view.heatmap("taxi")
+    write_ppm(OUT_DIR / "taxi_density.ppm",
+              density_image(canvas, heat_vp.width, heat_vp.height))
+    print(f"density heatmap written to {OUT_DIR / 'taxi_density.ppm'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""Pre-aggregation data cube — the traditional comparator.
+
+A :class:`DataCube` materializes aggregates over a *fixed* region
+hierarchy x time buckets x a few chosen categorical dimensions at build
+time.  Queries that align with those choices are answered instantly by
+slicing; everything else — an ad-hoc polygon set, a non-aligned time
+range, a predicate on a non-materialized attribute — raises
+:class:`CubeError`.
+
+This is exactly the trade-off the paper motivates Raster Join with:
+pre-aggregation gives interactivity only for anticipated queries, while
+visual exploration keeps generating unanticipated ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import CubeError, QueryError
+from ..core.aggregates import AVG, COUNT, SUM
+from ..core.query import SpatialAggregation
+from ..core.regions import RegionSet
+from ..core.result import AggregationResult
+from ..table import CATEGORICAL, Comparison, IsIn, PointTable, TimeRange
+from .assign import assign_regions
+
+
+class DataCube:
+    """Dense pre-aggregated cube over (region, time bucket, categories)."""
+
+    def __init__(
+        self,
+        table: PointTable,
+        regions: RegionSet,
+        time_column: str | None = None,
+        time_bucket_s: int = 86_400,
+        category_columns: tuple[str, ...] = (),
+        value_column: str | None = None,
+    ):
+        t0 = time.perf_counter()
+        self.regions = regions
+        self.time_column = time_column
+        self.time_bucket_s = int(time_bucket_s)
+        self.category_columns = tuple(category_columns)
+        self.value_column = value_column
+
+        labels = assign_regions(table, regions)
+        keep = labels >= 0
+        region_idx = labels[keep].astype(np.int64)
+
+        dims: list[int] = [len(regions)]
+        indexers: list[np.ndarray] = [region_idx]
+
+        if time_column is not None:
+            tvals = table.column(time_column).values[keep]
+            if len(tvals):
+                self.time_origin = int(tvals.min()
+                                       // self.time_bucket_s
+                                       * self.time_bucket_s)
+                tb = (tvals - self.time_origin) // self.time_bucket_s
+                self.num_buckets = int(tb.max()) + 1
+            else:
+                self.time_origin = 0
+                self.num_buckets = 1
+                tb = np.zeros(0, dtype=np.int64)
+            dims.append(self.num_buckets)
+            indexers.append(tb.astype(np.int64))
+        else:
+            self.time_origin = 0
+            self.num_buckets = 0
+
+        self._cat_categories: dict[str, tuple[str, ...]] = {}
+        for cname in self.category_columns:
+            col = table.column(cname)
+            if col.kind != CATEGORICAL:
+                raise QueryError(
+                    f"cube dimension {cname!r} must be categorical")
+            self._cat_categories[cname] = col.categories
+            dims.append(len(col.categories))
+            indexers.append(col.values[keep].astype(np.int64))
+
+        # Flatten the multi-dim coordinates to one linear index and
+        # bincount — one pass over the data per measure.
+        linear = np.zeros(len(region_idx), dtype=np.int64)
+        stride = 1
+        for dim_size, idx in zip(reversed(dims), reversed(indexers)):
+            linear += idx * stride
+            stride *= dim_size
+        size = int(np.prod(dims))
+        self.counts = np.bincount(linear, minlength=size).astype(
+            np.float64).reshape(dims)
+        if value_column is not None:
+            vals = table.column(value_column).values[keep].astype(np.float64)
+            self.sums = np.bincount(
+                linear, weights=vals, minlength=size).reshape(dims)
+        else:
+            self.sums = None
+        self.dims = tuple(dims)
+        self.build_time_s = time.perf_counter() - t0
+        self.source_rows = len(table)
+
+    # -- capability checks ---------------------------------------------------
+
+    def can_answer(self, regions: RegionSet, query: SpatialAggregation) -> bool:
+        """True when :meth:`answer` would succeed (no exception)."""
+        try:
+            self._plan(regions, query)
+            return True
+        except CubeError:
+            return False
+
+    def _plan(self, regions: RegionSet, query: SpatialAggregation):
+        """Map the query onto cube slices, or raise :class:`CubeError`."""
+        if regions is not self.regions and regions.name != self.regions.name:
+            raise CubeError(
+                f"cube was materialized for region set "
+                f"{self.regions.name!r}; cannot answer ad-hoc region set "
+                f"{regions.name!r}")
+        if query.agg == COUNT:
+            pass
+        elif query.agg in (SUM, AVG):
+            if self.sums is None or query.value_column != self.value_column:
+                raise CubeError(
+                    f"cube has no materialized sums for column "
+                    f"{query.value_column!r}")
+        else:
+            raise CubeError(
+                f"cube cannot answer {query.agg.upper()} (only COUNT/SUM/"
+                f"AVG were materialized)")
+
+        time_slice = slice(None)
+        cat_selectors: dict[str, np.ndarray] = {}
+        for expr in query.filters:
+            if isinstance(expr, TimeRange):
+                if self.time_column is None or expr.column != self.time_column:
+                    raise CubeError(
+                        f"time filter on {expr.column!r} was not "
+                        f"materialized")
+                if ((expr.start - self.time_origin) % self.time_bucket_s
+                        or (expr.end - self.time_origin) % self.time_bucket_s):
+                    raise CubeError(
+                        f"time range [{expr.start}, {expr.end}) is not "
+                        f"aligned to the {self.time_bucket_s}s buckets")
+                b0 = (expr.start - self.time_origin) // self.time_bucket_s
+                b1 = (expr.end - self.time_origin) // self.time_bucket_s
+                b0 = max(int(b0), 0)
+                b1 = min(int(b1), self.num_buckets)
+                time_slice = slice(b0, max(b0, b1))
+            elif isinstance(expr, Comparison) and expr.op == "==":
+                cats = self._cat_categories.get(expr.column)
+                if cats is None:
+                    raise CubeError(
+                        f"predicate on {expr.column!r} was not materialized")
+                if expr.value not in cats:
+                    cat_selectors[expr.column] = np.zeros(0, dtype=np.int64)
+                else:
+                    cat_selectors[expr.column] = np.array(
+                        [cats.index(expr.value)], dtype=np.int64)
+            elif isinstance(expr, IsIn):
+                cats = self._cat_categories.get(expr.column)
+                if cats is None:
+                    raise CubeError(
+                        f"predicate on {expr.column!r} was not materialized")
+                idx = [cats.index(v) for v in expr.values if v in cats]
+                cat_selectors[expr.column] = np.asarray(idx, dtype=np.int64)
+            else:
+                raise CubeError(
+                    f"ad-hoc filter {type(expr).__name__} cannot be "
+                    f"answered from the cube")
+        return time_slice, cat_selectors
+
+    # -- answering -------------------------------------------------------------
+
+    def _reduce(self, arr: np.ndarray, time_slice, cat_selectors) -> np.ndarray:
+        axis = 1
+        if self.time_column is not None:
+            arr = arr[:, time_slice]
+            axis = 2
+        for cname in self.category_columns:
+            if cname in cat_selectors:
+                arr = np.take(arr, cat_selectors[cname], axis=axis)
+            axis += 1
+        # Sum out everything but the region axis.
+        while arr.ndim > 1:
+            arr = arr.sum(axis=1)
+        return arr
+
+    def answer(self, regions: RegionSet,
+               query: SpatialAggregation) -> AggregationResult:
+        """Answer an aligned query by slicing, or raise CubeError."""
+        t0 = time.perf_counter()
+        time_slice, cat_selectors = self._plan(regions, query)
+        counts = self._reduce(self.counts, time_slice, cat_selectors)
+        if query.agg == COUNT:
+            values = counts
+        elif query.agg == SUM:
+            values = self._reduce(self.sums, time_slice, cat_selectors)
+        else:  # AVG
+            sums = self._reduce(self.sums, time_slice, cat_selectors)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                values = sums / counts
+            values[counts == 0] = np.nan
+        elapsed = time.perf_counter() - t0
+        return AggregationResult(
+            regions=self.regions,
+            values=values,
+            method="data-cube",
+            exact=True,
+            stats={
+                "time_total_s": elapsed,
+                "cube_cells": int(np.prod(self.dims)),
+                "build_time_s": self.build_time_s,
+            },
+        )
+
+    def memory_bytes(self) -> int:
+        """Resident size of the materialized measures."""
+        total = self.counts.nbytes
+        if self.sums is not None:
+            total += self.sums.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return (f"DataCube(regions={self.regions.name!r}, dims={self.dims}, "
+                f"bytes={self.memory_bytes()})")

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Four subcommands cover the offline workflow around the library:
+
+* ``generate`` — synthesize the demo city's data sets and region
+  hierarchies into files (``.npz`` tables + ``.geojson`` regions);
+* ``query``    — run a query in the paper's SQL dialect against those
+  files and print (or CSV-export) the per-region results;
+* ``compare``  — run one query through several backends and report
+  latencies and agreement;
+* ``session``  — replay a scripted interactive session and print the
+  per-gesture latency log.
+
+Run ``python -m repro <subcommand> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from pathlib import Path
+
+from .core import (
+    RegionSet,
+    SpatialAggregation,
+    SpatialAggregationEngine,
+    parse_query,
+)
+from .errors import ReproError
+from .geometry import read_geojson, write_geojson
+from .table import load_npz, save_npz
+
+
+def _load_regions(path: Path, name: str | None = None) -> RegionSet:
+    geometries, props = read_geojson(path)
+    names = [p.get("name", f"region-{i}") for i, p in enumerate(props)]
+    return RegionSet(name or path.stem, geometries, names)
+
+
+# -- generate -----------------------------------------------------------------
+
+
+def _cmd_generate(args) -> int:
+    from .data import load_demo_workload
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    workload = load_demo_workload(
+        seed=args.seed, taxi_rows=args.taxi_rows,
+        complaint_rows=args.complaint_rows, crime_rows=args.crime_rows,
+        months=args.months)
+    for name, table in workload.datasets.items():
+        path = out_dir / f"{name}.npz"
+        save_npz(table, path)
+        print(f"wrote {path}  ({len(table):,} rows)")
+    for name, regions in workload.regions.items():
+        path = out_dir / f"{name}.geojson"
+        props = [{"name": n} for n in regions.region_names]
+        write_geojson(path, list(regions.geometries), props)
+        print(f"wrote {path}  ({len(regions)} regions)")
+    return 0
+
+
+# -- query --------------------------------------------------------------------
+
+
+def _cmd_query(args) -> int:
+    parsed = parse_query(args.sql)
+    table = load_npz(Path(args.data))
+    regions = _load_regions(Path(args.regions), name=parsed.regions)
+    engine = SpatialAggregationEngine(
+        default_resolution=args.resolution,
+        max_canvas_resolution=max(args.resolution, 4096))
+
+    t0 = time.perf_counter()
+    result = engine.execute(table, regions, parsed.aggregation,
+                            method=args.method)
+    elapsed = time.perf_counter() - t0
+
+    print(f"-- {parsed.describe()}")
+    print(f"-- method={result.method} rows={len(table):,} "
+          f"regions={len(regions)} latency={elapsed * 1000:.1f}ms")
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            header = ["region", "value"]
+            if result.has_bounds:
+                header += ["lower", "upper"]
+            writer.writerow(header)
+            for i, name in enumerate(regions.region_names):
+                row = [name, repr(float(result.values[i]))]
+                if result.has_bounds:
+                    row += [repr(float(result.lower[i])),
+                            repr(float(result.upper[i]))]
+                writer.writerow(row)
+        print(f"wrote {args.csv}")
+    else:
+        shown = result.top_k(args.top)
+        width = max((len(n) for n, __ in shown), default=10)
+        for name, value in shown:
+            print(f"{name:<{width}}  {value:,.3f}")
+    return 0
+
+
+# -- compare --------------------------------------------------------------------
+
+
+def _cmd_compare(args) -> int:
+    parsed = parse_query(args.sql)
+    table = load_npz(Path(args.data))
+    regions = _load_regions(Path(args.regions), name=parsed.regions)
+    engine = SpatialAggregationEngine(default_resolution=args.resolution)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+
+    results = {}
+    print(f"-- {parsed.describe()}")
+    print(f"{'method':<12} {'latency':>10}  note")
+    for method in methods:
+        engine.execute(table, regions, parsed.aggregation, method=method)
+        t0 = time.perf_counter()
+        result = engine.execute(table, regions, parsed.aggregation,
+                                method=method)
+        elapsed = time.perf_counter() - t0
+        results[method] = result
+        note = "exact" if result.exact else (
+            f"bounds +/- {result.max_bound_width() / 2:.1f}"
+            if result.has_bounds else "approximate")
+        print(f"{method:<12} {elapsed * 1000:>8.1f}ms  {note}")
+
+    exact = next((r for r in results.values() if r.exact), None)
+    if exact is not None:
+        for method, result in results.items():
+            if result is exact or result.exact:
+                continue
+            err = result.compare_to(exact)["max_rel_error"]
+            contained = (result.bounds_contain(exact)
+                         if result.has_bounds else "n/a")
+            print(f"-- {method}: max rel error "
+                  f"{err * 100:.3f}% vs exact; bounds contain exact: "
+                  f"{contained}")
+    return 0
+
+
+# -- session --------------------------------------------------------------------
+
+
+def _cmd_session(args) -> int:
+    from .urbane import DataManager, InteractiveSession
+
+    table = load_npz(Path(args.data))
+    regions = _load_regions(Path(args.regions))
+    manager = DataManager(SpatialAggregationEngine(
+        default_resolution=args.resolution))
+    manager.add_dataset(table, "data")
+    manager.add_region_set(regions, "regions")
+
+    session = InteractiveSession(manager, "data", "regions",
+                                 resolution=args.resolution)
+    tvals = (table.values("t") if table.has_column("t") else None)
+    if tvals is not None and len(tvals):
+        t0, t1 = int(tvals.min()), int(tvals.max()) + 1
+        third = max((t1 - t0) // 3, 1)
+        session.brush_time(t0, t0 + third)
+        session.brush_time(t0 + third, t0 + 2 * third)
+        session.clear_time_brush()
+    numeric = [c for c in table.column_names
+               if table.column(c).kind == "numeric"]
+    if numeric:
+        session.set_aggregation(SpatialAggregation.avg_of(numeric[0]))
+        session.set_aggregation(SpatialAggregation.count())
+    print(session.report())
+    return 0
+
+
+# -- entry point ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Urbane / Raster Join reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize demo data to files")
+    gen.add_argument("--out-dir", default="demo-data")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--taxi-rows", type=int, default=500_000)
+    gen.add_argument("--complaint-rows", type=int, default=120_000)
+    gen.add_argument("--crime-rows", type=int, default=80_000)
+    gen.add_argument("--months", type=int, default=3)
+    gen.set_defaults(func=_cmd_generate)
+
+    qry = sub.add_parser("query", help="run a SQL query against files")
+    qry.add_argument("sql", help="query in the paper's SQL dialect")
+    qry.add_argument("--data", required=True, help="point table .npz")
+    qry.add_argument("--regions", required=True, help="regions .geojson")
+    qry.add_argument("--method", default="bounded",
+                     choices=("bounded", "accurate", "tiled", "grid",
+                              "rtree", "quadtree", "naive"))
+    qry.add_argument("--resolution", type=int, default=512)
+    qry.add_argument("--top", type=int, default=10,
+                     help="print the top-N regions")
+    qry.add_argument("--csv", help="write full results to this CSV")
+    qry.set_defaults(func=_cmd_query)
+
+    cmp_ = sub.add_parser("compare", help="run one query on many backends")
+    cmp_.add_argument("sql")
+    cmp_.add_argument("--data", required=True)
+    cmp_.add_argument("--regions", required=True)
+    cmp_.add_argument("--methods", default="bounded,accurate,grid")
+    cmp_.add_argument("--resolution", type=int, default=512)
+    cmp_.set_defaults(func=_cmd_compare)
+
+    ses = sub.add_parser("session",
+                         help="replay a scripted interactive session")
+    ses.add_argument("--data", required=True)
+    ses.add_argument("--regions", required=True)
+    ses.add_argument("--resolution", type=int, default=512)
+    ses.set_defaults(func=_cmd_session)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

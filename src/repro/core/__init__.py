@@ -1,0 +1,86 @@
+"""Raster Join — the paper's primary contribution.
+
+The spatial aggregation query (``SELECT AGG(a_i) FROM P, R WHERE P.loc
+INSIDE R.geometry [AND filter]* GROUP BY R.id``) evaluated by drawing:
+
+* :func:`bounded_raster_join` — pure raster evaluation with geometric
+  and numeric error guarantees;
+* :func:`accurate_raster_join` — hybrid raster + exact boundary tests;
+* :func:`tiled_bounded_raster_join` — virtual canvases beyond the
+  texture cap;
+* :class:`SpatialAggregationEngine` — planner, caching, and the uniform
+  entry point over these plus the exact baselines.
+"""
+
+from .accurate import accurate_raster_join
+from .aggregates import (
+    AVG,
+    BOUNDABLE_AGGREGATES,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    SUPPORTED_AGGREGATES,
+    PartialAggregate,
+)
+from .bounded import bounded_raster_join
+from .bounds import (
+    boundary_mass_bounds,
+    epsilon_for_viewport,
+    relative_bound_width,
+    resolution_for_epsilon,
+)
+from .executor import (
+    DEFAULT_RESOLUTION,
+    MAX_CANVAS_RESOLUTION,
+    METHODS,
+    SpatialAggregationEngine,
+)
+from .heatmatrix import (
+    RegionTimeMatrix,
+    pixel_region_labels,
+    region_time_matrix,
+)
+from .histogram import RegionHistograms, region_histograms
+from .multipass import bounded_raster_join_multi
+from .query import SpatialAggregation
+from .regions import RegionSet
+from .result import AggregationResult
+from .sql import ParsedQuery, parse_query, to_sql, tokenize
+from .tiling import make_tiles, tiled_bounded_raster_join
+
+__all__ = [
+    "AVG",
+    "AggregationResult",
+    "BOUNDABLE_AGGREGATES",
+    "COUNT",
+    "DEFAULT_RESOLUTION",
+    "MAX",
+    "MAX_CANVAS_RESOLUTION",
+    "METHODS",
+    "MIN",
+    "ParsedQuery",
+    "PartialAggregate",
+    "RegionHistograms",
+    "RegionSet",
+    "RegionTimeMatrix",
+    "SUM",
+    "SUPPORTED_AGGREGATES",
+    "SpatialAggregation",
+    "SpatialAggregationEngine",
+    "accurate_raster_join",
+    "boundary_mass_bounds",
+    "bounded_raster_join",
+    "bounded_raster_join_multi",
+    "epsilon_for_viewport",
+    "make_tiles",
+    "parse_query",
+    "pixel_region_labels",
+    "region_histograms",
+    "region_time_matrix",
+    "relative_bound_width",
+    "resolution_for_epsilon",
+    "tiled_bounded_raster_join",
+    "to_sql",
+    "tokenize",
+]

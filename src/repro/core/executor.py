@@ -1,0 +1,210 @@
+"""Query executor and planner.
+
+:class:`SpatialAggregationEngine` is the public entry point a front end
+like Urbane talks to.  It
+
+* picks a backend (``auto``: accurate raster join when the caller needs
+  exact answers, bounded otherwise, with an epsilon knob that sizes the
+  canvas);
+* caches the polygon render pass per (region set, viewport) — the
+  dominant reuse pattern in visual exploration, where the user brushes
+  filters/time while the region resolution stays fixed;
+* caches baseline indexes per table so comparisons are fair.
+"""
+
+from __future__ import annotations
+
+import time
+
+# Submodule imports (not the package) to stay cycle-free: repro.baselines
+# re-exports these and itself depends on repro.core submodules.
+from ..baselines.grid_join import grid_index_join
+from ..baselines.naive import naive_join
+from ..baselines.quadtree_join import quadtree_index_join
+from ..baselines.rtree_join import rtree_index_join
+from ..errors import QueryError
+from ..index import PointGridIndex, QuadTree, RTree
+from ..raster import FragmentTable, Viewport, build_fragment_table
+from ..table import PointTable
+from .accurate import accurate_raster_join
+from .bounded import bounded_raster_join
+from .bounds import resolution_for_epsilon
+from .query import SpatialAggregation
+from .regions import RegionSet
+from .result import AggregationResult
+from .tiling import tiled_bounded_raster_join
+
+METHODS = ("auto", "bounded", "accurate", "tiled", "grid", "rtree",
+           "quadtree", "naive")
+
+DEFAULT_RESOLUTION = 512
+MAX_CANVAS_RESOLUTION = 4096
+
+
+class SpatialAggregationEngine:
+    """Executes spatial aggregation queries with plan caching."""
+
+    def __init__(self, default_resolution: int = DEFAULT_RESOLUTION,
+                 max_canvas_resolution: int = MAX_CANVAS_RESOLUTION):
+        if default_resolution < 1:
+            raise QueryError("default_resolution must be positive")
+        self.default_resolution = int(default_resolution)
+        self.max_canvas_resolution = int(max_canvas_resolution)
+        self._fragment_cache: dict[tuple, FragmentTable] = {}
+        self._grid_cache: dict[int, PointGridIndex] = {}
+        self._rtree_cache: dict[int, RTree] = {}
+        self._quadtree_cache: dict[int, QuadTree] = {}
+
+    # -- cache plumbing ---------------------------------------------------
+
+    def fragments_for(self, regions: RegionSet,
+                      viewport: Viewport) -> FragmentTable:
+        """The (cached) polygon render pass for a region set + viewport."""
+        key = (id(regions), viewport)
+        table = self._fragment_cache.get(key)
+        if table is None:
+            table = build_fragment_table(list(regions.geometries), viewport)
+            self._fragment_cache[key] = table
+        return table
+
+    def _grid_index(self, table: PointTable) -> PointGridIndex:
+        index = self._grid_cache.get(id(table))
+        if index is None:
+            index = PointGridIndex(table.x, table.y, table.bbox,
+                                   nx=128, ny=128)
+            self._grid_cache[id(table)] = index
+        return index
+
+    def _rtree_index(self, table: PointTable) -> RTree:
+        index = self._rtree_cache.get(id(table))
+        if index is None:
+            index = RTree.from_points(table.x, table.y, leaf_capacity=64)
+            self._rtree_cache[id(table)] = index
+        return index
+
+    def _quadtree_index(self, table: PointTable) -> QuadTree:
+        index = self._quadtree_cache.get(id(table))
+        if index is None:
+            index = QuadTree(table.x, table.y, table.bbox, capacity=256)
+            self._quadtree_cache[id(table)] = index
+        return index
+
+    def clear_caches(self) -> None:
+        self._fragment_cache.clear()
+        self._grid_cache.clear()
+        self._rtree_cache.clear()
+        self._quadtree_cache.clear()
+
+    # -- planning -----------------------------------------------------------
+
+    def plan_viewport(self, regions: RegionSet, resolution: int | None,
+                      epsilon: float | None) -> Viewport:
+        """Resolve the canvas for a query.
+
+        ``epsilon`` (world units) wins over ``resolution``; the canvas is
+        sized so the pixel diagonal honors it.
+        """
+        if epsilon is not None:
+            resolution = resolution_for_epsilon(
+                regions.bbox, epsilon,
+                max_resolution=self.max_canvas_resolution)
+        if resolution is None:
+            resolution = self.default_resolution
+        if resolution > self.max_canvas_resolution:
+            raise QueryError(
+                f"resolution {resolution} exceeds the canvas cap "
+                f"{self.max_canvas_resolution}; use method='tiled'")
+        return Viewport.fit(regions.bbox, resolution)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        table: PointTable,
+        regions: RegionSet,
+        query: SpatialAggregation,
+        method: str = "auto",
+        resolution: int | None = None,
+        epsilon: float | None = None,
+        exact: bool = False,
+        viewport: Viewport | None = None,
+    ) -> AggregationResult:
+        """Run one spatial aggregation query.
+
+        ``method='auto'`` chooses the accurate raster join when ``exact``
+        is requested and the bounded one otherwise.  Explicit methods
+        (``bounded`` / ``accurate`` / ``tiled`` / ``grid`` / ``rtree`` /
+        ``naive``) bypass planning — the benchmark harness uses them.
+        """
+        if method not in METHODS:
+            raise QueryError(
+                f"unknown method {method!r}; expected one of {METHODS}")
+        t0 = time.perf_counter()
+
+        if method == "auto":
+            method = "accurate" if exact else "bounded"
+
+        if method in ("bounded", "accurate"):
+            if viewport is None:
+                viewport = self.plan_viewport(regions, resolution, epsilon)
+            fragments = self.fragments_for(regions, viewport)
+            run = (bounded_raster_join if method == "bounded"
+                   else accurate_raster_join)
+            result = run(table, regions, query, viewport,
+                         fragments=fragments)
+        elif method == "tiled":
+            result = tiled_bounded_raster_join(
+                table, regions, query,
+                resolution=resolution or self.default_resolution)
+        elif method == "grid":
+            result = grid_index_join(table, regions, query,
+                                     index=self._grid_index(table))
+        elif method == "rtree":
+            result = rtree_index_join(table, regions, query,
+                                      index=self._rtree_index(table))
+        elif method == "quadtree":
+            result = quadtree_index_join(
+                table, regions, query, index=self._quadtree_index(table))
+        else:
+            result = naive_join(table, regions, query)
+
+        result.stats["time_execute_s"] = time.perf_counter() - t0
+        return result
+
+    def execute_multi(
+        self,
+        table: PointTable,
+        regions: RegionSet,
+        queries: list[SpatialAggregation],
+        resolution: int | None = None,
+        epsilon: float | None = None,
+        viewport: Viewport | None = None,
+    ) -> list[AggregationResult]:
+        """Evaluate several aggregates in shared render passes.
+
+        Queries with identical filter lists share the filter mask and
+        point projection (the GPU's multiple-render-targets trick);
+        results align with ``queries``.  Bounded variant only.
+        """
+        from .multipass import bounded_raster_join_multi
+
+        if viewport is None:
+            viewport = self.plan_viewport(regions, resolution, epsilon)
+        fragments = self.fragments_for(regions, viewport)
+        return bounded_raster_join_multi(table, regions, queries, viewport,
+                                         fragments=fragments)
+
+    def compare(
+        self,
+        table: PointTable,
+        regions: RegionSet,
+        query: SpatialAggregation,
+        methods: tuple[str, ...] = ("bounded", "accurate", "grid"),
+        resolution: int | None = None,
+    ) -> dict[str, AggregationResult]:
+        """Run the same query through several backends (harness helper)."""
+        return {
+            m: self.execute(table, regions, query, method=m,
+                            resolution=resolution)
+            for m in methods
+        }

@@ -1,0 +1,120 @@
+"""One-pass evaluation of several aggregates (MRT analog).
+
+The GPU Raster Join computes several aggregates in a single render pass
+by blending into *multiple render targets*.  The software equivalent:
+for queries that share a filter list, the filter mask, the point->pixel
+projection and the fragment join are computed once, and only the
+per-aggregate canvases differ.  Urbane's views are the consumer — a map
+view showing COUNT while the exploration view wants AVG(fare) and
+SUM(severity) over the same brushed window.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..raster import FragmentTable, Viewport, build_fragment_table, scatter_sum
+from ..table import PointTable
+from .aggregates import BOUNDABLE_AGGREGATES, COUNT
+from .bounded import _join_covered, blend_canvases
+from .bounds import boundary_mass_bounds
+from .query import SpatialAggregation
+from .regions import RegionSet
+from .result import AggregationResult
+
+
+def _filter_signature(query: SpatialAggregation):
+    """Hashable identity of a query's filter list (dataclass equality)."""
+    return query.filters
+
+
+def bounded_raster_join_multi(
+    table: PointTable,
+    regions: RegionSet,
+    queries: list[SpatialAggregation],
+    viewport: Viewport,
+    fragments: FragmentTable | None = None,
+) -> list[AggregationResult]:
+    """Evaluate several bounded raster joins, sharing render passes.
+
+    Queries are grouped by identical filter lists; each group performs
+    one filter evaluation and one point projection, then blends one
+    canvas per needed (aggregate, value-column) pair.  Results come back
+    aligned with ``queries``.
+    """
+    t0 = time.perf_counter()
+    if fragments is None:
+        fragments = build_fragment_table(list(regions.geometries), viewport)
+
+    results: list[AggregationResult | None] = [None] * len(queries)
+    groups: dict[tuple, list[int]] = {}
+    for i, query in enumerate(queries):
+        groups.setdefault(_filter_signature(query), []).append(i)
+
+    for indices in groups.values():
+        rep = queries[indices[0]]
+        mask = rep.filter_mask(table)
+        x = table.x[mask]
+        y = table.y[mask]
+        pixel_ids, valid = viewport.pixel_ids_of(x, y)
+        pixel_ids = pixel_ids[valid]
+
+        # One canvas set per distinct (aggregate-kind, value column).
+        canvas_cache: dict[tuple, dict[str, np.ndarray]] = {}
+        values_cache: dict[str | None, np.ndarray | None] = {}
+
+        def _values_for(query: SpatialAggregation):
+            column = query.value_column
+            if column not in values_cache:
+                vals = query.values_for(table)
+                if vals is not None:
+                    vals = vals[mask][valid]
+                values_cache[column] = vals
+            return values_cache[column]
+
+        for i in indices:
+            query = queries[i]
+            key = (query.agg, query.value_column)
+            if key not in canvas_cache:
+                canvas_cache[key] = blend_canvases(
+                    pixel_ids, _values_for(query), query.agg,
+                    viewport.num_pixels)
+            canvases = canvas_cache[key]
+            estimate = _join_covered(fragments, canvases, query.agg)
+
+            lower = upper = None
+            if query.agg in BOUNDABLE_AGGREGATES:
+                if query.agg == COUNT:
+                    mass = canvases["count"]
+                else:
+                    mass_key = ("__mass__", query.value_column)
+                    if mass_key not in canvas_cache:
+                        canvas_cache[mass_key] = {
+                            "mass": scatter_sum(
+                                pixel_ids,
+                                np.abs(_values_for(query)),
+                                viewport.num_pixels)
+                        }
+                    mass = canvas_cache[mass_key]["mass"]
+                lower, upper = boundary_mass_bounds(fragments, estimate,
+                                                    mass)
+            results[i] = AggregationResult(
+                regions=regions,
+                values=estimate,
+                method="bounded-raster-join-multi",
+                lower=lower,
+                upper=upper,
+                exact=False,
+                stats={
+                    "points_after_filter": int(mask.sum()),
+                    "shared_group_size": len(indices),
+                },
+            )
+
+    elapsed = time.perf_counter() - t0
+    for result in results:
+        result.stats["time_multi_total_s"] = elapsed
+        result.stats["queries_in_pass"] = len(queries)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,378 @@
+"""A SQL front end for the spatial aggregation query template.
+
+The paper presents the query in SQL form::
+
+    SELECT AGG(a_i) FROM P, R
+    WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+    GROUP BY R.id
+
+This module parses exactly that dialect (plus the obvious filter
+grammar) into a :class:`ParsedQuery` — the point-table name, the
+region-set name, and a :class:`SpatialAggregation`.  It is a
+hand-written tokenizer + recursive-descent parser; the goal is a
+faithful, well-errored front end for the template, not a general SQL
+engine.
+
+Grammar (case-insensitive keywords)::
+
+    query     := SELECT agg FROM table "," regions
+                 [WHERE predicate] [GROUP BY ident ["." ident]]
+    agg       := COUNT "(" "*" ")" | (SUM|AVG|MIN|MAX) "(" column ")"
+    predicate := disjunct (OR disjunct)*
+    disjunct  := conjunct (AND conjunct)*
+    conjunct  := [NOT] atom
+    atom      := "(" predicate ")"
+               | loc-clause                  -- P.loc INSIDE R.geometry
+               | column op literal
+               | column BETWEEN literal AND literal
+               | column IN "(" literal ("," literal)* ")"
+    op        := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    literal   := number | 'string'
+
+The mandatory ``loc INSIDE geometry`` clause is recognized anywhere in
+the WHERE conjunction and removed (it *is* the join); string literals
+use single quotes.  ``BETWEEN`` on the conventional time column names
+(``t``, ``timestamp``, ``time``) becomes a half-open
+:class:`TimeRange`, matching the timeline-brush semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..table import (
+    Between,
+    Comparison,
+    FilterExpr,
+    IsIn,
+    Not,
+    Or,
+    TimeRange,
+)
+from .aggregates import SUPPORTED_AGGREGATES
+from .query import SpatialAggregation
+
+TIME_COLUMNS = ("t", "timestamp", "time")
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*')
+      | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+      | (?P<op><=|>=|==|!=|<>|=|<|>)
+      | (?P<punct>[(),.*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "or", "not",
+    "between", "in", "inside",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'string' | 'number' | 'op' | 'punct' | 'word' | 'kw'
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split a query string into tokens; raises on junk characters."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        if sql[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None or match.start() != pos:
+            raise QueryError(
+                f"cannot tokenize SQL at position {pos}: {sql[pos:pos+12]!r}")
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "word" and value.lower() in _KEYWORDS:
+            tokens.append(Token("kw", value.lower(), pos))
+        else:
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    return tokens
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The outcome of parsing: what to aggregate, over what, how."""
+
+    aggregation: SpatialAggregation
+    table: str
+    regions: str
+    group_by: str | None = None
+
+    def describe(self) -> str:
+        return (f"{self.aggregation.describe()} "
+                f"[P={self.table}, R={self.regions}]")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str):
+        self.tokens = tokens
+        self.sql = sql
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise QueryError(f"unexpected end of query: {self.sql!r}")
+        self.index += 1
+        return tok
+
+    def _expect_kw(self, word: str) -> None:
+        tok = self._next()
+        if tok.kind != "kw" or tok.value != word:
+            raise QueryError(
+                f"expected {word.upper()!r} at position {tok.position}, "
+                f"got {tok.value!r}")
+
+    def _expect_punct(self, char: str) -> None:
+        tok = self._next()
+        if tok.kind != "punct" or tok.value != char:
+            raise QueryError(
+                f"expected {char!r} at position {tok.position}, got "
+                f"{tok.value!r}")
+
+    def _accept_kw(self, word: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "kw" and tok.value == word:
+            self.index += 1
+            return True
+        return False
+
+    def _accept_punct(self, char: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "punct" and tok.value == char:
+            self.index += 1
+            return True
+        return False
+
+    def _ident(self) -> str:
+        tok = self._next()
+        if tok.kind != "word":
+            raise QueryError(
+                f"expected identifier at position {tok.position}, got "
+                f"{tok.value!r}")
+        return tok.value
+
+    def _qualified_ident(self) -> str:
+        """``name`` or ``alias.name`` — the alias is dropped."""
+        name = self._ident()
+        if self._accept_punct("."):
+            name = self._ident()
+        return name
+
+    def _literal(self):
+        tok = self._next()
+        if tok.kind == "number":
+            value = float(tok.value)
+            return int(value) if value.is_integer() else value
+        if tok.kind == "string":
+            return tok.value[1:-1].replace("\\'", "'")
+        raise QueryError(
+            f"expected literal at position {tok.position}, got "
+            f"{tok.value!r}")
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self._expect_kw("select")
+        agg, value_column = self._aggregate()
+        self._expect_kw("from")
+        table = self._ident()
+        self._expect_punct(",")
+        regions = self._ident()
+
+        filters: tuple[FilterExpr, ...] = ()
+        saw_inside = False
+        if self._accept_kw("where"):
+            expr, saw_inside = self._predicate()
+            if expr is not None:
+                filters = (expr,)
+
+        group_by = None
+        if self._accept_kw("group"):
+            self._expect_kw("by")
+            group_by = self._qualified_ident()
+
+        trailing = self._peek()
+        if trailing is not None:
+            raise QueryError(
+                f"unexpected trailing input at position "
+                f"{trailing.position}: {trailing.value!r}")
+        if not saw_inside:
+            raise QueryError(
+                "the spatial join clause 'P.loc INSIDE R.geometry' is "
+                "required in WHERE")
+        aggregation = SpatialAggregation(agg, value_column, filters)
+        return ParsedQuery(aggregation, table, regions, group_by)
+
+    def _aggregate(self) -> tuple[str, str | None]:
+        name = self._ident().lower()
+        if name not in SUPPORTED_AGGREGATES:
+            raise QueryError(
+                f"unsupported aggregate {name.upper()!r}; expected one of "
+                f"{tuple(a.upper() for a in SUPPORTED_AGGREGATES)}")
+        self._expect_punct("(")
+        if self._accept_punct("*"):
+            column = None
+        else:
+            column = self._qualified_ident()
+        self._expect_punct(")")
+        if name == "count" and column is not None:
+            # COUNT(col) over points without NULLs is COUNT(*).
+            column = None
+        return name, column
+
+    def _predicate(self) -> tuple[FilterExpr | None, bool]:
+        """OR-level; returns (expr or None, saw_inside_clause)."""
+        left, saw = self._conjunction()
+        while self._accept_kw("or"):
+            right, saw_r = self._conjunction()
+            saw = saw or saw_r
+            if left is None or right is None:
+                raise QueryError(
+                    "the INSIDE join clause cannot appear under OR")
+            left = Or(left, right)
+        return left, saw
+
+    def _conjunction(self) -> tuple[FilterExpr | None, bool]:
+        left, saw = self._negation()
+        while self._accept_kw("and"):
+            right, saw_r = self._negation()
+            saw = saw or saw_r
+            if right is None:
+                continue  # the INSIDE clause contributes no filter
+            left = right if left is None else left & right
+        return left, saw
+
+    def _negation(self) -> tuple[FilterExpr | None, bool]:
+        if self._accept_kw("not"):
+            inner, saw = self._negation()
+            if inner is None:
+                raise QueryError("cannot negate the INSIDE join clause")
+            return Not(inner), saw
+        return self._atom()
+
+    def _atom(self) -> tuple[FilterExpr | None, bool]:
+        if self._accept_punct("("):
+            expr, saw = self._predicate()
+            self._expect_punct(")")
+            return expr, saw
+
+        column = self._qualified_ident()
+        if self._accept_kw("inside"):
+            # P.loc INSIDE R.geometry — consume the right-hand side.
+            self._qualified_ident()
+            return None, True
+        if self._accept_kw("between"):
+            lo = self._literal()
+            self._expect_kw("and")
+            hi = self._literal()
+            if column in TIME_COLUMNS and isinstance(lo, int) \
+                    and isinstance(hi, int):
+                return TimeRange(column, lo, hi), False
+            return Between(column, lo, hi), False
+        if self._accept_kw("in"):
+            self._expect_punct("(")
+            values = [self._literal()]
+            while self._accept_punct(","):
+                values.append(self._literal())
+            self._expect_punct(")")
+            return IsIn(column, tuple(values)), False
+
+        tok = self._next()
+        if tok.kind != "op":
+            raise QueryError(
+                f"expected comparison operator at position "
+                f"{tok.position}, got {tok.value!r}")
+        op = {"=": "==", "<>": "!="}.get(tok.value, tok.value)
+        value = self._literal()
+        return Comparison(column, op, value), False
+
+
+def parse_query(sql: str) -> ParsedQuery:
+    """Parse one spatial aggregation query in the paper's SQL dialect."""
+    tokens = tokenize(sql)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens, sql).parse()
+
+
+# -- rendering (the inverse, for logs and round-trip testing) -----------
+
+
+def _literal_to_sql(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "\\'")
+        return f"'{escaped}'"
+    # Normalize NumPy scalars so repr() stays plain-SQL parseable.
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, bool):
+        raise QueryError("boolean literals are not part of the dialect")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise QueryError(f"cannot render literal {value!r} to SQL")
+
+
+def _filter_to_sql(expr: FilterExpr) -> str:
+    from ..table import And
+
+    if isinstance(expr, Comparison):
+        return f"{expr.column} {expr.op} {_literal_to_sql(expr.value)}"
+    if isinstance(expr, Between):
+        return (f"{expr.column} BETWEEN {_literal_to_sql(expr.lo)} "
+                f"AND {_literal_to_sql(expr.hi)}")
+    if isinstance(expr, TimeRange):
+        # Half-open: render as explicit comparisons so the semantics
+        # survive the round trip regardless of the column's name.
+        return f"({expr.column} >= {expr.start} AND {expr.column} < {expr.end})"
+    if isinstance(expr, IsIn):
+        values = ", ".join(_literal_to_sql(v) for v in expr.values)
+        return f"{expr.column} IN ({values})"
+    if isinstance(expr, And):
+        return (f"({_filter_to_sql(expr.left)} "
+                f"AND {_filter_to_sql(expr.right)})")
+    if isinstance(expr, Or):
+        return (f"({_filter_to_sql(expr.left)} "
+                f"OR {_filter_to_sql(expr.right)})")
+    if isinstance(expr, Not):
+        return f"NOT ({_filter_to_sql(expr.inner)})"
+    raise QueryError(
+        f"cannot render filter of type {type(expr).__name__} to SQL")
+
+
+def to_sql(aggregation, table: str, regions: str) -> str:
+    """Render a :class:`SpatialAggregation` back into the SQL dialect.
+
+    ``parse_query(to_sql(q, t, r))`` reproduces the query (the round
+    trip is property-tested); useful for logging what a view executed.
+    """
+    target = "*" if aggregation.value_column is None else (
+        aggregation.value_column)
+    parts = [f"SELECT {aggregation.agg.upper()}({target})",
+             f"FROM {table}, {regions}",
+             f"WHERE {table}.loc INSIDE {regions}.geometry"]
+    for expr in aggregation.filters:
+        parts.append(f"AND {_filter_to_sql(expr)}")
+    parts.append(f"GROUP BY {regions}.id")
+    return " ".join(parts)

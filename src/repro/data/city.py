@@ -1,0 +1,171 @@
+"""The synthetic city model.
+
+The paper's demo explores New York City data; offline we synthesize a
+city with the same statistical ingredients: an irregular (non-convex)
+boundary, a handful of activity hotspots of different intensities
+(business district, entertainment, airports, residential cores), and a
+metric local coordinate system.  Every generator in this package draws
+its spatial structure from a :class:`CityModel`, so data sets share
+hotspots the way taxi trips, 311 complaints and crime incidents share a
+real city's geography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataGenerationError
+from ..geometry import BBox, LocalProjection, Polygon, points_in_ring
+
+#: Default city extent (meters); roughly the span of a large city.
+DEFAULT_EXTENT_M = 30_000.0
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One activity center: an anisotropic Gaussian intensity bump."""
+
+    name: str
+    x: float
+    y: float
+    sigma_x: float
+    sigma_y: float
+    weight: float
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` points from the hotspot's Gaussian."""
+        pts = np.empty((n, 2))
+        pts[:, 0] = rng.normal(self.x, self.sigma_x, n)
+        pts[:, 1] = rng.normal(self.y, self.sigma_y, n)
+        return pts
+
+
+class CityModel:
+    """A seeded synthetic city: boundary, hotspots, projection."""
+
+    def __init__(self, seed: int = 7, extent_m: float = DEFAULT_EXTENT_M,
+                 num_hotspots: int = 8, boundary_vertices: int = 72,
+                 lon0: float = -74.0, lat0: float = 40.7):
+        if extent_m <= 0:
+            raise DataGenerationError("extent must be positive")
+        if num_hotspots < 1:
+            raise DataGenerationError("need at least one hotspot")
+        if boundary_vertices < 8:
+            raise DataGenerationError("boundary needs >= 8 vertices")
+        self.seed = int(seed)
+        self.extent_m = float(extent_m)
+        self.projection = LocalProjection(lon0, lat0)
+        rng = np.random.default_rng(seed)
+
+        # Boundary: a star-shaped ring around the center whose radius is
+        # a low-frequency random Fourier series — irregular and
+        # non-convex like a real municipal boundary.
+        half = extent_m / 2.0
+        angles = np.linspace(0.0, 2.0 * np.pi, boundary_vertices,
+                             endpoint=False)
+        radius = np.full(boundary_vertices, 0.72)
+        for harmonic in range(2, 7):
+            amp = rng.uniform(0.02, 0.10) / (harmonic - 1)
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            radius += amp * np.sin(harmonic * angles + phase)
+        radius = np.clip(radius, 0.45, 0.98) * half
+        ring = np.column_stack([radius * np.cos(angles),
+                                radius * np.sin(angles)])
+        self.boundary = Polygon(ring)
+
+        # Hotspots: the first is the dominant "downtown", the rest decay
+        # in weight; all placed well inside the boundary.
+        names = ["downtown", "midtown", "airport", "stadium", "harbor",
+                 "university", "market", "park-edge", "old-town",
+                 "tech-row", "theater", "station"]
+        hotspots = []
+        for i in range(num_hotspots):
+            # Rejection-sample a center inside the (shrunken) boundary.
+            for _ in range(1000):
+                cx = rng.uniform(-0.6 * half, 0.6 * half)
+                cy = rng.uniform(-0.6 * half, 0.6 * half)
+                if self.boundary.contains_point(cx, cy):
+                    break
+            else:
+                raise DataGenerationError("could not place hotspot")
+            spread = extent_m * rng.uniform(0.015, 0.06) * (1.0 + 0.4 * i)
+            hotspots.append(Hotspot(
+                name=names[i % len(names)],
+                x=cx, y=cy,
+                sigma_x=spread * rng.uniform(0.7, 1.3),
+                sigma_y=spread * rng.uniform(0.7, 1.3),
+                weight=1.0 / (1.0 + 0.8 * i),
+            ))
+        self.hotspots: tuple[Hotspot, ...] = tuple(hotspots)
+
+    @property
+    def bbox(self) -> BBox:
+        return self.boundary.bbox
+
+    def hotspot_weights(self) -> np.ndarray:
+        w = np.array([h.weight for h in self.hotspots])
+        return w / w.sum()
+
+    def sample_locations(self, rng: np.random.Generator, n: int,
+                         uniform_fraction: float = 0.15,
+                         clip_to_boundary: bool = True) -> np.ndarray:
+        """Draw event locations: hotspot mixture + uniform background.
+
+        ``uniform_fraction`` of the points come from a uniform layer over
+        the city's bbox (suburban noise); the rest from the hotspot
+        mixture.  With ``clip_to_boundary`` points landing outside the
+        boundary are re-drawn (a few stragglers may remain after the
+        retry cap, matching real data's GPS noise).
+        """
+        if not (0.0 <= uniform_fraction <= 1.0):
+            raise DataGenerationError("uniform_fraction must be in [0, 1]")
+        weights = self.hotspot_weights() * (1.0 - uniform_fraction)
+        weights = np.concatenate([weights, [uniform_fraction]])
+        choice = rng.choice(len(weights), size=n, p=weights)
+        pts = np.empty((n, 2))
+        for i, hotspot in enumerate(self.hotspots):
+            sel = choice == i
+            cnt = int(sel.sum())
+            if cnt:
+                pts[sel] = hotspot.sample(rng, cnt)
+        sel = choice == len(self.hotspots)
+        cnt = int(sel.sum())
+        if cnt:
+            box = self.bbox
+            pts[sel, 0] = rng.uniform(box.xmin, box.xmax, cnt)
+            pts[sel, 1] = rng.uniform(box.ymin, box.ymax, cnt)
+
+        if clip_to_boundary:
+            for _ in range(8):
+                outside = ~self.boundary.contains_points(pts)
+                bad = int(outside.sum())
+                if bad == 0:
+                    break
+                pts[outside] = self.sample_locations(
+                    rng, bad, uniform_fraction, clip_to_boundary=False)
+        return pts
+
+    def sample_interior_points(self, rng: np.random.Generator,
+                               n: int) -> np.ndarray:
+        """Uniform points strictly inside the boundary (region seeds)."""
+        box = self.bbox
+        out = np.empty((n, 2))
+        filled = 0
+        ring = self.boundary.exterior
+        while filled < n:
+            batch = max(64, 2 * (n - filled))
+            cand = np.column_stack([
+                rng.uniform(box.xmin, box.xmax, batch),
+                rng.uniform(box.ymin, box.ymax, batch),
+            ])
+            good = cand[points_in_ring(cand, ring)]
+            take = min(len(good), n - filled)
+            out[filled:filled + take] = good[:take]
+            filled += take
+        return out
+
+    def __repr__(self) -> str:
+        return (f"CityModel(seed={self.seed}, extent={self.extent_m:.0f}m, "
+                f"hotspots={len(self.hotspots)})")

@@ -1,0 +1,69 @@
+"""One-call demo workload: the city, its resolutions, and three data
+sets — everything the examples and benchmarks start from.
+
+Mirrors the demo's setting: a city, several months of taxi trips, 311
+complaints and crime incidents, and region sets at multiple resolutions.
+All sizes are laptop-scale by default and scalable through parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.regions import RegionSet
+from ..table import PointTable
+from .city import CityModel
+from .complaints import generate_complaints
+from .crime import generate_crimes
+from .regions import voronoi_regions
+from .taxi import generate_taxi_trips
+from .temporal import DEFAULT_EPOCH, SECONDS_PER_DAY
+
+
+@dataclass
+class DemoWorkload:
+    """The assembled demo data: city, region resolutions, data sets."""
+
+    city: CityModel
+    regions: dict[str, RegionSet]
+    datasets: dict[str, PointTable]
+    start: int
+    end: int
+
+    @property
+    def months(self) -> int:
+        return (self.end - self.start) // (30 * SECONDS_PER_DAY)
+
+    def dataset(self, name: str) -> PointTable:
+        return self.datasets[name]
+
+    def region_set(self, level: str) -> RegionSet:
+        return self.regions[level]
+
+
+def load_demo_workload(
+    seed: int = 7,
+    taxi_rows: int = 500_000,
+    complaint_rows: int = 120_000,
+    crime_rows: int = 80_000,
+    months: int = 3,
+    region_levels: dict[str, int] | None = None,
+) -> DemoWorkload:
+    """Build the standard demo workload (deterministic per seed)."""
+    city = CityModel(seed=seed)
+    start = DEFAULT_EPOCH
+    end = DEFAULT_EPOCH + months * 30 * SECONDS_PER_DAY
+    levels = region_levels or {"boroughs": 5, "neighborhoods": 71,
+                               "tracts": 400}
+    regions = {name: voronoi_regions(city, count, name=name)
+               for name, count in levels.items()}
+    datasets = {
+        "taxi": generate_taxi_trips(city, taxi_rows, start, end,
+                                    seed=seed + 1),
+        "complaints311": generate_complaints(city, complaint_rows, start,
+                                             end, seed=seed + 2),
+        "crime": generate_crimes(city, crime_rows, start, end,
+                                 seed=seed + 3),
+    }
+    return DemoWorkload(city=city, regions=regions, datasets=datasets,
+                        start=start, end=end)

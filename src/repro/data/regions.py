@@ -1,0 +1,93 @@
+"""Synthetic region hierarchies.
+
+Real cities expose nested administrative resolutions (boroughs >
+neighborhoods > census tracts); Urbane lets the user switch among them.
+Here each resolution is a Voronoi partition of the city boundary with a
+level-specific seed count, so finer levels have more, smaller, more
+boundary-heavy polygons — the axis the polygon-resolution experiments
+sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.regions import RegionSet
+from ..errors import DataGenerationError, GeometryError
+from ..geometry import (
+    BBox,
+    Polygon,
+    bounded_voronoi_cells,
+    clip_cells_to_boundary,
+    polygon_signed_area,
+)
+from .city import CityModel
+
+#: Named resolutions mirroring the demo's NYC levels.
+RESOLUTION_LEVELS = {
+    "boroughs": 5,
+    "neighborhoods": 71,
+    "districts": 297,
+    "tracts": 1200,
+}
+
+
+def voronoi_regions(city: CityModel, count: int, name: str,
+                    seed: int | None = None) -> RegionSet:
+    """A Voronoi partition of the city into ``count`` regions.
+
+    Seeds are uniform inside the boundary; degenerate clipped cells
+    (slivers smaller than 1e-6 of the city area) are dropped, so the
+    returned set can be slightly smaller than ``count``.
+    """
+    if count < 1:
+        raise DataGenerationError("region count must be >= 1")
+    rng = np.random.default_rng(city.seed if seed is None else seed)
+    seeds = city.sample_interior_points(rng, count)
+    cells = bounded_voronoi_cells(seeds, city.bbox)
+    clipped = clip_cells_to_boundary(cells, city.boundary.exterior)
+
+    min_area = 1e-6 * city.boundary.area
+    geometries = []
+    for cell in clipped:
+        if len(cell) < 3:
+            continue
+        if abs(polygon_signed_area(cell)) < min_area:
+            continue
+        try:
+            geometries.append(Polygon(cell))
+        except GeometryError:
+            continue
+    if not geometries:
+        raise DataGenerationError("no usable region polygons generated")
+    names = [f"{name}-{i:04d}" for i in range(len(geometries))]
+    return RegionSet(name, geometries, names)
+
+
+def region_hierarchy(city: CityModel,
+                     levels: dict[str, int] | None = None
+                     ) -> dict[str, RegionSet]:
+    """All named resolutions for a city (coarse to fine)."""
+    levels = dict(levels or RESOLUTION_LEVELS)
+    return {lvl: voronoi_regions(city, cnt, name=lvl)
+            for lvl, cnt in levels.items()}
+
+
+def grid_regions(bbox: BBox, nx: int, ny: int, name: str = "grid"
+                 ) -> RegionSet:
+    """A rectangular nx x ny grid over ``bbox`` (the trivially
+    pre-aggregable region set the cube baseline anticipates)."""
+    if nx < 1 or ny < 1:
+        raise DataGenerationError("grid needs >= 1 cell per axis")
+    cw = bbox.width / nx
+    ch = bbox.height / ny
+    geometries = []
+    names = []
+    for iy in range(ny):
+        for ix in range(nx):
+            x0 = bbox.xmin + ix * cw
+            y0 = bbox.ymin + iy * ch
+            geometries.append(Polygon([
+                [x0, y0], [x0 + cw, y0], [x0 + cw, y0 + ch], [x0, y0 + ch]]))
+            names.append(f"{name}-{ix}-{iy}")
+    return RegionSet(name, geometries, names)

@@ -1,0 +1,74 @@
+"""Synthetic taxi-trip generator.
+
+Stands in for the NYC TLC trip records the demo visualizes (Figure 1
+shows taxi pickups for January 2009 aggregated over neighborhoods).
+Each record is a pickup event with the attribute schema downstream
+queries exercise: timestamp, fare, trip distance, tip, passenger count
+and payment type.  Attribute distributions follow the well-known TLC
+marginals (exponential-ish distances, metered fares with a flag drop,
+card/cash mix with card-only tips).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataGenerationError
+from ..table import PointTable, categorical_column, timestamp_column
+from .city import CityModel
+from .temporal import DEFAULT_EPOCH, SECONDS_PER_DAY, TemporalPattern, taxi_pattern
+
+PAYMENT_TYPES = ("card", "cash")
+VENDORS = ("vts", "cmt", "dds")
+
+#: Fare model constants (2009-era NYC metered fare, simplified).
+FLAG_DROP_USD = 2.50
+PER_KM_USD = 1.56
+
+
+def generate_taxi_trips(
+    city: CityModel,
+    n: int,
+    start: int = DEFAULT_EPOCH,
+    end: int = DEFAULT_EPOCH + 30 * SECONDS_PER_DAY,
+    seed: int = 1,
+    pattern: TemporalPattern | None = None,
+) -> PointTable:
+    """Generate ``n`` taxi pickups in the time window [start, end)."""
+    if n < 1:
+        raise DataGenerationError("need at least one trip")
+    rng = np.random.default_rng(seed)
+    pattern = pattern or taxi_pattern()
+
+    # Pickups concentrate in commercial hotspots (low uniform share).
+    locs = city.sample_locations(rng, n, uniform_fraction=0.10)
+    ts = pattern.sample_timestamps(rng, n, start, end)
+
+    # Trip distance (km): lognormal body with a short-hop floor.
+    distance_km = np.maximum(0.3, rng.lognormal(mean=0.9, sigma=0.7, size=n))
+    # Metered fare plus surcharge noise.
+    fare = (FLAG_DROP_USD + PER_KM_USD * distance_km
+            + rng.normal(0.0, 0.8, size=n)).clip(FLAG_DROP_USD)
+    passengers = rng.choice([1, 1, 1, 2, 2, 3, 4, 5, 6], size=n)
+    payment = rng.choice(len(PAYMENT_TYPES), size=n,
+                         p=[0.55, 0.45]).astype(np.int32)
+    # Tips: card rides tip ~18% +- noise; cash tips unrecorded (0).
+    tip = np.where(
+        payment == PAYMENT_TYPES.index("card"),
+        (fare * rng.normal(0.18, 0.06, size=n)).clip(0.0),
+        0.0,
+    )
+    vendor = rng.choice(list(VENDORS), size=n, p=[0.5, 0.4, 0.1])
+
+    return PointTable.from_arrays(
+        locs[:, 0], locs[:, 1],
+        name="taxi",
+        t=timestamp_column("t", ts),
+        fare=fare,
+        distance_km=distance_km,
+        tip=tip,
+        passengers=passengers.astype(np.float64),
+        payment=categorical_column("payment", np.asarray(PAYMENT_TYPES,
+                                                         dtype=object)[payment]),
+        vendor=categorical_column("vendor", vendor),
+    )

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate polygon, empty ring, ...)."""
+
+
+class SchemaError(ReproError):
+    """A column or attribute referenced by a query does not exist or has
+    an incompatible dtype."""
+
+
+class QueryError(ReproError):
+    """Malformed query: unknown aggregate, bad filter expression, ..."""
+
+
+class ExecutionError(ReproError):
+    """A query failed during execution (backend cannot satisfy it)."""
+
+
+class CubeError(ExecutionError):
+    """A pre-aggregation cube cannot answer the requested query (ad-hoc
+    polygon or filter combination that was not materialized)."""
+
+
+class DataGenerationError(ReproError):
+    """Invalid parameters passed to a synthetic data generator."""

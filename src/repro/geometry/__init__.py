@@ -1,0 +1,98 @@
+"""Computational-geometry substrate.
+
+Everything the spatial-aggregation engine needs is implemented here from
+scratch: points and boxes, polygons with holes, exact predicates,
+clipping, triangulation, simplification, hulls, projections, GeoJSON IO
+and bounded Voronoi diagrams (used to synthesize region hierarchies).
+"""
+
+from .bbox import BBox
+from .clip import clip_polygon_convex, clip_ring_to_bbox
+from .geojson import (
+    feature_collection,
+    geometry_from_geojson,
+    geometry_to_geojson,
+    parse_feature_collection,
+    read_geojson,
+    write_geojson,
+)
+from .hull import convex_hull
+from .point import (
+    as_points,
+    dedupe_consecutive,
+    polygon_centroid,
+    polygon_perimeter,
+    polygon_signed_area,
+)
+from .polygon import (
+    Geometry,
+    MultiPolygon,
+    Polygon,
+    as_geometry,
+    box_polygon,
+    normalize_ring,
+    regular_polygon,
+)
+from .predicates import (
+    on_segment,
+    orient2d,
+    point_in_ring,
+    points_in_ring,
+    ring_is_simple,
+    segment_intersection_point,
+    segments_intersect,
+)
+from .projection import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    haversine_m,
+    lonlat_to_mercator,
+    mercator_to_lonlat,
+)
+from .simplify import simplify_line, simplify_ring
+from .triangulate import triangle_areas, triangulate_ring, triangulate_ring_vertices
+from .voronoi import bounded_voronoi_cells, clip_cells_to_boundary
+
+__all__ = [
+    "BBox",
+    "EARTH_RADIUS_M",
+    "Geometry",
+    "LocalProjection",
+    "MultiPolygon",
+    "Polygon",
+    "as_geometry",
+    "as_points",
+    "bounded_voronoi_cells",
+    "box_polygon",
+    "clip_cells_to_boundary",
+    "clip_polygon_convex",
+    "clip_ring_to_bbox",
+    "convex_hull",
+    "dedupe_consecutive",
+    "feature_collection",
+    "geometry_from_geojson",
+    "geometry_to_geojson",
+    "haversine_m",
+    "lonlat_to_mercator",
+    "mercator_to_lonlat",
+    "normalize_ring",
+    "on_segment",
+    "orient2d",
+    "parse_feature_collection",
+    "point_in_ring",
+    "points_in_ring",
+    "polygon_centroid",
+    "polygon_perimeter",
+    "polygon_signed_area",
+    "read_geojson",
+    "regular_polygon",
+    "ring_is_simple",
+    "segment_intersection_point",
+    "segments_intersect",
+    "simplify_line",
+    "simplify_ring",
+    "triangle_areas",
+    "triangulate_ring",
+    "triangulate_ring_vertices",
+    "write_geojson",
+]

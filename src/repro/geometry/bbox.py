@@ -1,0 +1,147 @@
+"""Axis-aligned bounding boxes.
+
+:class:`BBox` is the workhorse rectangle used for viewports, spatial-index
+nodes and polygon envelopes.  It is immutable; all operations return new
+boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class BBox:
+    """Closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self):
+        if not (self.xmin <= self.xmax and self.ymin <= self.ymax):
+            raise GeometryError(
+                f"invalid bbox: ({self.xmin}, {self.ymin}, "
+                f"{self.xmax}, {self.ymax})"
+            )
+
+    @classmethod
+    def of_points(cls, points) -> "BBox":
+        """Smallest box containing every point in a ``(n, 2)`` array."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.size == 0:
+            raise GeometryError("bbox of empty point set")
+        pts = pts.reshape(-1, 2)
+        return cls(
+            float(pts[:, 0].min()),
+            float(pts[:, 1].min()),
+            float(pts[:, 0].max()),
+            float(pts[:, 1].max()),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.xmin + self.xmax), 0.5 * (self.ymin + self.ymax))
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies in the closed box."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_points(self, points) -> np.ndarray:
+        """Vectorized containment test; returns a boolean mask."""
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        return (
+            (pts[:, 0] >= self.xmin)
+            & (pts[:, 0] <= self.xmax)
+            & (pts[:, 1] >= self.ymin)
+            & (pts[:, 1] <= self.ymax)
+        )
+
+    def contains_bbox(self, other: "BBox") -> bool:
+        """True if ``other`` lies entirely inside this box."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def intersects(self, other: "BBox") -> bool:
+        """True if the two closed boxes share at least one point."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def intersection(self, other: "BBox") -> "BBox | None":
+        """The overlapping box, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return BBox(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest box containing both boxes."""
+        return BBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def expand(self, margin: float) -> "BBox":
+        """Grow (or shrink, for negative margins) every side by ``margin``."""
+        return BBox(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def scale(self, factor: float) -> "BBox":
+        """Scale about the center by ``factor`` (used for zooming)."""
+        cx, cy = self.center
+        hw = 0.5 * self.width * factor
+        hh = 0.5 * self.height * factor
+        return BBox(cx - hw, cy - hh, cx + hw, cy + hh)
+
+    def translate(self, dx: float, dy: float) -> "BBox":
+        """Shift the box (used for panning)."""
+        return BBox(self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy)
+
+    def corners(self) -> np.ndarray:
+        """The four corners, counter-clockwise from (xmin, ymin)."""
+        return np.array(
+            [
+                [self.xmin, self.ymin],
+                [self.xmax, self.ymin],
+                [self.xmax, self.ymax],
+                [self.xmin, self.ymax],
+            ]
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)

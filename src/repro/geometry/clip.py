@@ -1,0 +1,77 @@
+"""Polygon clipping.
+
+Sutherland–Hodgman clipping of an arbitrary subject polygon against a
+*convex* clip polygon.  Two uses in this library:
+
+* clipping synthetic Voronoi cells (convex) against the city boundary —
+  done the other way round: boundary (subject) against cell (clip);
+* clipping region polygons to a viewport box before rasterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from .bbox import BBox
+from .point import as_points, polygon_signed_area
+
+
+def _clip_against_edge(subject: np.ndarray, ax, ay, bx, by) -> np.ndarray:
+    """Clip ``subject`` against the half-plane left of directed edge a->b."""
+    if len(subject) == 0:
+        return subject
+    x = subject[:, 0]
+    y = subject[:, 1]
+    # side > 0 => vertex strictly inside the half-plane.
+    side = (bx - ax) * (y - ay) - (by - ay) * (x - ax)
+    inside = side >= 0.0
+
+    out: list[tuple[float, float]] = []
+    n = len(subject)
+    for i in range(n):
+        j = (i + 1) % n
+        cur_in = inside[i]
+        nxt_in = inside[j]
+        if cur_in:
+            out.append((x[i], y[i]))
+        if cur_in != nxt_in:
+            # Edge crosses the clip line; emit the intersection point.
+            denom = side[i] - side[j]
+            if denom != 0.0:
+                t = side[i] / denom
+                out.append((x[i] + t * (x[j] - x[i]), y[i] + t * (y[j] - y[i])))
+    return np.asarray(out, dtype=np.float64).reshape(-1, 2)
+
+
+def clip_polygon_convex(subject, clip) -> np.ndarray:
+    """Sutherland–Hodgman: intersect ``subject`` with convex ``clip``.
+
+    ``subject`` may be any simple polygon; ``clip`` must be convex and is
+    normalized to counter-clockwise order internally.  Returns the vertex
+    array of the intersection (possibly empty).  When the true
+    intersection is disconnected the algorithm returns a single ring with
+    coincident bridging edges — acceptable for the synthetic-region and
+    viewport-clipping uses here.
+    """
+    subj = as_points(subject)
+    clp = as_points(clip)
+    if len(clp) < 3:
+        raise GeometryError("clip polygon needs >= 3 vertices")
+    if polygon_signed_area(clp) < 0:
+        clp = clp[::-1]
+
+    result = subj
+    n = len(clp)
+    for i in range(n):
+        ax, ay = clp[i]
+        bx, by = clp[(i + 1) % n]
+        result = _clip_against_edge(result, ax, ay, bx, by)
+        if len(result) == 0:
+            break
+    return result
+
+
+def clip_ring_to_bbox(ring, bbox: BBox) -> np.ndarray:
+    """Clip a ring against an axis-aligned box (special-cased for speed)."""
+    return clip_polygon_convex(ring, bbox.corners())

@@ -1,0 +1,99 @@
+"""Minimal GeoJSON encoding/decoding for region geometries.
+
+Only the geometry types the library produces and consumes are supported:
+Polygon, MultiPolygon, and FeatureCollections of those.  This is the
+interchange path for exporting synthetic regions or loading real ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GeometryError
+from .polygon import Geometry, MultiPolygon, Polygon
+
+
+def _ring_to_coords(ring: np.ndarray) -> list[list[float]]:
+    """GeoJSON rings repeat the first coordinate at the end."""
+    coords = [[float(x), float(y)] for x, y in ring]
+    coords.append(coords[0])
+    return coords
+
+
+def geometry_to_geojson(geom: Geometry) -> dict:
+    """Encode a Polygon/MultiPolygon as a GeoJSON geometry dict."""
+    if isinstance(geom, Polygon):
+        rings = [_ring_to_coords(geom.exterior)]
+        rings.extend(_ring_to_coords(h) for h in geom.holes)
+        return {"type": "Polygon", "coordinates": rings}
+    if isinstance(geom, MultiPolygon):
+        coords = []
+        for poly in geom.polygons:
+            rings = [_ring_to_coords(poly.exterior)]
+            rings.extend(_ring_to_coords(h) for h in poly.holes)
+            coords.append(rings)
+        return {"type": "MultiPolygon", "coordinates": coords}
+    raise GeometryError(f"cannot encode geometry of type {type(geom).__name__}")
+
+
+def geometry_from_geojson(obj: dict) -> Geometry:
+    """Decode a GeoJSON Polygon/MultiPolygon geometry dict."""
+    gtype = obj.get("type")
+    coords = obj.get("coordinates")
+    if gtype == "Polygon":
+        if not coords:
+            raise GeometryError("Polygon with no rings")
+        return Polygon(coords[0], tuple(coords[1:]))
+    if gtype == "MultiPolygon":
+        if not coords:
+            raise GeometryError("MultiPolygon with no parts")
+        polys = tuple(Polygon(rings[0], tuple(rings[1:])) for rings in coords)
+        return MultiPolygon(polys)
+    raise GeometryError(f"unsupported GeoJSON geometry type: {gtype!r}")
+
+
+def feature_collection(
+    geometries: list[Geometry], properties: list[dict] | None = None
+) -> dict:
+    """Bundle geometries (plus optional per-feature properties) into a
+    GeoJSON FeatureCollection dict."""
+    if properties is None:
+        properties = [{} for _ in geometries]
+    if len(properties) != len(geometries):
+        raise GeometryError("properties list must match geometries list")
+    features = [
+        {
+            "type": "Feature",
+            "geometry": geometry_to_geojson(g),
+            "properties": dict(p),
+        }
+        for g, p in zip(geometries, properties)
+    ]
+    return {"type": "FeatureCollection", "features": features}
+
+
+def parse_feature_collection(obj: dict) -> tuple[list[Geometry], list[dict]]:
+    """Decode a FeatureCollection into (geometries, properties)."""
+    if obj.get("type") != "FeatureCollection":
+        raise GeometryError(f"expected FeatureCollection, got {obj.get('type')!r}")
+    geometries = []
+    properties = []
+    for feat in obj.get("features", []):
+        geometries.append(geometry_from_geojson(feat["geometry"]))
+        properties.append(dict(feat.get("properties", {})))
+    return geometries, properties
+
+
+def write_geojson(path, geometries: list[Geometry], properties=None) -> None:
+    """Write a FeatureCollection to ``path``."""
+    doc = feature_collection(geometries, properties)
+    Path(path).write_text(json.dumps(doc))
+
+
+def read_geojson(path) -> tuple[list[Geometry], list[dict]]:
+    """Read a FeatureCollection from ``path``."""
+    doc = json.loads(Path(path).read_text())
+    return parse_feature_collection(doc)

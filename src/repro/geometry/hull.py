@@ -1,0 +1,42 @@
+"""Convex hulls (Andrew's monotone chain)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from .point import as_points
+
+
+def convex_hull(points) -> np.ndarray:
+    """Convex hull of a point set, counter-clockwise, no repeated last
+    vertex.  Raises :class:`GeometryError` for fewer than 3 distinct
+    points (a hull would be degenerate)."""
+    pts = as_points(points)
+    uniq = np.unique(pts, axis=0)
+    if len(uniq) < 3:
+        raise GeometryError("convex hull needs >= 3 distinct points")
+
+    # Sort lexicographically by (x, y).
+    order = np.lexsort((uniq[:, 1], uniq[:, 0]))
+    sorted_pts = uniq[order]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in sorted_pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[np.ndarray] = []
+    for p in sorted_pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    hull = np.array(lower[:-1] + upper[:-1])
+    if len(hull) < 3:
+        raise GeometryError("points are collinear; hull is degenerate")
+    return hull

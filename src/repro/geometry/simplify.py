@@ -1,0 +1,72 @@
+"""Line/ring simplification (Douglas–Peucker).
+
+Urbane renders region polygons at several zoom levels; simplification
+keeps vertex counts proportional to on-screen size.  The raster join
+benchmarks also use it to sweep boundary complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .point import as_points
+
+
+def _perpendicular_distances(points: np.ndarray, start, end) -> np.ndarray:
+    """Distance of each point from the line through ``start``-``end``."""
+    sx, sy = start
+    ex, ey = end
+    dx = ex - sx
+    dy = ey - sy
+    length = np.hypot(dx, dy)
+    if length == 0.0:
+        return np.hypot(points[:, 0] - sx, points[:, 1] - sy)
+    return np.abs(dy * (points[:, 0] - sx) - dx * (points[:, 1] - sy)) / length
+
+
+def simplify_line(points, tolerance: float) -> np.ndarray:
+    """Douglas–Peucker simplification of an open polyline.
+
+    Keeps the endpoints and every vertex whose removal would move the
+    line by more than ``tolerance``.  Iterative (explicit stack) to avoid
+    recursion limits on long lines.
+    """
+    pts = as_points(points)
+    n = len(pts)
+    if n <= 2 or tolerance <= 0:
+        return pts.copy()
+
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        inner = pts[lo + 1 : hi]
+        dists = _perpendicular_distances(inner, pts[lo], pts[hi])
+        k = int(np.argmax(dists))
+        if dists[k] > tolerance:
+            mid = lo + 1 + k
+            keep[mid] = True
+            stack.append((lo, mid))
+            stack.append((mid, hi))
+    return pts[keep]
+
+
+def simplify_ring(ring, tolerance: float, min_vertices: int = 4) -> np.ndarray:
+    """Simplify a closed ring, guaranteeing at least ``min_vertices``.
+
+    The ring is split at its first vertex, simplified as a polyline, and
+    re-closed.  If simplification would collapse the ring below
+    ``min_vertices`` distinct vertices the original is returned.
+    """
+    pts = as_points(ring)
+    if len(pts) <= min_vertices or tolerance <= 0:
+        return pts.copy()
+    closed = np.vstack([pts, pts[:1]])
+    simplified = simplify_line(closed, tolerance)
+    result = simplified[:-1]  # drop the duplicated closing vertex
+    if len(result) < max(3, min_vertices - 1):
+        return pts.copy()
+    return result

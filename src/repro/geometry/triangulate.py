@@ -1,0 +1,106 @@
+"""Ear-clipping triangulation.
+
+The GPU Raster Join renders polygons by tessellating them into triangles;
+this module provides the equivalent step for the software pipeline (used
+by the ablation benchmark that compares triangulated rasterization with
+direct scanline rasterization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from .point import as_points, polygon_signed_area
+from .predicates import orient2d
+
+
+def _point_in_triangle(px, py, ax, ay, bx, by, cx, cy) -> bool:
+    d1 = orient2d(ax, ay, bx, by, px, py)
+    d2 = orient2d(bx, by, cx, cy, px, py)
+    d3 = orient2d(cx, cy, ax, ay, px, py)
+    has_neg = (d1 < 0) or (d2 < 0) or (d3 < 0)
+    has_pos = (d1 > 0) or (d2 > 0) or (d3 > 0)
+    return not (has_neg and has_pos)
+
+
+def triangulate_ring(ring) -> list[tuple[int, int, int]]:
+    """Triangulate a simple ring via ear clipping.
+
+    Returns index triples into the (normalized, CCW) vertex array.  Runs
+    in O(n^2), fine for the vertex counts of urban region polygons.
+    """
+    verts = as_points(ring)
+    if len(verts) < 3:
+        raise GeometryError("cannot triangulate ring with < 3 vertices")
+    if polygon_signed_area(verts) < 0:
+        verts = verts[::-1].copy()
+
+    n = len(verts)
+    if n == 3:
+        return [(0, 1, 2)]
+
+    indices = list(range(n))
+    triangles: list[tuple[int, int, int]] = []
+    guard = 0
+    max_iter = 2 * n * n  # safety net against pathological input
+
+    while len(indices) > 3 and guard < max_iter:
+        guard += 1
+        m = len(indices)
+        ear_found = False
+        for k in range(m):
+            i_prev = indices[(k - 1) % m]
+            i_cur = indices[k]
+            i_next = indices[(k + 1) % m]
+            ax, ay = verts[i_prev]
+            bx, by = verts[i_cur]
+            cx, cy = verts[i_next]
+            if orient2d(ax, ay, bx, by, cx, cy) <= 0:
+                continue  # reflex or collinear vertex, not an ear
+            # An ear must not contain any other remaining vertex.
+            contains_other = False
+            for other in indices:
+                if other in (i_prev, i_cur, i_next):
+                    continue
+                px, py = verts[other]
+                if _point_in_triangle(px, py, ax, ay, bx, by, cx, cy):
+                    contains_other = True
+                    break
+            if contains_other:
+                continue
+            triangles.append((i_prev, i_cur, i_next))
+            indices.pop(k)
+            ear_found = True
+            break
+        if not ear_found:
+            # Numerically degenerate remainder: fan the rest and stop.
+            break
+
+    if len(indices) == 3:
+        triangles.append((indices[0], indices[1], indices[2]))
+    elif len(indices) > 3:
+        # Fallback fan for the (degenerate) remainder.
+        for k in range(1, len(indices) - 1):
+            triangles.append((indices[0], indices[k], indices[k + 1]))
+    return triangles
+
+
+def triangulate_ring_vertices(ring) -> np.ndarray:
+    """Triangulation as a ``(t, 3, 2)`` array of triangle vertices."""
+    verts = as_points(ring)
+    if polygon_signed_area(verts) < 0:
+        verts = verts[::-1].copy()
+    tris = triangulate_ring(verts)
+    return np.array([[verts[a], verts[b], verts[c]] for a, b, c in tris])
+
+
+def triangle_areas(triangles: np.ndarray) -> np.ndarray:
+    """Signed areas of a ``(t, 3, 2)`` triangle array."""
+    a = triangles[:, 0]
+    b = triangles[:, 1]
+    c = triangles[:, 2]
+    return 0.5 * (
+        (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
+        - (b[:, 1] - a[:, 1]) * (c[:, 0] - a[:, 0])
+    )

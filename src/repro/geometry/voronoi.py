@@ -1,0 +1,83 @@
+"""Bounded Voronoi partitions.
+
+The synthetic city's region hierarchies (boroughs / neighborhoods /
+tracts) are Voronoi diagrams of seed points, clipped to the city
+boundary.  ``scipy.spatial.Voronoi`` produces unbounded cells for hull
+seeds; we bound every cell by mirroring the seeds across the four sides
+of an enclosing box — a standard trick that makes all interior cells
+finite and exact within the box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Voronoi
+
+from ..errors import GeometryError
+from .bbox import BBox
+from .clip import clip_polygon_convex
+from .point import as_points, polygon_signed_area
+
+
+def bounded_voronoi_cells(seeds, bbox: BBox) -> list[np.ndarray]:
+    """Voronoi cells of ``seeds``, each clipped to ``bbox``.
+
+    Returns one CCW vertex array per seed, in seed order.  Every cell is
+    a convex polygon; the union of cells tiles the box.
+    """
+    pts = as_points(seeds)
+    if len(pts) < 1:
+        raise GeometryError("need at least one seed point")
+    if not bbox.contains_points(pts).all():
+        raise GeometryError("all seeds must lie inside the bounding box")
+
+    if len(pts) == 1:
+        return [bbox.corners()]
+    if len(pts) < 4:
+        # scipy's Voronoi needs >= 4 sites in 2-D; pad with mirrors only.
+        pass
+
+    # Mirror seeds across each side of the box so every original cell is
+    # bounded (its neighbors include the mirrored ghosts).
+    left = pts.copy()
+    left[:, 0] = 2 * bbox.xmin - left[:, 0]
+    right = pts.copy()
+    right[:, 0] = 2 * bbox.xmax - right[:, 0]
+    down = pts.copy()
+    down[:, 1] = 2 * bbox.ymin - down[:, 1]
+    up = pts.copy()
+    up[:, 1] = 2 * bbox.ymax - up[:, 1]
+    all_pts = np.vstack([pts, left, right, down, up])
+
+    vor = Voronoi(all_pts)
+    cells: list[np.ndarray] = []
+    for i in range(len(pts)):
+        region_idx = vor.point_region[i]
+        region = vor.regions[region_idx]
+        if -1 in region or len(region) < 3:
+            raise GeometryError(f"seed {i} produced an unbounded cell")
+        verts = vor.vertices[region]
+        if polygon_signed_area(verts) < 0:
+            verts = verts[::-1]
+        # Clip to the box to remove numerical spill-over.
+        clipped = clip_polygon_convex(verts, bbox.corners())
+        if len(clipped) < 3:
+            raise GeometryError(f"seed {i} produced a degenerate cell")
+        cells.append(clipped)
+    return cells
+
+
+def clip_cells_to_boundary(cells: list[np.ndarray], boundary) -> list[np.ndarray]:
+    """Intersect convex Voronoi cells with an arbitrary boundary ring.
+
+    Because each cell is convex, the intersection is computed as
+    Sutherland–Hodgman of the *boundary* (subject, possibly non-convex)
+    against the *cell* (clip, convex).  Cells entirely outside the
+    boundary yield empty arrays.
+    """
+    boundary = as_points(boundary)
+    result = []
+    for cell in cells:
+        clipped = clip_polygon_convex(boundary, cell)
+        result.append(clipped)
+    return result

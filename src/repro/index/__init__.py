@@ -1,0 +1,19 @@
+"""Spatial index substrate.
+
+The exact comparators in the paper's evaluation are index-based joins;
+this package provides the structures they build on: uniform grids for
+points and polygons, an STR-packed R-tree, a PR quadtree and a k-d tree.
+"""
+
+from .grid import PointGridIndex, PolygonGridIndex
+from .kdtree import KDTree
+from .quadtree import QuadTree
+from .rtree import RTree
+
+__all__ = [
+    "KDTree",
+    "PointGridIndex",
+    "PolygonGridIndex",
+    "QuadTree",
+    "RTree",
+]

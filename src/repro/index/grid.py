@@ -1,0 +1,183 @@
+"""Uniform grid indexes.
+
+Two flavors, matching the structures the index-join baseline in the
+paper's evaluation uses:
+
+* :class:`PointGridIndex` — buckets points into a uniform grid (CSR
+  layout: points sorted by cell with per-cell offsets).  Range queries
+  return candidate point ids.
+* :class:`PolygonGridIndex` — maps each grid cell to the polygons whose
+  bounding box overlaps it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry import BBox
+from ..geometry.polygon import Geometry
+
+
+class PointGridIndex:
+    """Uniform grid over a point set with CSR cell buckets."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, bbox: BBox,
+                 nx: int = 64, ny: int = 64):
+        if nx < 1 or ny < 1:
+            raise GeometryError("grid needs at least one cell per axis")
+        self.bbox = bbox
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.float64)
+
+        width = max(bbox.width, 1e-300)
+        height = max(bbox.height, 1e-300)
+        cx = np.clip(((self._x - bbox.xmin) / width * nx).astype(np.int64), 0, nx - 1)
+        cy = np.clip(((self._y - bbox.ymin) / height * ny).astype(np.int64), 0, ny - 1)
+        cell_ids = cy * nx + cx
+
+        # CSR: order[i] lists point ids sorted by cell; offsets per cell.
+        self.order = np.argsort(cell_ids, kind="stable")
+        sorted_cells = cell_ids[self.order]
+        self.offsets = np.searchsorted(
+            sorted_cells, np.arange(nx * ny + 1), side="left"
+        )
+
+    def __len__(self) -> int:
+        return len(self._x)
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Grid cell (ix, iy) containing a point (clamped to the grid)."""
+        width = max(self.bbox.width, 1e-300)
+        height = max(self.bbox.height, 1e-300)
+        ix = int(np.clip((x - self.bbox.xmin) / width * self.nx, 0, self.nx - 1))
+        iy = int(np.clip((y - self.bbox.ymin) / height * self.ny, 0, self.ny - 1))
+        return ix, iy
+
+    def cell_points(self, ix: int, iy: int) -> np.ndarray:
+        """Ids of the points bucketed in cell (ix, iy)."""
+        cell = iy * self.nx + ix
+        return self.order[self.offsets[cell] : self.offsets[cell + 1]]
+
+    def _cell_range(self, query: BBox) -> tuple[int, int, int, int]:
+        """Inclusive cell-index ranges overlapped by ``query``."""
+        width = max(self.bbox.width, 1e-300)
+        height = max(self.bbox.height, 1e-300)
+        ix0 = int(np.floor((query.xmin - self.bbox.xmin) / width * self.nx))
+        ix1 = int(np.floor((query.xmax - self.bbox.xmin) / width * self.nx))
+        iy0 = int(np.floor((query.ymin - self.bbox.ymin) / height * self.ny))
+        iy1 = int(np.floor((query.ymax - self.bbox.ymin) / height * self.ny))
+        ix0 = max(ix0, 0)
+        iy0 = max(iy0, 0)
+        ix1 = min(ix1, self.nx - 1)
+        iy1 = min(iy1, self.ny - 1)
+        return ix0, ix1, iy0, iy1
+
+    def query_bbox(self, query: BBox) -> np.ndarray:
+        """Candidate point ids whose cells overlap ``query``.
+
+        Candidates are a superset of the true answer (cell granularity);
+        callers refine with exact coordinate tests.
+        """
+        if not self.bbox.intersects(query):
+            return np.empty(0, dtype=np.int64)
+        ix0, ix1, iy0, iy1 = self._cell_range(query)
+        if ix0 > ix1 or iy0 > iy1:
+            return np.empty(0, dtype=np.int64)
+        chunks = []
+        for iy in range(iy0, iy1 + 1):
+            # Cells in a row are contiguous in the CSR layout.
+            start = self.offsets[iy * self.nx + ix0]
+            stop = self.offsets[iy * self.nx + ix1 + 1]
+            if stop > start:
+                chunks.append(self.order[start:stop])
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def query_bbox_exact(self, query: BBox) -> np.ndarray:
+        """Point ids exactly inside ``query`` (candidates + refinement)."""
+        cand = self.query_bbox(query)
+        if len(cand) == 0:
+            return cand
+        x = self._x[cand]
+        y = self._y[cand]
+        keep = (
+            (x >= query.xmin) & (x <= query.xmax)
+            & (y >= query.ymin) & (y <= query.ymax)
+        )
+        return cand[keep]
+
+
+class PolygonGridIndex:
+    """Uniform grid mapping cells to overlapping polygon ids (by bbox)."""
+
+    def __init__(self, geometries: list[Geometry], bbox: BBox,
+                 nx: int = 64, ny: int = 64):
+        if nx < 1 or ny < 1:
+            raise GeometryError("grid needs at least one cell per axis")
+        self.bbox = bbox
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.geometries = list(geometries)
+
+        width = max(bbox.width, 1e-300)
+        height = max(bbox.height, 1e-300)
+        buckets: list[list[int]] = [[] for _ in range(nx * ny)]
+        for gid, geom in enumerate(self.geometries):
+            gb = geom.bbox
+            inter = bbox.intersection(gb)
+            if inter is None:
+                continue
+            ix0 = max(int(np.floor((inter.xmin - bbox.xmin) / width * nx)), 0)
+            ix1 = min(int(np.floor((inter.xmax - bbox.xmin) / width * nx)), nx - 1)
+            iy0 = max(int(np.floor((inter.ymin - bbox.ymin) / height * ny)), 0)
+            iy1 = min(int(np.floor((inter.ymax - bbox.ymin) / height * ny)), ny - 1)
+            for iy in range(iy0, iy1 + 1):
+                row = iy * nx
+                for ix in range(ix0, ix1 + 1):
+                    buckets[row + ix].append(gid)
+        self._buckets = [np.asarray(b, dtype=np.int64) for b in buckets]
+
+    def candidates_for_cells(self, cell_x: np.ndarray, cell_y: np.ndarray):
+        """Candidate polygon-id arrays for an array of cell coordinates."""
+        cells = cell_y * self.nx + cell_x
+        return [self._buckets[c] for c in cells]
+
+    def candidates_at(self, x: float, y: float) -> np.ndarray:
+        """Candidate polygon ids for one query point."""
+        width = max(self.bbox.width, 1e-300)
+        height = max(self.bbox.height, 1e-300)
+        ix = int(np.clip((x - self.bbox.xmin) / width * self.nx, 0, self.nx - 1))
+        iy = int(np.clip((y - self.bbox.ymin) / height * self.ny, 0, self.ny - 1))
+        return self._buckets[iy * self.nx + ix]
+
+    def cell_ids_of_points(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Flat cell id of each point (clamped to the grid)."""
+        width = max(self.bbox.width, 1e-300)
+        height = max(self.bbox.height, 1e-300)
+        cx = np.clip(((np.asarray(x) - self.bbox.xmin) / width * self.nx)
+                     .astype(np.int64), 0, self.nx - 1)
+        cy = np.clip(((np.asarray(y) - self.bbox.ymin) / height * self.ny)
+                     .astype(np.int64), 0, self.ny - 1)
+        return cy * self.nx + cx
+
+    def bucket(self, cell_id: int) -> np.ndarray:
+        """Candidate polygon ids of a flat cell id."""
+        return self._buckets[cell_id]
+
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny
+
+    def stats(self) -> dict:
+        """Occupancy statistics (used to tune cell sizes in benchmarks)."""
+        sizes = np.array([len(b) for b in self._buckets])
+        return {
+            "cells": int(sizes.size),
+            "empty_cells": int((sizes == 0).sum()),
+            "max_candidates": int(sizes.max(initial=0)),
+            "mean_candidates": float(sizes.mean()) if sizes.size else 0.0,
+        }

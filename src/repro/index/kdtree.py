@@ -1,0 +1,148 @@
+"""2-D k-d tree for points, built from scratch.
+
+Median-split, array-backed (no node objects): ``split_dim``, ``split_val``
+and subtree ranges are stored in flat arrays, and leaves reference runs of
+a permuted id array.  Supports bbox range queries and nearest-neighbour
+lookups (used by the data-exploration view to find similar neighborhoods
+in feature space and by generators for spacing checks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry import BBox
+
+
+class KDTree:
+    """Static 2-D k-d tree with leaf buckets."""
+
+    def __init__(self, points, leaf_size: int = 32):
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        if len(pts) == 0:
+            raise GeometryError("cannot build a k-d tree over zero points")
+        if leaf_size < 1:
+            raise GeometryError("leaf_size must be >= 1")
+        self.points = pts
+        self.leaf_size = int(leaf_size)
+
+        # Nodes in preorder; children of node i are i+1 (left) and
+        # self._right[i].  Leaves have _right[i] == -1 and reference
+        # self.ids[lo:hi].
+        n = len(pts)
+        max_nodes = 4 * max(1, n // leaf_size + 1) + 64
+        self._split_dim = np.full(max_nodes, -1, dtype=np.int8)
+        self._split_val = np.zeros(max_nodes, dtype=np.float64)
+        self._right = np.full(max_nodes, -1, dtype=np.int64)
+        self._lo = np.zeros(max_nodes, dtype=np.int64)
+        self._hi = np.zeros(max_nodes, dtype=np.int64)
+        self.ids = np.arange(n, dtype=np.int64)
+        self._count = 0
+        self._build(0, n, 0)
+        # Trim arrays to the node count.
+        c = self._count
+        self._split_dim = self._split_dim[:c]
+        self._split_val = self._split_val[:c]
+        self._right = self._right[:c]
+        self._lo = self._lo[:c]
+        self._hi = self._hi[:c]
+
+    def _new_node(self) -> int:
+        i = self._count
+        if i >= len(self._right):
+            # Grow the arrays (rare; sizing heuristic usually suffices).
+            grow = len(self._right)
+            self._split_dim = np.concatenate(
+                [self._split_dim, np.full(grow, -1, dtype=np.int8)])
+            self._split_val = np.concatenate(
+                [self._split_val, np.zeros(grow)])
+            self._right = np.concatenate(
+                [self._right, np.full(grow, -1, dtype=np.int64)])
+            self._lo = np.concatenate([self._lo, np.zeros(grow, dtype=np.int64)])
+            self._hi = np.concatenate([self._hi, np.zeros(grow, dtype=np.int64)])
+        self._count += 1
+        return i
+
+    def _build(self, lo: int, hi: int, depth: int) -> int:
+        node = self._new_node()
+        self._lo[node] = lo
+        self._hi[node] = hi
+        if hi - lo <= self.leaf_size:
+            return node
+        seg = self.ids[lo:hi]
+        coords = self.points[seg]
+        # Split the wider dimension at the median.
+        spread = coords.max(axis=0) - coords.min(axis=0)
+        dim = int(np.argmax(spread))
+        order = np.argsort(coords[:, dim], kind="stable")
+        self.ids[lo:hi] = seg[order]
+        mid = (hi - lo) // 2
+        split_val = self.points[self.ids[lo + mid], dim]
+        self._split_dim[node] = dim
+        self._split_val[node] = split_val
+        self._build(lo, lo + mid, depth + 1)
+        right = self._build(lo + mid, hi, depth + 1)
+        self._right[node] = right
+        return node
+
+    def query_bbox(self, query: BBox) -> np.ndarray:
+        """Ids of points inside the closed box ``query``."""
+        out: list[np.ndarray] = []
+        stack = [0]
+        bounds = (query.xmin, query.ymin, query.xmax, query.ymax)
+        while stack:
+            node = stack.pop()
+            dim = self._split_dim[node]
+            if dim < 0:  # leaf
+                seg = self.ids[self._lo[node] : self._hi[node]]
+                pts = self.points[seg]
+                keep = (
+                    (pts[:, 0] >= bounds[0]) & (pts[:, 0] <= bounds[2])
+                    & (pts[:, 1] >= bounds[1]) & (pts[:, 1] <= bounds[3])
+                )
+                if keep.any():
+                    out.append(seg[keep])
+                continue
+            val = self._split_val[node]
+            lo_bound = bounds[dim]
+            hi_bound = bounds[dim + 2]
+            if lo_bound < val:
+                stack.append(node + 1)
+            if hi_bound >= val:
+                stack.append(self._right[node])
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def nearest(self, x: float, y: float) -> tuple[int, float]:
+        """(point id, distance) of the nearest neighbour of (x, y)."""
+        best_id = -1
+        best_d2 = np.inf
+        query = np.array([x, y])
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            dim = self._split_dim[node]
+            if dim < 0:
+                seg = self.ids[self._lo[node] : self._hi[node]]
+                pts = self.points[seg]
+                d2 = ((pts - query) ** 2).sum(axis=1)
+                k = int(np.argmin(d2))
+                if d2[k] < best_d2:
+                    best_d2 = float(d2[k])
+                    best_id = int(seg[k])
+                continue
+            val = self._split_val[node]
+            diff = query[dim] - val
+            near, far = (node + 1, self._right[node]) if diff < 0 else (
+                self._right[node], node + 1)
+            # Visit the near side first; prune the far side by the split
+            # plane distance.
+            if diff * diff <= best_d2:
+                stack.append(far)
+            stack.append(near)
+        return best_id, float(np.sqrt(best_d2))
+
+    def count_bbox(self, query: BBox) -> int:
+        return int(len(self.query_bbox(query)))

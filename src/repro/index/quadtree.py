@@ -1,0 +1,120 @@
+"""Point quadtree (PR quadtree).
+
+Adaptive alternative to the uniform point grid: nodes split when they
+exceed a capacity, so skewed urban data (hotspots) gets deeper subdivision
+where the points are.  Used by the ablation benchmarks that compare index
+layouts for the exact-join baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry import BBox
+
+
+class _Node:
+    __slots__ = ("bbox", "point_ids", "children", "depth")
+
+    def __init__(self, bbox: BBox, depth: int):
+        self.bbox = bbox
+        self.point_ids: np.ndarray | None = np.empty(0, dtype=np.int64)
+        self.children: list["_Node"] | None = None
+        self.depth = depth
+
+
+class QuadTree:
+    """PR quadtree over a fixed point set (bulk-loaded)."""
+
+    def __init__(self, x, y, bbox: BBox, capacity: int = 256, max_depth: int = 12):
+        if capacity < 1:
+            raise GeometryError("capacity must be >= 1")
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.float64)
+        if len(self._x) != len(self._y):
+            raise GeometryError("x and y must have equal length")
+        self.bbox = bbox
+        self.capacity = int(capacity)
+        self.max_depth = int(max_depth)
+        self.root = _Node(bbox, 0)
+        self._build(self.root, np.arange(len(self._x), dtype=np.int64))
+
+    def _build(self, node: _Node, ids: np.ndarray) -> None:
+        if len(ids) <= self.capacity or node.depth >= self.max_depth:
+            node.point_ids = ids
+            return
+        node.point_ids = None
+        cx, cy = node.bbox.center
+        b = node.bbox
+        quadrants = [
+            BBox(b.xmin, b.ymin, cx, cy),
+            BBox(cx, b.ymin, b.xmax, cy),
+            BBox(b.xmin, cy, cx, b.ymax),
+            BBox(cx, cy, b.xmax, b.ymax),
+        ]
+        x = self._x[ids]
+        y = self._y[ids]
+        west = x < cx
+        south = y < cy
+        masks = [west & south, ~west & south, west & ~south, ~west & ~south]
+        node.children = []
+        for quad, mask in zip(quadrants, masks):
+            child = _Node(quad, node.depth + 1)
+            self._build(child, ids[mask])
+            node.children.append(child)
+
+    def query_bbox(self, query: BBox) -> np.ndarray:
+        """Point ids exactly inside ``query``."""
+        out: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.bbox.intersects(query):
+                continue
+            if node.children is not None:
+                stack.extend(node.children)
+                continue
+            ids = node.point_ids
+            if ids is None or len(ids) == 0:
+                continue
+            if query.contains_bbox(node.bbox):
+                out.append(ids)
+            else:
+                x = self._x[ids]
+                y = self._y[ids]
+                keep = (
+                    (x >= query.xmin) & (x <= query.xmax)
+                    & (y >= query.ymin) & (y <= query.ymax)
+                )
+                if keep.any():
+                    out.append(ids[keep])
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def count_bbox(self, query: BBox) -> int:
+        return int(len(self.query_bbox(query)))
+
+    def depth(self) -> int:
+        """Maximum leaf depth actually reached."""
+        best = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.children is not None:
+                stack.extend(node.children)
+            else:
+                best = max(best, node.depth)
+        return best
+
+    def num_leaves(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.children is not None:
+                stack.extend(node.children)
+            else:
+                count += 1
+        return count

@@ -1,0 +1,136 @@
+"""STR-packed R-tree.
+
+A static, bulk-loaded R-tree using Sort-Tile-Recursive packing, stored
+as flat NumPy arrays per level (no per-node Python objects).  Indexes
+either rectangles (polygon envelopes) or points (zero-area rectangles),
+and answers bbox-overlap queries — the structure behind the
+``rtree_join`` baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry import BBox
+
+
+class RTree:
+    """Static STR-packed R-tree over rectangles."""
+
+    def __init__(self, rects: np.ndarray, leaf_capacity: int = 16):
+        """``rects`` is an ``(n, 4)`` array of (xmin, ymin, xmax, ymax)."""
+        rects = np.asarray(rects, dtype=np.float64).reshape(-1, 4)
+        if len(rects) == 0:
+            raise GeometryError("cannot build an R-tree over zero rectangles")
+        if (rects[:, 0] > rects[:, 2]).any() or (rects[:, 1] > rects[:, 3]).any():
+            raise GeometryError("malformed rectangles (min > max)")
+        if leaf_capacity < 2:
+            raise GeometryError("leaf capacity must be >= 2")
+        self.leaf_capacity = int(leaf_capacity)
+
+        # STR pack: sort by x-center into vertical slices, then each slice
+        # by y-center; consecutive runs of `leaf_capacity` become leaves.
+        n = len(rects)
+        cx = 0.5 * (rects[:, 0] + rects[:, 2])
+        cy = 0.5 * (rects[:, 1] + rects[:, 3])
+        num_leaves = math.ceil(n / leaf_capacity)
+        num_slices = max(1, math.ceil(math.sqrt(num_leaves)))
+        per_slice = math.ceil(n / num_slices)
+
+        order_x = np.argsort(cx, kind="stable")
+        order = np.empty(n, dtype=np.int64)
+        pos = 0
+        for s in range(num_slices):
+            sl = order_x[s * per_slice : (s + 1) * per_slice]
+            if len(sl) == 0:
+                continue
+            sl_sorted = sl[np.argsort(cy[sl], kind="stable")]
+            order[pos : pos + len(sl_sorted)] = sl_sorted
+            pos += len(sl_sorted)
+
+        # self.item_ids maps packed order back to original rect ids.
+        self.item_ids = order
+        packed = rects[order]
+
+        # Build levels bottom-up; each level is an (m, 4) bbox array plus
+        # child-range offsets into the level below.
+        self.levels: list[np.ndarray] = []       # bboxes per level, root last
+        self.child_offsets: list[np.ndarray] = []  # (m+1,) offsets per level
+        current = packed
+        while len(current) > 1:
+            m = math.ceil(len(current) / leaf_capacity)
+            boxes = np.empty((m, 4), dtype=np.float64)
+            offsets = np.empty(m + 1, dtype=np.int64)
+            for i in range(m):
+                lo = i * leaf_capacity
+                hi = min((i + 1) * leaf_capacity, len(current))
+                offsets[i] = lo
+                boxes[i, 0] = current[lo:hi, 0].min()
+                boxes[i, 1] = current[lo:hi, 1].min()
+                boxes[i, 2] = current[lo:hi, 2].max()
+                boxes[i, 3] = current[lo:hi, 3].max()
+            offsets[m] = len(current)
+            self.levels.append(boxes)
+            self.child_offsets.append(offsets)
+            current = boxes
+        self._packed = packed
+
+    @classmethod
+    def from_points(cls, x, y, leaf_capacity: int = 64) -> "RTree":
+        """R-tree over points (degenerate rectangles)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rects = np.column_stack([x, y, x, y])
+        return cls(rects, leaf_capacity=leaf_capacity)
+
+    @classmethod
+    def from_geometries(cls, geometries, leaf_capacity: int = 8) -> "RTree":
+        """R-tree over polygon envelopes."""
+        rects = np.array([g.bbox.as_tuple() for g in geometries])
+        return cls(rects, leaf_capacity=leaf_capacity)
+
+    @property
+    def height(self) -> int:
+        """Number of internal levels above the packed items."""
+        return len(self.levels)
+
+    def query_bbox(self, query: BBox) -> np.ndarray:
+        """Ids of indexed rectangles overlapping ``query`` (exact)."""
+        qx0, qy0, qx1, qy1 = query.as_tuple()
+        if not self.levels:
+            # Single item.
+            r = self._packed[0]
+            hit = not (r[0] > qx1 or r[2] < qx0 or r[1] > qy1 or r[3] < qy0)
+            return self.item_ids[:1] if hit else np.empty(0, dtype=np.int64)
+
+        # Descend from the root level collecting overlapping child ranges.
+        level = len(self.levels) - 1
+        nodes = np.arange(len(self.levels[level]))
+        while level >= 0:
+            boxes = self.levels[level][nodes]
+            hit = ~(
+                (boxes[:, 0] > qx1) | (boxes[:, 2] < qx0)
+                | (boxes[:, 1] > qy1) | (boxes[:, 3] < qy0)
+            )
+            nodes = nodes[hit]
+            if len(nodes) == 0:
+                return np.empty(0, dtype=np.int64)
+            offsets = self.child_offsets[level]
+            child_ranges = [np.arange(offsets[n], offsets[n + 1]) for n in nodes]
+            nodes = np.concatenate(child_ranges)
+            level -= 1
+
+        # `nodes` now indexes into the packed item array.
+        boxes = self._packed[nodes]
+        hit = ~(
+            (boxes[:, 0] > qx1) | (boxes[:, 2] < qx0)
+            | (boxes[:, 1] > qy1) | (boxes[:, 3] < qy0)
+        )
+        return self.item_ids[nodes[hit]]
+
+    def count_bbox(self, query: BBox) -> int:
+        """Number of indexed rectangles overlapping ``query``."""
+        return int(len(self.query_bbox(query)))

@@ -1,0 +1,51 @@
+"""Software rasterization pipeline — the GPU substitute.
+
+The original Raster Join runs on the OpenGL rendering pipeline; here the
+same stages are implemented in NumPy:
+
+* :class:`Viewport` — the world->pixel transform (fragment-center
+  sampling, like the GPU);
+* ``scanline`` — polygon fragment generation (scanline fill with the
+  even-odd rule) and conservative boundary-pixel detection;
+* ``canvas`` — framebuffers with additive / min / max blending
+  (``scatter_*``) plus the per-pixel point buckets the accurate variant
+  needs;
+* :class:`FragmentTable` — the rasterized form of a region set.
+"""
+
+from .canvas import (
+    PixelBuckets,
+    gather_reduce,
+    gather_sum,
+    scatter_count,
+    scatter_max,
+    scatter_min,
+    scatter_sum,
+)
+from .fragments import FragmentTable, build_fragment_table
+from .scanline import (
+    boundary_pixels,
+    boundary_pixels_sampled,
+    coverage_fragments,
+    rasterize_polygon,
+    rasterize_triangles,
+)
+from .viewport import Viewport
+
+__all__ = [
+    "FragmentTable",
+    "PixelBuckets",
+    "Viewport",
+    "boundary_pixels",
+    "boundary_pixels_sampled",
+    "build_fragment_table",
+    "coverage_fragments",
+    "gather_reduce",
+    "gather_sum",
+    "rasterize_polygon",
+    "rasterize_triangles",
+    "scatter_count",
+    "scatter_max",
+    "scatter_min",
+    "scatter_sum",
+]

@@ -1,0 +1,92 @@
+"""Polygon fragment tables.
+
+Rasterizing a *set* of regions produces two fragment tables — flat
+``(pixel_id, polygon_id)`` pair arrays — one for guaranteed-interior
+pixels and one for boundary pixels.  Building them is the polygon-side
+render pass of the raster join; since Urbane re-queries the same region
+sets while the user brushes filters, the tables are cached per
+(regions, viewport) by the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.polygon import Geometry
+from .scanline import boundary_pixels, coverage_fragments
+from .viewport import Viewport
+
+
+@dataclass(frozen=True)
+class FragmentTable:
+    """Flat fragment pairs for a rasterized region set."""
+
+    # Pixels fully inside their polygon (center-covered, not boundary).
+    interior_pixels: np.ndarray
+    interior_polys: np.ndarray
+    # Pixels that may straddle their polygon's boundary.
+    boundary_pixels: np.ndarray
+    boundary_polys: np.ndarray
+    # Center-covered boundary pixels (what the pure raster pass counts).
+    covered_boundary_pixels: np.ndarray
+    covered_boundary_polys: np.ndarray
+    num_polygons: int
+    viewport: Viewport
+
+    @property
+    def num_interior_fragments(self) -> int:
+        return len(self.interior_pixels)
+
+    @property
+    def num_boundary_fragments(self) -> int:
+        return len(self.boundary_pixels)
+
+
+def build_fragment_table(geometries: list[Geometry],
+                         viewport: Viewport) -> FragmentTable:
+    """Rasterize every region once and assemble the fragment tables."""
+    int_pix: list[np.ndarray] = []
+    int_poly: list[np.ndarray] = []
+    bnd_pix: list[np.ndarray] = []
+    bnd_poly: list[np.ndarray] = []
+    cov_bnd_pix: list[np.ndarray] = []
+    cov_bnd_poly: list[np.ndarray] = []
+
+    for gid, geom in enumerate(geometries):
+        covered = coverage_fragments(geom, viewport)
+        boundary = boundary_pixels(geom, viewport)
+        if len(boundary):
+            interior = np.setdiff1d(covered, boundary, assume_unique=False)
+            covered_boundary = np.intersect1d(covered, boundary,
+                                              assume_unique=False)
+        else:
+            interior = covered
+            covered_boundary = boundary
+        if len(interior):
+            int_pix.append(interior)
+            int_poly.append(np.full(len(interior), gid, dtype=np.int32))
+        if len(boundary):
+            bnd_pix.append(boundary)
+            bnd_poly.append(np.full(len(boundary), gid, dtype=np.int32))
+        if len(covered_boundary):
+            cov_bnd_pix.append(covered_boundary)
+            cov_bnd_poly.append(
+                np.full(len(covered_boundary), gid, dtype=np.int32))
+
+    def _cat(parts, dtype):
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(parts)
+
+    return FragmentTable(
+        interior_pixels=_cat(int_pix, np.int64),
+        interior_polys=_cat(int_poly, np.int32),
+        boundary_pixels=_cat(bnd_pix, np.int64),
+        boundary_polys=_cat(bnd_poly, np.int32),
+        covered_boundary_pixels=_cat(cov_bnd_pix, np.int64),
+        covered_boundary_polys=_cat(cov_bnd_poly, np.int32),
+        num_polygons=len(geometries),
+        viewport=viewport,
+    )

@@ -1,0 +1,327 @@
+"""Scanline polygon rasterization (fragment generation).
+
+This is the software stand-in for the GPU's triangle rasterizer: given a
+polygon and a viewport it produces the *fragments* — flat pixel ids whose
+centers are covered — using the same sample-at-pixel-center, even-odd
+rule a GPU applies.  Everything is vectorized over edges and rows; the
+per-polygon output feeds the raster join.
+
+Two products per polygon:
+
+* **coverage fragments** — pixels whose center lies inside the polygon
+  (exterior minus holes, even-odd combined across all rings at once);
+* **boundary pixels** — a conservative superset of pixels intersected by
+  any ring edge (supersampled edge walk + 3x3 dilation, see
+  :func:`boundary_pixels`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.point import as_points
+from ..geometry.polygon import Geometry
+from .viewport import Viewport
+
+
+def _ring_edges(rings: list[np.ndarray]):
+    """Stack ring edges into flat (x1, y1, x2, y2) arrays."""
+    xs1, ys1, xs2, ys2 = [], [], [], []
+    for ring in rings:
+        verts = as_points(ring)
+        if len(verts) < 3:
+            continue
+        nxt = np.roll(verts, -1, axis=0)
+        xs1.append(verts[:, 0])
+        ys1.append(verts[:, 1])
+        xs2.append(nxt[:, 0])
+        ys2.append(nxt[:, 1])
+    if not xs1:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty, empty, empty
+    return (np.concatenate(xs1), np.concatenate(ys1),
+            np.concatenate(xs2), np.concatenate(ys2))
+
+
+def coverage_fragments(geometry: Geometry, viewport: Viewport) -> np.ndarray:
+    """Flat pixel ids whose centers are inside ``geometry``.
+
+    Implements the even-odd scanline fill over *all* rings at once:
+    crossing a hole edge toggles coverage off, so holes need no special
+    casing.  Complexity O(E * R) in edges x bbox rows, all NumPy.
+    """
+    rings = list(geometry.rings())
+    x1, y1, x2, y2 = _ring_edges(rings)
+    if len(x1) == 0:
+        return np.empty(0, dtype=np.int64)
+
+    # Pixel rows whose centers fall inside the geometry's bbox (clipped
+    # to the viewport).
+    gb = geometry.bbox
+    ph = viewport.pixel_height
+    row_lo = max(0, int(np.floor((gb.ymin - viewport.bbox.ymin) / ph - 0.5)))
+    row_hi = min(viewport.height - 1,
+                 int(np.ceil((gb.ymax - viewport.bbox.ymin) / ph)))
+    if row_lo > row_hi:
+        return np.empty(0, dtype=np.int64)
+
+    rows = np.arange(row_lo, row_hi + 1)
+    yc = viewport.bbox.ymin + (rows + 0.5) * ph  # sample line per row
+
+    # (E, R) crossing matrix: edge e crosses the sample line of row r
+    # when one endpoint is strictly above and the other at-or-below.
+    above1 = y1[:, None] > yc[None, :]
+    above2 = y2[:, None] > yc[None, :]
+    crosses = above1 != above2
+    if not crosses.any():
+        return np.empty(0, dtype=np.int64)
+
+    e_idx, r_idx = np.nonzero(crosses)
+    # NB: operation order mirrors predicates.points_in_ring bit-for-bit,
+    # so a pixel center lying exactly on an edge classifies identically
+    # here and in the exact test (the accurate join relies on agreement
+    # only through boundary pixels, but tests compare globally).
+    xint = (x1[e_idx]
+            + (yc[r_idx] - y1[e_idx]) * (x2[e_idx] - x1[e_idx])
+            / (y2[e_idx] - y1[e_idx]))
+
+    # Sort crossings by (row, x); even-odd rule pairs consecutive
+    # crossings within each row into filled spans.
+    order = np.lexsort((xint, r_idx))
+    r_sorted = r_idx[order]
+    x_sorted = xint[order]
+
+    # Crossing counts per row are even (closed rings); pair them up.
+    span_lo = x_sorted[0::2]
+    span_hi = x_sorted[1::2]
+    span_row = r_sorted[0::2]
+    # Sanity: both crossings of each pair must be in the same row.
+    if not np.array_equal(span_row, r_sorted[1::2]):
+        # Odd crossing counts can only arise from vertices landing
+        # exactly on a sample line under the strict/non-strict rule;
+        # the half-open convention above prevents it, but guard anyway.
+        raise AssertionError("scanline pairing failed: odd crossing count")
+
+    # Convert world-x spans to pixel-center columns: centers with
+    # span_lo <= xc < span_hi.
+    pw = viewport.pixel_width
+    x0 = viewport.bbox.xmin
+    col_lo = np.ceil((span_lo - x0) / pw - 0.5).astype(np.int64)
+    col_hi = np.ceil((span_hi - x0) / pw - 0.5).astype(np.int64) - 1
+    col_lo = np.maximum(col_lo, 0)
+    col_hi = np.minimum(col_hi, viewport.width - 1)
+
+    lengths = col_hi - col_lo + 1
+    keep = lengths > 0
+    if not keep.any():
+        return np.empty(0, dtype=np.int64)
+    col_lo = col_lo[keep]
+    lengths = lengths[keep]
+    span_rows = rows[span_row[keep]]
+
+    # Ragged-range expansion: emit every column of every span.
+    total = int(lengths.sum())
+    starts = np.repeat(col_lo, lengths)
+    offsets = np.arange(total) - np.repeat(
+        np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths)
+    cols = starts + offsets
+    rows_out = np.repeat(span_rows, lengths)
+    return rows_out * viewport.width + cols
+
+
+def boundary_pixels_sampled(geometry: Geometry, viewport: Viewport,
+                            dilate: bool = True) -> np.ndarray:
+    """Conservative boundary cover by edge supersampling + dilation.
+
+    Every ring edge is supersampled at <= 0.45 pixel steps; touched
+    pixels are collected and (by default) dilated by one pixel in all
+    eight directions.  The sampling can only miss a pixel the edge clips
+    near a corner, and any such pixel is 8-adjacent to a sampled one, so
+    sampling + dilation is a true conservative cover.  Superseded by the
+    ~3x tighter :func:`boundary_pixels` (exact grid traversal); kept for
+    the ablation benchmarks.
+    """
+    x1, y1, x2, y2 = _ring_edges(list(geometry.rings()))
+    if len(x1) == 0:
+        return np.empty(0, dtype=np.int64)
+
+    pw = viewport.pixel_width
+    ph = viewport.pixel_height
+    step = 0.45 * min(pw, ph)
+    lengths = np.hypot(x2 - x1, y2 - y1)
+    nsamples = np.maximum(2, np.ceil(lengths / step).astype(np.int64) + 1)
+
+    total = int(nsamples.sum())
+    edge_of_sample = np.repeat(np.arange(len(x1)), nsamples)
+    cum = np.concatenate(([0], np.cumsum(nsamples)[:-1]))
+    local = np.arange(total) - np.repeat(cum, nsamples)
+    t = local / np.repeat(nsamples - 1, nsamples)
+
+    sx = x1[edge_of_sample] + t * (x2 - x1)[edge_of_sample]
+    sy = y1[edge_of_sample] + t * (y2 - y1)[edge_of_sample]
+
+    ix = np.floor((sx - viewport.bbox.xmin) / pw).astype(np.int64)
+    iy = np.floor((sy - viewport.bbox.ymin) / ph).astype(np.int64)
+
+    if dilate:
+        # 3x3 dilation before clipping so off-screen samples still mark
+        # their on-screen neighbours.
+        ix = (ix[:, None] + np.array([-1, 0, 1])).reshape(-1, 1)
+        iy = np.repeat(iy, 3).reshape(-1, 1)
+        ix = np.repeat(ix, 3, axis=0).ravel()
+        iy = (iy + np.array([-1, 0, 1])).ravel()
+
+    valid = (ix >= 0) & (ix < viewport.width) & (iy >= 0) & (iy < viewport.height)
+    ids = iy[valid] * viewport.width + ix[valid]
+    return np.unique(ids)
+
+
+def _mark_with_gridline_neighbors(gx: np.ndarray, gy: np.ndarray,
+                                  viewport: Viewport) -> np.ndarray:
+    """Pixels containing points given in *grid units*, including both
+    neighbors when a point lies exactly on a grid line (such a point
+    sits on the shared closed edge of two pixels, and the boundary then
+    touches both)."""
+    ix = np.floor(gx).astype(np.int64)
+    iy = np.floor(gy).astype(np.int64)
+    on_v = gx == ix  # exactly on a vertical grid line
+    on_h = gy == iy
+    cols = [ix]
+    rows = [iy]
+    if on_v.any():
+        cols.append(ix[on_v] - 1)
+        rows.append(iy[on_v])
+    if on_h.any():
+        cols.append(ix[on_h])
+        rows.append(iy[on_h] - 1)
+    both = on_v & on_h
+    if both.any():
+        cols.append(ix[both] - 1)
+        rows.append(iy[both] - 1)
+    ix = np.concatenate(cols)
+    iy = np.concatenate(rows)
+    valid = ((ix >= 0) & (ix < viewport.width)
+             & (iy >= 0) & (iy < viewport.height))
+    return iy[valid] * viewport.width + ix[valid]
+
+
+def boundary_pixels(geometry: Geometry, viewport: Viewport) -> np.ndarray:
+    """Exact conservative cover of pixels the boundary passes through.
+
+    Grid-traversal rasterization of every ring edge, vectorized over all
+    edges at once: each edge's crossings with vertical and horizontal
+    pixel-grid lines split it into pieces, each piece lies inside one
+    pixel, and the piece midpoints identify those pixels.  Crossing
+    points and vertices that fall exactly on grid lines additionally
+    mark both adjacent pixels (the boundary touches the shared closed
+    edge), so the result is a superset of every pixel whose *closed*
+    square meets the boundary — the property the accurate raster join's
+    exactness rests on — while staying ~3x tighter than sampling with
+    3x3 dilation.
+    """
+    x1, y1, x2, y2 = _ring_edges(list(geometry.rings()))
+    num_edges = len(x1)
+    if num_edges == 0:
+        return np.empty(0, dtype=np.int64)
+
+    pw = viewport.pixel_width
+    ph = viewport.pixel_height
+    x0 = viewport.bbox.xmin
+    y0 = viewport.bbox.ymin
+    # Work in grid units: pixel (i, j) covers [i, i+1) x [j, j+1).
+    gx1 = (x1 - x0) / pw
+    gy1 = (y1 - y0) / ph
+    gx2 = (x2 - x0) / pw
+    gy2 = (y2 - y0) / ph
+
+    def _axis_crossings(a1: np.ndarray, a2: np.ndarray):
+        """(edge ids, t values, line indices) of crossings with integer
+        grid lines of one axis; degenerate edges (a1 == a2) produce
+        none."""
+        lo = np.minimum(a1, a2)
+        hi = np.maximum(a1, a2)
+        first = np.ceil(lo)
+        counts = np.maximum(0, np.floor(hi) - first + 1).astype(np.int64)
+        counts[a1 == a2] = 0
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0)
+            return (np.empty(0, dtype=np.int64), empty, empty)
+        edges = np.repeat(np.arange(num_edges), counts)
+        cum = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        k = np.repeat(first, counts) + (
+            np.arange(total) - np.repeat(cum, counts))
+        t = np.clip((k - a1[edges]) / (a2[edges] - a1[edges]), 0.0, 1.0)
+        return edges, t, k
+
+    ex, tx, kx = _axis_crossings(gx1, gx2)
+    ey, ty, ky = _axis_crossings(gy1, gy2)
+    ends = np.arange(num_edges)
+    all_edges = np.concatenate([ex, ey, ends, ends])
+    all_t = np.concatenate([tx, ty, np.zeros(num_edges),
+                            np.ones(num_edges)])
+
+    order = np.lexsort((all_t, all_edges))
+    e_sorted = all_edges[order]
+    t_sorted = all_t[order]
+
+    # Midpoints of consecutive crossing pairs on the same edge: one
+    # point inside every grid piece the edge passes through.  (Pieces
+    # running exactly along a grid line interpolate that coordinate
+    # exactly, so the neighbor rule still fires for them.)
+    same_edge = e_sorted[1:] == e_sorted[:-1]
+    tm = 0.5 * (t_sorted[1:] + t_sorted[:-1])[same_edge]
+    em = e_sorted[:-1][same_edge]
+    mid_gx = gx1[em] + tm * (gx2[em] - gx1[em])
+    mid_gy = gy1[em] + tm * (gy2[em] - gy1[em])
+
+    # Crossing points sit exactly on a grid line by construction (the
+    # crossed coordinate is the integer k, not an interpolation), so the
+    # neighbor rule marks both adjacent pixels robustly.  Ring vertices
+    # are emitted with their exact endpoint coordinates for the same
+    # reason.
+    vx_gy = gy1[ex] + tx * (gy2[ex] - gy1[ex])  # vertical crossings
+    hy_gx = gx1[ey] + ty * (gx2[ey] - gx1[ey])  # horizontal crossings
+
+    ids = np.concatenate([
+        _mark_with_gridline_neighbors(mid_gx, mid_gy, viewport),
+        _mark_with_gridline_neighbors(kx, vx_gy, viewport),
+        _mark_with_gridline_neighbors(hy_gx, ky, viewport),
+        _mark_with_gridline_neighbors(gx1, gy1, viewport),
+    ])
+    return np.unique(ids)
+
+
+def rasterize_polygon(geometry: Geometry, viewport: Viewport
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """(interior pixel ids, boundary pixel ids) for one geometry.
+
+    *Interior* pixels have their center inside the geometry and are not
+    boundary pixels — every point in them is guaranteed inside.
+    *Boundary* pixels may contain both inside and outside points.
+    """
+    covered = coverage_fragments(geometry, viewport)
+    boundary = boundary_pixels(geometry, viewport)
+    if len(boundary) == 0:
+        return covered, boundary
+    interior = np.setdiff1d(covered, boundary, assume_unique=False)
+    return interior, boundary
+
+
+def rasterize_triangles(triangles: np.ndarray, viewport: Viewport) -> np.ndarray:
+    """Fragments of a triangle soup (union of center-covered pixels).
+
+    Used by the ablation that mimics the GPU path (tessellate, then
+    rasterize triangles) instead of direct polygon scanline.  Triangles
+    are assumed non-overlapping (a proper tessellation), so the union of
+    their fragments equals the polygon's fragments up to edge-sample
+    ties.
+    """
+    frags = []
+    for tri in triangles:
+        from ..geometry.polygon import Polygon
+
+        frags.append(coverage_fragments(Polygon(tri), viewport))
+    if not frags:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(frags))

@@ -1,0 +1,138 @@
+"""Viewport: the world -> pixel transform.
+
+The raster join draws points and polygons onto a shared canvas; the
+viewport fixes that canvas's pixel grid over a world-coordinate window.
+Pixel ``(ix, iy)`` covers the half-open world rectangle
+
+    [xmin + ix*pw, xmin + (ix+1)*pw) x [ymin + iy*ph, ymin + (iy+1)*ph)
+
+with its *center* at ``(xmin + (ix+0.5)*pw, ymin + (iy+0.5)*ph)`` — the
+sample location used for inside/outside classification, exactly like a
+GPU fragment center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry import BBox
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """An immutable pixel grid over a world-coordinate window."""
+
+    bbox: BBox
+    width: int
+    height: int
+
+    def __post_init__(self):
+        if self.width < 1 or self.height < 1:
+            raise GeometryError(
+                f"viewport needs positive pixel dims, got "
+                f"{self.width}x{self.height}"
+            )
+        if self.bbox.width <= 0 or self.bbox.height <= 0:
+            raise GeometryError("viewport bbox must have positive extent")
+
+    @classmethod
+    def fit(cls, bbox: BBox, resolution: int, pad_fraction: float = 1e-9) -> "Viewport":
+        """A roughly square-pixel viewport covering ``bbox``.
+
+        The longer world axis gets ``resolution`` pixels; the box is
+        expanded by a relative epsilon so points sitting exactly on the
+        max edges still fall inside the half-open pixel grid.
+        """
+        pad = max(bbox.width, bbox.height) * pad_fraction
+        box = bbox.expand(pad if pad > 0 else 1e-12)
+        if box.width >= box.height:
+            width = int(resolution)
+            height = max(1, int(round(resolution * box.height / box.width)))
+        else:
+            height = int(resolution)
+            width = max(1, int(round(resolution * box.width / box.height)))
+        return cls(box, width, height)
+
+    @property
+    def pixel_width(self) -> float:
+        """World-units width of one pixel."""
+        return self.bbox.width / self.width
+
+    @property
+    def pixel_height(self) -> float:
+        """World-units height of one pixel."""
+        return self.bbox.height / self.height
+
+    @property
+    def pixel_diag(self) -> float:
+        """World-units length of a pixel diagonal (the ε of the error
+        bound: no point can be misassigned by more than one pixel)."""
+        return float(np.hypot(self.pixel_width, self.pixel_height))
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+    # -- coordinate transforms -------------------------------------------
+
+    def pixel_of(self, x, y) -> tuple[np.ndarray, np.ndarray]:
+        """Pixel indices (ix, iy) of world points; may fall off-grid."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        ix = np.floor((x - self.bbox.xmin) / self.pixel_width).astype(np.int64)
+        iy = np.floor((y - self.bbox.ymin) / self.pixel_height).astype(np.int64)
+        return ix, iy
+
+    def pixel_ids_of(self, x, y) -> tuple[np.ndarray, np.ndarray]:
+        """(flat pixel ids, validity mask) for world points.
+
+        Points outside the viewport get a False mask entry (and an
+        arbitrary clamped id that must not be used).
+        """
+        ix, iy = self.pixel_of(x, y)
+        valid = (ix >= 0) & (ix < self.width) & (iy >= 0) & (iy < self.height)
+        ix = np.clip(ix, 0, self.width - 1)
+        iy = np.clip(iy, 0, self.height - 1)
+        return iy * self.width + ix, valid
+
+    def pixel_center(self, ix, iy) -> tuple[np.ndarray, np.ndarray]:
+        """World coordinates of pixel centers."""
+        ix = np.asarray(ix, dtype=np.float64)
+        iy = np.asarray(iy, dtype=np.float64)
+        return (
+            self.bbox.xmin + (ix + 0.5) * self.pixel_width,
+            self.bbox.ymin + (iy + 0.5) * self.pixel_height,
+        )
+
+    def pixel_bbox(self, ix: int, iy: int) -> BBox:
+        """World rectangle covered by one pixel."""
+        pw = self.pixel_width
+        ph = self.pixel_height
+        return BBox(
+            self.bbox.xmin + ix * pw,
+            self.bbox.ymin + iy * ph,
+            self.bbox.xmin + (ix + 1) * pw,
+            self.bbox.ymin + (iy + 1) * ph,
+        )
+
+    def row_of_id(self, pixel_ids) -> np.ndarray:
+        return np.asarray(pixel_ids) // self.width
+
+    def col_of_id(self, pixel_ids) -> np.ndarray:
+        return np.asarray(pixel_ids) % self.width
+
+    def zoom(self, factor: float) -> "Viewport":
+        """Same pixel dims over a window scaled about its center."""
+        return Viewport(self.bbox.scale(factor), self.width, self.height)
+
+    def pan(self, dx_pixels: float, dy_pixels: float) -> "Viewport":
+        """Same pixel dims over a window shifted by a pixel offset."""
+        return Viewport(
+            self.bbox.translate(dx_pixels * self.pixel_width,
+                                dy_pixels * self.pixel_height),
+            self.width,
+            self.height,
+        )

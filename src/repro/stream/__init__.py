@@ -1,0 +1,12 @@
+"""Streaming substrate: append-only feeds over the raster join.
+
+The paper's motivation includes social-sensor streams; this package
+provides :class:`PointStream` — an append-only spatio-temporal buffer
+that maintains incremental raster-join state (pixel labels, a running
+region x time matrix) so "now" views are O(1) and sliding-window
+queries cost O(window).
+"""
+
+from .buffer import PointStream
+
+__all__ = ["PointStream"]

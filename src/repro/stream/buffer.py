@@ -1,0 +1,190 @@
+"""Append-only point streams with incremental raster-join state.
+
+The demo's motivation includes *social sensors* — feeds that keep
+arriving while the analyst explores.  A :class:`PointStream` accepts
+batches of new points (same schema, non-decreasing timestamps, like any
+event log) and maintains, incrementally per batch:
+
+* the consolidated columnar table (chunk list, consolidated lazily);
+* each point's pixel id under a fixed registered viewport;
+* each point's region label (pixel -> region, the raster join's
+  labeling by-product), and from it a running region x time-bucket
+  count matrix — so the "what is happening right now, where" view is
+  O(1) to read at any moment.
+
+Ad-hoc filtered queries still need the raw points; time windows are
+served by binary search over the (sorted) timestamps, so a sliding
+window query costs O(window), not O(history).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.heatmatrix import RegionTimeMatrix, pixel_region_labels
+from ..core.regions import RegionSet
+from ..errors import QueryError, SchemaError
+from ..raster import FragmentTable, Viewport, build_fragment_table
+from ..table import PointTable
+
+
+class PointStream:
+    """An append-only spatio-temporal point stream over a region set."""
+
+    def __init__(self, regions: RegionSet, resolution: int = 512,
+                 time_column: str = "t", bucket_seconds: int = 3_600,
+                 origin: int | None = None):
+        if bucket_seconds < 1:
+            raise QueryError("bucket_seconds must be >= 1")
+        self.regions = regions
+        self.time_column = time_column
+        self.bucket_seconds = int(bucket_seconds)
+        self.viewport: Viewport = Viewport.fit(regions.bbox, resolution)
+        self.fragments: FragmentTable = build_fragment_table(
+            list(regions.geometries), self.viewport)
+        self._labels = pixel_region_labels(self.fragments)
+
+        self._chunks: list[PointTable] = []
+        self._consolidated: PointTable | None = None
+        self._last_timestamp: int | None = None
+        self._origin = origin
+        # Running (region, bucket) counts; grown as time advances.
+        self._matrix = np.zeros((len(regions), 0), dtype=np.float64)
+        self._append_seconds = 0.0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def append(self, batch: PointTable) -> dict:
+        """Ingest one batch; returns per-batch ingestion statistics.
+
+        Batches must share the schema of earlier batches and arrive in
+        event-log order: the batch's timestamps are sorted and must not
+        precede the last ingested timestamp.
+        """
+        t0 = time.perf_counter()
+        if len(batch) == 0:
+            return {"rows": 0, "time_append_s": 0.0}
+        tvals = batch.column(self.time_column).values
+        if len(tvals) > 1 and (np.diff(tvals) < 0).any():
+            raise QueryError("batch timestamps must be non-decreasing")
+        if self._last_timestamp is not None and int(tvals[0]) < \
+                self._last_timestamp:
+            raise QueryError(
+                f"batch starts at {int(tvals[0])}, before the last "
+                f"ingested timestamp {self._last_timestamp}")
+        if self._chunks and batch.column_names != \
+                self._chunks[0].column_names:
+            raise SchemaError(
+                f"batch schema {batch.column_names} does not match the "
+                f"stream's {self._chunks[0].column_names}")
+
+        # Incremental labeling: pixel -> region for the new points only.
+        pixel_ids, valid = self.viewport.pixel_ids_of(batch.x, batch.y)
+        labels = np.where(valid, self._labels[pixel_ids], -1)
+
+        if self._origin is None:
+            self._origin = (int(tvals[0]) // self.bucket_seconds
+                            * self.bucket_seconds)
+        buckets = (tvals - self._origin) // self.bucket_seconds
+        inside = labels >= 0
+        if inside.any():
+            max_bucket = int(buckets[inside].max())
+            self._grow_matrix(max_bucket + 1)
+            np.add.at(self._matrix,
+                      (labels[inside].astype(np.int64),
+                       buckets[inside].astype(np.int64)), 1.0)
+
+        self._chunks.append(batch)
+        self._consolidated = None
+        self._last_timestamp = int(tvals[-1])
+        elapsed = time.perf_counter() - t0
+        self._append_seconds += elapsed
+        return {
+            "rows": len(batch),
+            "rows_in_regions": int(inside.sum()),
+            "time_append_s": elapsed,
+        }
+
+    def _grow_matrix(self, num_buckets: int) -> None:
+        if num_buckets <= self._matrix.shape[1]:
+            return
+        grown = np.zeros((len(self.regions), num_buckets))
+        grown[:, :self._matrix.shape[1]] = self._matrix
+        self._matrix = grown
+
+    # -- state access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+    @property
+    def last_timestamp(self) -> int | None:
+        return self._last_timestamp
+
+    def table(self) -> PointTable:
+        """The consolidated stream contents (cached between appends)."""
+        if not self._chunks:
+            raise QueryError("stream is empty")
+        if self._consolidated is None:
+            if len(self._chunks) == 1:
+                self._consolidated = self._chunks[0]
+            else:
+                self._consolidated = PointTable.concat(self._chunks,
+                                                       name="stream")
+                self._chunks = [self._consolidated]
+        return self._consolidated
+
+    def window_table(self, start: int, end: int) -> PointTable:
+        """Rows with ``start <= t < end`` (binary search, O(window))."""
+        if end <= start:
+            raise QueryError(f"empty window [{start}, {end})")
+        table = self.table()
+        tvals = table.column(self.time_column).values
+        lo = int(np.searchsorted(tvals, start, side="left"))
+        hi = int(np.searchsorted(tvals, end, side="left"))
+        return table.take(np.arange(lo, hi))
+
+    def matrix(self) -> RegionTimeMatrix:
+        """The running region x time count matrix (O(1) snapshot)."""
+        num_buckets = max(1, self._matrix.shape[1])
+        self._grow_matrix(num_buckets)
+        starts = (self._origin or 0) + np.arange(
+            num_buckets, dtype=np.int64) * self.bucket_seconds
+        return RegionTimeMatrix(
+            regions=self.regions,
+            bucket_starts=starts,
+            values=self._matrix.copy(),
+            bucket_seconds=self.bucket_seconds,
+            stats={"rows_ingested": len(self),
+                   "time_append_total_s": self._append_seconds},
+        )
+
+    def hot_regions(self, window_buckets: int = 1, history_buckets: int = 24,
+                    min_rate: float = 2.0) -> list[tuple[str, float]]:
+        """Regions whose recent activity outruns their own history.
+
+        Compares the mean count of the last ``window_buckets`` buckets
+        against the mean of the preceding ``history_buckets``; returns
+        (region name, burst ratio) for regions at or above ``min_rate``,
+        hottest first.  This is the stream-monitoring gadget Urbane's
+        social-feed layer motivates.
+        """
+        total = self._matrix.shape[1]
+        if total < window_buckets + 1:
+            return []
+        recent = self._matrix[:, total - window_buckets:].mean(axis=1)
+        lo = max(0, total - window_buckets - history_buckets)
+        base = self._matrix[:, lo:total - window_buckets]
+        if base.shape[1] == 0:
+            return []
+        baseline = base.mean(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = recent / baseline
+        ratio[baseline == 0] = np.where(recent[baseline == 0] > 0,
+                                        np.inf, 0.0)
+        hot = [(self.regions.region_names[i], float(ratio[i]))
+               for i in np.argsort(ratio)[::-1]
+               if ratio[i] >= min_rate and recent[i] > 0]
+        return hot

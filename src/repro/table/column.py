@@ -1,0 +1,127 @@
+"""Typed columns for the in-memory column store.
+
+Three logical column kinds cover the urban data sets:
+
+* ``numeric``    — float64/int64 measures (fare, distance, counts, ...)
+* ``timestamp``  — int64 seconds since the Unix epoch
+* ``categorical``— small string domains stored as int32 codes + a
+  category list (complaint type, payment type, ...)
+
+Columns are immutable wrappers around NumPy arrays; filtering produces
+new columns that share the underlying buffers where possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchemaError
+
+NUMERIC = "numeric"
+TIMESTAMP = "timestamp"
+CATEGORICAL = "categorical"
+
+_KINDS = (NUMERIC, TIMESTAMP, CATEGORICAL)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed, immutable 1-D data column."""
+
+    name: str
+    kind: str
+    values: np.ndarray
+    categories: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise SchemaError(f"unknown column kind {self.kind!r}")
+        vals = np.asarray(self.values)
+        if vals.ndim != 1:
+            raise SchemaError(f"column {self.name!r} must be 1-D, got {vals.ndim}-D")
+        if self.kind == NUMERIC:
+            if vals.dtype.kind not in "fiu":
+                raise SchemaError(
+                    f"numeric column {self.name!r} has dtype {vals.dtype}"
+                )
+            vals = vals.astype(np.float64, copy=False)
+        elif self.kind == TIMESTAMP:
+            if vals.dtype.kind not in "iu":
+                raise SchemaError(
+                    f"timestamp column {self.name!r} must hold integer "
+                    f"epoch-seconds, got dtype {vals.dtype}"
+                )
+            vals = vals.astype(np.int64, copy=False)
+        else:  # CATEGORICAL
+            if vals.dtype.kind not in "iu":
+                raise SchemaError(
+                    f"categorical column {self.name!r} must hold int codes"
+                )
+            vals = vals.astype(np.int32, copy=False)
+            if not self.categories:
+                raise SchemaError(
+                    f"categorical column {self.name!r} needs a category list"
+                )
+            if vals.size and (vals.min() < 0 or vals.max() >= len(self.categories)):
+                raise SchemaError(
+                    f"categorical column {self.name!r} has out-of-range codes"
+                )
+        vals.flags.writeable = False
+        object.__setattr__(self, "values", vals)
+        object.__setattr__(self, "categories", tuple(self.categories))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def take(self, indices_or_mask) -> "Column":
+        """New column holding the selected rows."""
+        return Column(
+            self.name, self.kind, self.values[indices_or_mask].copy(), self.categories
+        )
+
+    def code_for(self, label: str) -> int:
+        """The int code of a categorical label (raises for non-members)."""
+        if self.kind != CATEGORICAL:
+            raise SchemaError(f"column {self.name!r} is not categorical")
+        try:
+            return self.categories.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"label {label!r} not in categories of column {self.name!r}"
+            ) from None
+
+    def decode(self) -> np.ndarray:
+        """Categorical codes back to their string labels."""
+        if self.kind != CATEGORICAL:
+            raise SchemaError(f"column {self.name!r} is not categorical")
+        return np.asarray(self.categories, dtype=object)[self.values]
+
+
+def numeric_column(name: str, values) -> Column:
+    """Build a numeric column from any array-like of numbers."""
+    return Column(name, NUMERIC, np.asarray(values, dtype=np.float64))
+
+
+def timestamp_column(name: str, values) -> Column:
+    """Build a timestamp column from epoch-second integers."""
+    return Column(name, TIMESTAMP, np.asarray(values, dtype=np.int64))
+
+
+def categorical_column(name: str, labels) -> Column:
+    """Build a categorical column from an array-like of string labels.
+
+    The category list is the sorted set of distinct labels, so two
+    columns built from the same label domain are comparable.
+    """
+    arr = np.asarray(labels, dtype=object)
+    cats = sorted(set(arr.tolist()))
+    lookup = {c: i for i, c in enumerate(cats)}
+    codes = np.fromiter((lookup[v] for v in arr), dtype=np.int32, count=len(arr))
+    return Column(name, CATEGORICAL, codes, tuple(cats))
+
+
+def categorical_from_codes(name: str, codes, categories) -> Column:
+    """Build a categorical column directly from codes + category list."""
+    return Column(name, CATEGORICAL, np.asarray(codes, dtype=np.int32), tuple(categories))

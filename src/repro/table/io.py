@@ -1,0 +1,111 @@
+"""Table persistence: NPZ (fast, lossless) and CSV (interchange)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import CATEGORICAL, NUMERIC, TIMESTAMP, Column
+from .table import PointTable
+
+
+def save_npz(table: PointTable, path) -> None:
+    """Serialize a table to a compressed ``.npz`` archive.
+
+    Column kinds and category lists are stored alongside the data so the
+    round trip is exact.
+    """
+    payload: dict[str, np.ndarray] = {
+        "__x__": table.x,
+        "__y__": table.y,
+        "__name__": np.array([table.name]),
+    }
+    meta = []
+    for cname in table.column_names:
+        col = table.column(cname)
+        payload[f"col:{cname}"] = col.values
+        meta.append(f"{cname}\t{col.kind}")
+        if col.kind == CATEGORICAL:
+            payload[f"cats:{cname}"] = np.asarray(col.categories, dtype=object)
+    payload["__meta__"] = np.asarray(meta, dtype=object)
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_npz(path) -> PointTable:
+    """Load a table written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=True) as data:
+        x = data["__x__"]
+        y = data["__y__"]
+        name = str(data["__name__"][0])
+        columns: dict[str, Column] = {}
+        for entry in data["__meta__"]:
+            cname, kind = str(entry).split("\t")
+            values = data[f"col:{cname}"]
+            if kind == CATEGORICAL:
+                cats = tuple(str(c) for c in data[f"cats:{cname}"])
+                columns[cname] = Column(cname, kind, values, cats)
+            else:
+                columns[cname] = Column(cname, kind, values)
+    return PointTable(x, y, columns, name=name)
+
+
+def save_csv(table: PointTable, path) -> None:
+    """Write a table as CSV with an ``x,y,...`` header.
+
+    Categorical columns are written as their string labels.
+    """
+    names = table.column_names
+    decoded = {}
+    for cname in names:
+        col = table.column(cname)
+        decoded[cname] = col.decode() if col.kind == CATEGORICAL else col.values
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", *names])
+        for i in range(len(table)):
+            row = [repr(float(table.x[i])), repr(float(table.y[i]))]
+            for cname in names:
+                row.append(decoded[cname][i])
+            writer.writerow(row)
+
+
+def load_csv(path, timestamp_columns: tuple[str, ...] = ("t", "timestamp"),
+             name: str | None = None) -> PointTable:
+    """Read a CSV written by :func:`save_csv` (or any x,y,... CSV).
+
+    Column kinds are inferred: values parseable as floats become numeric
+    (or timestamps when the column name is in ``timestamp_columns``),
+    everything else becomes categorical.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = list(reader)
+    if header[:2] != ["x", "y"]:
+        raise SchemaError(f"CSV must start with x,y columns, got {header[:2]}")
+    if not rows:
+        raise SchemaError("CSV has no data rows")
+
+    cols_raw = list(zip(*rows))
+    x = np.asarray(cols_raw[0], dtype=np.float64)
+    y = np.asarray(cols_raw[1], dtype=np.float64)
+    attrs = {}
+    for cname, raw in zip(header[2:], cols_raw[2:]):
+        try:
+            as_float = np.asarray(raw, dtype=np.float64)
+            numeric_ok = True
+        except ValueError:
+            numeric_ok = False
+        if numeric_ok and cname in timestamp_columns:
+            attrs[cname] = Column(cname, TIMESTAMP, as_float.astype(np.int64))
+        elif numeric_ok:
+            attrs[cname] = Column(cname, NUMERIC, as_float)
+        else:
+            from .column import categorical_column
+
+            attrs[cname] = categorical_column(cname, list(raw))
+    return PointTable.from_arrays(x, y, name=name or path.stem, **attrs)

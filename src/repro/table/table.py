@@ -1,0 +1,230 @@
+"""The point table: a tiny columnar store for spatio-temporal points.
+
+A :class:`PointTable` is the ``P(loc, a1, a2, ...)`` relation of the
+paper's spatial aggregation query: planar ``(x, y)`` locations plus any
+number of typed attribute columns, one of which is conventionally the
+event timestamp.  Tables are immutable; filters return new tables that
+share column buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..geometry import BBox
+from .column import (
+    CATEGORICAL,
+    Column,
+    categorical_column,
+    numeric_column,
+    timestamp_column,
+)
+
+
+class PointTable:
+    """Immutable columnar table of 2-D points with typed attributes."""
+
+    def __init__(self, x, y, columns: dict[str, Column] | None = None,
+                 name: str = "points"):
+        self.name = name
+        self._x = np.ascontiguousarray(x, dtype=np.float64)
+        self._y = np.ascontiguousarray(y, dtype=np.float64)
+        if self._x.ndim != 1 or self._y.ndim != 1:
+            raise SchemaError("x and y must be 1-D arrays")
+        if len(self._x) != len(self._y):
+            raise SchemaError(
+                f"x ({len(self._x)}) and y ({len(self._y)}) lengths differ"
+            )
+        if self._x.size and not (np.isfinite(self._x).all()
+                                 and np.isfinite(self._y).all()):
+            raise SchemaError(
+                "point coordinates must be finite (found NaN/inf)")
+        self._x.flags.writeable = False
+        self._y.flags.writeable = False
+        self._columns: dict[str, Column] = {}
+        for colname, col in (columns or {}).items():
+            if colname != col.name:
+                raise SchemaError(
+                    f"column registered under {colname!r} but named {col.name!r}"
+                )
+            if len(col) != len(self._x):
+                raise SchemaError(
+                    f"column {colname!r} has {len(col)} rows, table has "
+                    f"{len(self._x)}"
+                )
+            if colname in ("x", "y"):
+                raise SchemaError("'x' and 'y' are reserved column names")
+            self._columns[colname] = col
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, x, y, name: str = "points", **attrs) -> "PointTable":
+        """Build a table from coordinate arrays plus keyword attributes.
+
+        Attribute kinds are inferred: float/int arrays become numeric,
+        object/str arrays become categorical.  Pass a prebuilt
+        :class:`Column` for explicit control (e.g. timestamps).
+        """
+        columns: dict[str, Column] = {}
+        for attr_name, values in attrs.items():
+            if isinstance(values, Column):
+                col = values
+                if col.name != attr_name:
+                    col = Column(attr_name, col.kind, col.values.copy(), col.categories)
+            else:
+                arr = np.asarray(values)
+                if arr.dtype.kind in "OU":
+                    col = categorical_column(attr_name, arr)
+                else:
+                    col = numeric_column(attr_name, arr)
+            columns[attr_name] = col
+        return cls(x, y, columns, name=name)
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._x)
+
+    @property
+    def x(self) -> np.ndarray:
+        return self._x
+
+    @property
+    def y(self) -> np.ndarray:
+        return self._y
+
+    @property
+    def xy(self) -> np.ndarray:
+        """Coordinates as an ``(n, 2)`` array (copies)."""
+        return np.column_stack([self._x, self._y])
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name; raises :class:`SchemaError` if absent."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self._columns)}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def values(self, name: str) -> np.ndarray:
+        """The raw value array of a column."""
+        return self.column(name).values
+
+    @property
+    def bbox(self) -> BBox:
+        """Spatial envelope of the points."""
+        if len(self) == 0:
+            raise SchemaError("bbox of an empty table")
+        return BBox(
+            float(self._x.min()),
+            float(self._y.min()),
+            float(self._x.max()),
+            float(self._y.max()),
+        )
+
+    # -- row selection -----------------------------------------------------
+
+    def take(self, indices_or_mask) -> "PointTable":
+        """New table containing the selected rows."""
+        cols = {n: c.take(indices_or_mask) for n, c in self._columns.items()}
+        return PointTable(
+            self._x[indices_or_mask].copy(),
+            self._y[indices_or_mask].copy(),
+            cols,
+            name=self.name,
+        )
+
+    def head(self, n: int) -> "PointTable":
+        """The first ``n`` rows."""
+        return self.take(np.arange(min(n, len(self))))
+
+    def sample(self, n: int, seed: int = 0) -> "PointTable":
+        """A uniform random sample of ``n`` rows (without replacement)."""
+        if n >= len(self):
+            return self
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self), size=n, replace=False)
+        return self.take(np.sort(idx))
+
+    def with_column(self, col: Column) -> "PointTable":
+        """New table with ``col`` added (or replaced)."""
+        cols = dict(self._columns)
+        cols[col.name] = col
+        return PointTable(self._x, self._y, cols, name=self.name)
+
+    def rename(self, name: str) -> "PointTable":
+        return PointTable(self._x, self._y, dict(self._columns), name=name)
+
+    # -- combination ---------------------------------------------------------
+
+    @staticmethod
+    def concat(tables: list["PointTable"], name: str | None = None) -> "PointTable":
+        """Row-wise concatenation of tables with identical schemas."""
+        if not tables:
+            raise SchemaError("concat of empty table list")
+        first = tables[0]
+        for t in tables[1:]:
+            if t.column_names != first.column_names:
+                raise SchemaError(
+                    f"schema mismatch in concat: {t.column_names} vs "
+                    f"{first.column_names}"
+                )
+        x = np.concatenate([t.x for t in tables])
+        y = np.concatenate([t.y for t in tables])
+        cols: dict[str, Column] = {}
+        for cname in first.column_names:
+            parts = [t.column(cname) for t in tables]
+            kind = parts[0].kind
+            if any(p.kind != kind for p in parts):
+                raise SchemaError(f"column {cname!r} kind mismatch in concat")
+            if kind == CATEGORICAL:
+                cats = parts[0].categories
+                if any(p.categories != cats for p in parts):
+                    # Re-encode through labels to merge category domains.
+                    labels = np.concatenate([p.decode() for p in parts])
+                    cols[cname] = categorical_column(cname, labels)
+                    continue
+                values = np.concatenate([p.values for p in parts])
+                cols[cname] = Column(cname, kind, values, cats)
+            else:
+                values = np.concatenate([p.values for p in parts])
+                cols[cname] = Column(cname, kind, values)
+        return PointTable(x, y, cols, name=name or first.name)
+
+    def describe(self) -> str:
+        """One-line human-readable schema summary."""
+        parts = [f"{n}:{c.kind}" for n, c in self._columns.items()]
+        return f"PointTable({self.name!r}, rows={len(self)}, cols=[{', '.join(parts)}])"
+
+    __repr__ = describe
+
+
+def table_from_dict(data: dict, name: str = "points") -> PointTable:
+    """Build a table from a plain dict with ``x``/``y`` plus attributes.
+
+    Convenience used by tests and examples; ``t`` / ``timestamp`` keys
+    holding integer arrays become timestamp columns.
+    """
+    if "x" not in data or "y" not in data:
+        raise SchemaError("dict needs 'x' and 'y' keys")
+    attrs = {}
+    for key, vals in data.items():
+        if key in ("x", "y"):
+            continue
+        arr = np.asarray(vals)
+        if key in ("t", "timestamp", "time") and arr.dtype.kind in "iu":
+            attrs[key] = timestamp_column(key, arr)
+        else:
+            attrs[key] = vals
+    return PointTable.from_arrays(data["x"], data["y"], name=name, **attrs)

@@ -1,0 +1,70 @@
+"""Urbane — the visual-analytics framework (headless reproduction).
+
+The views of the demo paper, computed rather than drawn on screen:
+
+* :class:`DataManager` — registered data sets, region resolutions, and
+  the shared query engine;
+* :class:`MapView` / :class:`Choropleth` — Figure 1's choropleth map
+  (PPM/ASCII output);
+* :class:`DataExplorationView` — multi-data-set region ranking,
+  similarity and comparison;
+* :class:`TimelineView` — temporal series and brushing;
+* :class:`InteractiveSession` — gesture replay with latency logging,
+  the harness behind the interactivity experiments.
+"""
+
+from .comparison import ComparisonReport, RegionComparator
+from .dashboard import Dashboard, DashboardFrame
+from .color import (
+    NODATA_RGB,
+    available_ramps,
+    colors_for_values,
+    normalize_values,
+    ramp_colors,
+)
+from .datamanager import DataManager
+from .exploration import DataExplorationView, ExplorationMatrix, Indicator
+from .mapview import Choropleth, MapView
+from .render import (
+    ascii_render,
+    density_image,
+    image_from_pixels,
+    read_ppm,
+    write_ppm,
+)
+from .session import (
+    INTERACTIVE_THRESHOLD_S,
+    Interaction,
+    InteractiveSession,
+    SessionState,
+)
+from .timeline import TimelineView, TimeSeries
+
+__all__ = [
+    "Choropleth",
+    "ComparisonReport",
+    "Dashboard",
+    "DashboardFrame",
+    "DataExplorationView",
+    "DataManager",
+    "ExplorationMatrix",
+    "INTERACTIVE_THRESHOLD_S",
+    "Indicator",
+    "Interaction",
+    "InteractiveSession",
+    "MapView",
+    "NODATA_RGB",
+    "RegionComparator",
+    "SessionState",
+    "TimeSeries",
+    "TimelineView",
+    "ascii_render",
+    "available_ramps",
+    "colors_for_values",
+    "density_image",
+    "image_from_pixels",
+    "normalize_values",
+    "ramp_colors",
+    "read_ppm",
+    "write_ppm",
+]

@@ -1,0 +1,102 @@
+"""Color ramps for choropleth maps.
+
+Small, dependency-free color machinery: a handful of perceptually
+ordered ramps (approximations of the usual cartography palettes), value
+normalization, and NaN handling (regions with no data render gray, as
+in Urbane's map view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QueryError
+
+#: Ramp control points, RGB in [0, 255].
+_RAMPS: dict[str, np.ndarray] = {
+    # Dark blue -> yellow, viridis-like.
+    "viridis": np.array([
+        [68, 1, 84], [59, 82, 139], [33, 145, 140],
+        [94, 201, 98], [253, 231, 37]], dtype=np.float64),
+    # White -> deep red, classic intensity ramp.
+    "reds": np.array([
+        [255, 245, 240], [252, 187, 161], [251, 106, 74],
+        [203, 24, 29], [103, 0, 13]], dtype=np.float64),
+    # White -> deep blue.
+    "blues": np.array([
+        [247, 251, 255], [198, 219, 239], [107, 174, 214],
+        [33, 113, 181], [8, 48, 107]], dtype=np.float64),
+    # Diverging blue -> white -> red (for signed comparisons).
+    "coolwarm": np.array([
+        [59, 76, 192], [144, 178, 254], [247, 247, 247],
+        [245, 156, 125], [180, 4, 38]], dtype=np.float64),
+}
+
+#: Gray used for regions with no data (NaN aggregate).
+NODATA_RGB = (190, 190, 190)
+
+
+def available_ramps() -> tuple[str, ...]:
+    return tuple(sorted(_RAMPS))
+
+
+def ramp_colors(name: str, t: np.ndarray) -> np.ndarray:
+    """Sample a ramp at positions ``t`` in [0, 1] -> (n, 3) uint8 RGB."""
+    try:
+        stops = _RAMPS[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown color ramp {name!r}; available: {available_ramps()}"
+        ) from None
+    t = np.clip(np.asarray(t, dtype=np.float64), 0.0, 1.0)
+    positions = np.linspace(0.0, 1.0, len(stops))
+    rgb = np.empty((len(t), 3))
+    for channel in range(3):
+        rgb[:, channel] = np.interp(t, positions, stops[:, channel])
+    return rgb.round().astype(np.uint8)
+
+
+def normalize_values(values: np.ndarray, mode: str = "linear",
+                     vmin: float | None = None,
+                     vmax: float | None = None) -> np.ndarray:
+    """Map aggregate values to [0, 1] (NaNs pass through as NaN).
+
+    ``linear`` stretches min..max; ``sqrt`` and ``log`` compress heavy
+    tails (urban counts are extremely skewed); ``quantile`` ranks the
+    values (equal-count classes, what choropleth defaults often use).
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    out = np.full_like(vals, np.nan)
+    ok = np.isfinite(vals)
+    if not ok.any():
+        return out
+    v = vals[ok]
+    if mode == "quantile":
+        order = np.argsort(np.argsort(v))
+        out[ok] = order / max(len(v) - 1, 1)
+        return out
+    if mode == "log":
+        v = np.log1p(np.maximum(v, 0.0))
+    elif mode == "sqrt":
+        v = np.sqrt(np.maximum(v, 0.0))
+    elif mode != "linear":
+        raise QueryError(f"unknown normalization mode {mode!r}")
+    lo = float(v.min()) if vmin is None else vmin
+    hi = float(v.max()) if vmax is None else vmax
+    if hi <= lo:
+        out[ok] = 0.5
+        return out
+    out[ok] = np.clip((v - lo) / (hi - lo), 0.0, 1.0)
+    return out
+
+
+def colors_for_values(values: np.ndarray, ramp: str = "viridis",
+                      mode: str = "linear") -> np.ndarray:
+    """Per-region RGB colors for aggregate values (NaN -> gray)."""
+    t = normalize_values(values, mode=mode)
+    rgb = np.empty((len(t), 3), dtype=np.uint8)
+    ok = np.isfinite(t)
+    if ok.any():
+        rgb[ok] = ramp_colors(ramp, t[ok])
+    rgb[~ok] = NODATA_RGB
+    return rgb

@@ -1,0 +1,163 @@
+"""Region comparison — "why do two regions feel similar? Or different?"
+
+The paper opens with exactly this question.  The comparator combines
+the two signal families Urbane exposes:
+
+* the **indicator profile** (the exploration matrix rows): what each
+  region *has* — activity, complaints, crime, fares;
+* the **temporal rhythm** (the region x time matrix rows): when each
+  region *lives* — commuter double peaks vs. nightlife plateaus.
+
+``explain(a, b)`` produces a structured report: an overall similarity
+score, the indicators the regions agree on, the sharpest contrasts, and
+the rhythm correlation — plus a plain-text rendering for the console.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.heatmatrix import RegionTimeMatrix
+from ..errors import QueryError
+from .exploration import ExplorationMatrix
+
+#: Normalized-score gap below which two regions "agree" on an indicator.
+AGREEMENT_GAP = 0.15
+#: Gap above which an indicator counts as a sharp contrast.
+CONTRAST_GAP = 0.40
+
+
+@dataclass
+class ComparisonReport:
+    """The structured answer to "why do A and B feel similar/different"."""
+
+    region_a: str
+    region_b: str
+    profile_similarity: float           # 1 = identical indicator profiles
+    rhythm_correlation: float | None    # Pearson r of temporal rhythms
+    agreements: list[tuple[str, float]] = field(default_factory=list)
+    contrasts: list[tuple[str, float]] = field(default_factory=list)
+    indicator_deltas: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def feels_similar(self) -> bool:
+        """The headline verdict: alike in profile and (when known) in
+        rhythm."""
+        profile_alike = self.profile_similarity >= 0.75
+        if self.rhythm_correlation is None:
+            return profile_alike
+        return profile_alike and self.rhythm_correlation >= 0.5
+
+    def render(self) -> str:
+        """Console-friendly explanation."""
+        verdict = "similar" if self.feels_similar else "different"
+        lines = [
+            f"{self.region_a} vs {self.region_b}: feel {verdict}",
+            f"  indicator-profile similarity: "
+            f"{self.profile_similarity:.2f}",
+        ]
+        if self.rhythm_correlation is not None:
+            lines.append(
+                f"  temporal-rhythm correlation: "
+                f"{self.rhythm_correlation:+.2f}")
+        if self.agreements:
+            alike = ", ".join(
+                f"{name} (gap {gap:.2f})" for name, gap in self.agreements)
+            lines.append(f"  alike on: {alike}")
+        if self.contrasts:
+            lines.append("  sharpest contrasts:")
+            for name, delta in self.contrasts:
+                leader = self.region_a if delta > 0 else self.region_b
+                lines.append(
+                    f"    {name}: {leader} higher by {abs(delta):.2f} "
+                    f"(normalized)")
+        return "\n".join(lines)
+
+
+class RegionComparator:
+    """Compares regions over an exploration matrix (+ optional rhythms)."""
+
+    def __init__(self, matrix: ExplorationMatrix,
+                 rhythm: RegionTimeMatrix | None = None):
+        self.matrix = matrix
+        self.rhythm = rhythm
+        if rhythm is not None:
+            rhythm_names = set(rhythm.regions.region_names)
+            if not set(matrix.region_names) <= rhythm_names:
+                raise QueryError(
+                    "rhythm matrix covers different regions than the "
+                    "exploration matrix")
+
+    def _profile(self, region: str) -> np.ndarray:
+        try:
+            idx = self.matrix.region_names.index(region)
+        except ValueError:
+            raise QueryError(f"unknown region {region!r}") from None
+        return self.matrix.normalized[idx]
+
+    def _rhythm_correlation(self, a: str, b: str) -> float | None:
+        if self.rhythm is None:
+            return None
+        ra = self.rhythm.series_for(a)
+        rb = self.rhythm.series_for(b)
+        if ra.std() == 0 or rb.std() == 0:
+            return 0.0
+        return float(np.corrcoef(ra, rb)[0, 1])
+
+    def explain(self, region_a: str, region_b: str) -> ComparisonReport:
+        """Build the comparison report for two regions."""
+        if region_a == region_b:
+            raise QueryError("compare two distinct regions")
+        pa = self._profile(region_a)
+        pb = self._profile(region_b)
+        deltas = pa - pb
+        shared = np.isfinite(deltas)
+        if not shared.any():
+            raise QueryError(
+                f"{region_a!r} and {region_b!r} share no computed "
+                f"indicators")
+
+        names = [ind.name for ind in self.matrix.indicators]
+        indicator_deltas = {
+            name: float(d) for name, d, ok in zip(names, deltas, shared)
+            if ok}
+        similarity = float(1.0 - np.abs(deltas[shared]).mean())
+
+        agreements = sorted(
+            ((name, abs(d)) for name, d in indicator_deltas.items()
+             if abs(d) <= AGREEMENT_GAP),
+            key=lambda item: item[1])
+        contrasts = sorted(
+            ((name, d) for name, d in indicator_deltas.items()
+             if abs(d) >= CONTRAST_GAP),
+            key=lambda item: -abs(item[1]))
+
+        return ComparisonReport(
+            region_a=region_a,
+            region_b=region_b,
+            profile_similarity=similarity,
+            rhythm_correlation=self._rhythm_correlation(region_a, region_b),
+            agreements=agreements,
+            contrasts=contrasts,
+            indicator_deltas=indicator_deltas,
+        )
+
+    def most_similar_pair(self) -> tuple[str, str, float]:
+        """The two most alike regions under the profile metric."""
+        norm = self.matrix.normalized
+        names = self.matrix.region_names
+        best = (names[0], names[1], -np.inf)
+        for i in range(len(names)):
+            diffs = norm - norm[i]
+            shared = np.isfinite(diffs)
+            with np.errstate(invalid="ignore"):
+                sim = 1.0 - np.where(shared, np.abs(diffs), 0.0).sum(
+                    axis=1) / np.maximum(shared.sum(axis=1), 1)
+            sim[i] = -np.inf
+            sim[shared.sum(axis=1) == 0] = -np.inf
+            j = int(np.argmax(sim))
+            if sim[j] > best[2]:
+                best = (names[i], names[j], float(sim[j]))
+        return best

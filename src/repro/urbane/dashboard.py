@@ -1,0 +1,88 @@
+"""The composed dashboard: Urbane's coordinated views in one frame.
+
+Urbane's UI shows the map, the timeline and the ranking side by side,
+all answering the same filter state.  :class:`Dashboard` renders that
+composition headlessly: one call produces a text frame with the
+choropleth, the event timeline, the top regions and the query's
+provenance — the exploration examples and the CLI demo print these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import SpatialAggregation
+from ..errors import QueryError
+from .datamanager import DataManager
+from .mapview import MapView
+from .timeline import TimelineView
+
+
+@dataclass
+class DashboardFrame:
+    """One rendered dashboard state."""
+
+    title: str
+    map_ascii: str
+    timeline_spark: str
+    top_regions: list[tuple[str, float]]
+    total: float
+    latency_ms: float
+
+    def render(self, width: int = 78) -> str:
+        rule = "=" * width
+        lines = [rule, self.title.center(width), rule, self.map_ascii, ""]
+        lines.append(f"timeline  {self.timeline_spark}")
+        lines.append("")
+        lines.append(f"{'top regions':<30} {'value':>14}")
+        for name, value in self.top_regions:
+            lines.append(f"  {name:<28} {value:>14,.1f}")
+        lines.append("")
+        lines.append(f"total {self.total:,.1f}   refresh "
+                     f"{self.latency_ms:.1f} ms")
+        lines.append(rule)
+        return "\n".join(lines)
+
+
+class Dashboard:
+    """Coordinated map + timeline + ranking over one filter state."""
+
+    def __init__(self, manager: DataManager, dataset: str, regions: str,
+                 resolution: int = 384, map_cols: int = 70,
+                 map_rows: int = 22, top_k: int = 5):
+        self.manager = manager
+        self.dataset = dataset
+        self.regions = regions
+        self.map_view = MapView(manager, resolution=resolution)
+        self.timeline_view = TimelineView(manager)
+        self.map_cols = int(map_cols)
+        self.map_rows = int(map_rows)
+        self.top_k = int(top_k)
+        if top_k < 1:
+            raise QueryError("top_k must be >= 1")
+
+    def frame(self, query: SpatialAggregation | None = None,
+              bucket: str = "day",
+              time_column: str = "t") -> DashboardFrame:
+        """Render the dashboard for one query state."""
+        query = query or SpatialAggregation.count()
+        choropleth = self.map_view.choropleth(self.dataset, self.regions,
+                                              query)
+        series = self.timeline_view.series(
+            self.dataset, bucket=bucket, time_column=time_column,
+            filters=query.filters)
+        result = choropleth.result
+        title = (f"{self.dataset} x {self.regions} — "
+                 f"{query.describe()}")
+        import numpy as np
+
+        finite = result.values[np.isfinite(result.values)]
+        return DashboardFrame(
+            title=title,
+            map_ascii=choropleth.ascii(max_cols=self.map_cols,
+                                       max_rows=self.map_rows),
+            timeline_spark=series.sparkline(self.map_cols - 10),
+            top_regions=result.top_k(self.top_k),
+            total=float(finite.sum()) if len(finite) else 0.0,
+            latency_ms=result.stats.get("time_execute_s", 0.0) * 1000,
+        )

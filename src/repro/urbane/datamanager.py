@@ -1,0 +1,102 @@
+"""Urbane's data manager.
+
+The registry a running Urbane instance keeps: named point data sets,
+named region sets (one per spatial resolution), and the shared
+:class:`SpatialAggregationEngine` every view issues its queries through.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    AggregationResult,
+    RegionSet,
+    SpatialAggregation,
+    SpatialAggregationEngine,
+)
+from ..errors import QueryError
+from ..table import PointTable
+
+
+class DataManager:
+    """Named data sets + region resolutions + the query engine."""
+
+    def __init__(self, engine: SpatialAggregationEngine | None = None):
+        self.engine = engine or SpatialAggregationEngine()
+        self._datasets: dict[str, PointTable] = {}
+        self._regions: dict[str, RegionSet] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def add_dataset(self, table: PointTable, name: str | None = None) -> str:
+        """Register a point data set; returns the name used."""
+        name = name or table.name
+        if name in self._datasets:
+            raise QueryError(f"dataset {name!r} already registered")
+        self._datasets[name] = table
+        return name
+
+    def add_region_set(self, regions: RegionSet, name: str | None = None
+                       ) -> str:
+        """Register a region resolution; returns the name used."""
+        name = name or regions.name
+        if name in self._regions:
+            raise QueryError(f"region set {name!r} already registered")
+        self._regions[name] = regions
+        return name
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    @property
+    def region_set_names(self) -> list[str]:
+        return sorted(self._regions)
+
+    def dataset(self, name: str) -> PointTable:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise QueryError(
+                f"no dataset {name!r}; registered: {self.dataset_names}"
+            ) from None
+
+    def region_set(self, name: str) -> RegionSet:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise QueryError(
+                f"no region set {name!r}; registered: "
+                f"{self.region_set_names}"
+            ) from None
+
+    # -- querying -----------------------------------------------------------
+
+    def aggregate(self, dataset: str, regions: str,
+                  query: SpatialAggregation, **execute_kwargs
+                  ) -> AggregationResult:
+        """Run a spatial aggregation by registered names."""
+        return self.engine.execute(
+            self.dataset(dataset), self.region_set(regions), query,
+            **execute_kwargs)
+
+    def sql(self, query: str, **execute_kwargs) -> AggregationResult:
+        """Run a query written in the paper's SQL dialect, e.g.::
+
+            SELECT COUNT(*) FROM taxi, neighborhoods
+            WHERE taxi.loc INSIDE neighborhoods.geometry
+              AND fare > 10 AND t BETWEEN 0 AND 86400
+            GROUP BY neighborhoods.id
+
+        The FROM clause names a registered data set and region set.
+        """
+        from ..core.sql import parse_query
+
+        parsed = parse_query(query)
+        return self.aggregate(parsed.table, parsed.regions,
+                              parsed.aggregation, **execute_kwargs)
+
+    def __repr__(self) -> str:
+        return (f"DataManager(datasets={self.dataset_names}, "
+                f"regions={self.region_set_names})")

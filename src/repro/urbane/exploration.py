@@ -1,0 +1,171 @@
+"""The data exploration view.
+
+Urbane's second core view: compare *all* regions across *several* data
+sets at once.  Each data set contributes an indicator (a spatial
+aggregation); the view normalizes indicators across regions, combines
+them under user weights into a composite score, ranks regions, and
+finds the regions most similar to a chosen one — the workflow the
+paper's architect persona uses to benchmark a neighborhood of interest
+against the rest of the city.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import SpatialAggregation
+from ..errors import QueryError
+from .color import normalize_values
+from .datamanager import DataManager
+
+
+@dataclass(frozen=True)
+class Indicator:
+    """One column of the exploration matrix.
+
+    ``higher_is_better`` flips normalization for indicators where a
+    large value is bad (e.g. crime counts), so composite scores always
+    read "higher = better neighborhood".
+    """
+
+    name: str
+    dataset: str
+    query: SpatialAggregation
+    weight: float = 1.0
+    higher_is_better: bool = True
+
+
+@dataclass
+class ExplorationMatrix:
+    """Regions x indicators: raw values, normalized scores, rankings."""
+
+    region_names: tuple[str, ...]
+    indicators: tuple[Indicator, ...]
+    raw: np.ndarray          # (R, K) raw aggregate values
+    normalized: np.ndarray   # (R, K) in [0, 1], direction-corrected
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        expected = (len(self.region_names), len(self.indicators))
+        if self.raw.shape != expected or self.normalized.shape != expected:
+            raise QueryError(
+                f"matrix shape {self.raw.shape} != regions x indicators "
+                f"{expected}")
+
+    def _region_id(self, region_name: str) -> int:
+        try:
+            return self.region_names.index(region_name)
+        except ValueError:
+            raise QueryError(f"unknown region {region_name!r}") from None
+
+    def scores(self, weights: dict[str, float] | None = None) -> np.ndarray:
+        """Composite per-region score: weighted mean of normalized
+        indicators (NaN indicators are skipped per region)."""
+        w = np.array([
+            (weights or {}).get(ind.name, ind.weight)
+            for ind in self.indicators], dtype=np.float64)
+        if (w < 0).any():
+            raise QueryError("indicator weights must be non-negative")
+        if w.sum() == 0:
+            raise QueryError("at least one indicator weight must be > 0")
+        norm = self.normalized
+        valid = np.isfinite(norm)
+        weighted = np.where(valid, norm, 0.0) * w[None, :]
+        denom = (valid * w[None, :]).sum(axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = weighted.sum(axis=1) / denom
+        out[denom == 0] = np.nan
+        return out
+
+    def ranking(self, weights: dict[str, float] | None = None
+                ) -> list[tuple[str, float]]:
+        """Regions ordered best-first by composite score."""
+        scores = self.scores(weights)
+        order = np.argsort(np.nan_to_num(scores, nan=-np.inf))[::-1]
+        return [(self.region_names[i], float(scores[i])) for i in order]
+
+    def rank_of(self, region_name: str,
+                weights: dict[str, float] | None = None) -> int:
+        """1-based rank of a region under the given weights."""
+        target = self._region_id(region_name)
+        scores = self.scores(weights)
+        order = np.argsort(np.nan_to_num(scores, nan=-np.inf))[::-1]
+        return int(np.flatnonzero(order == target)[0]) + 1
+
+    def similar_to(self, region_name: str, k: int = 5
+                   ) -> list[tuple[str, float]]:
+        """The k regions nearest in normalized indicator space.
+
+        Distance is Euclidean over the indicators both regions have
+        (NaN-masked), scaled to the number of shared indicators.
+        """
+        target = self._region_id(region_name)
+        ref = self.normalized[target]
+        diffs = self.normalized - ref[None, :]
+        shared = np.isfinite(diffs)
+        sq = np.where(shared, diffs * diffs, 0.0).sum(axis=1)
+        count = shared.sum(axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            dist = np.sqrt(sq / count)
+        dist[count == 0] = np.inf
+        dist[target] = np.inf
+        order = np.argsort(dist)[:k]
+        return [(self.region_names[i], float(dist[i])) for i in order]
+
+    def compare(self, region_a: str, region_b: str) -> dict[str, dict]:
+        """Per-indicator side-by-side of two regions (raw + normalized)."""
+        ia = self._region_id(region_a)
+        ib = self._region_id(region_b)
+        out = {}
+        for k, ind in enumerate(self.indicators):
+            out[ind.name] = {
+                region_a: float(self.raw[ia, k]),
+                region_b: float(self.raw[ib, k]),
+                "normalized_delta": float(self.normalized[ia, k]
+                                          - self.normalized[ib, k]),
+            }
+        return out
+
+
+class DataExplorationView:
+    """Builds exploration matrices through the shared engine."""
+
+    def __init__(self, manager: DataManager, regions: str,
+                 method: str = "bounded", resolution: int | None = None,
+                 normalization: str = "quantile"):
+        self.manager = manager
+        self.regions_name = regions
+        self.method = method
+        self.resolution = resolution
+        self.normalization = normalization
+
+    def compute(self, indicators: list[Indicator]) -> ExplorationMatrix:
+        """Run every indicator's aggregation and assemble the matrix."""
+        if not indicators:
+            raise QueryError("need at least one indicator")
+        region_set = self.manager.region_set(self.regions_name)
+        raw = np.empty((len(region_set), len(indicators)))
+        total_time = 0.0
+        for k, ind in enumerate(indicators):
+            result = self.manager.aggregate(
+                ind.dataset, self.regions_name, ind.query,
+                method=self.method, resolution=self.resolution)
+            raw[:, k] = result.values
+            total_time += result.stats.get("time_execute_s", 0.0)
+
+        normalized = np.empty_like(raw)
+        for k, ind in enumerate(indicators):
+            norm = normalize_values(raw[:, k], mode=self.normalization)
+            if not ind.higher_is_better:
+                norm = 1.0 - norm
+            normalized[:, k] = norm
+        return ExplorationMatrix(
+            region_names=region_set.region_names,
+            indicators=tuple(indicators),
+            raw=raw,
+            normalized=normalized,
+            stats={"time_total_s": total_time,
+                   "queries": len(indicators)},
+        )

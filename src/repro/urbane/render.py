@@ -1,0 +1,120 @@
+"""Headless image output.
+
+Urbane renders to an OpenGL window; offline we rasterize choropleths to
+plain PPM files (viewable everywhere, zero dependencies) and to ASCII
+art for terminal inspection in the examples.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import QueryError
+
+#: Luminance-ordered glyphs for ASCII rendering.
+_ASCII_GLYPHS = " .:-=+*#%@"
+
+
+def image_from_pixels(pixel_values: np.ndarray, width: int, height: int,
+                      colors: np.ndarray,
+                      background=(255, 255, 255)) -> np.ndarray:
+    """Build an (H, W, 3) image from a flat per-pixel class array.
+
+    ``pixel_values`` holds a class index per flat pixel id (-1 =
+    background); ``colors`` is the (num_classes, 3) palette.
+    """
+    flat = np.asarray(pixel_values, dtype=np.int64)
+    if flat.size != width * height:
+        raise QueryError(
+            f"pixel array size {flat.size} != {width}x{height}")
+    img = np.empty((width * height, 3), dtype=np.uint8)
+    img[:] = np.asarray(background, dtype=np.uint8)
+    drawn = flat >= 0
+    if drawn.any():
+        img[drawn] = colors[flat[drawn]]
+    # Flat ids grow upward in y (world convention); images grow downward.
+    return img.reshape(height, width, 3)[::-1]
+
+
+def write_ppm(path, image: np.ndarray) -> None:
+    """Write an (H, W, 3) uint8 image as binary PPM (P6)."""
+    img = np.ascontiguousarray(image, dtype=np.uint8)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise QueryError(f"expected (H, W, 3) image, got {img.shape}")
+    height, width, _ = img.shape
+    with open(Path(path), "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(img.tobytes())
+
+
+def read_ppm(path) -> np.ndarray:
+    """Read a binary PPM written by :func:`write_ppm`."""
+    raw = Path(path).read_bytes()
+    if not raw.startswith(b"P6"):
+        raise QueryError("not a binary PPM (P6) file")
+    # Header: magic, width, height, maxval — whitespace separated.
+    parts = raw.split(maxsplit=4)
+    width = int(parts[1])
+    height = int(parts[2])
+    data = parts[4]
+    img = np.frombuffer(data[: width * height * 3], dtype=np.uint8)
+    return img.reshape(height, width, 3)
+
+
+def density_image(canvas: np.ndarray, width: int, height: int,
+                  ramp: str = "reds", mode: str = "log",
+                  background=(255, 255, 255)) -> np.ndarray:
+    """Render a per-pixel density canvas (point counts/sums) as an image.
+
+    Zero pixels take the background color; positive values run through
+    ``normalize_values`` (log by default — urban densities are heavily
+    skewed) and the chosen color ramp.
+    """
+    from .color import normalize_values, ramp_colors
+
+    flat = np.asarray(canvas, dtype=np.float64)
+    if flat.size != width * height:
+        raise QueryError(
+            f"canvas size {flat.size} != {width}x{height}")
+    img = np.empty((width * height, 3), dtype=np.uint8)
+    img[:] = np.asarray(background, dtype=np.uint8)
+    live = flat > 0
+    if live.any():
+        t = normalize_values(flat[live], mode=mode)
+        img[live] = ramp_colors(ramp, t)
+    return img.reshape(height, width, 3)[::-1]
+
+
+def ascii_render(values: np.ndarray, width: int, height: int,
+                 max_cols: int = 78, max_rows: int = 36) -> str:
+    """ASCII-art rendering of a flat scalar field (NaN = blank).
+
+    Downsamples the field to the terminal budget by block-averaging and
+    maps intensity onto a glyph ramp.  Used by the examples to show the
+    choropleth without any image viewer.
+    """
+    field = np.asarray(values, dtype=np.float64).reshape(height, width)[::-1]
+    row_step = max(1, height // max_rows)
+    col_step = max(1, width // max_cols)
+    rows_out = []
+    finite = field[np.isfinite(field)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = (hi - lo) or 1.0
+    for r0 in range(0, height, row_step):
+        block_row = field[r0:r0 + row_step]
+        line = []
+        for c0 in range(0, width, col_step):
+            block = block_row[:, c0:c0 + col_step]
+            good = block[np.isfinite(block)]
+            if good.size == 0:
+                line.append(" ")
+                continue
+            t = (float(good.mean()) - lo) / span
+            idx = min(int(t * (len(_ASCII_GLYPHS) - 1) + 0.5),
+                      len(_ASCII_GLYPHS) - 1)
+            line.append(_ASCII_GLYPHS[idx])
+        rows_out.append("".join(line).rstrip())
+    return "\n".join(rows_out)

@@ -1,0 +1,165 @@
+"""Interactive session driver.
+
+The demo's claim is *interactivity*: every user gesture — brushing the
+timeline, toggling a filter, switching the spatial resolution, panning
+the map — triggers fresh spatial aggregations that must return at
+human-in-the-loop latency.  :class:`InteractiveSession` replays such
+gesture sequences headlessly against a :class:`DataManager` and records
+per-interaction latency; the E8 benchmark and the session example are
+built on it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import AggregationResult, SpatialAggregation
+from ..errors import QueryError
+from ..table import FilterExpr, TimeRange
+from .datamanager import DataManager
+
+#: Latency below which an update feels interactive (the usual HCI bar).
+INTERACTIVE_THRESHOLD_S = 1.0
+
+
+@dataclass
+class Interaction:
+    """One logged gesture: what changed and how long the refresh took."""
+
+    op: str
+    detail: str
+    latency_s: float
+    rows_aggregated: int = 0
+
+
+@dataclass
+class SessionState:
+    """Current exploration state (what the UI widgets would show)."""
+
+    dataset: str
+    regions: str
+    agg: SpatialAggregation = field(
+        default_factory=SpatialAggregation.count)
+    filters: tuple[FilterExpr, ...] = ()
+    time_brush: TimeRange | None = None
+
+    def effective_query(self) -> SpatialAggregation:
+        """The aggregation with the session's filters applied."""
+        query = SpatialAggregation(self.agg.agg, self.agg.value_column,
+                                   self.agg.filters + self.filters)
+        if self.time_brush is not None:
+            query = query.where(self.time_brush)
+        return query
+
+
+class InteractiveSession:
+    """Replays exploration gestures and logs refresh latency."""
+
+    def __init__(self, manager: DataManager, dataset: str, regions: str,
+                 method: str = "bounded", resolution: int = 512):
+        self.manager = manager
+        self.method = method
+        self.resolution = int(resolution)
+        self.state = SessionState(dataset=dataset, regions=regions)
+        self.log: list[Interaction] = []
+        self.last_result: AggregationResult | None = None
+        # Initial render so the cache state matches a real session
+        # (polygons rasterized once when the view opens).
+        self._refresh("open", f"{dataset} x {regions}")
+
+    # -- gestures ---------------------------------------------------------
+
+    def set_aggregation(self, agg: SpatialAggregation) -> AggregationResult:
+        self.state.agg = agg
+        return self._refresh("aggregate", agg.describe())
+
+    def add_filter(self, expr: FilterExpr) -> AggregationResult:
+        self.state.filters = self.state.filters + (expr,)
+        return self._refresh("filter+", type(expr).__name__)
+
+    def clear_filters(self) -> AggregationResult:
+        self.state.filters = ()
+        return self._refresh("filter-clear", "")
+
+    def brush_time(self, start: int, end: int,
+                   time_column: str = "t") -> AggregationResult:
+        if end <= start:
+            raise QueryError(f"empty time brush [{start}, {end})")
+        self.state.time_brush = TimeRange(time_column, start, end)
+        return self._refresh("time-brush", f"[{start}, {end})")
+
+    def clear_time_brush(self) -> AggregationResult:
+        self.state.time_brush = None
+        return self._refresh("time-brush-clear", "")
+
+    def set_region_level(self, regions: str) -> AggregationResult:
+        self.manager.region_set(regions)  # validate early
+        self.state.regions = regions
+        return self._refresh("resolution", regions)
+
+    def set_dataset(self, dataset: str) -> AggregationResult:
+        """Switch data set.  Attribute filters are dropped (they refer to
+        the old schema, as Urbane's per-dataset filter widgets do); the
+        time brush carries over since every data set shares the
+        timeline."""
+        table = self.manager.dataset(dataset)  # validate early
+        self.state.dataset = dataset
+        self.state.filters = ()
+        # An aggregation over a column the new data set lacks falls back
+        # to COUNT (the UI resets its measure dropdown the same way).
+        value_column = self.state.agg.value_column
+        if value_column is not None and not table.has_column(value_column):
+            self.state.agg = SpatialAggregation.count()
+        return self._refresh("dataset", dataset)
+
+    # -- internals ----------------------------------------------------------
+
+    def _refresh(self, op: str, detail: str) -> AggregationResult:
+        query = self.state.effective_query()
+        t0 = time.perf_counter()
+        result = self.manager.aggregate(
+            self.state.dataset, self.state.regions, query,
+            method=self.method, resolution=self.resolution)
+        latency = time.perf_counter() - t0
+        self.last_result = result
+        self.log.append(Interaction(
+            op=op, detail=detail, latency_s=latency,
+            rows_aggregated=result.stats.get("points_after_filter", 0)))
+        return result
+
+    # -- reporting -------------------------------------------------------------
+
+    def latencies(self) -> np.ndarray:
+        return np.array([i.latency_s for i in self.log])
+
+    def summary(self) -> dict:
+        """Latency statistics across the logged interactions."""
+        lat = self.latencies()
+        if len(lat) == 0:
+            return {"interactions": 0}
+        return {
+            "interactions": len(lat),
+            "mean_latency_s": float(lat.mean()),
+            "max_latency_s": float(lat.max()),
+            "p95_latency_s": float(np.quantile(lat, 0.95)),
+            "interactive_fraction": float(
+                (lat <= INTERACTIVE_THRESHOLD_S).mean()),
+        }
+
+    def report(self) -> str:
+        """Human-readable per-interaction log."""
+        lines = [f"{'op':<16} {'detail':<40} {'latency':>9}"]
+        for item in self.log:
+            lines.append(
+                f"{item.op:<16} {item.detail[:40]:<40} "
+                f"{item.latency_s * 1000:7.1f}ms")
+        stats = self.summary()
+        lines.append(
+            f"-- {stats['interactions']} interactions, "
+            f"mean {stats['mean_latency_s'] * 1000:.1f}ms, "
+            f"max {stats['max_latency_s'] * 1000:.1f}ms, "
+            f"{stats['interactive_fraction'] * 100:.0f}% interactive")
+        return "\n".join(lines)

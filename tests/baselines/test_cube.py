@@ -1,0 +1,140 @@
+"""Tests for the pre-aggregation data cube.
+
+Two sides matter: aligned queries must return exact answers instantly,
+and everything ad hoc must raise :class:`CubeError` — that inflexibility
+is the phenomenon the paper's motivation rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DataCube, naive_join
+from repro.core import RegionSet, SpatialAggregation
+from repro.errors import CubeError, QueryError
+from repro.geometry import regular_polygon
+from repro.table import F, IsIn, PointTable, timestamp_column
+
+BUCKET = 100  # seconds per time bucket in these tests
+
+
+@pytest.fixture(scope="module")
+def table():
+    gen = np.random.default_rng(21)
+    n = 20_000
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(10, n),
+        t=timestamp_column("t", gen.integers(0, 1000, n)),
+        kind=gen.choice(["a", "b", "c"], n))
+
+
+@pytest.fixture(scope="module")
+def cube(table, simple_regions):
+    return DataCube(table, simple_regions, time_column="t",
+                    time_bucket_s=BUCKET, category_columns=("kind",),
+                    value_column="fare")
+
+
+class TestAlignedQueries:
+    def test_count_matches_naive(self, table, simple_regions, cube):
+        query = SpatialAggregation.count()
+        got = cube.answer(simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        assert got.values == pytest.approx(want.values)
+        assert got.exact
+
+    def test_sum_matches_naive(self, table, simple_regions, cube):
+        query = SpatialAggregation.sum_of("fare")
+        got = cube.answer(simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        assert got.values == pytest.approx(want.values)
+
+    def test_avg_matches_naive(self, table, simple_regions, cube):
+        query = SpatialAggregation.avg_of("fare")
+        got = cube.answer(simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        both_nan = np.isnan(got.values) & np.isnan(want.values)
+        assert (both_nan | np.isclose(got.values, want.values)).all()
+
+    def test_aligned_time_range(self, table, simple_regions, cube):
+        query = SpatialAggregation.count().during("t", 200, 700)
+        got = cube.answer(simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        assert got.values == pytest.approx(want.values)
+
+    def test_categorical_filter(self, table, simple_regions, cube):
+        query = SpatialAggregation.count(F("kind") == "b")
+        got = cube.answer(simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        assert got.values == pytest.approx(want.values)
+
+    def test_isin_filter(self, table, simple_regions, cube):
+        query = SpatialAggregation.count(IsIn("kind", ("a", "c")))
+        got = cube.answer(simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        assert got.values == pytest.approx(want.values)
+
+    def test_combined_aligned_filters(self, table, simple_regions, cube):
+        query = SpatialAggregation.sum_of(
+            "fare", F("kind") == "a").during("t", 0, 500)
+        got = cube.answer(simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        assert got.values == pytest.approx(want.values)
+
+    def test_unknown_label_zero(self, simple_regions, cube):
+        query = SpatialAggregation.count(F("kind") == "zebra")
+        got = cube.answer(simple_regions, query)
+        assert (got.values == 0).all()
+
+
+class TestAdHocRejections:
+    def test_ad_hoc_region_set(self, cube):
+        other = RegionSet("adhoc", [regular_polygon(40, 40, 20, 6)])
+        with pytest.raises(CubeError):
+            cube.answer(other, SpatialAggregation.count())
+
+    def test_unaligned_time_range(self, simple_regions, cube):
+        query = SpatialAggregation.count().during("t", 150, 700)
+        with pytest.raises(CubeError):
+            cube.answer(simple_regions, query)
+
+    def test_numeric_predicate(self, simple_regions, cube):
+        query = SpatialAggregation.count(F("fare") > 5.0)
+        with pytest.raises(CubeError):
+            cube.answer(simple_regions, query)
+
+    def test_unmaterialized_value_column(self, simple_regions, cube):
+        query = SpatialAggregation.sum_of("t")
+        with pytest.raises(CubeError):
+            cube.answer(simple_regions, query)
+
+    def test_min_max_unsupported(self, simple_regions, cube):
+        with pytest.raises(CubeError):
+            cube.answer(simple_regions, SpatialAggregation.min_of("fare"))
+
+    def test_can_answer_reflects_all_of_it(self, simple_regions, cube):
+        ok = SpatialAggregation.count().during("t", 0, 300)
+        bad = SpatialAggregation.count(F("fare") > 1)
+        assert cube.can_answer(simple_regions, ok)
+        assert not cube.can_answer(simple_regions, bad)
+
+
+class TestConstruction:
+    def test_non_categorical_dimension_rejected(self, table, simple_regions):
+        with pytest.raises(QueryError):
+            DataCube(table, simple_regions, category_columns=("fare",))
+
+    def test_memory_accounting(self, cube):
+        assert cube.memory_bytes() == cube.counts.nbytes + cube.sums.nbytes
+
+    def test_no_time_dimension(self, table, simple_regions):
+        small = DataCube(table, simple_regions)
+        got = small.answer(simple_regions, SpatialAggregation.count())
+        want = naive_join(table, simple_regions, SpatialAggregation.count())
+        assert got.values == pytest.approx(want.values)
+
+    def test_build_time_recorded(self, cube):
+        assert cube.build_time_s > 0
+
+    def test_repr(self, cube):
+        assert "DataCube" in repr(cube)

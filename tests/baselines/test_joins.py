@@ -1,0 +1,141 @@
+"""Tests for the exact index-join baselines and region assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    assign_regions,
+    grid_index_join,
+    naive_join,
+    rtree_index_join,
+)
+from repro.core import RegionSet, SpatialAggregation
+from repro.geometry import regular_polygon
+from repro.table import F, PointTable, timestamp_column
+
+
+def _table(n=15_000, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(10, n),
+        t=timestamp_column("t", gen.integers(0, 1000, n)),
+        kind=gen.choice(["a", "b"], n))
+
+
+ALL_QUERIES = [
+    SpatialAggregation.count(),
+    SpatialAggregation.sum_of("fare"),
+    SpatialAggregation.avg_of("fare"),
+    SpatialAggregation.min_of("fare"),
+    SpatialAggregation.max_of("fare"),
+    SpatialAggregation.count(F("kind") == "a"),
+    SpatialAggregation.sum_of("fare", F("t").time_range(100, 900)),
+]
+
+
+def _assert_equal(a, b):
+    both_nan = np.isnan(a.values) & np.isnan(b.values)
+    close = np.isclose(a.values, b.values, rtol=1e-9, atol=1e-6)
+    assert (both_nan | close).all()
+
+
+class TestIndexJoinsMatchNaive:
+    @pytest.mark.parametrize("query", ALL_QUERIES)
+    def test_grid_join(self, simple_regions, query):
+        table = _table()
+        got = grid_index_join(table, simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        _assert_equal(got, want)
+        assert got.exact
+
+    @pytest.mark.parametrize("query", ALL_QUERIES)
+    def test_rtree_join(self, simple_regions, query):
+        table = _table()
+        got = rtree_index_join(table, simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        _assert_equal(got, want)
+
+    @pytest.mark.parametrize("query", ALL_QUERIES)
+    def test_quadtree_join(self, simple_regions, query):
+        from repro.baselines import quadtree_index_join
+
+        table = _table()
+        got = quadtree_index_join(table, simple_regions, query)
+        want = naive_join(table, simple_regions, query)
+        _assert_equal(got, want)
+
+    def test_grid_resolution_irrelevant(self, simple_regions):
+        table = _table(seed=1)
+        query = SpatialAggregation.count()
+        results = [grid_index_join(table, simple_regions, query,
+                                   grid_resolution=res).values
+                   for res in (4, 32, 256)]
+        assert (results[0] == results[1]).all()
+        assert (results[1] == results[2]).all()
+
+    def test_prebuilt_index_reused(self, simple_regions):
+        from repro.index import PointGridIndex
+
+        table = _table(2000, seed=2)
+        index = PointGridIndex(table.x, table.y, table.bbox, nx=32, ny=32)
+        got = grid_index_join(table, simple_regions,
+                              SpatialAggregation.count(), index=index)
+        want = naive_join(table, simple_regions, SpatialAggregation.count())
+        _assert_equal(got, want)
+
+    def test_stats_report_candidates(self, simple_regions):
+        table = _table(2000, seed=3)
+        got = grid_index_join(table, simple_regions,
+                              SpatialAggregation.count())
+        assert got.stats["candidates_tested"] >= got.values.sum()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 3000))
+    def test_join_equivalence_property(self, seed):
+        gen = np.random.default_rng(seed)
+        geoms = [regular_polygon(gen.uniform(15, 85), gen.uniform(15, 85),
+                                 gen.uniform(4, 30), int(gen.integers(3, 9)))
+                 for __ in range(int(gen.integers(1, 4)))]
+        regions = RegionSet(f"p{seed}", geoms)
+        n = int(gen.integers(50, 2000))
+        table = PointTable.from_arrays(gen.uniform(0, 100, n),
+                                       gen.uniform(0, 100, n))
+        query = SpatialAggregation.count()
+        want = naive_join(table, regions, query)
+        _assert_equal(grid_index_join(table, regions, query), want)
+        _assert_equal(rtree_index_join(table, regions, query), want)
+
+
+class TestAssignRegions:
+    def test_labels_match_geometry(self, simple_regions):
+        table = _table(3000, seed=4)
+        labels = assign_regions(table, simple_regions)
+        xy = table.xy
+        for gid, geom in enumerate(simple_regions.geometries):
+            inside = geom.contains_points(xy)
+            assert (labels[inside] == gid).all()
+        unassigned = labels == -1
+        for geom in simple_regions.geometries:
+            assert not geom.contains_points(xy[unassigned]).any()
+
+    def test_label_counts_match_naive(self, simple_regions):
+        table = _table(3000, seed=5)
+        labels = assign_regions(table, simple_regions)
+        want = naive_join(table, simple_regions, SpatialAggregation.count())
+        for gid in range(len(simple_regions)):
+            assert (labels == gid).sum() == want.values[gid]
+
+    def test_empty_table(self, simple_regions):
+        empty = PointTable([], [])
+        assert len(assign_regions(empty, simple_regions)) == 0
+
+    def test_overlap_lowest_id_wins(self):
+        a = regular_polygon(50, 50, 20, 8)
+        b = regular_polygon(50, 50, 20, 8)  # identical
+        regions = RegionSet("overlap", [a, b])
+        table = PointTable.from_arrays([50.0], [50.0])
+        labels = assign_regions(table, regions)
+        assert labels[0] == 0

@@ -1,0 +1,98 @@
+"""Tests for aggregate partials and merge semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import PartialAggregate
+from repro.core.aggregates import accumulate_exact, validate_aggregate
+from repro.errors import QueryError
+
+
+class TestValidate:
+    def test_count_no_column(self):
+        validate_aggregate("count", None)
+        with pytest.raises(QueryError):
+            validate_aggregate("count", "fare")
+
+    def test_sum_needs_column(self):
+        validate_aggregate("sum", "fare")
+        with pytest.raises(QueryError):
+            validate_aggregate("sum", None)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            validate_aggregate("median", "fare")
+
+
+class TestPartials:
+    def test_empty_finalize_count(self):
+        part = PartialAggregate.empty("count", 3)
+        assert part.finalize().tolist() == [0, 0, 0]
+
+    def test_empty_finalize_avg_nan(self):
+        part = PartialAggregate.empty("avg", 2)
+        assert np.isnan(part.finalize()).all()
+
+    def test_empty_finalize_minmax_nan(self):
+        assert np.isnan(PartialAggregate.empty("min", 2).finalize()).all()
+        assert np.isnan(PartialAggregate.empty("max", 2).finalize()).all()
+
+    def test_accumulate_count(self):
+        part = PartialAggregate.empty("count", 2)
+        accumulate_exact(part, 0, None, 5)
+        accumulate_exact(part, 0, None, 2)
+        assert part.finalize().tolist() == [7, 0]
+
+    def test_accumulate_avg(self):
+        part = PartialAggregate.empty("avg", 1)
+        accumulate_exact(part, 0, np.array([2.0, 4.0]), 2)
+        accumulate_exact(part, 0, np.array([6.0]), 1)
+        assert part.finalize()[0] == pytest.approx(4.0)
+
+    def test_accumulate_minmax(self):
+        mn = PartialAggregate.empty("min", 1)
+        mx = PartialAggregate.empty("max", 1)
+        accumulate_exact(mn, 0, np.array([3.0, 1.0]), 2)
+        accumulate_exact(mn, 0, np.array([2.0]), 1)
+        accumulate_exact(mx, 0, np.array([3.0, 1.0]), 2)
+        accumulate_exact(mx, 0, np.array([5.0]), 1)
+        assert mn.finalize()[0] == 1.0
+        assert mx.finalize()[0] == 5.0
+
+    def test_merge_additive(self):
+        a = PartialAggregate.empty("sum", 2)
+        b = PartialAggregate.empty("sum", 2)
+        accumulate_exact(a, 0, np.array([1.0]), 1)
+        accumulate_exact(b, 0, np.array([2.0]), 1)
+        accumulate_exact(b, 1, np.array([5.0]), 1)
+        a.merge(b)
+        assert a.finalize().tolist() == [3.0, 5.0]
+
+    def test_merge_min(self):
+        a = PartialAggregate.empty("min", 1)
+        b = PartialAggregate.empty("min", 1)
+        accumulate_exact(a, 0, np.array([4.0]), 1)
+        accumulate_exact(b, 0, np.array([2.0]), 1)
+        a.merge(b)
+        assert a.finalize()[0] == 2.0
+
+    def test_merge_kind_mismatch(self):
+        a = PartialAggregate.empty("min", 1)
+        b = PartialAggregate.empty("max", 1)
+        with pytest.raises(QueryError):
+            a.merge(b)
+
+    def test_merge_equals_single_pass(self):
+        """Splitting data across partials and merging equals one pass."""
+        gen = np.random.default_rng(0)
+        vals = gen.normal(size=100)
+        for agg in ("count", "sum", "avg", "min", "max"):
+            whole = PartialAggregate.empty(agg, 1)
+            accumulate_exact(whole, 0, vals, len(vals))
+            merged = PartialAggregate.empty(agg, 1)
+            for chunk in np.array_split(vals, 7):
+                part = PartialAggregate.empty(agg, 1)
+                accumulate_exact(part, 0, chunk, len(chunk))
+                merged.merge(part)
+            assert merged.finalize()[0] == pytest.approx(
+                whole.finalize()[0])

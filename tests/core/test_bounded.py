@@ -1,0 +1,156 @@
+"""Tests for the bounded raster join: bound validity and convergence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import naive_join
+from repro.core import (
+    RegionSet,
+    SpatialAggregation,
+    bounded_raster_join,
+)
+from repro.geometry import BBox, regular_polygon
+from repro.raster import Viewport
+from repro.table import F, PointTable, timestamp_column
+
+
+def _table(n=30_000, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(10, n),
+        t=timestamp_column("t", gen.integers(0, 1000, n)),
+        kind=gen.choice(["a", "b"], n))
+
+
+class TestBoundsValidity:
+    @pytest.mark.parametrize("resolution", [16, 48, 128, 400])
+    def test_count_bounds_contain_truth(self, simple_regions, resolution):
+        table = _table()
+        vp = Viewport.fit(simple_regions.bbox, resolution)
+        got = bounded_raster_join(table, simple_regions,
+                                  SpatialAggregation.count(), vp)
+        want = naive_join(table, simple_regions, SpatialAggregation.count())
+        assert got.has_bounds
+        assert got.bounds_contain(want)
+
+    def test_sum_bounds_contain_truth(self, simple_regions):
+        table = _table(seed=1)
+        query = SpatialAggregation.sum_of("fare")
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        got = bounded_raster_join(table, simple_regions, query, vp)
+        want = naive_join(table, simple_regions, query)
+        assert got.bounds_contain(want)
+
+    def test_bounds_with_filters(self, simple_regions):
+        table = _table(seed=2)
+        query = SpatialAggregation.count(F("kind") == "a",
+                                         F("t").time_range(0, 500))
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        got = bounded_raster_join(table, simple_regions, query, vp)
+        want = naive_join(table, simple_regions, query)
+        assert got.bounds_contain(want)
+
+    def test_no_bounds_for_min_max_avg(self, simple_regions):
+        table = _table(2000, seed=3)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        for query in (SpatialAggregation.avg_of("fare"),
+                      SpatialAggregation.min_of("fare"),
+                      SpatialAggregation.max_of("fare")):
+            got = bounded_raster_join(table, simple_regions, query, vp)
+            assert not got.has_bounds
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 5000), st.integers(12, 200))
+    def test_bounds_property(self, seed, resolution):
+        gen = np.random.default_rng(seed)
+        geoms = [regular_polygon(gen.uniform(20, 80), gen.uniform(20, 80),
+                                 gen.uniform(5, 30), int(gen.integers(3, 10)))
+                 for __ in range(3)]
+        regions = RegionSet(f"r{seed}", geoms)
+        n = int(gen.integers(100, 5000))
+        table = PointTable.from_arrays(gen.uniform(0, 100, n),
+                                       gen.uniform(0, 100, n))
+        vp = Viewport.fit(BBox(0, 0, 100, 100), resolution)
+        got = bounded_raster_join(table, regions,
+                                  SpatialAggregation.count(), vp)
+        want = naive_join(table, regions, SpatialAggregation.count())
+        assert got.bounds_contain(want)
+
+
+class TestConvergence:
+    def test_error_shrinks_with_resolution(self, simple_regions):
+        """Max relative error decreases (weakly) as the canvas grows."""
+        table = _table(seed=4)
+        want = naive_join(table, simple_regions, SpatialAggregation.count())
+        errors = []
+        for resolution in (16, 64, 256, 1024):
+            vp = Viewport.fit(simple_regions.bbox, resolution)
+            got = bounded_raster_join(table, simple_regions,
+                                      SpatialAggregation.count(), vp)
+            errors.append(got.compare_to(want)["max_rel_error"])
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.01  # sub-percent at 1024
+
+    def test_bound_width_shrinks_with_resolution(self, simple_regions):
+        table = _table(seed=5)
+        widths = []
+        for resolution in (16, 64, 256):
+            vp = Viewport.fit(simple_regions.bbox, resolution)
+            got = bounded_raster_join(table, simple_regions,
+                                      SpatialAggregation.count(), vp)
+            widths.append(got.max_bound_width())
+        assert widths[2] < widths[1] < widths[0]
+
+    def test_all_aggregates_close_at_high_resolution(self, simple_regions):
+        table = _table(seed=6)
+        vp = Viewport.fit(simple_regions.bbox, 1024)
+        for query in (SpatialAggregation.count(),
+                      SpatialAggregation.sum_of("fare"),
+                      SpatialAggregation.avg_of("fare")):
+            got = bounded_raster_join(table, simple_regions, query, vp)
+            want = naive_join(table, simple_regions, query)
+            metrics = got.compare_to(want)
+            assert metrics["max_rel_error"] < 0.02
+
+    def test_min_max_estimates_sane(self, simple_regions):
+        """Raster min/max lie within the true value range."""
+        table = _table(seed=7)
+        vp = Viewport.fit(simple_regions.bbox, 256)
+        got_min = bounded_raster_join(
+            table, simple_regions, SpatialAggregation.min_of("fare"), vp)
+        got_max = bounded_raster_join(
+            table, simple_regions, SpatialAggregation.max_of("fare"), vp)
+        fare = table.values("fare")
+        ok = np.isfinite(got_min.values)
+        assert (got_min.values[ok] >= fare.min() - 1e-9).all()
+        assert (got_max.values[ok] <= fare.max() + 1e-9).all()
+
+
+class TestMetadata:
+    def test_stats_and_epsilon(self, simple_regions):
+        table = _table(1000, seed=8)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        got = bounded_raster_join(table, simple_regions,
+                                  SpatialAggregation.count(), vp)
+        assert got.method == "bounded-raster-join"
+        assert not got.exact
+        assert got.stats["epsilon_world_units"] == pytest.approx(
+            vp.pixel_diag)
+        assert got.stats["points_in_viewport"] <= 1000
+
+    def test_fragment_reuse_gives_same_answer(self, simple_regions):
+        from repro.raster import build_fragment_table
+
+        table = _table(2000, seed=9)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        fragments = build_fragment_table(
+            list(simple_regions.geometries), vp)
+        a = bounded_raster_join(table, simple_regions,
+                                SpatialAggregation.count(), vp)
+        b = bounded_raster_join(table, simple_regions,
+                                SpatialAggregation.count(), vp,
+                                fragments=fragments)
+        assert (a.values == b.values).all()

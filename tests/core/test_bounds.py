@@ -1,0 +1,72 @@
+"""Tests for the epsilon <-> resolution machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    epsilon_for_viewport,
+    relative_bound_width,
+    resolution_for_epsilon,
+)
+from repro.errors import QueryError
+from repro.geometry import BBox
+from repro.raster import Viewport
+
+
+class TestResolutionForEpsilon:
+    def test_honors_tolerance(self):
+        box = BBox(0, 0, 1000, 800)
+        for eps in (100.0, 10.0, 1.0):
+            res = resolution_for_epsilon(box, eps)
+            vp = Viewport.fit(box, res)
+            assert vp.pixel_diag <= eps
+
+    def test_monotone_in_epsilon(self):
+        box = BBox(0, 0, 1000, 1000)
+        res_coarse = resolution_for_epsilon(box, 50.0)
+        res_fine = resolution_for_epsilon(box, 5.0)
+        assert res_fine > res_coarse
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(QueryError):
+            resolution_for_epsilon(BBox(0, 0, 1, 1), 0.0)
+
+    def test_too_small_epsilon_rejected(self):
+        with pytest.raises(QueryError):
+            resolution_for_epsilon(BBox(0, 0, 1000, 1000), 1e-6,
+                                   max_resolution=2048)
+
+    def test_degenerate_bbox_rejected(self):
+        with pytest.raises(QueryError):
+            resolution_for_epsilon(BBox(0, 0, 0, 1), 0.1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(1, 10_000), st.floats(0.3, 3),
+           st.floats(0.005, 0.3))
+    def test_tolerance_property(self, size, aspect, eps_frac):
+        box = BBox(0, 0, size, size * aspect)
+        eps = max(size, size * aspect) * eps_frac
+        res = resolution_for_epsilon(box, eps, max_resolution=10_000)
+        assert Viewport.fit(box, res).pixel_diag <= eps
+
+    def test_epsilon_for_viewport(self):
+        vp = Viewport(BBox(0, 0, 100, 100), 100, 100)
+        assert epsilon_for_viewport(vp) == pytest.approx(np.sqrt(2))
+
+
+class TestRelativeBoundWidth:
+    def test_zero_width(self):
+        vals = np.array([10.0, 20.0])
+        assert relative_bound_width(vals, vals, vals) == 0.0
+
+    def test_half_width(self):
+        vals = np.array([10.0])
+        lower = np.array([8.0])
+        upper = np.array([12.0])
+        assert relative_bound_width(lower, upper, vals) == pytest.approx(0.2)
+
+    def test_all_zero_values(self):
+        z = np.zeros(3)
+        assert relative_bound_width(z, z + 1, z) == 0.0

@@ -1,0 +1,120 @@
+"""Tests for the engine: planning, caching, method dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpatialAggregation,
+    SpatialAggregationEngine,
+)
+from repro.errors import QueryError
+from repro.raster import Viewport
+from repro.table import F, PointTable
+
+
+def _table(n=10_000, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(5, n))
+
+
+class TestDispatch:
+    def test_all_methods_run(self, simple_regions, engine):
+        table = _table()
+        query = SpatialAggregation.count()
+        results = {}
+        for method in ("bounded", "accurate", "tiled", "grid", "rtree",
+                       "quadtree", "naive"):
+            results[method] = engine.execute(table, simple_regions, query,
+                                             method=method)
+        exact = results["naive"].values
+        for method in ("accurate", "grid", "rtree", "quadtree"):
+            assert results[method].values == pytest.approx(exact)
+        for method in ("bounded", "tiled"):
+            assert results[method].bounds_contain(results["naive"])
+
+    def test_auto_routes_on_exactness(self, simple_regions, engine):
+        table = _table(1000, seed=1)
+        query = SpatialAggregation.count()
+        approx = engine.execute(table, simple_regions, query)
+        exact = engine.execute(table, simple_regions, query, exact=True)
+        assert approx.method == "bounded-raster-join"
+        assert exact.method == "accurate-raster-join"
+
+    def test_unknown_method_rejected(self, simple_regions, engine):
+        with pytest.raises(QueryError):
+            engine.execute(_table(100), simple_regions,
+                           SpatialAggregation.count(), method="quantum")
+
+    def test_execute_time_recorded(self, simple_regions, engine):
+        r = engine.execute(_table(100, seed=2), simple_regions,
+                           SpatialAggregation.count())
+        assert r.stats["time_execute_s"] > 0
+
+
+class TestPlanning:
+    def test_epsilon_drives_resolution(self, simple_regions, engine):
+        vp_loose = engine.plan_viewport(simple_regions, None, epsilon=10.0)
+        vp_tight = engine.plan_viewport(simple_regions, None, epsilon=1.0)
+        assert vp_tight.num_pixels > vp_loose.num_pixels
+        assert vp_tight.pixel_diag <= 1.0
+
+    def test_resolution_cap_enforced(self, simple_regions, engine):
+        with pytest.raises(QueryError):
+            engine.plan_viewport(simple_regions, 100_000, None)
+
+    def test_default_resolution_used(self, simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=128)
+        vp = engine.plan_viewport(simple_regions, None, None)
+        assert max(vp.width, vp.height) == 128
+
+    def test_explicit_viewport_respected(self, simple_regions, engine):
+        vp = Viewport.fit(simple_regions.bbox, 77)
+        r = engine.execute(_table(500, seed=3), simple_regions,
+                           SpatialAggregation.count(), viewport=vp)
+        assert r.stats["canvas_pixels"] == vp.num_pixels
+
+    def test_invalid_default_resolution(self):
+        with pytest.raises(QueryError):
+            SpatialAggregationEngine(default_resolution=0)
+
+
+class TestCaching:
+    def test_fragment_cache_reused(self, simple_regions, engine):
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        f1 = engine.fragments_for(simple_regions, vp)
+        f2 = engine.fragments_for(simple_regions, vp)
+        assert f1 is f2
+
+    def test_fragment_cache_distinct_viewports(self, simple_regions, engine):
+        f1 = engine.fragments_for(simple_regions,
+                                  Viewport.fit(simple_regions.bbox, 64))
+        f2 = engine.fragments_for(simple_regions,
+                                  Viewport.fit(simple_regions.bbox, 128))
+        assert f1 is not f2
+
+    def test_clear_caches(self, simple_regions, engine):
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        f1 = engine.fragments_for(simple_regions, vp)
+        engine.clear_caches()
+        assert engine.fragments_for(simple_regions, vp) is not f1
+
+    def test_cached_run_matches_cold_run(self, simple_regions, engine):
+        table = _table(2000, seed=4)
+        query = SpatialAggregation.count(F("fare") > 2)
+        cold = engine.execute(table, simple_regions, query,
+                              method="bounded")
+        warm = engine.execute(table, simple_regions, query,
+                              method="bounded")
+        assert (cold.values == warm.values).all()
+
+
+class TestCompare:
+    def test_compare_helper(self, simple_regions, engine):
+        table = _table(2000, seed=5)
+        out = engine.compare(table, simple_regions,
+                             SpatialAggregation.count(),
+                             methods=("bounded", "naive"))
+        assert set(out) == {"bounded", "naive"}
+        assert out["bounded"].bounds_contain(out["naive"])

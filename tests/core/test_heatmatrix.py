@@ -1,0 +1,169 @@
+"""Tests for the one-pass region x time matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpatialAggregation,
+    bounded_raster_join,
+    pixel_region_labels,
+    region_time_matrix,
+)
+from repro.errors import QueryError
+from repro.raster import Viewport, build_fragment_table
+from repro.table import F, PointTable, TimeRange, timestamp_column
+
+
+def _table(n=30_000, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(10, n),
+        t=timestamp_column("t", gen.integers(0, 10_000, n)),
+        kind=gen.choice(["a", "b"], n))
+
+
+class TestPixelLabels:
+    def test_labels_cover_fragments(self, simple_regions):
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        fragments = build_fragment_table(
+            list(simple_regions.geometries), vp)
+        labels = pixel_region_labels(fragments)
+        assert labels.shape == (vp.num_pixels,)
+        assert (labels[fragments.interior_pixels]
+                == fragments.interior_polys).all()
+        assert labels.max() < len(simple_regions)
+
+
+class TestMatrix:
+    def test_matches_per_bucket_raster_joins(self, simple_regions):
+        """Column b of the matrix equals a bounded raster join filtered
+        to that bucket's time range (same viewport)."""
+        table = _table()
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        bucket_s = 2_000
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    bucket_seconds=bucket_s)
+        for b in range(matrix.num_buckets):
+            t0 = int(matrix.bucket_starts[b])
+            query = SpatialAggregation.count(
+                TimeRange("t", t0, t0 + bucket_s))
+            want = bounded_raster_join(table, simple_regions, query, vp)
+            assert matrix.values[:, b] == pytest.approx(want.values)
+
+    def test_row_sums_match_unbucketed_join(self, simple_regions):
+        table = _table(seed=1)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    bucket_seconds=5_000)
+        whole = bounded_raster_join(table, simple_regions,
+                                    SpatialAggregation.count(), vp)
+        assert matrix.totals_per_region() == pytest.approx(whole.values)
+
+    def test_value_column_sums(self, simple_regions):
+        table = _table(seed=2)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    bucket_seconds=5_000,
+                                    value_column="fare")
+        whole = bounded_raster_join(table, simple_regions,
+                                    SpatialAggregation.sum_of("fare"), vp)
+        assert matrix.totals_per_region() == pytest.approx(whole.values)
+
+    def test_filters_applied(self, simple_regions):
+        table = _table(seed=3)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        full = region_time_matrix(table, simple_regions, vp,
+                                  bucket_seconds=5_000)
+        filtered = region_time_matrix(table, simple_regions, vp,
+                                      bucket_seconds=5_000,
+                                      filters=[F("kind") == "a"])
+        assert (filtered.values <= full.values + 1e-9).all()
+        assert filtered.values.sum() < full.values.sum()
+
+    def test_accessors(self, simple_regions):
+        table = _table(seed=4)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    bucket_seconds=2_500)
+        name = simple_regions.region_names[0]
+        series = matrix.series_for(name)
+        assert series.shape == (matrix.num_buckets,)
+        start, value = matrix.peak_bucket(name)
+        assert value == series.max()
+        assert start in matrix.bucket_starts
+        norm = matrix.normalized_per_region()
+        assert norm.max() <= 1.0 + 1e-12
+        assert matrix.totals_per_bucket().sum() == pytest.approx(
+            matrix.values.sum())
+
+    def test_fold_weekly_preserves_mass(self, simple_regions):
+        table = _table(seed=7)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    bucket_seconds=3_600)
+        folded = matrix.fold_weekly()
+        assert folded.num_buckets == 7 * 24
+        assert folded.values.sum() == pytest.approx(matrix.values.sum())
+        assert folded.values.shape[0] == len(simple_regions)
+
+    def test_fold_weekly_alignment(self, simple_regions):
+        """A point at absolute hour h lands in folded bucket h % 168."""
+        table = PointTable.from_arrays(
+            [25.0, 25.0], [25.0, 25.0],
+            t=timestamp_column("t", [3600 * 5, 3600 * (5 + 168)]))
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    bucket_seconds=3_600)
+        folded = matrix.fold_weekly()
+        # Both events fold into the same weekly hour.
+        assert folded.values.sum() == 2
+        bucket_totals = folded.totals_per_bucket()
+        assert bucket_totals[5] == 2
+
+    def test_fold_weekly_rejects_nondividing_bucket(self, simple_regions):
+        table = _table(100, seed=8)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    bucket_seconds=100_000)
+        with pytest.raises(QueryError):
+            matrix.fold_weekly()
+
+    def test_bucket_validation(self, simple_regions):
+        table = _table(100, seed=5)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        with pytest.raises(QueryError):
+            region_time_matrix(table, simple_regions, vp, bucket_seconds=0)
+
+    def test_empty_after_filter(self, simple_regions):
+        table = _table(100, seed=6)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        matrix = region_time_matrix(table, simple_regions, vp,
+                                    filters=[F("fare") > 1e9])
+        assert matrix.values.sum() == 0
+
+
+class TestTimelineViewMatrix:
+    def test_wrapper(self, demo):
+        from repro.urbane import DataManager, TimelineView
+
+        dm = DataManager()
+        dm.add_dataset(demo.datasets["taxi"], "taxi")
+        dm.add_region_set(demo.regions["neighborhoods"], "neighborhoods")
+        view = TimelineView(dm)
+        matrix = view.matrix("taxi", "neighborhoods", bucket="week")
+        assert matrix.values.shape[0] == len(demo.regions["neighborhoods"])
+        # Weekly totals roughly equal the dataset size (pixel labeling
+        # drops only boundary-sliver points).
+        assert matrix.values.sum() == pytest.approx(
+            len(demo.datasets["taxi"]), rel=0.02)
+
+    def test_wrapper_bucket_validation(self, demo):
+        from repro.urbane import DataManager, TimelineView
+
+        dm = DataManager()
+        dm.add_dataset(demo.datasets["taxi"], "taxi")
+        dm.add_region_set(demo.regions["neighborhoods"], "neighborhoods")
+        with pytest.raises(QueryError):
+            TimelineView(dm).matrix("taxi", "neighborhoods",
+                                    bucket="decade")

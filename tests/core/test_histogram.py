@@ -1,0 +1,156 @@
+"""Tests for per-region histograms and approximate percentiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import assign_regions
+from repro.core import region_histograms
+from repro.errors import QueryError
+from repro.raster import Viewport
+from repro.table import F, PointTable
+
+
+def _table(n=40_000, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(10, n),
+        kind=gen.choice(["a", "b"], n))
+
+
+class TestHistograms:
+    def test_totals_match_label_counts(self, simple_regions):
+        table = _table()
+        vp = Viewport.fit(simple_regions.bbox, 256)
+        hist = region_histograms(table, simple_regions, vp, "fare",
+                                 bins=32)
+        assert hist.totals().sum() == hist.stats["points_binned"]
+        assert hist.counts.shape == (len(simple_regions), 32)
+
+    def test_all_labeled_values_within_edges(self, simple_regions):
+        table = _table(seed=1)
+        vp = Viewport.fit(simple_regions.bbox, 256)
+        hist = region_histograms(table, simple_regions, vp, "fare")
+        labels = _pixel_labels_for(table, simple_regions, vp)
+        fare = table.values("fare")[labels >= 0]
+        assert hist.edges[0] <= fare.min()
+        assert hist.edges[-1] >= fare.max()
+
+    def test_matches_numpy_histogram_per_region(self, simple_regions):
+        """Region r's histogram equals np.histogram over its labeled
+        points (same edges)."""
+        table = _table(seed=2)
+        vp = Viewport.fit(simple_regions.bbox, 256)
+        hist = region_histograms(table, simple_regions, vp, "fare",
+                                 bins=20)
+        labels = _pixel_labels_for(table, simple_regions, vp)
+        fare = table.values("fare")
+        for gid in range(len(simple_regions)):
+            mine = hist.counts[gid]
+            want, __ = np.histogram(fare[labels == gid], bins=hist.edges)
+            assert mine == pytest.approx(want)
+
+    def test_filters_applied(self, simple_regions):
+        table = _table(seed=3)
+        vp = Viewport.fit(simple_regions.bbox, 256)
+        full = region_histograms(table, simple_regions, vp, "fare")
+        part = region_histograms(table, simple_regions, vp, "fare",
+                                 filters=[F("kind") == "a"])
+        assert part.totals().sum() < full.totals().sum()
+
+    def test_explicit_range_clips(self, simple_regions):
+        table = _table(seed=4)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        hist = region_histograms(table, simple_regions, vp, "fare",
+                                 bins=10, value_range=(0.0, 20.0))
+        assert hist.edges[-1] == 20.0
+        # Values above the range land in the last bin (clipped).
+        assert hist.totals().sum() == hist.stats["points_binned"]
+
+    def test_validation(self, simple_regions):
+        table = _table(100, seed=5)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        with pytest.raises(QueryError):
+            region_histograms(table, simple_regions, vp, "fare", bins=0)
+        with pytest.raises(QueryError):
+            region_histograms(table, simple_regions, vp, "fare",
+                              value_range=(5.0, 5.0))
+        with pytest.raises(QueryError):
+            region_histograms(table, simple_regions, vp, "kind")
+
+
+class TestPercentiles:
+    def test_percentile_within_bin_width(self, simple_regions):
+        table = _table(seed=6)
+        vp = Viewport.fit(simple_regions.bbox, 256)
+        hist = region_histograms(table, simple_regions, vp, "fare",
+                                 bins=200)
+        labels = _pixel_labels_for(table, simple_regions, vp)
+        fare = table.values("fare")
+        for q in (10, 50, 90):
+            approx = hist.percentile(q)
+            for gid in range(len(simple_regions)):
+                sel = fare[labels == gid]
+                if len(sel) == 0:
+                    assert np.isnan(approx[gid])
+                    continue
+                true = np.percentile(sel, q)
+                assert abs(approx[gid] - true) <= 2 * hist.bin_width
+
+    def test_median_monotone_in_q(self, simple_regions):
+        table = _table(seed=7)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        hist = region_histograms(table, simple_regions, vp, "fare")
+        p25 = hist.percentile(25)
+        p50 = hist.median()
+        p75 = hist.percentile(75)
+        ok = ~np.isnan(p50)
+        assert (p25[ok] <= p50[ok]).all()
+        assert (p50[ok] <= p75[ok]).all()
+
+    def test_mean_estimate_close_to_true_mean(self, simple_regions):
+        table = _table(seed=8)
+        vp = Viewport.fit(simple_regions.bbox, 256)
+        hist = region_histograms(table, simple_regions, vp, "fare",
+                                 bins=256)
+        labels = _pixel_labels_for(table, simple_regions, vp)
+        fare = table.values("fare")
+        est = hist.mean_estimate()
+        for gid in range(len(simple_regions)):
+            sel = fare[labels == gid]
+            if len(sel):
+                assert est[gid] == pytest.approx(sel.mean(),
+                                                 abs=hist.bin_width)
+
+    def test_percentile_bounds_validation(self, simple_regions):
+        table = _table(100, seed=9)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        hist = region_histograms(table, simple_regions, vp, "fare")
+        with pytest.raises(QueryError):
+            hist.percentile(120)
+
+    @settings(max_examples=20, deadline=None)
+    @given(q=st.floats(0, 100))
+    def test_percentile_within_value_range(self, simple_regions, q):
+        table = _table(5000, seed=10)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        hist = region_histograms(table, simple_regions, vp, "fare")
+        out = hist.percentile(q)
+        ok = ~np.isnan(out)
+        assert (out[ok] >= hist.edges[0]).all()
+        assert (out[ok] <= hist.edges[-1]).all()
+
+
+def _pixel_labels_for(table, regions, viewport):
+    """Ground-truth pixel labels per point (same path the module uses)."""
+    from repro.core import pixel_region_labels
+    from repro.raster import build_fragment_table
+
+    fragments = build_fragment_table(list(regions.geometries), viewport)
+    labels = pixel_region_labels(fragments)
+    pixel_ids, valid = viewport.pixel_ids_of(table.x, table.y)
+    out = np.full(len(table), -1, dtype=np.int64)
+    out[valid] = labels[pixel_ids[valid]]
+    return out

@@ -1,0 +1,172 @@
+"""Cross-cutting algebraic invariants of the query engine.
+
+Database-style metamorphic tests: relations that must hold between the
+results of *different* queries, regardless of data or geometry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RegionSet,
+    SpatialAggregation,
+    SpatialAggregationEngine,
+)
+from repro.geometry import regular_polygon
+from repro.table import F, PointTable, TimeRange, timestamp_column
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SpatialAggregationEngine(default_resolution=128)
+
+
+@pytest.fixture(scope="module")
+def table():
+    gen = np.random.default_rng(55)
+    n = 30_000
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(10, n),
+        t=timestamp_column("t", gen.integers(0, 1200, n)),
+        kind=gen.choice(["a", "b", "c"], n))
+
+
+METHODS = ("bounded", "accurate", "grid", "naive")
+
+
+class TestFilterMonotonicity:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_stricter_filter_never_increases_counts(self, engine, table,
+                                                    simple_regions, method):
+        loose = engine.execute(table, simple_regions,
+                               SpatialAggregation.count(F("fare") > 5),
+                               method=method)
+        strict = engine.execute(
+            table, simple_regions,
+            SpatialAggregation.count(F("fare") > 5, F("kind") == "a"),
+            method=method)
+        assert (strict.values <= loose.values + 1e-9).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(threshold=st.floats(0, 40))
+    def test_threshold_monotonicity_property(self, engine, table,
+                                             simple_regions, threshold):
+        lo = engine.execute(table, simple_regions,
+                            SpatialAggregation.count(F("fare") > threshold),
+                            method="accurate")
+        hi = engine.execute(
+            table, simple_regions,
+            SpatialAggregation.count(F("fare") > threshold + 5),
+            method="accurate")
+        assert (hi.values <= lo.values).all()
+
+
+class TestTimePartitionAdditivity:
+    @pytest.mark.parametrize("method", ("accurate", "grid", "naive"))
+    def test_disjoint_windows_sum_to_total(self, engine, table,
+                                           simple_regions, method):
+        """COUNT over a partition of the timeline sums to the whole."""
+        edges = [0, 300, 700, 1201]
+        total = engine.execute(table, simple_regions,
+                               SpatialAggregation.count(), method=method)
+        parts = [
+            engine.execute(table, simple_regions,
+                           SpatialAggregation.count(
+                               TimeRange("t", a, b)), method=method)
+            for a, b in zip(edges[:-1], edges[1:])
+        ]
+        summed = sum(p.values for p in parts)
+        assert summed == pytest.approx(total.values)
+
+    def test_category_partition_additivity(self, engine, table,
+                                           simple_regions):
+        total = engine.execute(table, simple_regions,
+                               SpatialAggregation.sum_of("fare"),
+                               method="accurate")
+        parts = [
+            engine.execute(table, simple_regions,
+                           SpatialAggregation.sum_of("fare",
+                                                     F("kind") == label),
+                           method="accurate")
+            for label in ("a", "b", "c")
+        ]
+        assert sum(p.values for p in parts) == pytest.approx(total.values)
+
+
+class TestRegionDecomposition:
+    def test_region_union_counts_add_for_disjoint_sets(self, engine, table):
+        """Splitting a region set into two disjoint subsets partitions
+        the counts."""
+        geoms = [regular_polygon(20, 20, 12, 7),
+                 regular_polygon(60, 30, 14, 5),
+                 regular_polygon(40, 75, 13, 9)]
+        whole = RegionSet("whole", geoms)
+        first = RegionSet("first", geoms[:1])
+        rest = RegionSet("rest", geoms[1:])
+        query = SpatialAggregation.count()
+        all_counts = engine.execute(table, whole, query,
+                                    method="accurate").values
+        a = engine.execute(table, first, query, method="accurate").values
+        b = engine.execute(table, rest, query, method="accurate").values
+        assert np.concatenate([a, b]) == pytest.approx(all_counts)
+
+    def test_subsampling_scales_counts(self, engine, table, simple_regions):
+        """A uniform 50% sample halves expected per-region counts."""
+        half = table.sample(len(table) // 2, seed=1)
+        full = engine.execute(table, simple_regions,
+                              SpatialAggregation.count(),
+                              method="accurate").values
+        sampled = engine.execute(half, simple_regions,
+                                 SpatialAggregation.count(),
+                                 method="accurate").values
+        big = full > 500
+        ratio = sampled[big] / full[big]
+        assert np.abs(ratio - 0.5).max() < 0.1
+
+
+class TestAggregateRelations:
+    @pytest.mark.parametrize("method", ("bounded", "accurate"))
+    def test_avg_between_min_and_max(self, engine, table, simple_regions,
+                                     method):
+        avg = engine.execute(table, simple_regions,
+                             SpatialAggregation.avg_of("fare"),
+                             method=method).values
+        mn = engine.execute(table, simple_regions,
+                            SpatialAggregation.min_of("fare"),
+                            method=method).values
+        mx = engine.execute(table, simple_regions,
+                            SpatialAggregation.max_of("fare"),
+                            method=method).values
+        ok = np.isfinite(avg)
+        assert (mn[ok] - 1e-9 <= avg[ok]).all()
+        assert (avg[ok] <= mx[ok] + 1e-9).all()
+
+    def test_sum_equals_avg_times_count(self, engine, table,
+                                        simple_regions):
+        count = engine.execute(table, simple_regions,
+                               SpatialAggregation.count(),
+                               method="accurate").values
+        total = engine.execute(table, simple_regions,
+                               SpatialAggregation.sum_of("fare"),
+                               method="accurate").values
+        avg = engine.execute(table, simple_regions,
+                             SpatialAggregation.avg_of("fare"),
+                             method="accurate").values
+        ok = count > 0
+        assert total[ok] == pytest.approx(avg[ok] * count[ok])
+
+    def test_scaling_values_scales_sum(self, engine, table, simple_regions):
+        from repro.table import numeric_column
+
+        doubled = table.with_column(
+            numeric_column("fare2", table.values("fare") * 2.0))
+        base = engine.execute(table, simple_regions,
+                              SpatialAggregation.sum_of("fare"),
+                              method="accurate").values
+        double = engine.execute(doubled, simple_regions,
+                                SpatialAggregation.sum_of("fare2"),
+                                method="accurate").values
+        assert double == pytest.approx(2.0 * base)

@@ -1,0 +1,81 @@
+"""Tests for the query model."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialAggregation
+from repro.errors import QueryError
+from repro.table import F, PointTable, TimeRange, timestamp_column
+
+
+@pytest.fixture(scope="module")
+def table():
+    gen = np.random.default_rng(0)
+    n = 1000
+    return PointTable.from_arrays(
+        gen.uniform(0, 1, n), gen.uniform(0, 1, n),
+        fare=gen.exponential(10, n),
+        t=timestamp_column("t", gen.integers(0, 10_000, n)),
+        kind=gen.choice(["a", "b"], n))
+
+
+class TestConstructors:
+    def test_count(self):
+        q = SpatialAggregation.count()
+        assert q.agg == "count"
+        assert q.value_column is None
+
+    def test_value_aggregates(self):
+        assert SpatialAggregation.sum_of("fare").agg == "sum"
+        assert SpatialAggregation.avg_of("fare").agg == "avg"
+        assert SpatialAggregation.min_of("fare").agg == "min"
+        assert SpatialAggregation.max_of("fare").agg == "max"
+
+    def test_invalid_combinations(self):
+        with pytest.raises(QueryError):
+            SpatialAggregation("count", "fare")
+        with pytest.raises(QueryError):
+            SpatialAggregation("sum", None)
+        with pytest.raises(QueryError):
+            SpatialAggregation("p99", "fare")
+
+    def test_where_appends(self):
+        q = SpatialAggregation.count(F("fare") > 5)
+        q2 = q.where(F("kind") == "a")
+        assert len(q.filters) == 1
+        assert len(q2.filters) == 2
+
+    def test_during_adds_time_range(self):
+        q = SpatialAggregation.count().during("t", 100, 200)
+        assert isinstance(q.filters[0], TimeRange)
+        assert q.filters[0].start == 100
+
+
+class TestEvaluationHelpers:
+    def test_filter_mask_conjunction(self, table):
+        q = SpatialAggregation.count(F("fare") > 5, F("kind") == "a")
+        mask = q.filter_mask(table)
+        manual = ((F("fare") > 5).mask(table)
+                  & (F("kind") == "a").mask(table))
+        assert (mask == manual).all()
+
+    def test_filter_mask_empty_filters(self, table):
+        assert SpatialAggregation.count().filter_mask(table).all()
+
+    def test_values_for_count_is_none(self, table):
+        assert SpatialAggregation.count().values_for(table) is None
+
+    def test_values_for_numeric(self, table):
+        vals = SpatialAggregation.sum_of("fare").values_for(table)
+        assert vals is not None
+        assert vals.dtype == np.float64
+
+    def test_values_for_categorical_rejected(self, table):
+        with pytest.raises(QueryError):
+            SpatialAggregation.sum_of("kind").values_for(table)
+
+    def test_describe(self):
+        q = SpatialAggregation.avg_of("fare", F("kind") == "a")
+        text = q.describe()
+        assert "AVG(fare)" in text
+        assert "1 filter" in text

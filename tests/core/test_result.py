@@ -1,0 +1,92 @@
+"""Tests for AggregationResult."""
+
+import numpy as np
+import pytest
+
+from repro.core import AggregationResult, RegionSet
+from repro.geometry import regular_polygon
+
+
+@pytest.fixture()
+def regions():
+    return RegionSet("r", [regular_polygon(i * 10, 0, 3, 4)
+                           for i in range(4)],
+                     ["a", "b", "c", "d"])
+
+
+def _result(regions, values, **kw):
+    return AggregationResult(regions=regions, values=np.asarray(values),
+                             method="test", **kw)
+
+
+class TestBasics:
+    def test_length_checked(self, regions):
+        with pytest.raises(ValueError):
+            _result(regions, [1.0, 2.0])
+
+    def test_value_of(self, regions):
+        r = _result(regions, [1, 2, 3, 4])
+        assert r.value_of("c") == 3.0
+
+    def test_top_k(self, regions):
+        r = _result(regions, [1, 9, 3, np.nan])
+        top = r.top_k(2)
+        assert top[0] == ("b", 9.0)
+        assert top[1] == ("c", 3.0)
+
+    def test_as_dict(self, regions):
+        r = _result(regions, [1, 2, 3, 4])
+        assert r.as_dict()["d"] == 4.0
+
+
+class TestBounds:
+    def test_has_bounds(self, regions):
+        r = _result(regions, [1, 2, 3, 4],
+                    lower=np.zeros(4), upper=np.full(4, 10.0))
+        assert r.has_bounds
+        assert r.max_bound_width() == 10.0
+
+    def test_bounds_contain(self, regions):
+        approx = _result(regions, [1, 2, 3, 4],
+                         lower=np.array([0, 1, 2, 3.0]),
+                         upper=np.array([2, 3, 4, 5.0]))
+        exact = _result(regions, [1.5, 2.5, 2.0, 4.9], exact=True)
+        assert approx.bounds_contain(exact)
+        off = _result(regions, [10, 2, 3, 4.0], exact=True)
+        assert not approx.bounds_contain(off)
+
+    def test_bounds_contain_requires_bounds(self, regions):
+        r = _result(regions, [1, 2, 3, 4])
+        assert not r.bounds_contain(r)
+
+    def test_max_bound_width_nan_when_absent(self, regions):
+        r = _result(regions, [1, 2, 3, 4])
+        assert np.isnan(r.max_bound_width())
+
+    def test_max_bound_width_zero_when_exact(self, regions):
+        r = _result(regions, [1, 2, 3, 4], exact=True)
+        assert r.max_bound_width() == 0.0
+
+
+class TestCompare:
+    def test_compare_metrics(self, regions):
+        a = _result(regions, [10, 20, 30, 40])
+        b = _result(regions, [11, 20, 30, 36])
+        m = a.compare_to(b)
+        assert m["max_abs_error"] == pytest.approx(4.0)
+        assert m["max_rel_error"] == pytest.approx(4 / 36)
+        assert m["regions_compared"] == 4
+
+    def test_compare_skips_nan(self, regions):
+        a = _result(regions, [10, np.nan, 30, 40])
+        b = _result(regions, [10, 20, 30, 40])
+        m = a.compare_to(b)
+        assert m["regions_compared"] == 3
+        assert m["max_abs_error"] == 0.0
+
+    def test_compare_zero_reference(self, regions):
+        a = _result(regions, [1, 0, 0, 0])
+        b = _result(regions, [0, 0, 0, 0])
+        m = a.compare_to(b)
+        assert m["max_abs_error"] == 1.0
+        assert m["max_rel_error"] == 0.0  # no nonzero reference

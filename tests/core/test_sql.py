@@ -1,0 +1,207 @@
+"""Tests for the SQL front end."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialAggregation, parse_query, tokenize
+from repro.errors import QueryError
+from repro.table import (
+    Between,
+    Comparison,
+    IsIn,
+    Not,
+    Or,
+    PointTable,
+    TimeRange,
+    timestamp_column,
+)
+
+BASE = ("SELECT COUNT(*) FROM taxi, hoods "
+        "WHERE taxi.loc INSIDE hoods.geometry")
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT COUNT(*) FROM t, r")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "kw"          # select
+        assert tokens[1].kind == "word"  # count (not a keyword)
+        assert "punct" in kinds
+
+    def test_string_literal(self):
+        tokens = tokenize("payment = 'card'")
+        assert tokens[-1].kind == "string"
+        assert tokens[-1].value == "'card'"
+
+    def test_numbers(self):
+        tokens = tokenize("fare >= 12.5 AND n < -3e2")
+        numbers = [t.value for t in tokens if t.kind == "number"]
+        assert numbers == ["12.5", "-3e2"]
+
+    def test_junk_rejected(self):
+        with pytest.raises(QueryError):
+            tokenize("SELECT @ FROM x")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("Select From WHERE")
+        assert all(t.kind == "kw" for t in tokens)
+
+
+class TestParseStructure:
+    def test_minimal_query(self):
+        parsed = parse_query(BASE)
+        assert parsed.table == "taxi"
+        assert parsed.regions == "hoods"
+        assert parsed.aggregation.agg == "count"
+        assert parsed.aggregation.filters == ()
+
+    def test_group_by_accepted(self):
+        parsed = parse_query(BASE + " GROUP BY hoods.id")
+        assert parsed.group_by == "id"
+
+    def test_value_aggregates(self):
+        for agg in ("SUM", "AVG", "MIN", "MAX"):
+            parsed = parse_query(
+                f"SELECT {agg}(fare) FROM taxi, hoods "
+                f"WHERE taxi.loc INSIDE hoods.geometry")
+            assert parsed.aggregation.agg == agg.lower()
+            assert parsed.aggregation.value_column == "fare"
+
+    def test_qualified_value_column(self):
+        parsed = parse_query(
+            "SELECT AVG(taxi.fare) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry")
+        assert parsed.aggregation.value_column == "fare"
+
+    def test_count_of_column_is_count_star(self):
+        parsed = parse_query(
+            "SELECT COUNT(fare) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry")
+        assert parsed.aggregation.value_column is None
+
+    def test_inside_clause_required(self):
+        with pytest.raises(QueryError, match="INSIDE"):
+            parse_query("SELECT COUNT(*) FROM taxi, hoods WHERE fare > 1")
+        with pytest.raises(QueryError, match="INSIDE"):
+            parse_query("SELECT COUNT(*) FROM taxi, hoods")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError, match="unsupported aggregate"):
+            parse_query("SELECT MEDIAN(fare) FROM taxi, hoods "
+                        "WHERE taxi.loc INSIDE hoods.geometry")
+
+    def test_trailing_junk(self):
+        with pytest.raises(QueryError, match="trailing"):
+            parse_query(BASE + " GROUP BY hoods.id LIMIT")
+
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_missing_regions(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) FROM taxi WHERE "
+                        "taxi.loc INSIDE hoods.geometry")
+
+
+class TestParseFilters:
+    def _filters(self, where: str):
+        parsed = parse_query(BASE + " AND " + where)
+        return parsed.aggregation.filters
+
+    def test_comparison(self):
+        (expr,) = self._filters("fare > 10")
+        assert expr == Comparison("fare", ">", 10)
+
+    def test_equality_spellings(self):
+        (a,) = self._filters("payment = 'card'")
+        (b,) = self._filters("payment == 'card'")
+        assert a == b == Comparison("payment", "==", "card")
+
+    def test_not_equal_spellings(self):
+        (a,) = self._filters("payment != 'card'")
+        (b,) = self._filters("payment <> 'card'")
+        assert a == b == Comparison("payment", "!=", "card")
+
+    def test_between_numeric(self):
+        (expr,) = self._filters("fare BETWEEN 5 AND 10")
+        assert expr == Between("fare", 5, 10)
+
+    def test_between_time_column_is_time_range(self):
+        (expr,) = self._filters("t BETWEEN 100 AND 200")
+        assert expr == TimeRange("t", 100, 200)
+
+    def test_in_list(self):
+        (expr,) = self._filters("kind IN ('a', 'b')")
+        assert expr == IsIn("kind", ("a", "b"))
+
+    def test_and_conjunction_flattens(self):
+        filters = self._filters("fare > 1 AND fare < 9")
+        assert len(filters) == 1  # combined into one AND tree
+
+    def test_or_and_parentheses(self):
+        (expr,) = self._filters("(fare > 20 OR tip > 5)")
+        assert isinstance(expr, Or)
+
+    def test_not(self):
+        (expr,) = self._filters("NOT payment = 'cash'")
+        assert isinstance(expr, Not)
+
+    def test_inside_under_or_rejected(self):
+        with pytest.raises(QueryError, match="OR"):
+            parse_query("SELECT COUNT(*) FROM taxi, hoods WHERE "
+                        "fare > 1 OR taxi.loc INSIDE hoods.geometry")
+
+    def test_inside_position_free(self):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM taxi, hoods WHERE fare > 1 "
+            "AND taxi.loc INSIDE hoods.geometry AND tip > 0")
+        assert len(parsed.aggregation.filters) == 1
+
+    def test_describe(self):
+        parsed = parse_query(BASE)
+        assert "P=taxi" in parsed.describe()
+
+
+class TestSemanticEquivalence:
+    """Parsed queries must evaluate like hand-built ones."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        gen = np.random.default_rng(5)
+        n = 5000
+        return PointTable.from_arrays(
+            gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+            fare=gen.exponential(10, n),
+            t=timestamp_column("t", gen.integers(0, 1000, n)),
+            kind=gen.choice(["a", "b"], n))
+
+    def test_filter_mask_matches_builder_api(self, table):
+        from repro.table import F
+
+        parsed = parse_query(
+            BASE + " AND fare > 10 AND kind = 'a' "
+                   "AND t BETWEEN 100 AND 900")
+        built = SpatialAggregation.count(
+            F("fare") > 10, F("kind") == "a",
+            TimeRange("t", 100, 900))
+        got = parsed.aggregation.filter_mask(table)
+        want = built.filter_mask(table)
+        assert (got == want).all()
+
+    def test_execution_via_datamanager(self, table, simple_regions):
+        from repro.urbane import DataManager
+
+        manager = DataManager()
+        manager.add_dataset(table, "taxi")
+        manager.add_region_set(simple_regions, "hoods")
+        got = manager.sql(
+            "SELECT COUNT(*) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry AND fare > 10 "
+            "GROUP BY hoods.id", method="accurate")
+        from repro.baselines import naive_join
+        from repro.table import F
+
+        want = naive_join(table, simple_regions,
+                          SpatialAggregation.count(F("fare") > 10))
+        assert got.values == pytest.approx(want.values)

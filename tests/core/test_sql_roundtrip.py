@@ -1,0 +1,108 @@
+"""Property tests: SQL rendering and parsing are inverse (by semantics).
+
+Random filter ASTs are rendered with ``to_sql`` and re-parsed; the
+round-tripped query must produce the identical row mask on a random
+table.  Mask equality (not AST equality) is the right contract: the
+renderer may re-spell a TimeRange as two comparisons.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpatialAggregation, parse_query, to_sql
+from repro.errors import QueryError
+from repro.table import (
+    Between,
+    Comparison,
+    F,
+    IsIn,
+    Not,
+    Or,
+    PointTable,
+    TimeRange,
+    timestamp_column,
+)
+
+COLUMNS = ("fare", "tip")
+CAT_LABELS = ("card", "cash", "app")
+
+number = st.floats(-100, 100, allow_nan=False).map(
+    lambda v: round(v, 3)) | st.integers(-100, 100)
+
+
+def _leaf():
+    comparison = st.tuples(
+        st.sampled_from(COLUMNS),
+        st.sampled_from(("<", "<=", ">", ">=", "==", "!=")),
+        number,
+    ).map(lambda t: Comparison(*t))
+    between = st.tuples(st.sampled_from(COLUMNS), number, number).map(
+        lambda t: Between(t[0], min(t[1], t[2]), max(t[1], t[2])))
+    isin = st.lists(st.sampled_from(CAT_LABELS), min_size=1,
+                    max_size=3).map(lambda vs: IsIn("payment", tuple(vs)))
+    timerange = st.tuples(st.integers(0, 500), st.integers(1, 400)).map(
+        lambda t: TimeRange("t", t[0], t[0] + t[1]))
+    cat_eq = st.sampled_from(CAT_LABELS).map(
+        lambda v: Comparison("payment", "==", v))
+    return st.one_of(comparison, between, isin, timerange, cat_eq)
+
+
+filters = st.recursive(
+    _leaf(),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda t: t[0] & t[1]),
+        st.tuples(children, children).map(lambda t: Or(*t)),
+        children.map(Not),
+    ),
+    max_leaves=6,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    gen = np.random.default_rng(77)
+    n = 3000
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=np.round(gen.normal(0, 50, n), 3),
+        tip=np.round(gen.normal(0, 50, n), 3),
+        t=timestamp_column("t", gen.integers(0, 1000, n)),
+        payment=gen.choice(CAT_LABELS, n))
+
+
+@settings(max_examples=120, deadline=None)
+@given(expr=filters, agg=st.sampled_from(["count", "sum", "avg"]))
+def test_round_trip_preserves_mask(table, expr, agg):
+    column = None if agg == "count" else "fare"
+    query = SpatialAggregation(agg, column, (expr,))
+    sql = to_sql(query, "taxi", "hoods")
+    parsed = parse_query(sql)
+    assert parsed.table == "taxi"
+    assert parsed.regions == "hoods"
+    assert parsed.aggregation.agg == agg
+    assert parsed.aggregation.value_column == column
+    got = parsed.aggregation.filter_mask(table)
+    want = query.filter_mask(table)
+    assert (got == want).all(), sql
+
+
+def test_no_filters_round_trip(table):
+    query = SpatialAggregation.count()
+    parsed = parse_query(to_sql(query, "a", "b"))
+    assert parsed.aggregation.filters == ()
+    assert parsed.aggregation.filter_mask(table).all()
+
+
+def test_quote_escaping_round_trip(table):
+    query = SpatialAggregation.count(F("payment") == "o'hare")
+    parsed = parse_query(to_sql(query, "a", "b"))
+    (expr,) = parsed.aggregation.filters
+    assert expr.value == "o'hare"
+
+
+def test_unrenderable_literal_rejected():
+    query = SpatialAggregation.count(Comparison("fare", "==", object()))
+    with pytest.raises(QueryError):
+        to_sql(query, "a", "b")

@@ -1,0 +1,94 @@
+"""Tests for tiled execution: tiling must be invisible in the results."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import naive_join
+from repro.core import (
+    SpatialAggregation,
+    bounded_raster_join,
+    make_tiles,
+    tiled_bounded_raster_join,
+)
+from repro.errors import QueryError
+from repro.geometry import BBox
+from repro.raster import Viewport
+from repro.table import F, PointTable
+
+
+def _table(n=20_000, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(5, n))
+
+
+class TestMakeTiles:
+    def test_partition_exact(self):
+        vp = Viewport(BBox(0, 0, 100, 100), 100, 100)
+        tiles = make_tiles(vp, 32)
+        assert len(tiles) == 16  # ceil(100/32)^2
+        total_pixels = sum(t.num_pixels for t, _, _ in tiles)
+        assert total_pixels == vp.num_pixels
+
+    def test_tile_world_windows_align(self):
+        vp = Viewport(BBox(0, 0, 100, 50), 200, 100)
+        tiles = make_tiles(vp, 64)
+        for tile_vp, col0, row0 in tiles:
+            assert tile_vp.pixel_width == pytest.approx(vp.pixel_width)
+            assert tile_vp.pixel_height == pytest.approx(vp.pixel_height)
+            assert tile_vp.bbox.xmin == pytest.approx(
+                vp.bbox.xmin + col0 * vp.pixel_width)
+
+    def test_single_tile_when_large(self):
+        vp = Viewport(BBox(0, 0, 10, 10), 64, 64)
+        assert len(make_tiles(vp, 1024)) == 1
+
+    def test_invalid_tile_size(self):
+        vp = Viewport(BBox(0, 0, 10, 10), 8, 8)
+        with pytest.raises(QueryError):
+            make_tiles(vp, 0)
+
+
+class TestTiledJoin:
+    @pytest.mark.parametrize("query", [
+        SpatialAggregation.count(),
+        SpatialAggregation.sum_of("fare"),
+        SpatialAggregation.avg_of("fare"),
+        SpatialAggregation.min_of("fare"),
+        SpatialAggregation.max_of("fare"),
+    ], ids=["count", "sum", "avg", "min", "max"])
+    def test_tiled_equals_untiled(self, simple_regions, query):
+        table = _table()
+        resolution = 256
+        tiled = tiled_bounded_raster_join(table, simple_regions, query,
+                                          resolution, tile_pixels=64)
+        vp = Viewport.fit(simple_regions.bbox, resolution)
+        whole = bounded_raster_join(table, simple_regions, query, vp)
+        both_nan = np.isnan(tiled.values) & np.isnan(whole.values)
+        close = np.isclose(tiled.values, whole.values, rtol=1e-9, atol=1e-6)
+        assert (both_nan | close).all()
+
+    def test_tiled_bounds_contain_truth(self, simple_regions):
+        table = _table(seed=1)
+        query = SpatialAggregation.count()
+        tiled = tiled_bounded_raster_join(table, simple_regions, query,
+                                          200, tile_pixels=50)
+        want = naive_join(table, simple_regions, query)
+        assert tiled.bounds_contain(want)
+
+    def test_tiled_with_filters(self, simple_regions):
+        table = _table(seed=2)
+        query = SpatialAggregation.count(F("fare") > 3.0)
+        tiled = tiled_bounded_raster_join(table, simple_regions, query,
+                                          128, tile_pixels=33)
+        vp = Viewport.fit(simple_regions.bbox, 128)
+        whole = bounded_raster_join(table, simple_regions, query, vp)
+        assert tiled.values == pytest.approx(whole.values)
+
+    def test_tile_count_in_stats(self, simple_regions):
+        table = _table(1000, seed=3)
+        tiled = tiled_bounded_raster_join(table, simple_regions,
+                                          SpatialAggregation.count(),
+                                          128, tile_pixels=32)
+        assert tiled.stats["tiles"] == 16

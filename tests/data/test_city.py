@@ -1,0 +1,80 @@
+"""Tests for the synthetic city model."""
+
+import numpy as np
+import pytest
+
+from repro.data import CityModel
+from repro.errors import DataGenerationError
+
+
+class TestCityModel:
+    def test_deterministic(self):
+        a = CityModel(seed=3)
+        b = CityModel(seed=3)
+        assert (a.boundary.exterior == b.boundary.exterior).all()
+        assert a.hotspots[0].x == b.hotspots[0].x
+
+    def test_different_seeds_differ(self):
+        a = CityModel(seed=3)
+        b = CityModel(seed=4)
+        assert not np.allclose(a.boundary.exterior, b.boundary.exterior)
+
+    def test_boundary_nonconvex_and_sized(self):
+        city = CityModel(seed=7, extent_m=30_000)
+        assert city.boundary.area > 0.3 * 30_000 ** 2 * 0.25
+        assert city.bbox.width <= 30_000
+
+    def test_hotspots_inside_boundary(self):
+        city = CityModel(seed=7)
+        for h in city.hotspots:
+            assert city.boundary.contains_point(h.x, h.y)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataGenerationError):
+            CityModel(extent_m=-1)
+        with pytest.raises(DataGenerationError):
+            CityModel(num_hotspots=0)
+        with pytest.raises(DataGenerationError):
+            CityModel(boundary_vertices=4)
+
+    def test_hotspot_weights_normalized(self):
+        city = CityModel(seed=7)
+        w = city.hotspot_weights()
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+        # Monotone decreasing dominance.
+        assert w[0] == w.max()
+
+
+class TestSampling:
+    def test_locations_mostly_inside(self):
+        city = CityModel(seed=7)
+        gen = np.random.default_rng(0)
+        pts = city.sample_locations(gen, 5000)
+        inside = city.boundary.contains_points(pts)
+        assert inside.mean() > 0.98
+
+    def test_locations_skewed_to_hotspots(self):
+        city = CityModel(seed=7)
+        gen = np.random.default_rng(1)
+        pts = city.sample_locations(gen, 20_000, uniform_fraction=0.05)
+        h = city.hotspots[0]
+        near = (np.abs(pts[:, 0] - h.x) < 3 * h.sigma_x) & (
+            np.abs(pts[:, 1] - h.y) < 3 * h.sigma_y)
+        # The dominant hotspot region holds far more mass than its share
+        # of the city's area.
+        area_fraction = (6 * h.sigma_x * 6 * h.sigma_y) / city.boundary.area
+        assert near.mean() > 2 * area_fraction
+
+    def test_uniform_fraction_validation(self):
+        city = CityModel(seed=7)
+        gen = np.random.default_rng(2)
+        with pytest.raises(DataGenerationError):
+            city.sample_locations(gen, 10, uniform_fraction=1.5)
+
+    def test_interior_points_all_inside(self):
+        city = CityModel(seed=7)
+        gen = np.random.default_rng(3)
+        pts = city.sample_interior_points(gen, 500)
+        assert city.boundary.contains_points(pts).all()
+        assert len(pts) == 500

@@ -1,0 +1,91 @@
+"""Tests for temporal rhythm models."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DEFAULT_EPOCH,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    TemporalPattern,
+    daytime_pattern,
+    month_window,
+    nighttime_pattern,
+    taxi_pattern,
+)
+from repro.errors import DataGenerationError
+
+
+class TestTemporalPattern:
+    def test_profiles_validated(self):
+        with pytest.raises(DataGenerationError):
+            TemporalPattern(np.ones(23), np.ones(24))
+        with pytest.raises(DataGenerationError):
+            TemporalPattern(-np.ones(24), np.ones(24))
+        with pytest.raises(DataGenerationError):
+            TemporalPattern(np.zeros(24), np.zeros(24))
+
+    def test_week_profile_structure(self):
+        pat = taxi_pattern()
+        assert pat.week_profile.shape == (168,)
+
+    def test_sample_range_and_sorted(self):
+        pat = taxi_pattern()
+        gen = np.random.default_rng(0)
+        start = DEFAULT_EPOCH
+        end = start + 7 * SECONDS_PER_DAY
+        ts = pat.sample_timestamps(gen, 10_000, start, end)
+        assert len(ts) == 10_000
+        assert ts.min() >= start
+        assert ts.max() < end
+        assert (np.diff(ts) >= 0).all()
+
+    def test_empty_window_rejected(self):
+        pat = taxi_pattern()
+        gen = np.random.default_rng(0)
+        with pytest.raises(DataGenerationError):
+            pat.sample_timestamps(gen, 10, 100, 100)
+
+    def test_rush_hours_peak_for_taxi(self):
+        pat = taxi_pattern()
+        gen = np.random.default_rng(1)
+        # A full week starting Monday (epoch weekday is Thursday; shift
+        # by 4 days to land on Monday).
+        start = DEFAULT_EPOCH + 4 * SECONDS_PER_DAY
+        end = start + 5 * SECONDS_PER_DAY  # weekdays only
+        ts = pat.sample_timestamps(gen, 50_000, start, end)
+        hours = ((ts - DEFAULT_EPOCH) // SECONDS_PER_HOUR) % 24
+        counts = np.bincount(hours, minlength=24)
+        assert counts[18] > 2 * counts[3]  # evening peak vs night lull
+        assert counts[8] > counts[11]      # morning peak vs midday
+
+    def test_daytime_vs_nighttime_shapes_differ(self):
+        gen = np.random.default_rng(2)
+        start = DEFAULT_EPOCH
+        end = start + 14 * SECONDS_PER_DAY
+        day = daytime_pattern().sample_timestamps(gen, 20_000, start, end)
+        night = nighttime_pattern().sample_timestamps(gen, 20_000, start, end)
+        day_hours = ((day - DEFAULT_EPOCH) // SECONDS_PER_HOUR) % 24
+        night_hours = ((night - DEFAULT_EPOCH) // SECONDS_PER_HOUR) % 24
+        # 10:00 heavy for 311; 23:00 heavy for crime.
+        assert (day_hours == 10).mean() > (night_hours == 10).mean()
+        assert (night_hours == 23).mean() > (day_hours == 23).mean()
+
+    def test_intensity_periodic(self):
+        pat = taxi_pattern()
+        hours = np.arange(0, 336)
+        a = pat.intensity_at_hours(hours[:168])
+        b = pat.intensity_at_hours(hours[168:])
+        assert (a == b).all()
+
+
+class TestMonthWindow:
+    def test_window_length(self):
+        s, e = month_window(0)
+        assert e - s == 30 * SECONDS_PER_DAY
+        assert s == DEFAULT_EPOCH
+
+    def test_consecutive_months_abut(self):
+        _, e0 = month_window(0)
+        s1, _ = month_window(1)
+        assert e0 == s1

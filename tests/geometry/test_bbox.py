@@ -1,0 +1,111 @@
+"""Unit tests for repro.geometry.bbox."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BBox
+
+coord = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def bboxes(draw):
+    x0 = draw(coord)
+    y0 = draw(coord)
+    w = draw(st.floats(0, 1e5, allow_nan=False))
+    h = draw(st.floats(0, 1e5, allow_nan=False))
+    return BBox(x0, y0, x0 + w, y0 + h)
+
+
+class TestConstruction:
+    def test_invalid_order_raises(self):
+        with pytest.raises(GeometryError):
+            BBox(1, 0, 0, 1)
+
+    def test_of_points(self):
+        box = BBox.of_points([[1, 5], [3, 2], [-1, 4]])
+        assert box.as_tuple() == (-1, 2, 3, 5)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            BBox.of_points(np.empty((0, 2)))
+
+    def test_degenerate_allowed(self):
+        box = BBox(1, 1, 1, 1)
+        assert box.area == 0
+        assert box.contains_point(1, 1)
+
+
+class TestGeometry:
+    def test_dimensions(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.area == 12
+        assert box.center == (2.0, 1.5)
+
+    def test_contains_points_vectorized(self):
+        box = BBox(0, 0, 1, 1)
+        mask = box.contains_points([[0.5, 0.5], [2, 0.5], [1.0, 1.0]])
+        assert mask.tolist() == [True, False, True]
+
+    def test_corners_ccw(self):
+        corners = BBox(0, 0, 2, 1).corners()
+        # Shoelace must be positive (CCW).
+        x, y = corners[:, 0], corners[:, 1]
+        area = 0.5 * (np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+        assert area == pytest.approx(2.0)
+
+
+class TestSetOps:
+    def test_intersects_touching(self):
+        assert BBox(0, 0, 1, 1).intersects(BBox(1, 0, 2, 1))
+
+    def test_disjoint(self):
+        assert not BBox(0, 0, 1, 1).intersects(BBox(2, 2, 3, 3))
+
+    def test_intersection_none_when_disjoint(self):
+        assert BBox(0, 0, 1, 1).intersection(BBox(5, 5, 6, 6)) is None
+
+    def test_intersection_value(self):
+        got = BBox(0, 0, 2, 2).intersection(BBox(1, 1, 3, 3))
+        assert got.as_tuple() == (1, 1, 2, 2)
+
+    def test_union(self):
+        got = BBox(0, 0, 1, 1).union(BBox(2, 2, 3, 3))
+        assert got.as_tuple() == (0, 0, 3, 3)
+
+    def test_contains_bbox(self):
+        assert BBox(0, 0, 10, 10).contains_bbox(BBox(1, 1, 2, 2))
+        assert not BBox(0, 0, 10, 10).contains_bbox(BBox(9, 9, 11, 11))
+
+    @given(bboxes(), bboxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_bbox(a) and u.contains_bbox(b)
+
+    @given(bboxes(), bboxes())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_bbox(inter)
+            assert b.contains_bbox(inter)
+        else:
+            assert not a.intersects(b)
+
+
+class TestTransforms:
+    def test_expand(self):
+        assert BBox(0, 0, 2, 2).expand(1).as_tuple() == (-1, -1, 3, 3)
+
+    def test_scale_preserves_center(self):
+        box = BBox(0, 0, 4, 2)
+        scaled = box.scale(0.5)
+        assert scaled.center == box.center
+        assert scaled.width == pytest.approx(2.0)
+
+    def test_translate(self):
+        assert BBox(0, 0, 1, 1).translate(3, -1).as_tuple() == (3, -1, 4, 0)

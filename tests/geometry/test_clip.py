@@ -1,0 +1,84 @@
+"""Unit and property tests for Sutherland–Hodgman clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    BBox,
+    clip_polygon_convex,
+    clip_ring_to_bbox,
+    polygon_signed_area,
+    regular_polygon,
+)
+
+SQUARE = np.array([[0, 0], [10, 0], [10, 10], [0, 10]], dtype=float)
+
+
+class TestClipBasics:
+    def test_subject_inside_clip_unchanged_area(self):
+        small = np.array([[2, 2], [4, 2], [4, 4], [2, 4]], dtype=float)
+        out = clip_polygon_convex(small, SQUARE)
+        assert abs(polygon_signed_area(out)) == pytest.approx(4.0)
+
+    def test_disjoint_gives_empty(self):
+        far = np.array([[20, 20], [30, 20], [30, 30]], dtype=float)
+        out = clip_polygon_convex(far, SQUARE)
+        assert len(out) == 0
+
+    def test_half_overlap(self):
+        subject = np.array([[5, 0], [15, 0], [15, 10], [5, 10]], dtype=float)
+        out = clip_polygon_convex(subject, SQUARE)
+        assert abs(polygon_signed_area(out)) == pytest.approx(50.0)
+
+    def test_clip_orientation_insensitive(self):
+        subject = np.array([[5, 0], [15, 0], [15, 10], [5, 10]], dtype=float)
+        out_cw = clip_polygon_convex(subject, SQUARE[::-1])
+        assert abs(polygon_signed_area(out_cw)) == pytest.approx(50.0)
+
+    def test_concave_subject(self):
+        u_shape = np.array([[0, 0], [10, 0], [10, 10], [7, 10], [7, 3],
+                            [3, 3], [3, 10], [0, 10]], dtype=float)
+        clip = np.array([[-1, -1], [11, -1], [11, 5], [-1, 5]], dtype=float)
+        out = clip_polygon_convex(u_shape, clip)
+        # Below y=5 the U is solid for y in [0, 3] (area 30) and two
+        # 2x3 legs for y in [3, 5] (area 12).
+        assert abs(polygon_signed_area(out)) == pytest.approx(42.0, abs=1e-9)
+
+    def test_clip_to_bbox_helper(self):
+        tri = np.array([[-5, -5], [15, -5], [5, 15]], dtype=float)
+        out = clip_ring_to_bbox(tri, BBox(0, 0, 10, 10))
+        area = abs(polygon_signed_area(out))
+        assert 0 < area <= 100
+
+
+class TestClipProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(-5, 15), st.floats(-5, 15), st.floats(0.5, 8),
+           st.integers(3, 9))
+    def test_clipped_area_never_exceeds_either(self, cx, cy, r, sides):
+        subject = regular_polygon(cx, cy, r, sides).exterior
+        out = clip_polygon_convex(subject, SQUARE)
+        area = abs(polygon_signed_area(out)) if len(out) >= 3 else 0.0
+        assert area <= abs(polygon_signed_area(subject)) + 1e-9
+        assert area <= 100.0 + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(-5, 15), st.floats(-5, 15), st.floats(0.5, 8),
+           st.integers(3, 9))
+    def test_clipped_vertices_inside_clip(self, cx, cy, r, sides):
+        subject = regular_polygon(cx, cy, r, sides).exterior
+        out = clip_polygon_convex(subject, SQUARE)
+        if len(out):
+            box = BBox(0, 0, 10, 10).expand(1e-6)
+            assert box.contains_points(out).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(2, 8), st.floats(2, 8), st.floats(0.3, 1.5),
+           st.integers(3, 9))
+    def test_fully_inside_preserves_area(self, cx, cy, r, sides):
+        subject = regular_polygon(cx, cy, r, sides).exterior
+        out = clip_polygon_convex(subject, SQUARE)
+        assert abs(polygon_signed_area(out)) == pytest.approx(
+            abs(polygon_signed_area(subject)), rel=1e-9)

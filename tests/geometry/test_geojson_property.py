@@ -1,0 +1,63 @@
+"""Property tests: GeoJSON round trips on randomized geometries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    MultiPolygon,
+    Polygon,
+    geometry_from_geojson,
+    geometry_to_geojson,
+)
+
+
+@st.composite
+def random_polygons(draw):
+    """Star-shaped simple polygons with random radii (always valid)."""
+    n = draw(st.integers(3, 24))
+    cx = draw(st.floats(-1000, 1000))
+    cy = draw(st.floats(-1000, 1000))
+    seed = draw(st.integers(0, 10_000))
+    gen = np.random.default_rng(seed)
+    angles = np.sort(gen.uniform(0, 2 * np.pi, n))
+    # Enforce distinct angles so edges are non-degenerate.
+    if len(np.unique(angles)) < 3:
+        angles = np.linspace(0, 2 * np.pi, max(n, 3), endpoint=False)
+    radii = gen.uniform(1.0, 50.0, len(angles))
+    ring = np.column_stack([cx + radii * np.cos(angles),
+                            cy + radii * np.sin(angles)])
+    return Polygon(ring)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_polygons())
+def test_polygon_round_trip_exact(poly):
+    back = geometry_from_geojson(geometry_to_geojson(poly))
+    assert isinstance(back, Polygon)
+    assert back.area == pytest.approx(poly.area, rel=1e-12)
+    assert np.allclose(back.exterior, poly.exterior)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_polygons(), random_polygons())
+def test_multipolygon_round_trip(poly_a, poly_b):
+    mp = MultiPolygon((poly_a, poly_b))
+    back = geometry_from_geojson(geometry_to_geojson(mp))
+    assert isinstance(back, MultiPolygon)
+    assert back.area == pytest.approx(mp.area, rel=1e-12)
+    assert len(back.polygons) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_polygons())
+def test_round_trip_preserves_containment(poly):
+    """Membership answers survive the round trip bit-for-bit."""
+    back = geometry_from_geojson(geometry_to_geojson(poly))
+    box = poly.bbox.expand(5.0)
+    gen = np.random.default_rng(1)
+    pts = np.column_stack([
+        gen.uniform(box.xmin, box.xmax, 200),
+        gen.uniform(box.ymin, box.ymax, 200)])
+    assert (poly.contains_points(pts) == back.contains_points(pts)).all()

@@ -1,0 +1,80 @@
+"""Tests for convex hull."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import convex_hull, points_in_ring, polygon_signed_area
+
+coord = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = [[0, 0], [10, 0], [10, 10], [0, 10], [5, 5], [2, 7]]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+
+    def test_ccw_orientation(self):
+        gen = np.random.default_rng(3)
+        pts = gen.uniform(0, 1, size=(50, 2))
+        hull = convex_hull(pts)
+        assert polygon_signed_area(hull) > 0
+
+    def test_collinear_raises(self):
+        with pytest.raises(GeometryError):
+            convex_hull([[0, 0], [1, 1], [2, 2], [3, 3]])
+
+    def test_too_few_distinct_raises(self):
+        with pytest.raises(GeometryError):
+            convex_hull([[0, 0], [0, 0], [1, 1]])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(coord, coord), min_size=3, max_size=80))
+    def test_all_points_inside_or_on_hull(self, pts):
+        arr = np.asarray(pts, dtype=float)
+        try:
+            hull = convex_hull(arr)
+        except GeometryError:
+            return  # degenerate input is allowed to fail
+        # Expand the hull a whisker about its center to absorb ties on
+        # the hull boundary, then every input point must be inside (or,
+        # for numerically flat hulls, within tolerance of an edge).
+        center = hull.mean(axis=0)
+        grown = center + (hull - center) * (1 + 1e-7)
+        for p in arr:
+            if not points_in_ring([p], grown)[0]:
+                d = _min_edge_distance(p, hull)
+                assert d < 1e-6 * (1 + np.abs(arr).max())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(coord, coord), min_size=3, max_size=40))
+    def test_hull_vertices_are_input_points(self, pts):
+        arr = np.asarray(pts, dtype=float)
+        try:
+            hull = convex_hull(arr)
+        except GeometryError:
+            return
+        source = {tuple(p) for p in arr}
+        assert all(tuple(v) in source for v in hull)
+
+    def test_idempotent(self):
+        gen = np.random.default_rng(5)
+        pts = gen.normal(size=(200, 2))
+        hull1 = convex_hull(pts)
+        hull2 = convex_hull(hull1)
+        assert np.allclose(np.sort(hull1, axis=0), np.sort(hull2, axis=0))
+
+
+def _min_edge_distance(p, hull):
+    best = np.inf
+    n = len(hull)
+    for i in range(n):
+        a = hull[i]
+        b = hull[(i + 1) % n]
+        ab = b - a
+        t = np.clip(np.dot(p - a, ab) / (np.dot(ab, ab) + 1e-30), 0, 1)
+        best = min(best, float(np.linalg.norm(a + t * ab - p)))
+    return best

@@ -1,0 +1,126 @@
+"""Unit tests for repro.geometry.point."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    as_points,
+    dedupe_consecutive,
+    polygon_centroid,
+    polygon_perimeter,
+    polygon_signed_area,
+)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestAsPoints:
+    def test_list_of_pairs(self):
+        pts = as_points([[1, 2], [3, 4]])
+        assert pts.shape == (2, 2)
+        assert pts.dtype == np.float64
+
+    def test_single_pair(self):
+        assert as_points([1.0, 2.0]).shape == (1, 2)
+
+    def test_empty(self):
+        assert as_points([]).shape == (0, 2)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(GeometryError):
+            as_points([[1, 2, 3]])
+
+    def test_rejects_odd_flat(self):
+        with pytest.raises(GeometryError):
+            as_points([1.0, 2.0, 3.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            as_points([[np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(GeometryError):
+            as_points([[np.inf, 0.0]])
+
+
+class TestDedupe:
+    def test_removes_consecutive_duplicates(self):
+        pts = dedupe_consecutive([[0, 0], [0, 0], [1, 1], [1, 1], [2, 2]])
+        assert len(pts) == 3
+
+    def test_keeps_nonconsecutive_duplicates(self):
+        pts = dedupe_consecutive([[0, 0], [1, 1], [0, 0]])
+        assert len(pts) == 3
+
+    def test_short_input_unchanged(self):
+        assert len(dedupe_consecutive([[1, 2]])) == 1
+
+
+class TestSignedArea:
+    def test_unit_square_ccw(self):
+        sq = [[0, 0], [1, 0], [1, 1], [0, 1]]
+        assert polygon_signed_area(sq) == pytest.approx(1.0)
+
+    def test_unit_square_cw_negative(self):
+        sq = [[0, 0], [0, 1], [1, 1], [1, 0]]
+        assert polygon_signed_area(sq) == pytest.approx(-1.0)
+
+    def test_triangle(self):
+        tri = [[0, 0], [4, 0], [0, 3]]
+        assert polygon_signed_area(tri) == pytest.approx(6.0)
+
+    def test_degenerate_returns_zero(self):
+        assert polygon_signed_area([[0, 0], [1, 1]]) == 0.0
+
+    @given(st.lists(st.tuples(finite, finite), min_size=3, max_size=12))
+    def test_reversal_negates(self, verts):
+        area = polygon_signed_area(verts)
+        rev = polygon_signed_area(verts[::-1])
+        # Absolute tolerance scales with the rounding of the shoelace
+        # products (coords up to 1e6 -> products up to 1e12).
+        arr = np.asarray(verts)
+        tol = 1e-12 * max(1.0, float(np.abs(arr).max()) ** 2) * len(verts)
+        assert area == pytest.approx(-rev, rel=1e-9, abs=tol)
+
+    @given(st.tuples(finite, finite),
+           st.lists(st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+                    min_size=3, max_size=10))
+    def test_translation_invariant(self, offset, verts):
+        base = polygon_signed_area(verts)
+        moved = [(x + offset[0], y + offset[1]) for x, y in verts]
+        assert polygon_signed_area(moved) == pytest.approx(
+            base, rel=1e-6, abs=1e-3)
+
+
+class TestCentroid:
+    def test_square_centroid(self):
+        sq = [[0, 0], [2, 0], [2, 2], [0, 2]]
+        assert polygon_centroid(sq) == pytest.approx((1.0, 1.0))
+
+    def test_orientation_independent(self):
+        sq = [[0, 0], [2, 0], [2, 2], [0, 2]]
+        assert polygon_centroid(sq) == pytest.approx(polygon_centroid(sq[::-1]))
+
+    def test_degenerate_falls_back_to_mean(self):
+        line = [[0, 0], [2, 0], [4, 0]]
+        assert polygon_centroid(line) == pytest.approx((2.0, 0.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            polygon_centroid([])
+
+
+class TestPerimeter:
+    def test_unit_square(self):
+        sq = [[0, 0], [1, 0], [1, 1], [0, 1]]
+        assert polygon_perimeter(sq) == pytest.approx(4.0)
+
+    def test_single_point_zero(self):
+        assert polygon_perimeter([[1, 1]]) == 0.0
+
+    def test_closing_edge_included(self):
+        tri = [[0, 0], [3, 0], [3, 4]]
+        assert polygon_perimeter(tri) == pytest.approx(3 + 4 + 5)

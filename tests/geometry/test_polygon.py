@@ -1,0 +1,148 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    BBox,
+    MultiPolygon,
+    Polygon,
+    as_geometry,
+    box_polygon,
+    normalize_ring,
+    polygon_signed_area,
+    regular_polygon,
+)
+
+SQUARE = [[0, 0], [10, 0], [10, 10], [0, 10]]
+HOLE = [[3, 3], [7, 3], [7, 7], [3, 7]]
+
+
+class TestNormalizeRing:
+    def test_forces_ccw(self):
+        ring = normalize_ring(SQUARE[::-1], orientation=1)
+        assert polygon_signed_area(ring) > 0
+
+    def test_forces_cw_for_holes(self):
+        ring = normalize_ring(SQUARE, orientation=-1)
+        assert polygon_signed_area(ring) < 0
+
+    def test_drops_closing_vertex(self):
+        closed = SQUARE + [SQUARE[0]]
+        assert len(normalize_ring(closed)) == 4
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GeometryError):
+            normalize_ring([[0, 0], [1, 0], [2, 0]])
+
+    def test_rejects_too_few(self):
+        with pytest.raises(GeometryError):
+            normalize_ring([[0, 0], [1, 1]])
+
+
+class TestPolygon:
+    def test_area_with_hole(self):
+        poly = Polygon(SQUARE, holes=[HOLE])
+        assert poly.area == pytest.approx(100 - 16)
+
+    def test_perimeter_includes_holes(self):
+        poly = Polygon(SQUARE, holes=[HOLE])
+        assert poly.perimeter == pytest.approx(40 + 16)
+
+    def test_bbox(self):
+        assert Polygon(SQUARE).bbox == BBox(0, 0, 10, 10)
+
+    def test_contains_respects_hole(self):
+        poly = Polygon(SQUARE, holes=[HOLE])
+        assert poly.contains_point(1, 1)
+        assert not poly.contains_point(5, 5)  # inside the hole
+        assert not poly.contains_point(20, 20)
+
+    def test_contains_points_vectorized(self):
+        poly = Polygon(SQUARE, holes=[HOLE])
+        mask = poly.contains_points([[1, 1], [5, 5], [20, 20], [8, 8]])
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_num_vertices(self):
+        assert Polygon(SQUARE, holes=[HOLE]).num_vertices == 8
+
+    def test_rings_iteration(self):
+        poly = Polygon(SQUARE, holes=[HOLE])
+        rings = list(poly.rings())
+        assert len(rings) == 2
+
+    def test_centroid_of_square(self):
+        assert Polygon(SQUARE).centroid == pytest.approx((5.0, 5.0))
+
+    def test_immutable_orientation(self):
+        poly = Polygon(SQUARE[::-1])  # passed clockwise
+        assert polygon_signed_area(poly.exterior) > 0
+        assert all(polygon_signed_area(h) < 0 for h in poly.holes)
+
+
+class TestMultiPolygon:
+    def _two_parts(self):
+        return MultiPolygon((
+            Polygon(SQUARE),
+            Polygon([[20, 0], [30, 0], [30, 10], [20, 10]]),
+        ))
+
+    def test_area_sums(self):
+        assert self._two_parts().area == pytest.approx(200)
+
+    def test_bbox_spans_parts(self):
+        assert self._two_parts().bbox == BBox(0, 0, 30, 10)
+
+    def test_contains_any_part(self):
+        mp = self._two_parts()
+        assert mp.contains_point(5, 5)
+        assert mp.contains_point(25, 5)
+        assert not mp.contains_point(15, 5)
+
+    def test_centroid_weighted(self):
+        cx, cy = self._two_parts().centroid
+        assert cx == pytest.approx(15.0)
+        assert cy == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            MultiPolygon(())
+
+    def test_non_polygon_rejected(self):
+        with pytest.raises(GeometryError):
+            MultiPolygon((SQUARE,))  # raw ring, not a Polygon
+
+
+class TestAsGeometry:
+    def test_passthrough(self):
+        poly = Polygon(SQUARE)
+        assert as_geometry(poly) is poly
+
+    def test_vertex_array(self):
+        geom = as_geometry(np.asarray(SQUARE, dtype=float))
+        assert isinstance(geom, Polygon)
+
+    def test_ring_list_makes_holes(self):
+        geom = as_geometry([SQUARE, HOLE])
+        assert isinstance(geom, Polygon)
+        assert len(geom.holes) == 1
+
+    def test_plain_vertex_list(self):
+        geom = as_geometry(SQUARE)
+        assert isinstance(geom, Polygon)
+        assert len(geom.holes) == 0
+
+
+class TestHelpers:
+    def test_regular_polygon_area_converges_to_circle(self):
+        poly = regular_polygon(0, 0, 1.0, 256)
+        assert poly.area == pytest.approx(np.pi, rel=1e-3)
+
+    def test_regular_polygon_rejects_two_sides(self):
+        with pytest.raises(GeometryError):
+            regular_polygon(0, 0, 1.0, 2)
+
+    def test_box_polygon(self):
+        poly = box_polygon(BBox(0, 0, 2, 3))
+        assert poly.area == pytest.approx(6.0)

@@ -1,0 +1,102 @@
+"""Tests for map projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    haversine_m,
+    lonlat_to_mercator,
+    mercator_to_lonlat,
+)
+
+lon = st.floats(-180, 180, allow_nan=False)
+lat = st.floats(-84, 84, allow_nan=False)
+
+
+class TestMercator:
+    def test_origin_maps_to_zero(self):
+        x, y = lonlat_to_mercator(0.0, 0.0)
+        assert x == pytest.approx(0.0)
+        assert y == pytest.approx(0.0, abs=1e-6)
+
+    def test_equator_scale(self):
+        x, _ = lonlat_to_mercator(180.0, 0.0)
+        assert x == pytest.approx(np.pi * EARTH_RADIUS_M)
+
+    def test_latitude_clamped(self):
+        _, y_high = lonlat_to_mercator(0.0, 89.9999)
+        _, y_max = lonlat_to_mercator(0.0, 90.0)
+        assert np.isfinite(y_max)
+        assert y_max == pytest.approx(y_high, rel=1e-2)
+
+    @settings(max_examples=80)
+    @given(lon, lat)
+    def test_round_trip(self, lo, la):
+        x, y = lonlat_to_mercator(lo, la)
+        lo2, la2 = mercator_to_lonlat(x, y)
+        assert lo2 == pytest.approx(lo, abs=1e-9)
+        assert la2 == pytest.approx(la, abs=1e-9)
+
+    def test_vectorized(self):
+        lons = np.array([-74.0, 0.0, 139.7])
+        lats = np.array([40.7, 0.0, 35.7])
+        x, y = lonlat_to_mercator(lons, lats)
+        assert x.shape == (3,)
+        assert (np.diff(x) > 0).all()
+
+
+class TestLocalProjection:
+    def test_origin(self):
+        proj = LocalProjection(-74.0, 40.7)
+        x, y = proj.forward(-74.0, 40.7)
+        assert x == pytest.approx(0.0)
+        assert y == pytest.approx(0.0)
+
+    def test_one_degree_north_is_111km(self):
+        proj = LocalProjection(-74.0, 40.7)
+        _, y = proj.forward(-74.0, 41.7)
+        assert y == pytest.approx(111_319.5, rel=1e-3)
+
+    def test_longitude_shrinks_with_latitude(self):
+        eq = LocalProjection(0.0, 0.0)
+        north = LocalProjection(0.0, 60.0)
+        x_eq, _ = eq.forward(1.0, 0.0)
+        x_no, _ = north.forward(1.0, 60.0)
+        assert x_no == pytest.approx(x_eq * 0.5, rel=1e-6)
+
+    @settings(max_examples=60)
+    @given(st.floats(-75, -73), st.floats(40, 41))
+    def test_round_trip(self, lo, la):
+        proj = LocalProjection(-74.0, 40.7)
+        lo2, la2 = proj.inverse(*proj.forward(lo, la))
+        assert lo2 == pytest.approx(lo, abs=1e-9)
+        assert la2 == pytest.approx(la, abs=1e-9)
+
+    def test_agrees_with_haversine_at_city_scale(self):
+        proj = LocalProjection(-74.0, 40.7)
+        x, y = proj.forward(-73.9, 40.75)
+        planar = float(np.hypot(x, y))
+        true = float(haversine_m(-74.0, 40.7, -73.9, 40.75))
+        assert planar == pytest.approx(true, rel=2e-3)
+
+    def test_polar_reference_rejected(self):
+        with pytest.raises(GeometryError):
+            LocalProjection(0.0, 90.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(10, 20, 10, 20) == pytest.approx(0.0)
+
+    def test_quarter_circumference(self):
+        d = haversine_m(0, 0, 90, 0)
+        assert d == pytest.approx(np.pi / 2 * EARTH_RADIUS_M)
+
+    def test_symmetry(self):
+        assert haversine_m(-74, 40.7, 2.35, 48.85) == pytest.approx(
+            haversine_m(2.35, 48.85, -74, 40.7))

@@ -1,0 +1,85 @@
+"""Tests for Douglas–Peucker simplification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import regular_polygon, simplify_line, simplify_ring
+
+
+class TestSimplifyLine:
+    def test_collinear_collapses_to_endpoints(self):
+        line = [[0, 0], [1, 0], [2, 0], [3, 0]]
+        out = simplify_line(line, 0.01)
+        assert len(out) == 2
+        assert out[0].tolist() == [0, 0]
+        assert out[-1].tolist() == [3, 0]
+
+    def test_keeps_significant_vertex(self):
+        line = [[0, 0], [5, 3], [10, 0]]
+        out = simplify_line(line, 1.0)
+        assert len(out) == 3
+
+    def test_drops_insignificant_vertex(self):
+        line = [[0, 0], [5, 0.1], [10, 0]]
+        out = simplify_line(line, 1.0)
+        assert len(out) == 2
+
+    def test_zero_tolerance_keeps_all(self):
+        line = [[0, 0], [1, 0.5], [2, 0], [3, 0.5]]
+        assert len(simplify_line(line, 0.0)) == 4
+
+    def test_short_input_unchanged(self):
+        assert len(simplify_line([[0, 0], [1, 1]], 5.0)) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+                    min_size=2, max_size=60),
+           st.floats(0.01, 10))
+    def test_endpoints_preserved_and_subset(self, pts, tol):
+        arr = np.asarray(pts, dtype=float)
+        out = simplify_line(arr, tol)
+        assert (out[0] == arr[0]).all()
+        assert (out[-1] == arr[-1]).all()
+        assert len(out) <= len(arr)
+        # Every kept vertex is one of the originals.
+        orig = {tuple(p) for p in arr}
+        assert all(tuple(p) in orig for p in out)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.001, 0.2))
+    def test_error_bounded_by_tolerance(self, tol):
+        """Distance of dropped vertices to the simplified line is <= tol
+        for a convex arc (a sufficient sanity check of the guarantee)."""
+        angles = np.linspace(0, np.pi, 100)
+        arc = np.column_stack([np.cos(angles), np.sin(angles)])
+        out = simplify_line(arc, tol)
+        # Chord sagitta for the widest gap must be within tolerance.
+        kept = {tuple(p) for p in out}
+        idx = [i for i, p in enumerate(arc) if tuple(p) in kept]
+        for a, b in zip(idx[:-1], idx[1:]):
+            seg = arc[a:b + 1]
+            p0, p1 = arc[a], arc[b]
+            dv = p1 - p0
+            rel = seg - p0
+            cross = dv[0] * rel[:, 1] - dv[1] * rel[:, 0]
+            d = np.abs(cross) / (np.linalg.norm(dv) + 1e-30)
+            assert d.max() <= tol + 1e-9
+
+
+class TestSimplifyRing:
+    def test_ngon_reduces(self):
+        ring = regular_polygon(0, 0, 10, 128).exterior
+        out = simplify_ring(ring, 0.5)
+        assert 3 <= len(out) < 128
+
+    def test_min_vertices_respected(self):
+        ring = regular_polygon(0, 0, 10, 64).exterior
+        out = simplify_ring(ring, 100.0)  # absurd tolerance
+        assert len(out) == 64  # falls back to original
+
+    def test_zero_tolerance_identity(self):
+        ring = regular_polygon(0, 0, 10, 16).exterior
+        out = simplify_ring(ring, 0.0)
+        assert len(out) == 16

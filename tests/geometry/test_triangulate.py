@@ -1,0 +1,71 @@
+"""Tests for ear-clipping triangulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    polygon_signed_area,
+    regular_polygon,
+    triangle_areas,
+    triangulate_ring,
+    triangulate_ring_vertices,
+)
+
+SQUARE = [[0, 0], [10, 0], [10, 10], [0, 10]]
+U_SHAPE = [[0, 0], [10, 0], [10, 10], [7, 10], [7, 3], [3, 3], [3, 10],
+           [0, 10]]
+
+
+class TestTriangulate:
+    def test_triangle_passthrough(self):
+        tris = triangulate_ring([[0, 0], [1, 0], [0, 1]])
+        assert tris == [(0, 1, 2)]
+
+    def test_square_two_triangles(self):
+        assert len(triangulate_ring(SQUARE)) == 2
+
+    def test_ngon_count(self):
+        for n in range(3, 15):
+            ring = regular_polygon(0, 0, 1.0, n).exterior
+            assert len(triangulate_ring(ring)) == n - 2
+
+    def test_concave_area_preserved(self):
+        tris = triangulate_ring_vertices(U_SHAPE)
+        total = triangle_areas(tris).sum()
+        assert total == pytest.approx(abs(polygon_signed_area(U_SHAPE)))
+
+    def test_concave_triangles_positive(self):
+        tris = triangulate_ring_vertices(U_SHAPE)
+        assert (triangle_areas(tris) > 0).all()
+
+    def test_clockwise_input_normalized(self):
+        tris = triangulate_ring_vertices(SQUARE[::-1])
+        assert triangle_areas(tris).sum() == pytest.approx(100.0)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            triangulate_ring([[0, 0], [1, 1]])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(3, 24), st.floats(0.2, 50), st.floats(-100, 100),
+           st.floats(-100, 100))
+    def test_regular_polygon_area_preserved(self, n, r, cx, cy):
+        ring = regular_polygon(cx, cy, r, n).exterior
+        tris = triangulate_ring_vertices(ring)
+        assert len(tris) == n - 2
+        assert triangle_areas(tris).sum() == pytest.approx(
+            abs(polygon_signed_area(ring)), rel=1e-9)
+
+    def test_star_polygon(self):
+        """A spiky star (alternating radii) is heavily concave."""
+        angles = np.linspace(0, 2 * np.pi, 16, endpoint=False)
+        radii = np.where(np.arange(16) % 2 == 0, 10.0, 4.0)
+        ring = np.column_stack([radii * np.cos(angles),
+                                radii * np.sin(angles)])
+        tris = triangulate_ring_vertices(ring)
+        assert len(tris) == 14
+        assert triangle_areas(tris).sum() == pytest.approx(
+            abs(polygon_signed_area(ring)), rel=1e-9)

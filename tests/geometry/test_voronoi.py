@@ -1,0 +1,93 @@
+"""Tests for bounded Voronoi partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    BBox,
+    bounded_voronoi_cells,
+    clip_cells_to_boundary,
+    points_in_ring,
+    polygon_signed_area,
+    regular_polygon,
+)
+
+BOX = BBox(0, 0, 100, 100)
+
+
+def _random_seeds(n, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.uniform(5, 95, size=(n, 2))
+
+
+class TestBoundedVoronoi:
+    def test_cells_tile_the_box(self):
+        seeds = _random_seeds(25)
+        cells = bounded_voronoi_cells(seeds, BOX)
+        total = sum(abs(polygon_signed_area(c)) for c in cells)
+        assert total == pytest.approx(BOX.area, rel=1e-9)
+
+    def test_one_cell_per_seed(self):
+        seeds = _random_seeds(12, seed=1)
+        cells = bounded_voronoi_cells(seeds, BOX)
+        assert len(cells) == 12
+
+    def test_seed_inside_own_cell(self):
+        seeds = _random_seeds(30, seed=2)
+        cells = bounded_voronoi_cells(seeds, BOX)
+        for seed_pt, cell in zip(seeds, cells):
+            assert points_in_ring([seed_pt], cell)[0]
+
+    def test_cells_inside_box(self):
+        seeds = _random_seeds(20, seed=3)
+        for cell in bounded_voronoi_cells(seeds, BOX):
+            assert BOX.expand(1e-6).contains_points(cell).all()
+
+    def test_single_seed_gets_whole_box(self):
+        cells = bounded_voronoi_cells([[50, 50]], BOX)
+        assert abs(polygon_signed_area(cells[0])) == pytest.approx(BOX.area)
+
+    def test_two_seeds_split(self):
+        cells = bounded_voronoi_cells([[25, 50], [75, 50]], BOX)
+        areas = [abs(polygon_signed_area(c)) for c in cells]
+        assert areas[0] == pytest.approx(BOX.area / 2, rel=1e-9)
+        assert areas[1] == pytest.approx(BOX.area / 2, rel=1e-9)
+
+    def test_seed_outside_box_rejected(self):
+        with pytest.raises(GeometryError):
+            bounded_voronoi_cells([[150, 50]], BOX)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(GeometryError):
+            bounded_voronoi_cells(np.empty((0, 2)), BOX)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 40), st.integers(0, 1000))
+    def test_tiling_property(self, n, seed):
+        seeds = _random_seeds(n, seed=seed)
+        # Degenerate duplicate seeds can break Voronoi; drop them.
+        seeds = np.unique(seeds, axis=0)
+        cells = bounded_voronoi_cells(seeds, BOX)
+        total = sum(abs(polygon_signed_area(c)) for c in cells)
+        assert total == pytest.approx(BOX.area, rel=1e-6)
+
+
+class TestClipToBoundary:
+    def test_clip_to_disc(self):
+        seeds = _random_seeds(16, seed=4)
+        cells = bounded_voronoi_cells(seeds, BOX)
+        disc = regular_polygon(50, 50, 40, 64).exterior
+        clipped = clip_cells_to_boundary(cells, disc)
+        total = sum(abs(polygon_signed_area(c))
+                    for c in clipped if len(c) >= 3)
+        assert total == pytest.approx(abs(polygon_signed_area(disc)),
+                                      rel=1e-6)
+
+    def test_cell_outside_boundary_empty(self):
+        cells = [np.array([[0, 0], [5, 0], [5, 5], [0, 5]], dtype=float)]
+        disc = regular_polygon(80, 80, 10, 32).exterior
+        clipped = clip_cells_to_boundary(cells, disc)
+        assert len(clipped[0]) == 0

@@ -1,0 +1,114 @@
+"""Tests for uniform grid indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BBox, regular_polygon
+from repro.index import PointGridIndex, PolygonGridIndex
+
+BOX = BBox(0, 0, 100, 100)
+
+
+def _points(n=2000, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.uniform(0, 100, n), gen.uniform(0, 100, n)
+
+
+def _brute_bbox(x, y, q):
+    return np.flatnonzero((x >= q.xmin) & (x <= q.xmax)
+                          & (y >= q.ymin) & (y <= q.ymax))
+
+
+class TestPointGridIndex:
+    def test_candidates_superset_of_exact(self):
+        x, y = _points()
+        idx = PointGridIndex(x, y, BOX, nx=16, ny=16)
+        q = BBox(20, 20, 45, 60)
+        cand = set(idx.query_bbox(q).tolist())
+        exact = set(_brute_bbox(x, y, q).tolist())
+        assert exact <= cand
+
+    def test_exact_query_matches_brute_force(self):
+        x, y = _points(seed=1)
+        idx = PointGridIndex(x, y, BOX, nx=16, ny=16)
+        for q in [BBox(0, 0, 100, 100), BBox(10, 10, 10.5, 10.5),
+                  BBox(99, 99, 100, 100), BBox(-50, -50, -10, -10)]:
+            got = np.sort(idx.query_bbox_exact(q))
+            want = _brute_bbox(x, y, q)
+            assert (got == want).all()
+
+    def test_all_points_bucketed_once(self):
+        x, y = _points(seed=2)
+        idx = PointGridIndex(x, y, BOX, nx=8, ny=8)
+        everything = idx.query_bbox(BOX)
+        assert len(everything) == len(x)
+        assert len(set(everything.tolist())) == len(x)
+
+    def test_cell_points_partition(self):
+        x, y = _points(200, seed=3)
+        idx = PointGridIndex(x, y, BOX, nx=4, ny=4)
+        seen = []
+        for iy in range(4):
+            for ix in range(4):
+                seen.extend(idx.cell_points(ix, iy).tolist())
+        assert sorted(seen) == list(range(200))
+
+    def test_cell_of_clamps(self):
+        x, y = _points(10)
+        idx = PointGridIndex(x, y, BOX, nx=4, ny=4)
+        assert idx.cell_of(-100, -100) == (0, 0)
+        assert idx.cell_of(1e9, 1e9) == (3, 3)
+
+    def test_invalid_resolution(self):
+        x, y = _points(10)
+        with pytest.raises(GeometryError):
+            PointGridIndex(x, y, BOX, nx=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0, 90), st.floats(0, 90), st.floats(0.1, 50),
+           st.floats(0.1, 50), st.integers(1, 40))
+    def test_exact_query_property(self, x0, y0, w, h, res):
+        x, y = _points(500, seed=4)
+        idx = PointGridIndex(x, y, BOX, nx=res, ny=res)
+        q = BBox(x0, y0, x0 + w, y0 + h)
+        got = np.sort(idx.query_bbox_exact(q))
+        assert (got == _brute_bbox(x, y, q)).all()
+
+
+class TestPolygonGridIndex:
+    def _regions(self):
+        return [regular_polygon(25, 25, 20, 8),
+                regular_polygon(70, 70, 15, 5),
+                regular_polygon(50, 20, 10, 6)]
+
+    def test_candidates_cover_containing_polygons(self):
+        geoms = self._regions()
+        idx = PolygonGridIndex(geoms, BOX, nx=16, ny=16)
+        gen = np.random.default_rng(5)
+        pts = gen.uniform(0, 100, size=(500, 2))
+        for px, py in pts:
+            cand = set(idx.candidates_at(px, py).tolist())
+            for gid, geom in enumerate(geoms):
+                if geom.contains_point(px, py):
+                    assert gid in cand
+
+    def test_stats(self):
+        idx = PolygonGridIndex(self._regions(), BOX, nx=8, ny=8)
+        stats = idx.stats()
+        assert stats["cells"] == 64
+        assert stats["max_candidates"] >= 1
+        assert 0 <= stats["empty_cells"] < 64
+
+    def test_cell_ids_of_points(self):
+        idx = PolygonGridIndex(self._regions(), BOX, nx=4, ny=4)
+        ids = idx.cell_ids_of_points(np.array([0.0, 99.0]),
+                                     np.array([0.0, 99.0]))
+        assert ids.tolist() == [0, 15]
+
+    def test_geometry_outside_box_ignored(self):
+        far = regular_polygon(500, 500, 10, 4)
+        idx = PolygonGridIndex([far], BOX, nx=4, ny=4)
+        assert idx.stats()["max_candidates"] == 0

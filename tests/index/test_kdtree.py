@@ -1,0 +1,93 @@
+"""Tests for the k-d tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BBox
+from repro.index import KDTree
+
+
+def _points(n=2000, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.uniform(0, 100, size=(n, 2))
+
+
+def _brute_bbox(pts, q):
+    return set(np.flatnonzero(
+        (pts[:, 0] >= q.xmin) & (pts[:, 0] <= q.xmax)
+        & (pts[:, 1] >= q.ymin) & (pts[:, 1] <= q.ymax)).tolist())
+
+
+def _brute_nearest(pts, x, y):
+    d2 = ((pts - np.array([x, y])) ** 2).sum(axis=1)
+    return int(np.argmin(d2)), float(np.sqrt(d2.min()))
+
+
+class TestRangeQueries:
+    def test_matches_brute_force(self):
+        pts = _points()
+        tree = KDTree(pts, leaf_size=16)
+        for q in [BBox(10, 10, 30, 60), BBox(0, 0, 100, 100),
+                  BBox(50, 50, 50.5, 50.5), BBox(200, 200, 300, 300)]:
+            assert set(tree.query_bbox(q).tolist()) == _brute_bbox(pts, q)
+
+    def test_count(self):
+        pts = _points(seed=1)
+        tree = KDTree(pts)
+        q = BBox(25, 25, 75, 75)
+        assert tree.count_bbox(q) == len(_brute_bbox(pts, q))
+
+    def test_duplicate_points(self):
+        pts = np.tile([[5.0, 5.0]], (100, 1))
+        tree = KDTree(pts, leaf_size=8)
+        assert tree.count_bbox(BBox(4, 4, 6, 6)) == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            KDTree(np.empty((0, 2)))
+
+    def test_bad_leaf_size(self):
+        with pytest.raises(GeometryError):
+            KDTree([[0.0, 0.0]], leaf_size=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 300), st.integers(1, 64),
+           st.floats(0, 90), st.floats(0, 90), st.floats(0.1, 50))
+    def test_range_property(self, n, leaf, qx, qy, size):
+        pts = _points(n, seed=n + 3)
+        tree = KDTree(pts, leaf_size=leaf)
+        q = BBox(qx, qy, qx + size, qy + size)
+        assert set(tree.query_bbox(q).tolist()) == _brute_bbox(pts, q)
+
+
+class TestNearest:
+    def test_nearest_matches_brute_force(self):
+        pts = _points(500, seed=2)
+        tree = KDTree(pts, leaf_size=8)
+        gen = np.random.default_rng(3)
+        for qx, qy in gen.uniform(-10, 110, size=(50, 2)):
+            got_id, got_d = tree.nearest(qx, qy)
+            want_id, want_d = _brute_nearest(pts, qx, qy)
+            assert got_d == pytest.approx(want_d)
+            # Ties possible; distances must match exactly.
+            d_got = np.hypot(*(pts[got_id] - [qx, qy]))
+            assert d_got == pytest.approx(want_d)
+
+    def test_nearest_of_member_is_itself(self):
+        pts = _points(100, seed=4)
+        tree = KDTree(pts)
+        gid, d = tree.nearest(*pts[42])
+        assert d == pytest.approx(0.0)
+        assert (pts[gid] == pts[42]).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200), st.floats(-20, 120), st.floats(-20, 120))
+    def test_nearest_property(self, n, qx, qy):
+        pts = _points(n, seed=n + 31)
+        tree = KDTree(pts, leaf_size=4)
+        _, got_d = tree.nearest(qx, qy)
+        _, want_d = _brute_nearest(pts, qx, qy)
+        assert got_d == pytest.approx(want_d)

@@ -1,0 +1,69 @@
+"""Tests for the PR quadtree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BBox
+from repro.index import QuadTree
+
+BOX = BBox(0, 0, 100, 100)
+
+
+def _points(n=2000, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.uniform(0, 100, n), gen.uniform(0, 100, n)
+
+
+def _brute(x, y, q):
+    return set(np.flatnonzero(
+        (x >= q.xmin) & (x <= q.xmax)
+        & (y >= q.ymin) & (y <= q.ymax)).tolist())
+
+
+class TestQuadTree:
+    def test_query_matches_brute_force(self):
+        x, y = _points()
+        tree = QuadTree(x, y, BOX, capacity=64)
+        for q in [BBox(10, 10, 35, 35), BBox(0, 0, 100, 100),
+                  BBox(49.9, 49.9, 50.1, 50.1)]:
+            assert set(tree.query_bbox(q).tolist()) == _brute(x, y, q)
+
+    def test_skewed_data_splits_deeper(self):
+        gen = np.random.default_rng(1)
+        # Hotspot in a corner.
+        x = np.abs(gen.normal(5, 2, 5000)).clip(0, 100)
+        y = np.abs(gen.normal(5, 2, 5000)).clip(0, 100)
+        tree = QuadTree(x, y, BOX, capacity=64, max_depth=10)
+        assert tree.depth() >= 3
+
+    def test_max_depth_respected(self):
+        x = np.full(1000, 50.0)
+        y = np.full(1000, 50.0)
+        tree = QuadTree(x, y, BOX, capacity=4, max_depth=5)
+        assert tree.depth() <= 5
+        assert tree.count_bbox(BBox(49, 49, 51, 51)) == 1000
+
+    def test_capacity_validation(self):
+        x, y = _points(10)
+        with pytest.raises(GeometryError):
+            QuadTree(x, y, BOX, capacity=0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(GeometryError):
+            QuadTree([1.0], [1.0, 2.0], BOX)
+
+    def test_num_leaves_at_least_one(self):
+        x, y = _points(10)
+        assert QuadTree(x, y, BOX).num_leaves() >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 400), st.integers(1, 128),
+           st.floats(0, 90), st.floats(0, 90), st.floats(0.1, 60))
+    def test_query_property(self, n, cap, qx, qy, size):
+        x, y = _points(n, seed=n + 17)
+        tree = QuadTree(x, y, BOX, capacity=cap)
+        q = BBox(qx, qy, qx + size, qy + size)
+        assert set(tree.query_bbox(q).tolist()) == _brute(x, y, q)

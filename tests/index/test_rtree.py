@@ -1,0 +1,87 @@
+"""Tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BBox, regular_polygon
+from repro.index import RTree
+
+
+def _points(n=3000, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.uniform(0, 100, n), gen.uniform(0, 100, n)
+
+
+def _brute_points(x, y, q):
+    return set(np.flatnonzero(
+        (x >= q.xmin) & (x <= q.xmax)
+        & (y >= q.ymin) & (y <= q.ymax)).tolist())
+
+
+class TestPointRTree:
+    def test_query_matches_brute_force(self):
+        x, y = _points()
+        tree = RTree.from_points(x, y, leaf_capacity=32)
+        for q in [BBox(10, 10, 30, 40), BBox(0, 0, 100, 100),
+                  BBox(50, 50, 50.1, 50.1), BBox(-10, -10, -1, -1)]:
+            assert set(tree.query_bbox(q).tolist()) == _brute_points(x, y, q)
+
+    def test_count(self):
+        x, y = _points(seed=1)
+        tree = RTree.from_points(x, y)
+        q = BBox(25, 25, 75, 75)
+        assert tree.count_bbox(q) == len(_brute_points(x, y, q))
+
+    def test_single_point(self):
+        tree = RTree.from_points([5.0], [5.0])
+        assert set(tree.query_bbox(BBox(0, 0, 10, 10)).tolist()) == {0}
+        assert tree.count_bbox(BBox(6, 6, 10, 10)) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            RTree(np.empty((0, 4)))
+
+    def test_bad_capacity(self):
+        with pytest.raises(GeometryError):
+            RTree.from_points([1.0], [1.0], leaf_capacity=1)
+
+    def test_malformed_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            RTree(np.array([[1.0, 0.0, 0.0, 1.0]]))
+
+    def test_height_grows_with_size(self):
+        x, y = _points(10_000, seed=2)
+        tree = RTree.from_points(x, y, leaf_capacity=16)
+        assert tree.height >= 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 500), st.integers(2, 64),
+           st.floats(0, 90), st.floats(0, 90),
+           st.floats(0.01, 50), st.floats(0.01, 50))
+    def test_query_property(self, n, cap, qx, qy, w, h):
+        x, y = _points(n, seed=n)
+        tree = RTree.from_points(x, y, leaf_capacity=cap)
+        q = BBox(qx, qy, qx + w, qy + h)
+        assert set(tree.query_bbox(q).tolist()) == _brute_points(x, y, q)
+
+
+class TestGeometryRTree:
+    def test_from_geometries(self):
+        geoms = [regular_polygon(20, 20, 10, 6),
+                 regular_polygon(70, 70, 10, 6),
+                 regular_polygon(20, 70, 10, 6)]
+        tree = RTree.from_geometries(geoms)
+        hits = set(tree.query_bbox(BBox(10, 10, 30, 30)).tolist())
+        assert hits == {0}
+        hits_all = set(tree.query_bbox(BBox(0, 0, 100, 100)).tolist())
+        assert hits_all == {0, 1, 2}
+
+    def test_overlapping_rects(self):
+        rects = np.array([[0, 0, 10, 10], [5, 5, 15, 15], [20, 20, 30, 30]],
+                         dtype=float)
+        tree = RTree(rects, leaf_capacity=2)
+        hits = set(tree.query_bbox(BBox(7, 7, 8, 8)).tolist())
+        assert hits == {0, 1}

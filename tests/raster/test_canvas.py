@@ -1,0 +1,138 @@
+"""Tests for canvases, blending and pixel buckets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.raster import (
+    PixelBuckets,
+    gather_reduce,
+    gather_sum,
+    scatter_count,
+    scatter_max,
+    scatter_min,
+    scatter_sum,
+)
+
+
+class TestScatter:
+    def test_count(self):
+        ids = np.array([0, 1, 1, 3])
+        canvas = scatter_count(ids, 5)
+        assert canvas.tolist() == [1, 2, 0, 1, 0]
+
+    def test_sum(self):
+        ids = np.array([0, 1, 1])
+        canvas = scatter_sum(ids, np.array([1.0, 2.0, 3.0]), 3)
+        assert canvas.tolist() == [1.0, 5.0, 0.0]
+
+    def test_sum_length_mismatch(self):
+        with pytest.raises(ExecutionError):
+            scatter_sum(np.array([0]), np.array([1.0, 2.0]), 3)
+
+    def test_min_max(self):
+        ids = np.array([0, 0, 2])
+        vals = np.array([5.0, 3.0, 7.0])
+        mn = scatter_min(ids, vals, 3)
+        mx = scatter_max(ids, vals, 3)
+        assert mn[0] == 3.0 and mx[0] == 5.0
+        assert mn[1] == np.inf and mx[1] == -np.inf
+        assert mn[2] == 7.0 and mx[2] == 7.0
+
+    def test_empty_inputs(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert scatter_count(empty, 4).tolist() == [0, 0, 0, 0]
+        assert (scatter_min(empty, np.empty(0), 2) == np.inf).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 19),
+                              st.floats(-100, 100)), max_size=200))
+    def test_scatter_matches_groupby(self, pairs):
+        ids = np.array([p[0] for p in pairs], dtype=np.int64)
+        vals = np.array([p[1] for p in pairs])
+        got_sum = scatter_sum(ids, vals, 20)
+        got_min = scatter_min(ids, vals, 20)
+        got_max = scatter_max(ids, vals, 20)
+        for pix in range(20):
+            sel = vals[ids == pix]
+            assert got_sum[pix] == pytest.approx(
+                sel.sum() if len(sel) else 0.0, abs=1e-8)
+            assert got_min[pix] == (sel.min() if len(sel) else np.inf)
+            assert got_max[pix] == (sel.max() if len(sel) else -np.inf)
+
+
+class TestGather:
+    def test_gather_sum_groups(self):
+        canvas = np.array([1.0, 2.0, 3.0, 4.0])
+        pix = np.array([0, 1, 2, 3])
+        groups = np.array([0, 0, 1, 1])
+        out = gather_sum(canvas, pix, groups, 2)
+        assert out.tolist() == [3.0, 7.0]
+
+    def test_gather_sum_empty(self):
+        out = gather_sum(np.zeros(4), np.empty(0, np.int64),
+                         np.empty(0, np.int64), 3)
+        assert out.tolist() == [0, 0, 0]
+
+    def test_gather_reduce_skips_fill(self):
+        canvas = np.array([np.inf, 5.0, 2.0])
+        pix = np.array([0, 1, 2])
+        groups = np.array([0, 0, 1])
+        out = gather_reduce(canvas, pix, groups, 2, np.minimum, np.inf)
+        assert out[0] == 5.0  # the inf pixel (no data) is skipped
+        assert out[1] == 2.0
+
+    def test_gather_reduce_all_fill(self):
+        canvas = np.full(3, np.inf)
+        out = gather_reduce(canvas, np.array([0, 1]), np.array([0, 0]),
+                            1, np.minimum, np.inf)
+        assert out[0] == np.inf
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            gather_sum(np.zeros(4), np.array([0]), np.array([0, 1]), 2)
+
+
+class TestPixelBuckets:
+    def test_points_in_pixel(self):
+        ids = np.array([3, 1, 3, 0, 3])
+        buckets = PixelBuckets(ids, 5)
+        assert set(buckets.points_in_pixel(3).tolist()) == {0, 2, 4}
+        assert buckets.points_in_pixel(2).tolist() == []
+
+    def test_points_in_pixels_vectorized(self):
+        gen = np.random.default_rng(0)
+        ids = gen.integers(0, 50, 1000)
+        buckets = PixelBuckets(ids, 50)
+        query = np.array([3, 7, 49])
+        got = set(buckets.points_in_pixels(query).tolist())
+        want = set(np.flatnonzero(np.isin(ids, query)).tolist())
+        assert got == want
+
+    def test_counts_in_pixels(self):
+        ids = np.array([0, 0, 1])
+        buckets = PixelBuckets(ids, 3)
+        counts = buckets.counts_in_pixels(np.array([0, 1, 2]))
+        assert counts.tolist() == [2, 1, 0]
+
+    def test_custom_point_ids(self):
+        ids = np.array([1, 1])
+        buckets = PixelBuckets(ids, 2, point_ids=np.array([10, 20]))
+        assert set(buckets.points_in_pixel(1).tolist()) == {10, 20}
+
+    def test_empty_query(self):
+        buckets = PixelBuckets(np.array([0]), 1)
+        assert len(buckets.points_in_pixels(np.empty(0, np.int64))) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 30), max_size=300),
+           st.lists(st.integers(0, 30), max_size=10))
+    def test_bucket_property(self, ids_list, query_list):
+        ids = np.array(ids_list, dtype=np.int64)
+        buckets = PixelBuckets(ids, 31)
+        query = np.unique(np.array(query_list, dtype=np.int64))
+        got = sorted(buckets.points_in_pixels(query).tolist())
+        want = sorted(np.flatnonzero(np.isin(ids, query)).tolist())
+        assert got == want

@@ -1,0 +1,90 @@
+"""Tests for fragment-table assembly."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BBox, Polygon, regular_polygon
+from repro.raster import Viewport, build_fragment_table
+
+VP = Viewport(BBox(0, 0, 100, 100), 128, 128)
+
+
+def _geoms():
+    return [
+        regular_polygon(30, 30, 20, 8),
+        regular_polygon(70, 70, 18, 5),
+        Polygon([[10, 60], [40, 60], [40, 95], [10, 95]]),
+    ]
+
+
+class TestFragmentTable:
+    def test_ids_aligned(self):
+        table = build_fragment_table(_geoms(), VP)
+        assert table.num_polygons == 3
+        assert len(table.interior_pixels) == len(table.interior_polys)
+        assert len(table.boundary_pixels) == len(table.boundary_polys)
+        assert (len(table.covered_boundary_pixels)
+                == len(table.covered_boundary_polys))
+
+    def test_poly_ids_in_range(self):
+        table = build_fragment_table(_geoms(), VP)
+        for polys in (table.interior_polys, table.boundary_polys,
+                      table.covered_boundary_polys):
+            if len(polys):
+                assert polys.min() >= 0
+                assert polys.max() < 3
+
+    def test_covered_boundary_subset_of_boundary(self):
+        table = build_fragment_table(_geoms(), VP)
+        for gid in range(3):
+            cb = set(table.covered_boundary_pixels[
+                table.covered_boundary_polys == gid].tolist())
+            b = set(table.boundary_pixels[
+                table.boundary_polys == gid].tolist())
+            assert cb <= b
+
+    def test_interior_disjoint_from_boundary_per_polygon(self):
+        table = build_fragment_table(_geoms(), VP)
+        for gid in range(3):
+            inter = set(table.interior_pixels[
+                table.interior_polys == gid].tolist())
+            bound = set(table.boundary_pixels[
+                table.boundary_polys == gid].tolist())
+            assert not inter & bound
+
+    def test_interior_plus_covered_boundary_is_coverage(self):
+        from repro.raster import coverage_fragments
+
+        geoms = _geoms()
+        table = build_fragment_table(geoms, VP)
+        for gid, geom in enumerate(geoms):
+            inter = set(table.interior_pixels[
+                table.interior_polys == gid].tolist())
+            cb = set(table.covered_boundary_pixels[
+                table.covered_boundary_polys == gid].tolist())
+            assert inter | cb == set(coverage_fragments(geom, VP).tolist())
+
+    def test_empty_geometry_list(self):
+        table = build_fragment_table([], VP)
+        assert table.num_polygons == 0
+        assert table.num_interior_fragments == 0
+
+    def test_offscreen_geometry_contributes_nothing(self):
+        table = build_fragment_table(
+            [regular_polygon(1000, 1000, 5, 4)], VP)
+        assert table.num_interior_fragments == 0
+        assert table.num_boundary_fragments == 0
+
+    def test_fragment_counts_property(self):
+        table = build_fragment_table(_geoms(), VP)
+        assert table.num_interior_fragments == len(table.interior_pixels)
+        assert table.num_boundary_fragments == len(table.boundary_pixels)
+
+    def test_overlapping_polygons_each_get_fragments(self):
+        geoms = [regular_polygon(50, 50, 20, 8),
+                 regular_polygon(55, 50, 20, 8)]  # overlap
+        table = build_fragment_table(geoms, VP)
+        shared_interior = (
+            set(table.interior_pixels[table.interior_polys == 0].tolist())
+            & set(table.interior_pixels[table.interior_polys == 1].tolist()))
+        assert shared_interior  # overlap pixels appear for both ids

@@ -1,0 +1,218 @@
+"""Tests of the scanline rasterizer — the pipeline's load-bearing wall.
+
+Two invariants everything upstream relies on:
+
+1. *Coverage correctness*: a pixel is in ``coverage_fragments`` iff its
+   center is inside the geometry (matches the exact point-in-polygon
+   predicate).
+2. *Boundary conservativeness*: every pixel that intersects the
+   geometry's boundary is in ``boundary_pixels`` (the accurate join's
+   exactness depends on this).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    BBox,
+    MultiPolygon,
+    Polygon,
+    regular_polygon,
+    triangulate_ring_vertices,
+)
+from repro.raster import (
+    Viewport,
+    boundary_pixels,
+    coverage_fragments,
+    rasterize_polygon,
+    rasterize_triangles,
+)
+
+VP = Viewport(BBox(0, 0, 100, 100), 100, 100)
+
+
+def _centers(viewport):
+    ix, iy = np.meshgrid(np.arange(viewport.width),
+                         np.arange(viewport.height))
+    xs, ys = viewport.pixel_center(ix.ravel(), iy.ravel())
+    return np.column_stack([xs, ys])
+
+
+def _coverage_truth(geom, viewport):
+    centers = _centers(viewport)
+    mask = geom.contains_points(centers)
+    return set(np.flatnonzero(mask).tolist())
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("geom", [
+        regular_polygon(50, 50, 30, 3),
+        regular_polygon(50, 50, 30, 7),
+        regular_polygon(20, 80, 15, 12),
+        Polygon([[5, 5], [95, 5], [95, 95], [50, 50], [5, 95]]),
+        Polygon([[10, 10], [90, 10], [90, 90], [10, 90]],
+                holes=[[[40, 40], [60, 40], [60, 60], [40, 60]]]),
+        MultiPolygon((regular_polygon(25, 25, 15, 6),
+                      regular_polygon(75, 75, 15, 6))),
+    ])
+    def test_matches_pixel_center_classification(self, geom):
+        got = set(coverage_fragments(geom, VP).tolist())
+        want = _coverage_truth(geom, VP)
+        assert got == want
+
+    def test_no_duplicate_fragments(self):
+        geom = regular_polygon(50, 50, 40, 9)
+        frags = coverage_fragments(geom, VP)
+        assert len(frags) == len(set(frags.tolist()))
+
+    def test_offscreen_polygon_empty(self):
+        geom = regular_polygon(500, 500, 10, 6)
+        assert len(coverage_fragments(geom, VP)) == 0
+
+    def test_partially_offscreen_clipped(self):
+        geom = regular_polygon(0, 0, 30, 8)
+        frags = coverage_fragments(geom, VP)
+        assert len(frags) > 0
+        assert set(frags.tolist()) == _coverage_truth(geom, VP)
+
+    def test_tiny_polygon_smaller_than_pixel(self):
+        geom = Polygon([[50.1, 50.1], [50.3, 50.1], [50.3, 50.3],
+                        [50.1, 50.3]])
+        got = set(coverage_fragments(geom, VP).tolist())
+        assert got == _coverage_truth(geom, VP)  # usually empty
+
+    def test_fragment_count_tracks_area(self):
+        geom = regular_polygon(50, 50, 30, 64)
+        frags = coverage_fragments(geom, VP)
+        # Pixel area is 1: fragment count ~ polygon area within 5%.
+        assert len(frags) == pytest.approx(geom.area, rel=0.05)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(10, 90), st.floats(10, 90), st.floats(1, 40),
+           st.integers(3, 16))
+    def test_coverage_property(self, cx, cy, r, sides):
+        geom = regular_polygon(cx, cy, r, sides)
+        got = set(coverage_fragments(geom, VP).tolist())
+        assert got == _coverage_truth(geom, VP)
+
+
+class TestBoundary:
+    @pytest.mark.parametrize("geom", [
+        regular_polygon(50, 50, 30, 5),
+        Polygon([[5, 5], [95, 5], [95, 95], [50, 50], [5, 95]]),
+        Polygon([[10, 10], [90, 10], [90, 90], [10, 90]],
+                holes=[[[40, 40], [60, 40], [60, 60], [40, 60]]]),
+    ])
+    def test_conservative_cover(self, geom):
+        """Every pixel containing a boundary sample is marked."""
+        marked = set(boundary_pixels(geom, VP).tolist())
+        # Dense independent sampling of the boundary (finer than the
+        # rasterizer's own step).
+        for ring in geom.rings():
+            closed = np.vstack([ring, ring[:1]])
+            for a, b in zip(closed[:-1], closed[1:]):
+                t = np.linspace(0, 1, 400)[:, None]
+                pts = a[None, :] * (1 - t) + b[None, :] * t
+                ids, valid = VP.pixel_ids_of(pts[:, 0], pts[:, 1])
+                assert set(ids[valid].tolist()) <= marked
+
+    def test_boundary_ring_shaped(self):
+        geom = regular_polygon(50, 50, 30, 32)
+        marked = boundary_pixels(geom, VP)
+        # Should be ~ perimeter * 3 pixels (3x3 dilation), far less than
+        # the full disc area.
+        assert len(marked) < 0.6 * geom.area
+        assert len(marked) > geom.perimeter / VP.pixel_width
+
+    def test_interior_excludes_boundary(self):
+        geom = regular_polygon(50, 50, 30, 8)
+        interior, boundary = rasterize_polygon(geom, VP)
+        assert not set(interior.tolist()) & set(boundary.tolist())
+
+    def test_interior_pixels_fully_inside(self):
+        """All four corners of every interior pixel are inside."""
+        geom = regular_polygon(50, 50, 30, 8)
+        interior, _ = rasterize_polygon(geom, VP)
+        rows = interior // VP.width
+        cols = interior % VP.width
+        for dx in (0.0, 1.0):
+            for dy in (0.0, 1.0):
+                xs = VP.bbox.xmin + (cols + dx) * VP.pixel_width
+                ys = VP.bbox.ymin + (rows + dy) * VP.pixel_height
+                # Nudge corners inward a hair to dodge exact-edge ties.
+                xs = xs + (0.5 - dx) * 1e-9
+                ys = ys + (0.5 - dy) * 1e-9
+                assert geom.contains_points(
+                    np.column_stack([xs, ys])).all()
+
+
+class TestBoundaryVariants:
+    """The exact grid-traversal boundary vs. the sampled+dilated one."""
+
+    GEOMS = [
+        regular_polygon(50, 50, 30, 5),
+        Polygon([[5, 5], [95, 5], [95, 95], [50, 50], [5, 95]]),
+        Polygon([[10, 10], [90, 10], [90, 90], [10, 90]],
+                holes=[[[40, 40], [60, 40], [60, 60], [40, 60]]]),
+    ]
+
+    @pytest.mark.parametrize("geom", GEOMS)
+    def test_exact_subset_of_sampled(self, geom):
+        from repro.raster import boundary_pixels_sampled
+
+        exact = set(boundary_pixels(geom, VP).tolist())
+        sampled = set(boundary_pixels_sampled(geom, VP).tolist())
+        assert exact <= sampled
+        assert len(exact) < len(sampled)  # meaningfully tighter
+
+    @pytest.mark.parametrize("geom", GEOMS)
+    def test_exact_still_conservative(self, geom):
+        marked = set(boundary_pixels(geom, VP).tolist())
+        for ring in geom.rings():
+            closed = np.vstack([ring, ring[:1]])
+            for a, b in zip(closed[:-1], closed[1:]):
+                t = np.linspace(0, 1, 600)[:, None]
+                pts = a[None, :] * (1 - t) + b[None, :] * t
+                ids, valid = VP.pixel_ids_of(pts[:, 0], pts[:, 1])
+                assert set(ids[valid].tolist()) <= marked
+
+    def test_edge_exactly_on_gridline_marks_both_sides(self):
+        # Square whose left edge runs exactly along pixel column edge
+        # x=20 (pixel width is 1): both column 19 and 20 are boundary.
+        geom = Polygon([[20, 20], [40, 20], [40, 40], [20, 40]])
+        marked = boundary_pixels(geom, VP)
+        cols = set((marked % VP.width).tolist())
+        assert {19, 20, 39, 40} <= cols
+        rows = set((marked // VP.width).tolist())
+        assert {19, 20, 39, 40} <= rows
+
+    def test_vertex_on_grid_cross_marks_diagonal(self):
+        # Triangle with a vertex exactly at grid cross (30, 30): the
+        # pixel diagonally below-left (29, 29) is touched at its corner.
+        geom = Polygon([[30, 30], [45, 32], [37, 45]])
+        marked = set(boundary_pixels(geom, VP).tolist())
+        assert 29 * VP.width + 29 in marked
+
+    def test_diagonal_edge_cover_count(self):
+        # A diagonal unit-slope segment crosses ~2 pixels per cell step;
+        # exact traversal should mark ~2n pixels, not ~9n like dilation.
+        geom = Polygon([[10.5, 10.5], [60.5, 60.5], [10.6, 60.5]])
+        exact = boundary_pixels(geom, VP)
+        # Perimeter ~ 170 world units / 1 unit pixels -> < 3 px per unit.
+        assert len(exact) < 3 * geom.perimeter
+
+
+class TestTriangleRaster:
+    def test_triangulated_matches_direct(self):
+        """The GPU path (tessellate + rasterize) covers the same pixels
+        as direct scanline, up to edge-tie pixels."""
+        geom = regular_polygon(50, 50, 35, 11)
+        direct = set(coverage_fragments(geom, VP).tolist())
+        tris = triangulate_ring_vertices(geom.exterior)
+        via_tris = set(rasterize_triangles(tris, VP).tolist())
+        # Tie pixels sit exactly on internal triangle edges; allow a
+        # whisker of slack proportional to the perimeter.
+        slack = int(geom.perimeter / VP.pixel_width * 0.05) + 8
+        assert len(direct ^ via_tris) <= slack

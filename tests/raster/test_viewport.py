@@ -1,0 +1,102 @@
+"""Tests for the world->pixel transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BBox
+from repro.raster import Viewport
+
+
+class TestConstruction:
+    def test_fit_long_axis(self):
+        vp = Viewport.fit(BBox(0, 0, 200, 100), 512)
+        assert vp.width == 512
+        assert vp.height == pytest.approx(256, abs=1)
+
+    def test_fit_tall(self):
+        vp = Viewport.fit(BBox(0, 0, 100, 200), 512)
+        assert vp.height == 512
+
+    def test_invalid_dims(self):
+        with pytest.raises(GeometryError):
+            Viewport(BBox(0, 0, 1, 1), 0, 10)
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Viewport(BBox(0, 0, 0, 1), 10, 10)
+
+    def test_pixel_sizes(self):
+        vp = Viewport(BBox(0, 0, 100, 50), 100, 50)
+        assert vp.pixel_width == pytest.approx(1.0)
+        assert vp.pixel_height == pytest.approx(1.0)
+        assert vp.pixel_diag == pytest.approx(np.sqrt(2))
+        assert vp.num_pixels == 5000
+
+
+class TestTransforms:
+    def test_pixel_of_center_convention(self):
+        vp = Viewport(BBox(0, 0, 10, 10), 10, 10)
+        ix, iy = vp.pixel_of(0.5, 9.5)
+        assert (ix, iy) == (0, 9)
+
+    def test_pixel_ids_validity(self):
+        vp = Viewport(BBox(0, 0, 10, 10), 10, 10)
+        ids, valid = vp.pixel_ids_of(
+            np.array([5.0, -1.0, 10.5]), np.array([5.0, 5.0, 5.0]))
+        assert valid.tolist() == [True, False, False]
+        assert ids[0] == 5 * 10 + 5
+
+    def test_max_edge_points_inside_after_fit(self):
+        """Viewport.fit pads the box so boundary points stay valid."""
+        box = BBox(0, 0, 10, 10)
+        vp = Viewport.fit(box, 64)
+        ids, valid = vp.pixel_ids_of(np.array([10.0, 0.0]),
+                                     np.array([10.0, 0.0]))
+        assert valid.all()
+
+    def test_pixel_center_round_trip(self):
+        vp = Viewport(BBox(0, 0, 16, 16), 16, 16)
+        xs, ys = vp.pixel_center(np.arange(16), np.arange(16))
+        ix, iy = vp.pixel_of(xs, ys)
+        assert (ix == np.arange(16)).all()
+        assert (iy == np.arange(16)).all()
+
+    def test_pixel_bbox(self):
+        vp = Viewport(BBox(0, 0, 10, 10), 10, 10)
+        pb = vp.pixel_bbox(3, 7)
+        assert pb.as_tuple() == (3, 7, 4, 8)
+
+    def test_row_col_of_id(self):
+        vp = Viewport(BBox(0, 0, 10, 10), 10, 10)
+        pid = np.array([37])
+        assert vp.row_of_id(pid)[0] == 3
+        assert vp.col_of_id(pid)[0] == 7
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.001, 1000), st.floats(0.001, 1000),
+           st.integers(1, 256))
+    def test_every_inside_point_gets_valid_pixel(self, w, h, res):
+        vp = Viewport.fit(BBox(0, 0, w, h), res)
+        gen = np.random.default_rng(0)
+        x = gen.uniform(0, w, 100)
+        y = gen.uniform(0, h, 100)
+        _, valid = vp.pixel_ids_of(x, y)
+        assert valid.all()
+
+
+class TestNavigation:
+    def test_zoom_halves_window(self):
+        vp = Viewport(BBox(0, 0, 100, 100), 10, 10)
+        z = vp.zoom(0.5)
+        assert z.bbox.width == pytest.approx(50)
+        assert z.bbox.center == vp.bbox.center
+        assert (z.width, z.height) == (10, 10)
+
+    def test_pan_by_pixels(self):
+        vp = Viewport(BBox(0, 0, 100, 100), 10, 10)
+        p = vp.pan(2, -1)
+        assert p.bbox.xmin == pytest.approx(20)
+        assert p.bbox.ymin == pytest.approx(-10)

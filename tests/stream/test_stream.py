@@ -1,0 +1,212 @@
+"""Tests for the append-only point stream."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpatialAggregation,
+    SpatialAggregationEngine,
+    region_time_matrix,
+)
+from repro.data import CityModel, generate_social_posts, voronoi_regions
+from repro.errors import QueryError, SchemaError
+from repro.stream import PointStream
+from repro.table import F, PointTable, timestamp_column
+
+
+@pytest.fixture(scope="module")
+def stream_city():
+    return CityModel(seed=21)
+
+
+@pytest.fixture(scope="module")
+def stream_regions(stream_city):
+    return voronoi_regions(stream_city, 30, name="stream-regions")
+
+
+def _batches(city, n=40_000, parts=8, seed=5, **kwargs):
+    """A social feed split into sequential batches."""
+    table, bursts = generate_social_posts(city, n, seed=seed, **kwargs)
+    edges = np.linspace(0, len(table), parts + 1).astype(int)
+    batches = [table.take(np.arange(a, b))
+               for a, b in zip(edges[:-1], edges[1:])]
+    return table, batches, bursts
+
+
+class TestIngestion:
+    def test_append_accumulates(self, stream_city, stream_regions):
+        table, batches, __ = _batches(stream_city)
+        stream = PointStream(stream_regions, resolution=256)
+        total = 0
+        for batch in batches:
+            stats = stream.append(batch)
+            total += stats["rows"]
+        assert total == len(table)
+        assert len(stream) == len(table)
+        assert stream.last_timestamp == int(table.values("t").max())
+
+    def test_empty_batch_noop(self, stream_regions):
+        stream = PointStream(stream_regions)
+        stats = stream.append(PointTable.from_arrays(
+            [], [], t=timestamp_column("t", [])))
+        assert stats["rows"] == 0
+
+    def test_out_of_order_batch_rejected(self, stream_city, stream_regions):
+        __, batches, ___ = _batches(stream_city)
+        stream = PointStream(stream_regions)
+        stream.append(batches[1])
+        with pytest.raises(QueryError, match="before the last"):
+            stream.append(batches[0])
+
+    def test_unsorted_batch_rejected(self, stream_regions):
+        bad = PointTable.from_arrays(
+            [1.0, 2.0], [1.0, 2.0],
+            t=timestamp_column("t", [100, 50]))
+        stream = PointStream(stream_regions)
+        with pytest.raises(QueryError, match="non-decreasing"):
+            stream.append(bad)
+
+    def test_schema_mismatch_rejected(self, stream_city, stream_regions):
+        __, batches, ___ = _batches(stream_city)
+        stream = PointStream(stream_regions)
+        stream.append(batches[0])
+        alien = PointTable.from_arrays(
+            [1.0], [1.0], t=timestamp_column("t", [10**10]))
+        with pytest.raises(SchemaError):
+            stream.append(alien)
+
+    def test_empty_stream_has_no_table(self, stream_regions):
+        stream = PointStream(stream_regions)
+        with pytest.raises(QueryError):
+            stream.table()
+
+
+class TestIncrementalState:
+    def test_matrix_matches_batch_recompute(self, stream_city,
+                                            stream_regions):
+        """The incrementally maintained matrix equals a from-scratch
+        region_time_matrix over the full table."""
+        table, batches, __ = _batches(stream_city)
+        stream = PointStream(stream_regions, resolution=256,
+                             bucket_seconds=3_600)
+        for batch in batches:
+            stream.append(batch)
+        incremental = stream.matrix()
+        recomputed = region_time_matrix(
+            table, stream_regions, stream.viewport,
+            bucket_seconds=3_600, fragments=stream.fragments)
+        # Align bucket ranges (recompute may start later if the earliest
+        # rows fall outside every region).
+        inc = incremental.values
+        rec = recomputed.values
+        offset = int((recomputed.bucket_starts[0]
+                      - incremental.bucket_starts[0]) // 3_600)
+        assert offset >= 0
+        window = inc[:, offset:offset + rec.shape[1]]
+        assert window == pytest.approx(rec)
+        # Outside the aligned window everything must be zero.
+        assert inc[:, :offset].sum() == 0
+        assert inc[:, offset + rec.shape[1]:].sum() == 0
+
+    def test_window_queries_match_direct(self, stream_city, stream_regions):
+        table, batches, __ = _batches(stream_city)
+        stream = PointStream(stream_regions, resolution=256)
+        for batch in batches:
+            stream.append(batch)
+        tvals = table.values("t")
+        start = int(np.quantile(tvals, 0.3))
+        end = int(np.quantile(tvals, 0.6))
+
+        window = stream.window_table(start, end)
+        direct_mask = (tvals >= start) & (tvals < end)
+        assert len(window) == int(direct_mask.sum())
+
+        engine = SpatialAggregationEngine(default_resolution=256)
+        query = SpatialAggregation.count(F("topic") == "food")
+        got = engine.execute(window, stream_regions, query,
+                             method="accurate")
+        want = engine.execute(table.take(direct_mask), stream_regions,
+                              query, method="accurate")
+        assert got.values == pytest.approx(want.values)
+
+    def test_window_validation(self, stream_city, stream_regions):
+        __, batches, ___ = _batches(stream_city)
+        stream = PointStream(stream_regions)
+        stream.append(batches[0])
+        with pytest.raises(QueryError):
+            stream.window_table(100, 100)
+
+    def test_consolidation_transparent(self, stream_city, stream_regions):
+        table, batches, __ = _batches(stream_city, parts=5)
+        stream = PointStream(stream_regions)
+        for batch in batches:
+            stream.append(batch)
+        consolidated = stream.table()
+        assert len(consolidated) == len(table)
+        assert (consolidated.values("t") == table.values("t")).all()
+
+
+class TestHotRegions:
+    def test_planted_burst_detected(self, stream_city, stream_regions):
+        table, batches, bursts = _batches(stream_city, n=60_000,
+                                          num_bursts=1,
+                                          burst_fraction=0.2)
+        stream = PointStream(stream_regions, resolution=256,
+                             bucket_seconds=1_800)
+        burst = bursts[0]
+        # Feed everything up to just after the burst starts.
+        cutoff = burst.start + burst.duration_s // 2
+        tvals = table.values("t")
+        upto = table.take(np.arange(int(np.searchsorted(tvals, cutoff))))
+        stream.append(upto)
+        hot = stream.hot_regions(window_buckets=1, history_buckets=48,
+                                 min_rate=2.0)
+        assert hot, "burst not detected"
+        hot_names = [name for name, __ in hot]
+        # The region containing the burst center must be among the hits.
+        burst_region = None
+        for gid, geom in enumerate(stream_regions.geometries):
+            if geom.contains_point(burst.x, burst.y):
+                burst_region = stream_regions.region_names[gid]
+        assert burst_region is not None
+        assert burst_region in hot_names
+
+    def test_quiet_stream_no_hot_regions(self, stream_city, stream_regions):
+        table, __, ___ = _batches(stream_city, n=20_000, num_bursts=0,
+                                  burst_fraction=0.0)
+        stream = PointStream(stream_regions, bucket_seconds=3_600)
+        stream.append(table)
+        # Uniform-ish rhythm: nothing should double its own baseline.
+        assert stream.hot_regions(min_rate=3.0) == []
+
+    def test_too_little_history(self, stream_regions):
+        stream = PointStream(stream_regions)
+        assert stream.hot_regions() == []
+
+
+class TestSocialGenerator:
+    def test_sorted_and_schema(self, stream_city):
+        table, bursts = generate_social_posts(stream_city, 5000)
+        assert (np.diff(table.values("t")) >= 0).all()
+        assert set(table.column_names) == {"t", "topic", "engagement"}
+        assert len(bursts) == 3
+
+    def test_burst_fraction_validation(self, stream_city):
+        from repro.errors import DataGenerationError
+
+        with pytest.raises(DataGenerationError):
+            generate_social_posts(stream_city, 100, burst_fraction=1.5)
+
+    def test_bursts_localized(self, stream_city):
+        table, bursts = generate_social_posts(
+            stream_city, 30_000, num_bursts=2, burst_fraction=0.3, seed=9)
+        for burst in bursts:
+            tvals = table.values("t")
+            sel = ((tvals >= burst.start)
+                   & (tvals < burst.start + burst.duration_s))
+            # During the burst window, a large share of posts sit within
+            # 3 sigma of the burst center.
+            dx = table.x[sel] - burst.x
+            dy = table.y[sel] - burst.y
+            near = (np.hypot(dx, dy) < 3 * burst.sigma_m).mean()
+            assert near > 0.5

@@ -1,0 +1,107 @@
+"""Stateful property testing of the stream against a reference model.
+
+Hypothesis drives random sequences of appends and probes on a
+:class:`PointStream` while a plain-Python model keeps the ground truth
+(every ingested row).  Invariants checked after every step:
+
+* row counts agree with the model;
+* the incremental region x time matrix equals a recomputation from the
+  model's rows;
+* window queries return exactly the model's rows for that window.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import RegionSet, region_time_matrix
+from repro.geometry import regular_polygon
+from repro.stream import PointStream
+from repro.table import PointTable, timestamp_column
+
+REGIONS = RegionSet(
+    "machine",
+    [regular_polygon(25, 25, 15, 7),
+     regular_polygon(70, 65, 18, 5),
+     regular_polygon(30, 75, 12, 9)],
+    ["west", "east", "north"],
+)
+BUCKET = 500
+
+
+class StreamMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.stream = PointStream(REGIONS, resolution=128,
+                                  time_column="t", bucket_seconds=BUCKET)
+        self.clock = 0
+        self.model_x: list[float] = []
+        self.model_y: list[float] = []
+        self.model_t: list[int] = []
+
+    @rule(
+        n=st.integers(1, 200),
+        span=st.integers(0, 2_000),
+        seed=st.integers(0, 10_000),
+    )
+    def append_batch(self, n, span, seed):
+        gen = np.random.default_rng(seed)
+        x = gen.uniform(0, 100, n)
+        y = gen.uniform(0, 100, n)
+        t = np.sort(gen.integers(self.clock, self.clock + span + 1, n))
+        batch = PointTable.from_arrays(
+            x, y, t=timestamp_column("t", t))
+        self.stream.append(batch)
+        self.clock = int(t[-1])
+        self.model_x.extend(x.tolist())
+        self.model_y.extend(y.tolist())
+        self.model_t.extend(int(v) for v in t)
+
+    @rule(advance=st.integers(1, 5_000))
+    def advance_clock(self, advance):
+        self.clock += advance
+
+    @invariant()
+    def row_count_matches(self):
+        assert len(self.stream) == len(self.model_t)
+
+    @precondition(lambda self: self.model_t)
+    @invariant()
+    def matrix_matches_recompute(self):
+        model_table = PointTable.from_arrays(
+            np.array(self.model_x), np.array(self.model_y),
+            t=timestamp_column("t", np.array(self.model_t, dtype=np.int64)))
+        recomputed = region_time_matrix(
+            model_table, REGIONS, self.stream.viewport,
+            bucket_seconds=BUCKET, fragments=self.stream.fragments)
+        incremental = self.stream.matrix()
+        assert incremental.values.sum() == recomputed.values.sum()
+        # Align on bucket origin and compare the overlap.
+        offset = int((recomputed.bucket_starts[0]
+                      - incremental.bucket_starts[0]) // BUCKET)
+        if offset >= 0:
+            window = incremental.values[:, offset:offset
+                                        + recomputed.values.shape[1]]
+            np.testing.assert_allclose(window, recomputed.values)
+
+    @precondition(lambda self: self.model_t)
+    @invariant()
+    def window_query_matches_model(self):
+        tmax = max(self.model_t)
+        tmin = min(self.model_t)
+        mid = (tmin + tmax) // 2
+        window = self.stream.window_table(tmin, mid + 1)
+        model_count = sum(1 for v in self.model_t if tmin <= v < mid + 1)
+        assert len(window) == model_count
+
+
+StreamMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=8, deadline=None)
+TestStreamMachine = StreamMachine.TestCase

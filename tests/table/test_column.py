@@ -1,0 +1,107 @@
+"""Unit tests for typed columns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import (
+    CATEGORICAL,
+    NUMERIC,
+    TIMESTAMP,
+    Column,
+    categorical_column,
+    categorical_from_codes,
+    numeric_column,
+    timestamp_column,
+)
+
+
+class TestNumericColumn:
+    def test_construction_coerces_float64(self):
+        col = numeric_column("a", [1, 2, 3])
+        assert col.values.dtype == np.float64
+        assert col.kind == NUMERIC
+
+    def test_rejects_strings(self):
+        with pytest.raises(SchemaError):
+            Column("a", NUMERIC, np.array(["x", "y"]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(SchemaError):
+            Column("a", NUMERIC, np.zeros((2, 2)))
+
+    def test_immutable_buffer(self):
+        col = numeric_column("a", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            col.values[0] = 5.0
+
+    def test_take_mask(self):
+        col = numeric_column("a", [1.0, 2.0, 3.0])
+        sub = col.take(np.array([True, False, True]))
+        assert sub.values.tolist() == [1.0, 3.0]
+
+    def test_take_indices(self):
+        col = numeric_column("a", [1.0, 2.0, 3.0])
+        assert col.take(np.array([2, 0])).values.tolist() == [3.0, 1.0]
+
+
+class TestTimestampColumn:
+    def test_int64(self):
+        col = timestamp_column("t", [100, 200])
+        assert col.values.dtype == np.int64
+        assert col.kind == TIMESTAMP
+
+    def test_rejects_floats(self):
+        with pytest.raises(SchemaError):
+            Column("t", TIMESTAMP, np.array([1.5, 2.5]))
+
+
+class TestCategoricalColumn:
+    def test_from_labels(self):
+        col = categorical_column("k", ["b", "a", "b", "c"])
+        assert col.kind == CATEGORICAL
+        assert col.categories == ("a", "b", "c")
+        assert col.values.tolist() == [1, 0, 1, 2]
+
+    def test_decode_round_trip(self):
+        labels = ["noise", "heat", "noise", "water"]
+        col = categorical_column("k", labels)
+        assert col.decode().tolist() == labels
+
+    def test_code_for(self):
+        col = categorical_column("k", ["x", "y"])
+        assert col.code_for("y") == 1
+
+    def test_code_for_unknown_raises(self):
+        col = categorical_column("k", ["x", "y"])
+        with pytest.raises(SchemaError):
+            col.code_for("zzz")
+
+    def test_code_for_on_numeric_raises(self):
+        with pytest.raises(SchemaError):
+            numeric_column("a", [1.0]).code_for("x")
+
+    def test_requires_categories(self):
+        with pytest.raises(SchemaError):
+            Column("k", CATEGORICAL, np.array([0, 1], dtype=np.int32))
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(SchemaError):
+            categorical_from_codes("k", [0, 5], ("a", "b"))
+
+    def test_from_codes(self):
+        col = categorical_from_codes("k", [1, 0], ("a", "b"))
+        assert col.decode().tolist() == ["b", "a"]
+
+    def test_decode_on_numeric_raises(self):
+        with pytest.raises(SchemaError):
+            numeric_column("a", [1.0]).decode()
+
+
+class TestColumnValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            Column("a", "weird", np.array([1.0]))
+
+    def test_len(self):
+        assert len(numeric_column("a", [1, 2, 3])) == 3

@@ -1,0 +1,84 @@
+"""Round-trip tests for table persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import (
+    PointTable,
+    load_csv,
+    load_npz,
+    save_csv,
+    save_npz,
+    timestamp_column,
+)
+
+
+@pytest.fixture()
+def table():
+    gen = np.random.default_rng(13)
+    n = 500
+    return PointTable.from_arrays(
+        gen.uniform(-100, 100, n), gen.uniform(-100, 100, n), name="demo",
+        fare=gen.exponential(10, n),
+        t=timestamp_column("t", gen.integers(10**9, 2 * 10**9, n)),
+        kind=gen.choice(["x", "y", "z"], n))
+
+
+class TestNpz:
+    def test_round_trip_exact(self, table, tmp_path):
+        path = tmp_path / "t.npz"
+        save_npz(table, path)
+        back = load_npz(path)
+        assert back.name == table.name
+        assert len(back) == len(table)
+        assert (back.x == table.x).all()
+        assert (back.y == table.y).all()
+        assert back.column_names == table.column_names
+        for cname in table.column_names:
+            a = table.column(cname)
+            b = back.column(cname)
+            assert a.kind == b.kind
+            assert (a.values == b.values).all()
+            assert a.categories == b.categories
+
+    def test_empty_attribute_table(self, tmp_path):
+        t = PointTable.from_arrays([1.0, 2.0], [3.0, 4.0], name="bare")
+        path = tmp_path / "bare.npz"
+        save_npz(t, path)
+        back = load_npz(path)
+        assert len(back) == 2
+        assert back.column_names == []
+
+
+class TestCsv:
+    def test_round_trip_values(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        save_csv(table, path)
+        back = load_csv(path)
+        assert len(back) == len(table)
+        assert back.x == pytest.approx(table.x)
+        assert back.values("fare") == pytest.approx(table.values("fare"))
+        # Timestamps preserved as timestamp kind.
+        assert back.column("t").kind == "timestamp"
+        assert (back.values("t") == table.values("t")).all()
+        # Categorical labels preserved.
+        assert (back.column("kind").decode()
+                == table.column("kind").decode()).all()
+
+    def test_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y,v\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_name_defaults_to_stem(self, table, tmp_path):
+        path = tmp_path / "trips.csv"
+        save_csv(table, path)
+        assert load_csv(path).name == "trips"

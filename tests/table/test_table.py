@@ -1,0 +1,148 @@
+"""Unit tests for PointTable."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import (
+    PointTable,
+    numeric_column,
+    table_from_dict,
+    timestamp_column,
+)
+
+
+def _table(n=10, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 1, n), gen.uniform(0, 1, n), name="t",
+        v=gen.normal(size=n), kind=gen.choice(["a", "b"], n))
+
+
+class TestConstruction:
+    def test_from_arrays_infers_kinds(self):
+        t = _table()
+        assert t.column("v").kind == "numeric"
+        assert t.column("kind").kind == "categorical"
+
+    def test_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            PointTable([0.0, 1.0], [0.0])
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            PointTable([0.0, 1.0], [0.0, 1.0],
+                       {"v": numeric_column("v", [1.0])})
+
+    def test_reserved_names(self):
+        with pytest.raises(SchemaError):
+            PointTable([0.0], [0.0], {"x": numeric_column("x", [1.0])})
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            PointTable([0.0], [0.0], {"a": numeric_column("b", [1.0])})
+
+    def test_explicit_column_renamed(self):
+        t = PointTable.from_arrays(
+            [0.0], [0.0], when=timestamp_column("t", [5]))
+        assert t.column("when").kind == "timestamp"
+
+
+class TestAccessors:
+    def test_missing_column_message(self):
+        t = _table()
+        with pytest.raises(SchemaError, match="no column"):
+            t.column("nope")
+
+    def test_xy_shape(self):
+        assert _table(7).xy.shape == (7, 2)
+
+    def test_bbox(self):
+        t = PointTable.from_arrays([0.0, 2.0], [1.0, 3.0])
+        assert t.bbox.as_tuple() == (0.0, 1.0, 2.0, 3.0)
+
+    def test_bbox_empty_raises(self):
+        with pytest.raises(SchemaError):
+            PointTable([], []).bbox
+
+    def test_coordinates_read_only(self):
+        t = _table()
+        with pytest.raises(ValueError):
+            t.x[0] = 99.0
+
+    def test_has_column(self):
+        t = _table()
+        assert t.has_column("v")
+        assert not t.has_column("w")
+
+
+class TestSelection:
+    def test_take_mask(self):
+        t = _table(10)
+        mask = t.values("v") > 0
+        sub = t.take(mask)
+        assert len(sub) == int(mask.sum())
+        assert (sub.values("v") > 0).all()
+
+    def test_head(self):
+        assert len(_table(10).head(3)) == 3
+
+    def test_head_clamps(self):
+        assert len(_table(3).head(100)) == 3
+
+    def test_sample_deterministic(self):
+        t = _table(100)
+        a = t.sample(10, seed=1)
+        b = t.sample(10, seed=1)
+        assert (a.x == b.x).all()
+
+    def test_sample_larger_than_table(self):
+        t = _table(5)
+        assert t.sample(100) is t
+
+    def test_with_column(self):
+        t = _table(4)
+        t2 = t.with_column(numeric_column("w", [1, 2, 3, 4]))
+        assert t2.has_column("w")
+        assert not t.has_column("w")  # original untouched
+
+    def test_rename(self):
+        assert _table().rename("other").name == "other"
+
+
+class TestConcat:
+    def test_concat_lengths(self):
+        a = _table(5, seed=1)
+        b = _table(7, seed=2)
+        both = PointTable.concat([a, b])
+        assert len(both) == 12
+
+    def test_concat_schema_mismatch(self):
+        a = _table(3)
+        b = PointTable.from_arrays([0.0], [0.0])
+        with pytest.raises(SchemaError):
+            PointTable.concat([a, b])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(SchemaError):
+            PointTable.concat([])
+
+    def test_concat_merges_category_domains(self):
+        a = PointTable.from_arrays([0.0], [0.0], k=np.array(["x"], object))
+        b = PointTable.from_arrays([1.0], [1.0], k=np.array(["y"], object))
+        both = PointTable.concat([a, b])
+        assert both.column("k").decode().tolist() == ["x", "y"]
+
+
+class TestFromDict:
+    def test_timestamp_key_inferred(self):
+        t = table_from_dict({"x": [0.0], "y": [0.0], "t": [100]})
+        assert t.column("t").kind == "timestamp"
+
+    def test_missing_xy(self):
+        with pytest.raises(SchemaError):
+            table_from_dict({"x": [0.0]})
+
+    def test_describe_mentions_columns(self):
+        t = _table()
+        assert "v:numeric" in t.describe()

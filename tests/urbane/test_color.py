@@ -1,0 +1,88 @@
+"""Tests for color ramps and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.urbane import (
+    NODATA_RGB,
+    available_ramps,
+    colors_for_values,
+    normalize_values,
+    ramp_colors,
+)
+
+
+class TestRamps:
+    def test_available(self):
+        assert "viridis" in available_ramps()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            ramp_colors("sunburn", np.array([0.5]))
+
+    def test_endpoints(self):
+        rgb = ramp_colors("reds", np.array([0.0, 1.0]))
+        assert rgb.shape == (2, 3)
+        # Light at 0, dark at 1.
+        assert rgb[0].sum() > rgb[1].sum()
+
+    def test_clipping(self):
+        rgb = ramp_colors("viridis", np.array([-1.0, 2.0]))
+        assert (rgb[0] == ramp_colors("viridis", np.array([0.0]))[0]).all()
+        assert (rgb[1] == ramp_colors("viridis", np.array([1.0]))[0]).all()
+
+    def test_monotone_luminance_for_sequential(self):
+        t = np.linspace(0, 1, 32)
+        rgb = ramp_colors("blues", t).astype(float)
+        lum = rgb @ np.array([0.299, 0.587, 0.114])
+        assert (np.diff(lum) <= 1.0).all()  # darkening overall
+
+
+class TestNormalize:
+    def test_linear(self):
+        out = normalize_values(np.array([0.0, 5.0, 10.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_nan_passthrough(self):
+        out = normalize_values(np.array([0.0, np.nan, 10.0]))
+        assert np.isnan(out[1])
+        assert out[2] == 1.0
+
+    def test_constant_input(self):
+        out = normalize_values(np.array([3.0, 3.0]))
+        assert (out == 0.5).all()
+
+    def test_quantile_rank(self):
+        out = normalize_values(np.array([100.0, 1.0, 10.0]),
+                               mode="quantile")
+        assert out.tolist() == [1.0, 0.0, 0.5]
+
+    def test_log_compresses_tail(self):
+        vals = np.array([0.0, 10.0, 1000.0])
+        lin = normalize_values(vals, "linear")
+        log = normalize_values(vals, "log")
+        assert log[1] > lin[1]
+
+    def test_explicit_limits(self):
+        out = normalize_values(np.array([5.0]), vmin=0.0, vmax=10.0)
+        assert out[0] == 0.5
+
+    def test_unknown_mode(self):
+        with pytest.raises(QueryError):
+            normalize_values(np.array([1.0]), mode="zscore")
+
+    def test_all_nan(self):
+        out = normalize_values(np.array([np.nan, np.nan]))
+        assert np.isnan(out).all()
+
+
+class TestColorsForValues:
+    def test_nan_gets_gray(self):
+        rgb = colors_for_values(np.array([1.0, np.nan]))
+        assert tuple(rgb[1]) == NODATA_RGB
+
+    def test_shape_and_dtype(self):
+        rgb = colors_for_values(np.arange(5, dtype=float))
+        assert rgb.shape == (5, 3)
+        assert rgb.dtype == np.uint8

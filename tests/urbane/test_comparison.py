@@ -1,0 +1,160 @@
+"""Tests for the region comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core import RegionSet, RegionTimeMatrix
+from repro.errors import QueryError
+from repro.geometry import regular_polygon
+from repro.urbane import RegionComparator
+from repro.urbane.exploration import ExplorationMatrix, Indicator
+from repro.core import SpatialAggregation
+
+
+def _matrix(normalized, names=None):
+    """Build an ExplorationMatrix directly from a normalized array."""
+    normalized = np.asarray(normalized, dtype=float)
+    r, k = normalized.shape
+    names = tuple(names or [f"r{i}" for i in range(r)])
+    indicators = tuple(
+        Indicator(f"ind{j}", "d", SpatialAggregation.count())
+        for j in range(k))
+    return ExplorationMatrix(
+        region_names=names,
+        indicators=indicators,
+        raw=normalized * 100,
+        normalized=normalized,
+    )
+
+
+def _rhythm(series_by_name):
+    names = list(series_by_name)
+    geoms = [regular_polygon(10 * (i + 1), 10, 3, 4)
+             for i in range(len(names))]
+    regions = RegionSet("rhythm", geoms, names)
+    values = np.array([series_by_name[n] for n in names], dtype=float)
+    starts = np.arange(values.shape[1], dtype=np.int64) * 3600
+    return RegionTimeMatrix(regions=regions, bucket_starts=starts,
+                            values=values, bucket_seconds=3600, stats={})
+
+
+class TestExplain:
+    def test_identical_profiles_similar(self):
+        matrix = _matrix([[0.8, 0.2, 0.5], [0.8, 0.2, 0.5],
+                          [0.1, 0.9, 0.9]])
+        comp = RegionComparator(matrix)
+        report = comp.explain("r0", "r1")
+        assert report.profile_similarity == pytest.approx(1.0)
+        assert report.feels_similar
+        assert len(report.agreements) == 3
+        assert report.contrasts == []
+
+    def test_opposite_profiles_different(self):
+        matrix = _matrix([[1.0, 1.0], [0.0, 0.0]])
+        comp = RegionComparator(matrix)
+        report = comp.explain("r0", "r1")
+        assert report.profile_similarity == pytest.approx(0.0)
+        assert not report.feels_similar
+        assert len(report.contrasts) == 2
+        # r0 leads both contrasts.
+        assert all(delta > 0 for _, delta in report.contrasts)
+
+    def test_contrasts_sorted_by_magnitude(self):
+        matrix = _matrix([[1.0, 0.5, 0.9], [0.0, 0.5, 0.45]])
+        report = RegionComparator(matrix).explain("r0", "r1")
+        gaps = [abs(d) for _, d in report.contrasts]
+        assert gaps == sorted(gaps, reverse=True)
+        assert report.contrasts[0][0] == "ind0"
+
+    def test_nan_indicators_skipped(self):
+        matrix = _matrix([[0.5, np.nan], [0.5, 0.9]])
+        report = RegionComparator(matrix).explain("r0", "r1")
+        assert report.profile_similarity == pytest.approx(1.0)
+        assert set(report.indicator_deltas) == {"ind0"}
+
+    def test_same_region_rejected(self):
+        matrix = _matrix([[0.5], [0.5]])
+        with pytest.raises(QueryError):
+            RegionComparator(matrix).explain("r0", "r0")
+
+    def test_unknown_region_rejected(self):
+        matrix = _matrix([[0.5], [0.5]])
+        with pytest.raises(QueryError):
+            RegionComparator(matrix).explain("r0", "atlantis")
+
+    def test_render_mentions_regions(self):
+        matrix = _matrix([[1.0, 0.0], [0.0, 1.0]])
+        text = RegionComparator(matrix).explain("r0", "r1").render()
+        assert "r0" in text and "r1" in text
+        assert "different" in text
+
+
+class TestRhythm:
+    def test_correlated_rhythms(self):
+        matrix = _matrix([[0.5, 0.5], [0.5, 0.5]])
+        base = np.sin(np.linspace(0, 4 * np.pi, 48)) + 2
+        rhythm = _rhythm({"r0": base, "r1": base * 3})
+        report = RegionComparator(matrix, rhythm).explain("r0", "r1")
+        assert report.rhythm_correlation == pytest.approx(1.0)
+        assert report.feels_similar
+
+    def test_anticorrelated_rhythms_break_similarity(self):
+        matrix = _matrix([[0.5, 0.5], [0.5, 0.5]])
+        base = np.sin(np.linspace(0, 4 * np.pi, 48)) + 2
+        rhythm = _rhythm({"r0": base, "r1": base.max() + base.min() - base})
+        report = RegionComparator(matrix, rhythm).explain("r0", "r1")
+        assert report.rhythm_correlation == pytest.approx(-1.0)
+        assert not report.feels_similar
+
+    def test_flat_rhythm_zero_correlation(self):
+        matrix = _matrix([[0.5], [0.5]])
+        rhythm = _rhythm({"r0": np.ones(24), "r1": np.arange(24.0)})
+        report = RegionComparator(matrix, rhythm).explain("r0", "r1")
+        assert report.rhythm_correlation == 0.0
+
+    def test_mismatched_rhythm_regions_rejected(self):
+        matrix = _matrix([[0.5], [0.5]], names=["a", "b"])
+        rhythm = _rhythm({"x": np.ones(4), "y": np.ones(4)})
+        with pytest.raises(QueryError):
+            RegionComparator(matrix, rhythm)
+
+
+class TestMostSimilarPair:
+    def test_finds_planted_twins(self):
+        matrix = _matrix([
+            [0.9, 0.1, 0.4],
+            [0.2, 0.8, 0.6],
+            [0.9, 0.1, 0.42],   # near-twin of r0
+            [0.5, 0.5, 0.5],
+        ])
+        a, b, sim = RegionComparator(matrix).most_similar_pair()
+        assert {a, b} == {"r0", "r2"}
+        assert sim > 0.95
+
+
+class TestOnDemoWorkload:
+    def test_full_pipeline(self, demo):
+        from repro.urbane import (
+            DataExplorationView,
+            DataManager,
+            TimelineView,
+        )
+
+        manager = DataManager()
+        for name, table in demo.datasets.items():
+            manager.add_dataset(table, name)
+        manager.add_region_set(demo.regions["neighborhoods"],
+                               "neighborhoods")
+        matrix = DataExplorationView(manager, "neighborhoods").compute([
+            Indicator("activity", "taxi", SpatialAggregation.count()),
+            Indicator("complaints", "complaints311",
+                      SpatialAggregation.count(), higher_is_better=False),
+        ])
+        rhythm = TimelineView(manager).matrix("taxi", "neighborhoods",
+                                              bucket="day")
+        comp = RegionComparator(matrix, rhythm)
+        a, b, sim = comp.most_similar_pair()
+        report = comp.explain(a, b)
+        assert 0.0 <= report.profile_similarity <= 1.0
+        assert report.rhythm_correlation is not None
+        assert report.render()

