@@ -59,8 +59,9 @@ def bench_datasets(bench_city, bench_taxi):
 
 @pytest.fixture(scope="session")
 def warm_engine(bench_regions, bench_taxi):
-    """Engine with polygon rasters and baseline indexes pre-built, so
-    benchmarks measure per-query work (the interactive scenario)."""
+    """Engine with its unified cache pre-warmed (polygon rasters and
+    baseline indexes resident), so benchmarks measure per-query work
+    (the interactive scenario)."""
     engine = SpatialAggregationEngine(default_resolution=512)
     from repro.core import SpatialAggregation
 
@@ -73,4 +74,7 @@ def warm_engine(bench_regions, bench_taxi):
                        method="grid")
         engine.execute(table, bench_regions["neighborhoods"], query,
                        method="rtree")
+        engine.execute(table, bench_regions["neighborhoods"], query,
+                       method="quadtree")
+    assert engine.cache_stats()["entries"] > 0
     return engine

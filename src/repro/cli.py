@@ -23,12 +23,13 @@ import time
 from pathlib import Path
 
 from .core import (
+    METHODS,
     RegionSet,
     SpatialAggregation,
     SpatialAggregationEngine,
     parse_query,
 )
-from .errors import ReproError
+from .errors import ExecutionError, ReproError
 from .geometry import read_geojson, write_geojson
 from .table import load_npz, save_npz
 
@@ -82,6 +83,20 @@ def _cmd_query(args) -> int:
     print(f"-- {parsed.describe()}")
     print(f"-- method={result.method} rows={len(table):,} "
           f"regions={len(regions)} latency={elapsed * 1000:.1f}ms")
+    plan = result.stats.get("plan", {})
+    if plan.get("planned"):
+        inputs = plan.get("inputs", {})
+        print(f"-- plan: chosen={plan['chosen']} "
+              f"(points={inputs.get('n_points'):,}, "
+              f"regions={inputs.get('n_regions')}, "
+              f"epsilon={inputs.get('epsilon')}, "
+              f"exact={inputs.get('exact')})")
+    cache = result.stats.get("cache", {})
+    if cache:
+        print(f"-- cache: {cache.get('query_hits', 0)} hits / "
+              f"{cache.get('query_misses', 0)} misses this query, "
+              f"{cache.get('entries', 0)} entries, "
+              f"{cache.get('bytes', 0):,} bytes resident")
     if args.csv:
         with open(args.csv, "w", newline="") as handle:
             writer = csv.writer(handle)
@@ -118,11 +133,18 @@ def _cmd_compare(args) -> int:
     print(f"-- {parsed.describe()}")
     print(f"{'method':<12} {'latency':>10}  note")
     for method in methods:
-        engine.execute(table, regions, parsed.aggregation, method=method)
-        t0 = time.perf_counter()
-        result = engine.execute(table, regions, parsed.aggregation,
-                                method=method)
-        elapsed = time.perf_counter() - t0
+        try:
+            engine.execute(table, regions, parsed.aggregation,
+                           method=method)
+            t0 = time.perf_counter()
+            result = engine.execute(table, regions, parsed.aggregation,
+                                    method=method)
+            elapsed = time.perf_counter() - t0
+        except ExecutionError as exc:
+            # e.g. the cube cannot answer an unanticipated query — a
+            # comparison data point in itself, not a failed run.
+            print(f"{method:<12} {'n/a':>10}  cannot answer: {exc}")
+            continue
         results[method] = result
         note = "exact" if result.exact else (
             f"bounds +/- {result.max_bound_width() / 2:.1f}"
@@ -157,6 +179,7 @@ def _cmd_session(args) -> int:
     manager.add_region_set(regions, "regions")
 
     session = InteractiveSession(manager, "data", "regions",
+                                 method=args.method,
                                  resolution=args.resolution)
     tvals = (table.values("t") if table.has_column("t") else None)
     if tvals is not None and len(tvals):
@@ -171,6 +194,10 @@ def _cmd_session(args) -> int:
         session.set_aggregation(SpatialAggregation.avg_of(numeric[0]))
         session.set_aggregation(SpatialAggregation.count())
     print(session.report())
+    cache = manager.cache_stats()
+    print(f"-- engine cache: {cache['hits']} hits, {cache['misses']} "
+          f"misses, {cache['evictions']} evictions, "
+          f"{cache['bytes']:,} bytes resident")
     return 0
 
 
@@ -196,9 +223,9 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("sql", help="query in the paper's SQL dialect")
     qry.add_argument("--data", required=True, help="point table .npz")
     qry.add_argument("--regions", required=True, help="regions .geojson")
-    qry.add_argument("--method", default="bounded",
-                     choices=("bounded", "accurate", "tiled", "grid",
-                              "rtree", "quadtree", "naive"))
+    qry.add_argument("--method", default="auto", choices=METHODS,
+                     help="execution backend; 'auto' runs the cost-based "
+                          "planner (default)")
     qry.add_argument("--resolution", type=int, default=512)
     qry.add_argument("--top", type=int, default=10,
                      help="print the top-N regions")
@@ -209,7 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("sql")
     cmp_.add_argument("--data", required=True)
     cmp_.add_argument("--regions", required=True)
-    cmp_.add_argument("--methods", default="bounded,accurate,grid")
+    cmp_.add_argument("--methods", default="bounded,accurate,grid",
+                      help="comma-separated registered backends, e.g. "
+                           "'bounded,grid,cube,auto'")
     cmp_.add_argument("--resolution", type=int, default=512)
     cmp_.set_defaults(func=_cmd_compare)
 
@@ -218,6 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
     ses.add_argument("--data", required=True)
     ses.add_argument("--regions", required=True)
     ses.add_argument("--resolution", type=int, default=512)
+    ses.add_argument("--method", default="bounded", choices=METHODS,
+                     help="backend for every gesture (or 'auto')")
     ses.set_defaults(func=_cmd_session)
     return parser
 

@@ -8,8 +8,8 @@ INSIDE R.geometry [AND filter]* GROUP BY R.id``) evaluated by drawing:
 * :func:`accurate_raster_join` — hybrid raster + exact boundary tests;
 * :func:`tiled_bounded_raster_join` — virtual canvases beyond the
   texture cap;
-* :class:`SpatialAggregationEngine` — planner, caching, and the uniform
-  entry point over these plus the exact baselines.
+* :class:`SpatialAggregationEngine` — the facade over the backend
+  registry, the cost-based planner, and the unified execution cache.
 """
 
 from .accurate import accurate_raster_join
@@ -30,12 +30,24 @@ from .bounds import (
     relative_bound_width,
     resolution_for_epsilon,
 )
+from .backends import (
+    Backend,
+    BackendCapabilities,
+    ExecutionPlan,
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from .cache import QueryCache, bump_revision, fingerprint
+from .context import ExecutionContext
 from .executor import (
     DEFAULT_RESOLUTION,
     MAX_CANVAS_RESOLUTION,
     METHODS,
     SpatialAggregationEngine,
 )
+from .planner import CostBasedPlanner
 from .heatmatrix import (
     RegionTimeMatrix,
     pixel_region_labels,
@@ -53,14 +65,20 @@ __all__ = [
     "AVG",
     "AggregationResult",
     "BOUNDABLE_AGGREGATES",
+    "Backend",
+    "BackendCapabilities",
     "COUNT",
+    "CostBasedPlanner",
     "DEFAULT_RESOLUTION",
+    "ExecutionContext",
+    "ExecutionPlan",
     "MAX",
     "MAX_CANVAS_RESOLUTION",
     "METHODS",
     "MIN",
     "ParsedQuery",
     "PartialAggregate",
+    "QueryCache",
     "RegionHistograms",
     "RegionSet",
     "RegionTimeMatrix",
@@ -69,18 +87,24 @@ __all__ = [
     "SpatialAggregation",
     "SpatialAggregationEngine",
     "accurate_raster_join",
+    "backend_names",
+    "bump_revision",
     "boundary_mass_bounds",
     "bounded_raster_join",
     "bounded_raster_join_multi",
     "epsilon_for_viewport",
+    "fingerprint",
+    "get_backend",
     "make_tiles",
     "parse_query",
     "pixel_region_labels",
     "region_histograms",
     "region_time_matrix",
+    "register_backend",
     "relative_bound_width",
     "resolution_for_epsilon",
     "tiled_bounded_raster_join",
     "to_sql",
     "tokenize",
+    "unregister_backend",
 ]

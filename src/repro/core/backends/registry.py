@@ -1,0 +1,59 @@
+"""The backend registry.
+
+Backends self-register at import time with the :func:`register_backend`
+decorator; the executor and planner resolve them by name — there is no
+if/elif dispatch anywhere on the execution path.  Third-party and test
+backends use the same decorator:
+
+    from repro.core.backends import Backend, register_backend
+
+    @register_backend
+    class MyBackend(Backend):
+        name = "mine"
+        ...
+
+Registration order is preserved and breaks cost ties in the planner.
+"""
+
+from __future__ import annotations
+
+from ...errors import QueryError
+from .base import Backend
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Class decorator: instantiate and register a backend by its name."""
+    if not isinstance(cls, type) or not issubclass(cls, Backend):
+        raise QueryError("register_backend expects a Backend subclass")
+    backend = cls()
+    if not backend.name:
+        raise QueryError(f"backend {cls.__name__} declares no name")
+    if backend.name in _REGISTRY:
+        raise QueryError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return cls
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (tests and plugins only)."""
+    _REGISTRY.pop(name, None)
+
+
+def has_backend(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown method {name!r}; expected 'auto' or one of "
+            f"{backend_names()}") from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)

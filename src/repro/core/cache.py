@@ -1,0 +1,201 @@
+"""The unified execution cache: content fingerprints + a bounded LRU store.
+
+Every reusable artifact on the execution path — polygon fragment
+tables, point indexes, materialized cubes — lives in one
+:class:`QueryCache` keyed by *content fingerprints* instead of raw
+``id()`` values.  ``id()`` keys have a latent reuse bug: once a table is
+garbage collected its address can be handed to a brand-new table, and a
+stale index would silently answer for the wrong data.  Fingerprints are
+drawn from a process-global monotone counter and attached to the object,
+so a token is never reused, and each carries a revision number that
+:func:`bump_revision` increments to invalidate every derived entry.
+
+The store itself is an LRU with per-entry byte accounting, a byte and
+entry budget, and hit/miss/eviction counters — the numbers surfaced as
+``result.stats["cache"]`` on every query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError
+
+_TOKEN_COUNTER = itertools.count(1)
+
+_TOKEN_ATTR = "_repro_cache_token"
+_REVISION_ATTR = "_repro_cache_revision"
+
+
+def fingerprint(obj) -> tuple:
+    """A stable, never-reused cache token for ``obj``.
+
+    Returns ``(type name, token, revision)``.  The token is assigned on
+    first sight from a global counter and stored on the object, so —
+    unlike ``id()`` — two objects can never share one even across
+    garbage collection.  Hashable objects that reject attributes (e.g.
+    strings) are keyed by value instead.
+    """
+    token = getattr(obj, _TOKEN_ATTR, None)
+    if token is None:
+        token = next(_TOKEN_COUNTER)
+        try:
+            object.__setattr__(obj, _TOKEN_ATTR, token)
+        except (AttributeError, TypeError):
+            # No __dict__ (slots, builtins): fall back to keying by value.
+            return (type(obj).__name__, obj)
+    return (type(obj).__name__, token, getattr(obj, _REVISION_ATTR, 0))
+
+
+def bump_revision(obj) -> int:
+    """Invalidate every cache entry derived from ``obj``.
+
+    Increments the object's revision so its :func:`fingerprint` — and
+    therefore every cache key built from it — changes.  Returns the new
+    revision.
+    """
+    rev = getattr(obj, _REVISION_ATTR, 0) + 1
+    object.__setattr__(obj, _REVISION_ATTR, rev)
+    return rev
+
+
+def estimate_nbytes(value, _depth: int = 0) -> int:
+    """Approximate resident size of a cached artifact.
+
+    Sums ndarray buffers reachable through attributes/containers (two
+    levels deep), preferring an object's own ``memory_bytes()`` when it
+    has one.  An estimate, not an audit — the cache budget only needs
+    the right order of magnitude.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    mem = getattr(value, "memory_bytes", None)
+    if callable(mem):
+        return int(mem())
+    if _depth >= 2:
+        return 0
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(estimate_nbytes(v, _depth + 1) for v in value)
+    if isinstance(value, dict):
+        return sum(estimate_nbytes(v, _depth + 1) for v in value.values())
+    attrs = getattr(value, "__dict__", None)
+    if attrs:
+        return 64 + sum(estimate_nbytes(v, _depth + 1)
+                        for v in attrs.values())
+    return 64
+
+
+@dataclass
+class CacheEntry:
+    value: object
+    nbytes: int
+
+
+class QueryCache:
+    """LRU cache with byte accounting and hit/miss/eviction counters."""
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024,
+                 max_entries: int = 512):
+        if max_bytes < 1 or max_entries < 1:
+            raise QueryError("cache budgets must be positive")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: tuple, default=None):
+        """Fetch + LRU-touch; counts a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry.value
+
+    def peek(self, key: tuple, default=None):
+        """Fetch without touching LRU order or counters (planner probes)."""
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
+    def put(self, key: tuple, value, nbytes: int | None = None) -> None:
+        if nbytes is None:
+            nbytes = estimate_nbytes(value)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[key] = CacheEntry(value, int(nbytes))
+        self._bytes += int(nbytes)
+        self._evict()
+
+    def get_or_build(self, key: tuple, builder, nbytes: int | None = None):
+        """The main entry point: return the cached value or build + store."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry.value
+        self.misses += 1
+        value = builder()
+        self.put(key, value, nbytes=nbytes)
+        return value
+
+    def _evict(self) -> None:
+        # Evict LRU-first until within budget; the newest entry always
+        # survives so a single oversized artifact is still usable.
+        while len(self._entries) > 1 and (
+                self._bytes > self.max_bytes
+                or len(self._entries) > self.max_entries):
+            __, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.nbytes
+            self.evictions += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def invalidate(self, prefix: str) -> int:
+        """Drop every entry whose key starts with ``prefix``; returns the
+        number removed (not counted as evictions)."""
+        doomed = [k for k in self._entries if k and k[0] == prefix]
+        for key in doomed:
+            self._bytes -= self._entries.pop(key).nbytes
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    def stats(self) -> dict:
+        """Counters + occupancy, the ``stats["cache"]`` payload."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "max_bytes": self.max_bytes,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

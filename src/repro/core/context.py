@@ -1,0 +1,108 @@
+"""Execution context: shared configuration + the unified cache.
+
+An :class:`ExecutionContext` is what backends run against.  It owns the
+one :class:`~repro.core.cache.QueryCache` for the whole execution path
+and exposes typed accessors for the artifacts backends reuse between
+gestures — fragment tables per (region set, viewport), point indexes
+per table, materialized cubes per (table, region set, measure).  All
+keys are content fingerprints (see :mod:`repro.core.cache`), never raw
+``id()`` values.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..index import PointGridIndex, QuadTree, RTree
+from ..raster import FragmentTable, Viewport, build_fragment_table
+from ..table import PointTable
+from .bounds import resolution_for_epsilon
+from .cache import QueryCache, fingerprint
+from .regions import RegionSet
+
+DEFAULT_RESOLUTION = 512
+MAX_CANVAS_RESOLUTION = 4096
+
+
+class ExecutionContext:
+    """Configuration + unified cache shared by every backend."""
+
+    def __init__(self, default_resolution: int = DEFAULT_RESOLUTION,
+                 max_canvas_resolution: int = MAX_CANVAS_RESOLUTION,
+                 cache_max_bytes: int = 256 * 1024 * 1024,
+                 cache_max_entries: int = 512):
+        if default_resolution < 1:
+            raise QueryError("default_resolution must be positive")
+        self.default_resolution = int(default_resolution)
+        self.max_canvas_resolution = int(max_canvas_resolution)
+        self.cache = QueryCache(max_bytes=cache_max_bytes,
+                                max_entries=cache_max_entries)
+
+    # -- viewport planning -------------------------------------------------
+
+    def plan_viewport(self, regions: RegionSet, resolution: int | None,
+                      epsilon: float | None) -> Viewport:
+        """Resolve the canvas for a query.
+
+        ``epsilon`` (world units) wins over ``resolution``; the canvas is
+        sized so the pixel diagonal honors it.
+        """
+        if epsilon is not None:
+            resolution = resolution_for_epsilon(
+                regions.bbox, epsilon,
+                max_resolution=self.max_canvas_resolution)
+        if resolution is None:
+            resolution = self.default_resolution
+        if resolution > self.max_canvas_resolution:
+            raise QueryError(
+                f"resolution {resolution} exceeds the canvas cap "
+                f"{self.max_canvas_resolution}; use method='tiled'")
+        return Viewport.fit(regions.bbox, resolution)
+
+    # -- cached artifacts --------------------------------------------------
+
+    def fragments_for(self, regions: RegionSet,
+                      viewport: Viewport) -> FragmentTable:
+        """The (cached) polygon render pass for a region set + viewport."""
+        key = ("fragments", fingerprint(regions), viewport)
+        return self.cache.get_or_build(
+            key,
+            lambda: build_fragment_table(list(regions.geometries), viewport))
+
+    def has_fragments(self, regions: RegionSet, viewport: Viewport) -> bool:
+        return ("fragments", fingerprint(regions), viewport) in self.cache
+
+    def grid_index(self, table: PointTable) -> PointGridIndex:
+        key = ("grid-index", fingerprint(table))
+        return self.cache.get_or_build(
+            key,
+            lambda: PointGridIndex(table.x, table.y, table.bbox,
+                                   nx=128, ny=128))
+
+    def rtree_index(self, table: PointTable) -> RTree:
+        key = ("rtree-index", fingerprint(table))
+        return self.cache.get_or_build(
+            key, lambda: RTree.from_points(table.x, table.y,
+                                           leaf_capacity=64))
+
+    def quadtree_index(self, table: PointTable) -> QuadTree:
+        key = ("quadtree-index", fingerprint(table))
+        return self.cache.get_or_build(
+            key, lambda: QuadTree(table.x, table.y, table.bbox,
+                                  capacity=256))
+
+    def has_index(self, kind: str, table: PointTable) -> bool:
+        """Whether an index of ``kind`` (grid/rtree/quadtree) is cached."""
+        return (f"{kind}-index", fingerprint(table)) in self.cache
+
+    def cube_for(self, table: PointTable, regions: RegionSet,
+                 build_spec: tuple, builder):
+        """A materialized cube for (table, regions, materialization spec)."""
+        key = ("cube", fingerprint(table), fingerprint(regions), build_spec)
+        return self.cache.get_or_build(key, builder)
+
+    def cached_cubes(self, table: PointTable, regions: RegionSet) -> list:
+        """Every cube already materialized for this (table, regions) pair
+        — what the planner probes before it will ever pick ``cube``."""
+        tfp, rfp = fingerprint(table), fingerprint(regions)
+        return [self.cache.peek(k) for k in list(self.cache._entries)
+                if k[0] == "cube" and k[1] == tfp and k[2] == rfp]

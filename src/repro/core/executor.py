@@ -1,122 +1,95 @@
-"""Query executor and planner.
+"""The execution facade.
 
 :class:`SpatialAggregationEngine` is the public entry point a front end
-like Urbane talks to.  It
+like Urbane talks to.  Since the multi-layer refactor it is a thin
+facade over three explicit layers:
 
-* picks a backend (``auto``: accurate raster join when the caller needs
-  exact answers, bounded otherwise, with an epsilon knob that sizes the
-  canvas);
-* caches the polygon render pass per (region set, viewport) — the
-  dominant reuse pattern in visual exploration, where the user brushes
-  filters/time while the region resolution stays fixed;
-* caches baseline indexes per table so comparisons are fair.
+* the **backend registry** (:mod:`repro.core.backends`) — every
+  strategy (raster variants, index joins, naive scan, data cube) behind
+  one :class:`~repro.core.backends.Backend` interface, resolved by name
+  with no if/elif dispatch;
+* the **cost-based planner** (:mod:`repro.core.planner`) —
+  ``method="auto"`` prices the capability-eligible backends from table/
+  region statistics, the requested precision, and cache state, and
+  records the decision in ``result.stats["plan"]``;
+* the **unified cache** (:mod:`repro.core.cache`, owned by the
+  :class:`~repro.core.context.ExecutionContext`) — fragment tables,
+  point indexes, and cubes keyed by content fingerprints with LRU
+  eviction, byte accounting, and hit/miss counters surfaced in
+  ``result.stats["cache"]``.
 """
 
 from __future__ import annotations
 
 import time
 
-# Submodule imports (not the package) to stay cycle-free: repro.baselines
-# re-exports these and itself depends on repro.core submodules.
-from ..baselines.grid_join import grid_index_join
-from ..baselines.naive import naive_join
-from ..baselines.quadtree_join import quadtree_index_join
-from ..baselines.rtree_join import rtree_index_join
-from ..errors import QueryError
-from ..index import PointGridIndex, QuadTree, RTree
-from ..raster import FragmentTable, Viewport, build_fragment_table
+from ..errors import GeometryError, QueryError
+from ..raster import FragmentTable, Viewport
 from ..table import PointTable
-from .accurate import accurate_raster_join
-from .bounded import bounded_raster_join
-from .bounds import resolution_for_epsilon
+from .backends import ExecutionPlan, backend_names, get_backend, has_backend
+from .context import (
+    DEFAULT_RESOLUTION,
+    MAX_CANVAS_RESOLUTION,
+    ExecutionContext,
+)
+from .planner import CostBasedPlanner
 from .query import SpatialAggregation
 from .regions import RegionSet
 from .result import AggregationResult
-from .tiling import tiled_bounded_raster_join
 
+#: The built-in methods; custom backends registered via
+#: :func:`repro.core.backends.register_backend` are accepted too.
 METHODS = ("auto", "bounded", "accurate", "tiled", "grid", "rtree",
-           "quadtree", "naive")
-
-DEFAULT_RESOLUTION = 512
-MAX_CANVAS_RESOLUTION = 4096
+           "quadtree", "naive", "cube")
 
 
 class SpatialAggregationEngine:
-    """Executes spatial aggregation queries with plan caching."""
+    """Facade over the registry, the planner, and the unified cache."""
 
     def __init__(self, default_resolution: int = DEFAULT_RESOLUTION,
-                 max_canvas_resolution: int = MAX_CANVAS_RESOLUTION):
-        if default_resolution < 1:
-            raise QueryError("default_resolution must be positive")
-        self.default_resolution = int(default_resolution)
-        self.max_canvas_resolution = int(max_canvas_resolution)
-        self._fragment_cache: dict[tuple, FragmentTable] = {}
-        self._grid_cache: dict[int, PointGridIndex] = {}
-        self._rtree_cache: dict[int, RTree] = {}
-        self._quadtree_cache: dict[int, QuadTree] = {}
+                 max_canvas_resolution: int = MAX_CANVAS_RESOLUTION,
+                 cache_max_bytes: int = 256 * 1024 * 1024,
+                 cache_max_entries: int = 512,
+                 planner: CostBasedPlanner | None = None):
+        self.ctx = ExecutionContext(
+            default_resolution=default_resolution,
+            max_canvas_resolution=max_canvas_resolution,
+            cache_max_bytes=cache_max_bytes,
+            cache_max_entries=cache_max_entries)
+        self.planner = planner or CostBasedPlanner()
 
-    # -- cache plumbing ---------------------------------------------------
+    # -- configuration passthrough ----------------------------------------
+
+    @property
+    def default_resolution(self) -> int:
+        return self.ctx.default_resolution
+
+    @property
+    def max_canvas_resolution(self) -> int:
+        return self.ctx.max_canvas_resolution
+
+    # -- cache facade ------------------------------------------------------
 
     def fragments_for(self, regions: RegionSet,
                       viewport: Viewport) -> FragmentTable:
         """The (cached) polygon render pass for a region set + viewport."""
-        key = (id(regions), viewport)
-        table = self._fragment_cache.get(key)
-        if table is None:
-            table = build_fragment_table(list(regions.geometries), viewport)
-            self._fragment_cache[key] = table
-        return table
-
-    def _grid_index(self, table: PointTable) -> PointGridIndex:
-        index = self._grid_cache.get(id(table))
-        if index is None:
-            index = PointGridIndex(table.x, table.y, table.bbox,
-                                   nx=128, ny=128)
-            self._grid_cache[id(table)] = index
-        return index
-
-    def _rtree_index(self, table: PointTable) -> RTree:
-        index = self._rtree_cache.get(id(table))
-        if index is None:
-            index = RTree.from_points(table.x, table.y, leaf_capacity=64)
-            self._rtree_cache[id(table)] = index
-        return index
-
-    def _quadtree_index(self, table: PointTable) -> QuadTree:
-        index = self._quadtree_cache.get(id(table))
-        if index is None:
-            index = QuadTree(table.x, table.y, table.bbox, capacity=256)
-            self._quadtree_cache[id(table)] = index
-        return index
+        return self.ctx.fragments_for(regions, viewport)
 
     def clear_caches(self) -> None:
-        self._fragment_cache.clear()
-        self._grid_cache.clear()
-        self._rtree_cache.clear()
-        self._quadtree_cache.clear()
+        self.ctx.cache.clear()
 
-    # -- planning -----------------------------------------------------------
+    def cache_stats(self) -> dict:
+        """Unified-cache counters: hits, misses, evictions, bytes."""
+        return self.ctx.cache.stats()
+
+    # -- planning ----------------------------------------------------------
 
     def plan_viewport(self, regions: RegionSet, resolution: int | None,
                       epsilon: float | None) -> Viewport:
-        """Resolve the canvas for a query.
+        """Resolve the canvas for a query (epsilon wins over resolution)."""
+        return self.ctx.plan_viewport(regions, resolution, epsilon)
 
-        ``epsilon`` (world units) wins over ``resolution``; the canvas is
-        sized so the pixel diagonal honors it.
-        """
-        if epsilon is not None:
-            resolution = resolution_for_epsilon(
-                regions.bbox, epsilon,
-                max_resolution=self.max_canvas_resolution)
-        if resolution is None:
-            resolution = self.default_resolution
-        if resolution > self.max_canvas_resolution:
-            raise QueryError(
-                f"resolution {resolution} exceeds the canvas cap "
-                f"{self.max_canvas_resolution}; use method='tiled'")
-        return Viewport.fit(regions.bbox, resolution)
-
-    # -- execution -----------------------------------------------------------
+    # -- execution ---------------------------------------------------------
 
     def execute(
         self,
@@ -131,45 +104,50 @@ class SpatialAggregationEngine:
     ) -> AggregationResult:
         """Run one spatial aggregation query.
 
-        ``method='auto'`` chooses the accurate raster join when ``exact``
-        is requested and the bounded one otherwise.  Explicit methods
-        (``bounded`` / ``accurate`` / ``tiled`` / ``grid`` / ``rtree`` /
-        ``naive``) bypass planning — the benchmark harness uses them.
+        ``method='auto'`` routes through the cost-based planner; any
+        registered backend name runs that backend directly (the
+        benchmark harness does this).  Every result carries
+        ``stats["plan"]`` (the decision and its inputs) and
+        ``stats["cache"]`` (unified-cache counters, including this
+        query's own hits/misses).
         """
-        if method not in METHODS:
-            raise QueryError(
-                f"unknown method {method!r}; expected one of {METHODS}")
         t0 = time.perf_counter()
+        if resolution is not None and resolution < 1:
+            # Fail loudly whichever backend the plan lands on.
+            raise GeometryError(
+                f"resolution must be positive, got {resolution}")
+        plan = ExecutionPlan(
+            table=table, regions=regions, query=query, method=method,
+            resolution=resolution, epsilon=epsilon, exact=exact,
+            viewport=viewport)
 
         if method == "auto":
-            method = "accurate" if exact else "bounded"
-
-        if method in ("bounded", "accurate"):
-            if viewport is None:
-                viewport = self.plan_viewport(regions, resolution, epsilon)
-            fragments = self.fragments_for(regions, viewport)
-            run = (bounded_raster_join if method == "bounded"
-                   else accurate_raster_join)
-            result = run(table, regions, query, viewport,
-                         fragments=fragments)
-        elif method == "tiled":
-            result = tiled_bounded_raster_join(
-                table, regions, query,
-                resolution=resolution or self.default_resolution)
-        elif method == "grid":
-            result = grid_index_join(table, regions, query,
-                                     index=self._grid_index(table))
-        elif method == "rtree":
-            result = rtree_index_join(table, regions, query,
-                                      index=self._rtree_index(table))
-        elif method == "quadtree":
-            result = quadtree_index_join(
-                table, regions, query, index=self._quadtree_index(table))
+            chosen = self.planner.choose(self.ctx, plan)
         else:
-            result = naive_join(table, regions, query)
+            if not has_backend(method):
+                raise QueryError(
+                    f"unknown method {method!r}; expected one of "
+                    f"{('auto',) + backend_names()}")
+            chosen = method
+            plan.decision = {
+                "chosen": chosen,
+                "planned": False,
+                "inputs": self.planner.plan_inputs(self.ctx, plan),
+            }
 
-        result.stats["time_execute_s"] = time.perf_counter() - t0
+        hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
+        result = get_backend(chosen).run(self.ctx, plan)
+        self._attach_stats(result, plan, hits0, misses0, t0)
         return result
+
+    def _attach_stats(self, result: AggregationResult, plan: ExecutionPlan,
+                      hits0: int, misses0: int, t0: float) -> None:
+        result.stats["plan"] = plan.decision
+        cache = self.ctx.cache.stats()
+        cache["query_hits"] = self.ctx.cache.hits - hits0
+        cache["query_misses"] = self.ctx.cache.misses - misses0
+        result.stats["cache"] = cache
+        result.stats["time_execute_s"] = time.perf_counter() - t0
 
     def execute_multi(
         self,
@@ -188,11 +166,22 @@ class SpatialAggregationEngine:
         """
         from .multipass import bounded_raster_join_multi
 
+        t0 = time.perf_counter()
+        hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
         if viewport is None:
             viewport = self.plan_viewport(regions, resolution, epsilon)
-        fragments = self.fragments_for(regions, viewport)
-        return bounded_raster_join_multi(table, regions, queries, viewport,
-                                         fragments=fragments)
+        fragments = self.ctx.fragments_for(regions, viewport)
+        results = bounded_raster_join_multi(table, regions, queries,
+                                            viewport, fragments=fragments)
+        for query, result in zip(queries, results):
+            plan = ExecutionPlan(
+                table=table, regions=regions, query=query,
+                method="bounded", resolution=resolution, epsilon=epsilon,
+                viewport=viewport,
+                decision={"chosen": "bounded", "planned": False,
+                          "multi": len(queries)})
+            self._attach_stats(result, plan, hits0, misses0, t0)
+        return results
 
     def compare(
         self,
@@ -201,10 +190,18 @@ class SpatialAggregationEngine:
         query: SpatialAggregation,
         methods: tuple[str, ...] = ("bounded", "accurate", "grid"),
         resolution: int | None = None,
+        epsilon: float | None = None,
+        exact: bool = False,
+        viewport: Viewport | None = None,
     ) -> dict[str, AggregationResult]:
-        """Run the same query through several backends (harness helper)."""
+        """Run the same query through several backends (harness helper).
+
+        Threads the full kwarg set through, so each method runs exactly
+        the plan the engine would run for it.
+        """
         return {
             m: self.execute(table, regions, query, method=m,
-                            resolution=resolution)
+                            resolution=resolution, epsilon=epsilon,
+                            exact=exact, viewport=viewport)
             for m in methods
         }

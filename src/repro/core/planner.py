@@ -1,0 +1,114 @@
+"""The cost-based planner behind ``method="auto"``.
+
+The planner turns the paper's evaluation matrix into a search space:
+for each query it gathers cheap statistics (point count, region and
+vertex counts, the requested epsilon/exactness, what the unified cache
+already holds), filters the registered backends by capability, prices
+the survivors with :meth:`Backend.estimate_cost`, and picks the
+cheapest.  The decision — inputs, per-candidate costs, chosen backend —
+is recorded verbatim in ``result.stats["plan"]`` so every answer
+explains itself.
+
+Capability gates:
+
+* ``exact=True`` restricts to exact backends;
+* a requested precision beyond the canvas cap restricts the raster
+  family to ``tiled``;
+* ``cube`` (or any backend declaring ``adhoc_regions=False``) is only
+  ever a candidate when a cube materialized earlier for this exact
+  (table, region set) pair can already answer the query — the planner
+  never pays a cube build for an ad-hoc polygon set.
+
+Candidates come from the registry, so third-party backends registered
+with :func:`register_backend` compete in ``auto`` planning too.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from .backends import backend_names, get_backend
+from .backends.base import ExecutionPlan
+from .backends.raster import planned_resolution
+from .context import ExecutionContext
+
+
+class CostBasedPlanner:
+    """Chooses a backend for ``method='auto'`` and records why."""
+
+    def plan_inputs(self, ctx: ExecutionContext, plan: ExecutionPlan) -> dict:
+        """The statistics the cost model runs on (also logged in stats)."""
+        table, regions = plan.table, plan.regions
+        desired = planned_resolution(regions, plan, ctx, capped=False)
+        return {
+            "n_points": len(table),
+            "n_regions": len(regions),
+            "total_vertices": regions.total_vertices,
+            "resolution": desired,
+            "canvas_cap": ctx.max_canvas_resolution,
+            "epsilon": plan.epsilon,
+            "exact": plan.exact,
+            "fragments_cached": (
+                plan.viewport is not None
+                and ctx.has_fragments(regions, plan.viewport)),
+            "indexes_cached": sorted(
+                kind for kind in ("grid", "rtree", "quadtree")
+                if ctx.has_index(kind, table)),
+            "cube_cached": any(
+                cube.can_answer(regions, plan.query)
+                for cube in ctx.cached_cubes(table, regions)),
+        }
+
+    def candidates(self, ctx: ExecutionContext, plan: ExecutionPlan,
+                   inputs: dict) -> list[str]:
+        over_cap = inputs["resolution"] > ctx.max_canvas_resolution
+        # An explicit epsilon/resolution/viewport is a request for the
+        # raster contract — hard per-region bounds at that pixel size —
+        # so only bounds-producing backends qualify.
+        precision_pinned = not plan.exact and (
+            plan.epsilon is not None or plan.resolution is not None
+            or plan.viewport is not None)
+        names: list[str] = []
+        # Registration order (built-ins first) also breaks exact cost
+        # ties, so third-party backends never displace a built-in that
+        # prices identically.
+        for name in backend_names():
+            backend = get_backend(name)
+            caps = backend.capabilities
+            if plan.exact and not caps.exact:
+                continue
+            if precision_pinned and not caps.bounded:
+                continue
+            if over_cap and caps.uses_canvas and not caps.unbounded_canvas:
+                continue
+            if not over_cap and caps.unbounded_canvas:
+                # One canvas suffices; tiling only rebuilds per tile.
+                continue
+            if not caps.adhoc_regions and not inputs["cube_cached"]:
+                # Pre-aggregation backends only qualify once something
+                # materialized for this (table, regions) pair can answer.
+                continue
+            names.append(name)
+        return names
+
+    def choose(self, ctx: ExecutionContext, plan: ExecutionPlan) -> str:
+        """Pick a backend; fills ``plan.decision`` as a side effect."""
+        inputs = self.plan_inputs(ctx, plan)
+        names = self.candidates(ctx, plan, inputs)
+        if not names:
+            raise QueryError(
+                f"no registered backend can satisfy this plan "
+                f"(exact={plan.exact}, resolution={inputs['resolution']}, "
+                f"cap={ctx.max_canvas_resolution})")
+        costs = {
+            name: float(get_backend(name).estimate_cost(
+                plan.table, plan.regions, plan, ctx=ctx))
+            for name in names
+        }
+        chosen = min(names, key=lambda n: costs[n])
+        plan.decision = {
+            "chosen": chosen,
+            "planned": True,
+            "inputs": inputs,
+            "costs": costs,
+        }
+        return chosen

@@ -23,6 +23,7 @@ import time
 
 import numpy as np
 
+from ..core.context import ExecutionContext
 from ..core.heatmatrix import RegionTimeMatrix, pixel_region_labels
 from ..core.regions import RegionSet
 from ..errors import QueryError, SchemaError
@@ -31,19 +32,30 @@ from ..table import PointTable
 
 
 class PointStream:
-    """An append-only spatio-temporal point stream over a region set."""
+    """An append-only spatio-temporal point stream over a region set.
+
+    Pass the engine's ``context`` to share the unified execution cache:
+    the polygon raster for (regions, viewport) is then fetched from —
+    or left behind for — the interactive query path instead of being
+    built twice.
+    """
 
     def __init__(self, regions: RegionSet, resolution: int = 512,
                  time_column: str = "t", bucket_seconds: int = 3_600,
-                 origin: int | None = None):
+                 origin: int | None = None,
+                 context: ExecutionContext | None = None):
         if bucket_seconds < 1:
             raise QueryError("bucket_seconds must be >= 1")
         self.regions = regions
         self.time_column = time_column
         self.bucket_seconds = int(bucket_seconds)
         self.viewport: Viewport = Viewport.fit(regions.bbox, resolution)
-        self.fragments: FragmentTable = build_fragment_table(
-            list(regions.geometries), self.viewport)
+        if context is not None:
+            self.fragments: FragmentTable = context.fragments_for(
+                regions, self.viewport)
+        else:
+            self.fragments = build_fragment_table(
+                list(regions.geometries), self.viewport)
         self._labels = pixel_region_labels(self.fragments)
 
         self._chunks: list[PointTable] = []

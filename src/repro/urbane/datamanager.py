@@ -3,6 +3,9 @@
 The registry a running Urbane instance keeps: named point data sets,
 named region sets (one per spatial resolution), and the shared
 :class:`SpatialAggregationEngine` every view issues its queries through.
+Because every view goes through the one engine, they all share its
+unified execution cache — a fragment table rasterized for the map view
+is reused by the timeline, the comparison view, and the next gesture.
 """
 
 from __future__ import annotations
@@ -96,6 +99,15 @@ class DataManager:
         parsed = parse_query(query)
         return self.aggregate(parsed.table, parsed.regions,
                               parsed.aggregation, **execute_kwargs)
+
+    # -- cache facade ------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Counters of the engine's unified cache (hits/misses/bytes)."""
+        return self.engine.cache_stats()
+
+    def clear_caches(self) -> None:
+        self.engine.clear_caches()
 
     def __repr__(self) -> str:
         return (f"DataManager(datasets={self.dataset_names}, "

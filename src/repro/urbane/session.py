@@ -33,6 +33,11 @@ class Interaction:
     detail: str
     latency_s: float
     rows_aggregated: int = 0
+    #: Unified-cache lookups this gesture reused / had to build.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Backend the plan resolved to for this gesture.
+    backend: str = ""
 
 
 @dataclass
@@ -125,9 +130,14 @@ class InteractiveSession:
             method=self.method, resolution=self.resolution)
         latency = time.perf_counter() - t0
         self.last_result = result
+        cache = result.stats.get("cache", {})
+        plan = result.stats.get("plan", {})
         self.log.append(Interaction(
             op=op, detail=detail, latency_s=latency,
-            rows_aggregated=result.stats.get("points_after_filter", 0)))
+            rows_aggregated=result.stats.get("points_after_filter", 0),
+            cache_hits=cache.get("query_hits", 0),
+            cache_misses=cache.get("query_misses", 0),
+            backend=plan.get("chosen", result.method)))
         return result
 
     # -- reporting -------------------------------------------------------------
@@ -140,6 +150,8 @@ class InteractiveSession:
         lat = self.latencies()
         if len(lat) == 0:
             return {"interactions": 0}
+        hits = sum(i.cache_hits for i in self.log)
+        misses = sum(i.cache_misses for i in self.log)
         return {
             "interactions": len(lat),
             "mean_latency_s": float(lat.mean()),
@@ -147,19 +159,27 @@ class InteractiveSession:
             "p95_latency_s": float(np.quantile(lat, 0.95)),
             "interactive_fraction": float(
                 (lat <= INTERACTIVE_THRESHOLD_S).mean()),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": (hits / (hits + misses)
+                               if hits + misses else 0.0),
         }
 
     def report(self) -> str:
         """Human-readable per-interaction log."""
-        lines = [f"{'op':<16} {'detail':<40} {'latency':>9}"]
+        lines = [f"{'op':<16} {'detail':<32} {'backend':<10} "
+                 f"{'cache':>7} {'latency':>9}"]
         for item in self.log:
             lines.append(
-                f"{item.op:<16} {item.detail[:40]:<40} "
+                f"{item.op:<16} {item.detail[:32]:<32} "
+                f"{item.backend[:10]:<10} "
+                f"{item.cache_hits:>3}h{item.cache_misses:>2}m "
                 f"{item.latency_s * 1000:7.1f}ms")
         stats = self.summary()
         lines.append(
             f"-- {stats['interactions']} interactions, "
             f"mean {stats['mean_latency_s'] * 1000:.1f}ms, "
             f"max {stats['max_latency_s'] * 1000:.1f}ms, "
-            f"{stats['interactive_fraction'] * 100:.0f}% interactive")
+            f"{stats['interactive_fraction'] * 100:.0f}% interactive, "
+            f"cache hit rate {stats['cache_hit_rate'] * 100:.0f}%")
         return "\n".join(lines)

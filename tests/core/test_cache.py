@@ -1,0 +1,174 @@
+"""Tests for the unified cache layer: fingerprints, LRU, accounting."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExecutionContext,
+    QueryCache,
+    SpatialAggregation,
+    SpatialAggregationEngine,
+    bump_revision,
+    fingerprint,
+)
+from repro.errors import QueryError
+from repro.table import PointTable
+
+
+def _table(n=100, seed=0, name="t"):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(gen.uniform(0, 100, n),
+                                  gen.uniform(0, 100, n), name=name)
+
+
+class TestFingerprint:
+    def test_stable_per_object(self):
+        t = _table()
+        assert fingerprint(t) == fingerprint(t)
+
+    def test_distinct_objects_distinct_tokens(self):
+        assert fingerprint(_table(seed=1)) != fingerprint(_table(seed=2))
+
+    def test_token_never_reused_after_gc(self):
+        # The id()-reuse regression: a collected table's address can be
+        # handed to a new table, but its fingerprint token cannot.
+        seen = set()
+        for i in range(50):
+            t = _table(10, seed=i)
+            fp = fingerprint(t)
+            assert fp not in seen
+            seen.add(fp)
+            del t
+            gc.collect()
+
+    def test_revision_bump_changes_fingerprint(self):
+        t = _table()
+        before = fingerprint(t)
+        bump_revision(t)
+        assert fingerprint(t) != before
+
+
+class TestQueryCache:
+    def test_hit_miss_counters(self):
+        cache = QueryCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), "v", nbytes=8)
+        assert cache.get(("k",)) == "v"
+        assert cache.misses == 1 and cache.hits == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_get_or_build_builds_once(self):
+        cache = QueryCache()
+        calls = []
+        for __ in range(3):
+            cache.get_or_build(("k",), lambda: calls.append(1) or "v",
+                               nbytes=8)
+        assert len(calls) == 1
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_lru_eviction_by_entries(self):
+        cache = QueryCache(max_entries=2)
+        for i in range(3):
+            cache.put(("k", i), i, nbytes=1)
+        assert cache.evictions == 1
+        assert ("k", 0) not in cache          # oldest gone
+        assert ("k", 2) in cache
+
+    def test_lru_order_respects_recency(self):
+        cache = QueryCache(max_entries=2)
+        cache.put(("a",), 1, nbytes=1)
+        cache.put(("b",), 2, nbytes=1)
+        cache.get(("a",))                      # touch: b is now LRU
+        cache.put(("c",), 3, nbytes=1)
+        assert ("a",) in cache and ("b",) not in cache
+
+    def test_byte_budget_eviction(self):
+        cache = QueryCache(max_bytes=100)
+        cache.put(("a",), "x", nbytes=60)
+        cache.put(("b",), "y", nbytes=60)
+        assert cache.total_bytes <= 100
+        assert cache.evictions == 1 and ("b",) in cache
+
+    def test_oversized_entry_still_stored(self):
+        cache = QueryCache(max_bytes=10)
+        cache.put(("big",), "x", nbytes=1000)
+        assert ("big",) in cache
+
+    def test_byte_accounting_from_ndarrays(self):
+        cache = QueryCache()
+        arr = np.zeros(1000)
+        cache.put(("a",), arr)
+        assert cache.total_bytes >= arr.nbytes
+
+    def test_peek_does_not_count(self):
+        cache = QueryCache()
+        cache.put(("k",), "v", nbytes=1)
+        cache.peek(("k",))
+        cache.peek(("missing",))
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_invalidate_prefix(self):
+        cache = QueryCache()
+        cache.put(("fragments", 1), "a", nbytes=1)
+        cache.put(("grid-index", 1), "b", nbytes=1)
+        assert cache.invalidate("fragments") == 1
+        assert ("fragments", 1) not in cache
+        assert ("grid-index", 1) in cache
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(QueryError):
+            QueryCache(max_bytes=0)
+
+
+class TestContextCaching:
+    def test_index_not_shared_across_tables(self):
+        # Regression for the id()-keyed caches: two different tables must
+        # never share an index, even when the first has been collected
+        # and its address reused.  Fingerprint tokens make this
+        # deterministic instead of GC-timing dependent.
+        ctx = ExecutionContext()
+        a = _table(200, seed=1, name="a")
+        idx_a = ctx.grid_index(a)
+        addr_a = id(a)
+        del a
+        gc.collect()
+        b = _table(200, seed=2, name="b")
+        idx_b = ctx.grid_index(b)
+        assert idx_a is not idx_b
+        # Even a table landing on the recycled address gets its own entry.
+        tables = [_table(200, seed=3 + i) for i in range(8)]
+        recycled = next((t for t in tables if id(t) == addr_a), None)
+        if recycled is not None:
+            assert ctx.grid_index(recycled) is not idx_a
+
+    def test_revision_bump_invalidates_derived_entries(self):
+        ctx = ExecutionContext()
+        t = _table(200, seed=5)
+        idx1 = ctx.grid_index(t)
+        assert ctx.grid_index(t) is idx1
+        bump_revision(t)
+        assert ctx.grid_index(t) is not idx1
+
+    def test_engine_eviction_observable_in_stats(self, simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=64,
+                                          cache_max_entries=2)
+        query = SpatialAggregation.count()
+        for n in (100, 200, 300):
+            engine.execute(_table(n, seed=n), simple_regions, query,
+                           method="grid")
+        stats = engine.cache_stats()
+        assert stats["evictions"] > 0
+        assert stats["entries"] <= 2
+
+    def test_repeated_query_hits_cache(self, simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=64)
+        t = _table(500, seed=9)
+        query = SpatialAggregation.count()
+        engine.execute(t, simple_regions, query, method="bounded")
+        warm = engine.execute(t, simple_regions, query, method="bounded")
+        assert warm.stats["cache"]["query_hits"] > 0
+        assert warm.stats["cache"]["query_misses"] == 0

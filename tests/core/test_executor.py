@@ -25,22 +25,26 @@ class TestDispatch:
         query = SpatialAggregation.count()
         results = {}
         for method in ("bounded", "accurate", "tiled", "grid", "rtree",
-                       "quadtree", "naive"):
+                       "quadtree", "naive", "cube"):
             results[method] = engine.execute(table, simple_regions, query,
                                              method=method)
         exact = results["naive"].values
-        for method in ("accurate", "grid", "rtree", "quadtree"):
+        for method in ("accurate", "grid", "rtree", "quadtree", "cube"):
             assert results[method].values == pytest.approx(exact)
         for method in ("bounded", "tiled"):
             assert results[method].bounds_contain(results["naive"])
 
-    def test_auto_routes_on_exactness(self, simple_regions, engine):
-        table = _table(1000, seed=1)
+    def test_auto_routes_on_exactness(self, simple_regions, engine,
+                                      small_table):
+        # Large enough that the raster family beats the index joins.
         query = SpatialAggregation.count()
-        approx = engine.execute(table, simple_regions, query)
-        exact = engine.execute(table, simple_regions, query, exact=True)
+        approx = engine.execute(small_table, simple_regions, query)
+        exact = engine.execute(small_table, simple_regions, query,
+                               exact=True)
         assert approx.method == "bounded-raster-join"
         assert exact.method == "accurate-raster-join"
+        assert approx.stats["plan"]["chosen"] == "bounded"
+        assert exact.stats["plan"]["chosen"] == "accurate"
 
     def test_unknown_method_rejected(self, simple_regions, engine):
         with pytest.raises(QueryError):
@@ -51,6 +55,25 @@ class TestDispatch:
         r = engine.execute(_table(100, seed=2), simple_regions,
                            SpatialAggregation.count())
         assert r.stats["time_execute_s"] > 0
+
+    def test_every_result_carries_plan_and_cache_stats(
+            self, simple_regions, engine):
+        table = _table(500, seed=7)
+        for method in ("auto", "bounded", "naive"):
+            r = engine.execute(table, simple_regions,
+                               SpatialAggregation.count(), method=method)
+            assert "chosen" in r.stats["plan"]
+            assert r.stats["plan"]["planned"] == (method == "auto")
+            assert {"hits", "misses", "evictions"} <= set(r.stats["cache"])
+
+    def test_execute_multi_carries_stats(self, simple_regions, engine):
+        table = _table(500, seed=8)
+        queries = [SpatialAggregation.count(),
+                   SpatialAggregation.sum_of("fare")]
+        results = engine.execute_multi(table, simple_regions, queries)
+        for r in results:
+            assert r.stats["plan"]["chosen"] == "bounded"
+            assert "hits" in r.stats["cache"]
 
 
 class TestPlanning:
@@ -118,3 +141,28 @@ class TestCompare:
                              methods=("bounded", "naive"))
         assert set(out) == {"bounded", "naive"}
         assert out["bounded"].bounds_contain(out["naive"])
+
+    def test_compare_threads_epsilon(self, simple_regions, engine):
+        # epsilon must reach each backend: the bounded run's canvas is
+        # sized by it, exactly as engine.execute would size it.
+        table = _table(2000, seed=6)
+        out = engine.compare(table, simple_regions,
+                             SpatialAggregation.count(),
+                             methods=("bounded",), epsilon=5.0)
+        direct = engine.execute(table, simple_regions,
+                                SpatialAggregation.count(),
+                                method="bounded", epsilon=5.0)
+        assert (out["bounded"].stats["canvas_pixels"]
+                == direct.stats["canvas_pixels"])
+        assert out["bounded"].stats["epsilon_world_units"] <= 5.0
+
+    def test_compare_threads_exact_and_viewport(self, simple_regions,
+                                                engine):
+        table = _table(2000, seed=7)
+        vp = Viewport.fit(simple_regions.bbox, 96)
+        out = engine.compare(table, simple_regions,
+                             SpatialAggregation.count(),
+                             methods=("auto", "bounded"), exact=True,
+                             viewport=vp)
+        assert out["auto"].exact
+        assert out["bounded"].stats["canvas_pixels"] == vp.num_pixels

@@ -1,0 +1,116 @@
+"""Tests for the cost-based planner behind ``method="auto"``."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpatialAggregation,
+    SpatialAggregationEngine,
+)
+from repro.table import PointTable
+
+
+def _table(n, seed=0):
+    gen = np.random.default_rng(seed)
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=gen.exponential(5, n))
+
+
+@pytest.fixture()
+def engine():
+    return SpatialAggregationEngine(default_resolution=256)
+
+
+class TestBackendChoice:
+    def test_tiny_table_avoids_raster(self, simple_regions, engine):
+        r = engine.execute(_table(200), simple_regions,
+                           SpatialAggregation.count())
+        assert r.stats["plan"]["chosen"] in ("naive", "grid")
+
+    def test_large_table_coarse_epsilon_goes_bounded(self, simple_regions,
+                                                     engine, small_table):
+        r = engine.execute(small_table, simple_regions,
+                           SpatialAggregation.count(), epsilon=5.0)
+        assert r.stats["plan"]["chosen"] == "bounded"
+        assert r.has_bounds
+
+    def test_exact_request_goes_accurate(self, simple_regions, engine,
+                                         small_table):
+        r = engine.execute(small_table, simple_regions,
+                           SpatialAggregation.count(), exact=True)
+        assert r.stats["plan"]["chosen"] == "accurate"
+        assert r.exact
+
+    def test_resolution_above_cap_goes_tiled(self, simple_regions,
+                                             small_table):
+        engine = SpatialAggregationEngine(default_resolution=256,
+                                          max_canvas_resolution=512)
+        r = engine.execute(small_table, simple_regions,
+                           SpatialAggregation.count(), resolution=2048)
+        assert r.stats["plan"]["chosen"] == "tiled"
+        assert r.stats["resolution"] == 2048
+
+    def test_tight_epsilon_goes_tiled(self, simple_regions, small_table):
+        engine = SpatialAggregationEngine(default_resolution=256,
+                                          max_canvas_resolution=256)
+        r = engine.execute(small_table, simple_regions,
+                           SpatialAggregation.count(), epsilon=0.05)
+        assert r.stats["plan"]["chosen"] == "tiled"
+
+    def test_exact_never_picks_approximate(self, simple_regions, engine):
+        for n in (100, 5_000):
+            r = engine.execute(_table(n, seed=n), simple_regions,
+                               SpatialAggregation.count(), exact=True)
+            assert r.exact, r.stats["plan"]
+
+    def test_cached_cube_is_picked_up(self, simple_regions, engine):
+        table = _table(5_000, seed=3)
+        query = SpatialAggregation.count()
+        engine.execute(table, simple_regions, query, method="cube")
+        r = engine.execute(table, simple_regions, query)
+        assert r.stats["plan"]["chosen"] == "cube"
+        assert r.stats["plan"]["inputs"]["cube_cached"]
+
+    def test_no_cube_for_adhoc_regions(self, simple_regions, city_regions,
+                                       engine):
+        # A cube exists for simple_regions, but a never-seen region set
+        # must not route to the cube backend.
+        table = _table(5_000, seed=4)
+        query = SpatialAggregation.count()
+        engine.execute(table, simple_regions, query, method="cube")
+        r = engine.execute(table, city_regions, query)
+        assert r.stats["plan"]["chosen"] != "cube"
+
+
+class TestPlanRecording:
+    def test_decision_records_inputs_and_costs(self, simple_regions,
+                                               engine):
+        r = engine.execute(_table(1_000, seed=5), simple_regions,
+                           SpatialAggregation.count())
+        plan = r.stats["plan"]
+        assert plan["planned"] is True
+        assert plan["chosen"] in plan["costs"]
+        inputs = plan["inputs"]
+        assert inputs["n_points"] == 1_000
+        assert inputs["n_regions"] == len(simple_regions)
+        assert inputs["total_vertices"] == simple_regions.total_vertices
+        assert inputs["exact"] is False
+        # The chosen backend priced cheapest among the candidates.
+        assert plan["costs"][plan["chosen"]] == min(plan["costs"].values())
+
+    def test_explicit_method_recorded_as_unplanned(self, simple_regions,
+                                                   engine):
+        r = engine.execute(_table(500, seed=6), simple_regions,
+                           SpatialAggregation.count(), method="naive")
+        assert r.stats["plan"]["chosen"] == "naive"
+        assert r.stats["plan"]["planned"] is False
+
+    def test_cache_state_feeds_the_planner(self, simple_regions, engine):
+        # Once the grid index for this table is cached, its build cost
+        # is waived and the recorded inputs say so.
+        table = _table(2_000, seed=7)
+        query = SpatialAggregation.count()
+        engine.execute(table, simple_regions, query, method="grid")
+        r = engine.execute(table, simple_regions, query)
+        assert "grid" in r.stats["plan"]["inputs"]["indexes_cached"]
