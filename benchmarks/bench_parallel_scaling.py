@@ -1,0 +1,205 @@
+"""Parallel scaling of the bounded raster join (E2-style point scaling).
+
+Times the bounded raster join point pass at worker counts {1, 2, 4, 8}
+over the E2 taxi workload, with the polygon raster cached (the
+interactive steady state).  Workers beyond the machine's core count
+cannot speed anything up — the interesting read-out is workers <=
+cores, where the point pass should approach linear scaling.
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_parallel_scaling.py``) —
+  statistical timings in the shared benchmark session;
+* standalone (``python benchmarks/bench_parallel_scaling.py [--points N]
+  [--workers 1,2,4,8] [--out BENCH_parallel.json]``) — emits the
+  machine-readable scaling record future PRs compare against, and
+  exits non-zero if any parallel run diverges from serial (CI's
+  benchmark-smoke job runs this at tiny sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def run_scaling(table, regions, resolution: int = 512,
+                worker_counts=WORKER_COUNTS, repeats: int = 5) -> dict:
+    """Time serial vs. parallel bounded joins; verify equivalence.
+
+    Returns the BENCH_parallel.json payload: per-worker-count median
+    latency, speedup over serial, and whether the COUNT results match
+    serial bitwise.
+    """
+    from repro.core import (
+        ParallelConfig,
+        SpatialAggregation,
+        bounded_raster_join,
+        parallel_bounded_raster_join,
+    )
+    from repro.raster import Viewport, build_fragment_table
+
+    query = SpatialAggregation.count()
+    viewport = Viewport.fit(regions.bbox, resolution)
+    fragments = build_fragment_table(list(regions.geometries), viewport)
+
+    def median_ms(fn):
+        fn()  # warmup
+        times = []
+        for __ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return float(np.median(times) * 1000)
+
+    serial_result = bounded_raster_join(table, regions, query, viewport,
+                                        fragments=fragments)
+    serial_ms = median_ms(lambda: bounded_raster_join(
+        table, regions, query, viewport, fragments=fragments))
+
+    results = []
+    for workers in worker_counts:
+        if workers <= 1:
+            results.append({
+                "workers": 1,
+                "median_ms": serial_ms,
+                "speedup": 1.0,
+                "pooled": False,
+                "count_bitwise_equal": True,
+            })
+            continue
+        # Force the chunked path regardless of input size; one chunk
+        # per worker keeps fork overhead minimal.
+        config = ParallelConfig(
+            workers=workers,
+            chunk_size=max(1, -(-len(table) // workers)),
+            serial_threshold=0)
+        result = parallel_bounded_raster_join(
+            table, regions, query, viewport, fragments=fragments,
+            config=config)
+        ms = median_ms(lambda c=config: parallel_bounded_raster_join(
+            table, regions, query, viewport, fragments=fragments, config=c))
+        results.append({
+            "workers": workers,
+            "median_ms": ms,
+            "speedup": serial_ms / ms if ms > 0 else float("inf"),
+            "pooled": bool(result.stats["parallel"]["point_pass"]["pooled"]),
+            "count_bitwise_equal": bool(
+                np.array_equal(result.values, serial_result.values)),
+        })
+
+    return {
+        "benchmark": "parallel-scaling-bounded-raster-join",
+        "points": len(table),
+        "regions": len(regions),
+        "resolution": resolution,
+        "repeats": repeats,
+        "serial_median_ms": serial_ms,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="parallel scaling")
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_parallel_point_scaling(benchmark, bench_taxi, bench_regions,
+                                    workers):
+        from repro.core import (
+            ParallelConfig,
+            SpatialAggregation,
+            bounded_raster_join,
+            parallel_bounded_raster_join,
+        )
+        from repro.raster import Viewport, build_fragment_table
+
+        table = bench_taxi["200k"]
+        regions = bench_regions["neighborhoods"]
+        query = SpatialAggregation.count()
+        viewport = Viewport.fit(regions.bbox, 512)
+        fragments = build_fragment_table(list(regions.geometries), viewport)
+
+        if workers == 1:
+            run = lambda: bounded_raster_join(  # noqa: E731
+                table, regions, query, viewport, fragments=fragments)
+        else:
+            config = ParallelConfig(
+                workers=workers,
+                chunk_size=max(1, -(-len(table) // workers)),
+                serial_threshold=0)
+            run = lambda: parallel_bounded_raster_join(  # noqa: E731
+                table, regions, query, viewport, fragments=fragments,
+                config=config)
+        run()
+        result = benchmark(run)
+        benchmark.extra_info["workers"] = workers
+        benchmark.extra_info["cpu_count"] = os.cpu_count()
+        benchmark.extra_info["total_count"] = float(result.values.sum())
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="bounded raster join parallel scaling -> JSON")
+    parser.add_argument("--points", type=int, default=800_000)
+    parser.add_argument("--regions", type=int, default=71)
+    parser.add_argument("--resolution", type=int, default=512)
+    parser.add_argument("--workers", default="1,2,4,8",
+                        help="comma-separated worker counts")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+
+    payload = run_scaling(table, regions, resolution=args.resolution,
+                          worker_counts=worker_counts,
+                          repeats=args.repeats)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'workers':>7} {'median':>10} {'speedup':>8}  equal")
+    for row in payload["results"]:
+        print(f"{row['workers']:>7} {row['median_ms']:>8.1f}ms "
+              f"{row['speedup']:>7.2f}x  {row['count_bitwise_equal']}")
+    print(f"wrote {out}")
+
+    diverged = [r["workers"] for r in payload["results"]
+                if not r["count_bitwise_equal"]]
+    if diverged:
+        print(f"ERROR: parallel output diverged from serial at "
+              f"workers={diverged}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,7 +73,8 @@ def _cmd_query(args) -> int:
     regions = _load_regions(Path(args.regions), name=parsed.regions)
     engine = SpatialAggregationEngine(
         default_resolution=args.resolution,
-        max_canvas_resolution=max(args.resolution, 4096))
+        max_canvas_resolution=max(args.resolution, 4096),
+        workers=args.workers)
 
     t0 = time.perf_counter()
     result = engine.execute(table, regions, parsed.aggregation,
@@ -91,6 +92,12 @@ def _cmd_query(args) -> int:
               f"regions={inputs.get('n_regions')}, "
               f"epsilon={inputs.get('epsilon')}, "
               f"exact={inputs.get('exact')})")
+    par = result.stats.get("parallel", {})
+    if par:
+        if par.get("mode") == "parallel":
+            print(f"-- parallel: {par.get('workers')} workers")
+        else:
+            print(f"-- parallel: serial ({par.get('reason', 'n/a')})")
     cache = result.stats.get("cache", {})
     if cache:
         print(f"-- cache: {cache.get('query_hits', 0)} hits / "
@@ -126,7 +133,8 @@ def _cmd_compare(args) -> int:
     parsed = parse_query(args.sql)
     table = load_npz(Path(args.data))
     regions = _load_regions(Path(args.regions), name=parsed.regions)
-    engine = SpatialAggregationEngine(default_resolution=args.resolution)
+    engine = SpatialAggregationEngine(default_resolution=args.resolution,
+                                      workers=args.workers)
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
 
     results = {}
@@ -174,7 +182,7 @@ def _cmd_session(args) -> int:
     table = load_npz(Path(args.data))
     regions = _load_regions(Path(args.regions))
     manager = DataManager(SpatialAggregationEngine(
-        default_resolution=args.resolution))
+        default_resolution=args.resolution, workers=args.workers))
     manager.add_dataset(table, "data")
     manager.add_region_set(regions, "regions")
 
@@ -227,6 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution backend; 'auto' runs the cost-based "
                           "planner (default)")
     qry.add_argument("--resolution", type=int, default=512)
+    qry.add_argument("--workers", type=int, default=None,
+                     help="worker processes for large inputs "
+                          "(default: all cores; small inputs always "
+                          "run serial)")
     qry.add_argument("--top", type=int, default=10,
                      help="print the top-N regions")
     qry.add_argument("--csv", help="write full results to this CSV")
@@ -240,6 +252,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated registered backends, e.g. "
                            "'bounded,grid,cube,auto'")
     cmp_.add_argument("--resolution", type=int, default=512)
+    cmp_.add_argument("--workers", type=int, default=None,
+                      help="worker processes for large inputs")
     cmp_.set_defaults(func=_cmd_compare)
 
     ses = sub.add_parser("session",
@@ -247,6 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
     ses.add_argument("--data", required=True)
     ses.add_argument("--regions", required=True)
     ses.add_argument("--resolution", type=int, default=512)
+    ses.add_argument("--workers", type=int, default=None,
+                     help="worker processes for large inputs")
     ses.add_argument("--method", default="bounded", choices=METHODS,
                      help="backend for every gesture (or 'auto')")
     ses.set_defaults(func=_cmd_session)

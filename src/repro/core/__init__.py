@@ -55,6 +55,14 @@ from .heatmatrix import (
 )
 from .histogram import RegionHistograms, region_histograms
 from .multipass import bounded_raster_join_multi
+from .parallel import (
+    PARALLEL_POINT_THRESHOLD,
+    ParallelConfig,
+    parallel_accurate_raster_join,
+    parallel_bounded_raster_join,
+    parallel_build_fragment_table,
+    parallel_index_join,
+)
 from .query import SpatialAggregation
 from .regions import RegionSet
 from .result import AggregationResult
@@ -76,6 +84,8 @@ __all__ = [
     "MAX_CANVAS_RESOLUTION",
     "METHODS",
     "MIN",
+    "PARALLEL_POINT_THRESHOLD",
+    "ParallelConfig",
     "ParsedQuery",
     "PartialAggregate",
     "QueryCache",
@@ -96,6 +106,10 @@ __all__ = [
     "fingerprint",
     "get_backend",
     "make_tiles",
+    "parallel_accurate_raster_join",
+    "parallel_bounded_raster_join",
+    "parallel_build_fragment_table",
+    "parallel_index_join",
     "parse_query",
     "pixel_region_labels",
     "region_histograms",

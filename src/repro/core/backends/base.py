@@ -36,6 +36,10 @@ class BackendCapabilities:
     #: Answers arbitrary, never-before-seen region sets.  Pre-aggregated
     #: backends (the cube) only answer what they materialized.
     adhoc_regions: bool = True
+    #: Has a multi-process execution path the planner may engage (see
+    #: :mod:`repro.core.parallel`); the serial/parallel decision is
+    #: recorded in ``plan.decision["parallel"]``.
+    parallelizable: bool = False
 
 
 @dataclass

@@ -16,9 +16,22 @@ import math
 from ..accurate import accurate_raster_join
 from ..bounded import bounded_raster_join
 from ..bounds import resolution_for_epsilon
+from ..parallel import (
+    decision_for,
+    parallel_accurate_raster_join,
+    parallel_bounded_raster_join,
+)
 from ..tiling import tiled_bounded_raster_join
 from .base import Backend, BackendCapabilities, ExecutionPlan
 from .registry import register_backend
+
+
+def _point_units(table, ctx) -> float:
+    """Effective cost of a linear point pass, parallel-aware: above the
+    serial threshold the planner sees points/workers + fork overhead."""
+    if ctx is None:
+        return float(len(table))
+    return ctx.parallel.point_cost(len(table))
 
 
 def planned_resolution(regions, plan: ExecutionPlan, ctx=None,
@@ -72,19 +85,27 @@ class BoundedRasterBackend(Backend):
 
     name = "bounded"
     capabilities = BackendCapabilities(exact=False, bounded=True,
-                                       uses_canvas=True)
+                                       uses_canvas=True, parallelizable=True)
 
     def estimate_cost(self, table, regions, plan, ctx=None) -> float:
         pixels = planned_pixels(regions, plan, ctx)
-        return (len(table) + 0.05 * pixels
+        return (_point_units(table, ctx) + 0.05 * pixels
                 + _fragment_cost(regions, plan, ctx, pixels))
 
     def run(self, ctx, plan):
         viewport = plan.viewport or ctx.plan_viewport(
             plan.regions, plan.resolution, plan.epsilon)
         fragments = ctx.fragments_for(plan.regions, viewport)
-        return bounded_raster_join(plan.table, plan.regions, plan.query,
-                                   viewport, fragments=fragments)
+        decision = decision_for(ctx, plan)
+        if decision["use"]:
+            return parallel_bounded_raster_join(
+                plan.table, plan.regions, plan.query, viewport,
+                fragments=fragments, config=ctx.parallel)
+        result = bounded_raster_join(plan.table, plan.regions, plan.query,
+                                     viewport, fragments=fragments)
+        result.stats["parallel"] = {"mode": "serial",
+                                    "reason": decision["reason"]}
+        return result
 
 
 @register_backend
@@ -93,21 +114,31 @@ class AccurateRasterBackend(Backend):
     speed once the polygon pass is cached."""
 
     name = "accurate"
-    capabilities = BackendCapabilities(exact=True, uses_canvas=True)
+    capabilities = BackendCapabilities(exact=True, uses_canvas=True,
+                                       parallelizable=True)
 
     def estimate_cost(self, table, regions, plan, ctx=None) -> float:
         pixels = planned_pixels(regions, plan, ctx)
         avg_vertices = regions.total_vertices / max(1, len(regions))
-        return (2.0 * len(table) + 0.05 * pixels
+        units = _point_units(table, ctx)
+        return (2.0 * units + 0.05 * pixels
                 + _fragment_cost(regions, plan, ctx, pixels)
-                + 0.2 * len(table) * avg_vertices)
+                + 0.2 * units * avg_vertices)
 
     def run(self, ctx, plan):
         viewport = plan.viewport or ctx.plan_viewport(
             plan.regions, plan.resolution, plan.epsilon)
         fragments = ctx.fragments_for(plan.regions, viewport)
-        return accurate_raster_join(plan.table, plan.regions, plan.query,
-                                    viewport, fragments=fragments)
+        decision = decision_for(ctx, plan)
+        if decision["use"]:
+            return parallel_accurate_raster_join(
+                plan.table, plan.regions, plan.query, viewport,
+                fragments=fragments, config=ctx.parallel)
+        result = accurate_raster_join(plan.table, plan.regions, plan.query,
+                                      viewport, fragments=fragments)
+        result.stats["parallel"] = {"mode": "serial",
+                                    "reason": decision["reason"]}
+        return result
 
 
 @register_backend
@@ -122,11 +153,12 @@ class TiledRasterBackend(Backend):
     name = "tiled"
     capabilities = BackendCapabilities(exact=False, bounded=True,
                                        uses_canvas=True,
-                                       unbounded_canvas=True)
+                                       unbounded_canvas=True,
+                                       parallelizable=True)
 
     def estimate_cost(self, table, regions, plan, ctx=None) -> float:
         pixels = planned_pixels(regions, plan, ctx)
-        return (3.0 * len(table) + 0.1 * pixels
+        return (3.0 * _point_units(table, ctx) + 0.1 * pixels
                 + 8.0 * regions.total_vertices * max(
                     1.0, math.sqrt(pixels) / 1024.0))
 
@@ -135,6 +167,12 @@ class TiledRasterBackend(Backend):
         if resolution is None and plan.epsilon is not None:
             resolution = planned_resolution(plan.regions, plan, ctx,
                                             capped=False)
-        return tiled_bounded_raster_join(
+        decision = decision_for(ctx, plan)
+        result = tiled_bounded_raster_join(
             plan.table, plan.regions, plan.query,
-            resolution=resolution or ctx.default_resolution)
+            resolution=resolution or ctx.default_resolution,
+            config=ctx.parallel if decision["use"] else None)
+        if not decision["use"]:
+            result.stats["parallel"] = {"mode": "serial",
+                                        "reason": decision["reason"]}
+        return result

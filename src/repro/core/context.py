@@ -17,6 +17,7 @@ from ..raster import FragmentTable, Viewport, build_fragment_table
 from ..table import PointTable
 from .bounds import resolution_for_epsilon
 from .cache import QueryCache, fingerprint
+from .parallel import ParallelConfig, parallel_build_fragment_table
 from .regions import RegionSet
 
 DEFAULT_RESOLUTION = 512
@@ -29,13 +30,15 @@ class ExecutionContext:
     def __init__(self, default_resolution: int = DEFAULT_RESOLUTION,
                  max_canvas_resolution: int = MAX_CANVAS_RESOLUTION,
                  cache_max_bytes: int = 256 * 1024 * 1024,
-                 cache_max_entries: int = 512):
+                 cache_max_entries: int = 512,
+                 parallel: ParallelConfig | None = None):
         if default_resolution < 1:
             raise QueryError("default_resolution must be positive")
         self.default_resolution = int(default_resolution)
         self.max_canvas_resolution = int(max_canvas_resolution)
         self.cache = QueryCache(max_bytes=cache_max_bytes,
                                 max_entries=cache_max_entries)
+        self.parallel = parallel or ParallelConfig()
 
     # -- viewport planning -------------------------------------------------
 
@@ -64,9 +67,15 @@ class ExecutionContext:
                       viewport: Viewport) -> FragmentTable:
         """The (cached) polygon render pass for a region set + viewport."""
         key = ("fragments", fingerprint(regions), viewport)
-        return self.cache.get_or_build(
-            key,
-            lambda: build_fragment_table(list(regions.geometries), viewport))
+
+        def build() -> FragmentTable:
+            geometries = list(regions.geometries)
+            if self.parallel.decide_regions(len(geometries))["use"]:
+                return parallel_build_fragment_table(geometries, viewport,
+                                                     self.parallel)
+            return build_fragment_table(geometries, viewport)
+
+        return self.cache.get_or_build(key, build)
 
     def has_fragments(self, regions: RegionSet, viewport: Viewport) -> bool:
         return ("fragments", fingerprint(regions), viewport) in self.cache

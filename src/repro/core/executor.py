@@ -32,6 +32,7 @@ from .context import (
     MAX_CANVAS_RESOLUTION,
     ExecutionContext,
 )
+from .parallel import ParallelConfig
 from .planner import CostBasedPlanner
 from .query import SpatialAggregation
 from .regions import RegionSet
@@ -50,12 +51,22 @@ class SpatialAggregationEngine:
                  max_canvas_resolution: int = MAX_CANVAS_RESOLUTION,
                  cache_max_bytes: int = 256 * 1024 * 1024,
                  cache_max_entries: int = 512,
-                 planner: CostBasedPlanner | None = None):
+                 planner: CostBasedPlanner | None = None,
+                 parallel: ParallelConfig | None = None,
+                 workers: int | None = None):
+        # ``workers`` is the one-knob shortcut (CLI ``--workers``);
+        # ``parallel`` carries the full tuning surface.  Given both, the
+        # explicit worker count wins.
+        if parallel is None:
+            parallel = ParallelConfig(workers=workers)
+        elif workers is not None:
+            parallel = parallel.with_workers(workers)
         self.ctx = ExecutionContext(
             default_resolution=default_resolution,
             max_canvas_resolution=max_canvas_resolution,
             cache_max_bytes=cache_max_bytes,
-            cache_max_entries=cache_max_entries)
+            cache_max_entries=cache_max_entries,
+            parallel=parallel)
         self.planner = planner or CostBasedPlanner()
 
     # -- configuration passthrough ----------------------------------------

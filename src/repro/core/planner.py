@@ -42,6 +42,8 @@ class CostBasedPlanner:
         return {
             "n_points": len(table),
             "n_regions": len(regions),
+            "workers": ctx.parallel.resolve_workers(),
+            "parallel_threshold": ctx.parallel.serial_threshold,
             "total_vertices": regions.total_vertices,
             "resolution": desired,
             "canvas_cap": ctx.max_canvas_resolution,
@@ -105,10 +107,22 @@ class CostBasedPlanner:
             for name in names
         }
         chosen = min(names, key=lambda n: costs[n])
+        # The serial/parallel decision rides along with the backend
+        # choice: parallelizable backends follow the input-cardinality
+        # rule (small inputs never pay fork/IPC overhead), everything
+        # else is pinned serial.
+        if get_backend(chosen).capabilities.parallelizable:
+            parallel = ctx.parallel.decide(inputs["n_points"])
+        else:
+            parallel = {"use": False,
+                        "workers": ctx.parallel.resolve_workers(),
+                        "threshold": ctx.parallel.serial_threshold,
+                        "reason": f"backend {chosen!r} is not parallelizable"}
         plan.decision = {
             "chosen": chosen,
             "planned": True,
             "inputs": inputs,
             "costs": costs,
+            "parallel": parallel,
         }
         return chosen

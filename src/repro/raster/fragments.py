@@ -11,6 +11,7 @@ sets while the user brushes filters, the tables are cached per
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -42,6 +43,23 @@ class FragmentTable:
     @property
     def num_boundary_fragments(self) -> int:
         return len(self.boundary_pixels)
+
+    # All center-covered pairs (interior + covered boundary) — what the
+    # pure raster join iterates.  Concatenated once per table (builders
+    # touch these eagerly) instead of on every query: the join runs per
+    # brush gesture, and re-allocating megabyte pair arrays per gesture
+    # dominated small-query join time.  ``cached_property`` stores into
+    # ``__dict__`` directly, so it composes with the frozen dataclass.
+
+    @cached_property
+    def covered_pixels(self) -> np.ndarray:
+        return np.concatenate(
+            [self.interior_pixels, self.covered_boundary_pixels])
+
+    @cached_property
+    def covered_polys(self) -> np.ndarray:
+        return np.concatenate(
+            [self.interior_polys, self.covered_boundary_polys])
 
 
 def build_fragment_table(geometries: list[Geometry],
@@ -80,7 +98,7 @@ def build_fragment_table(geometries: list[Geometry],
             return np.empty(0, dtype=dtype)
         return np.concatenate(parts)
 
-    return FragmentTable(
+    table = FragmentTable(
         interior_pixels=_cat(int_pix, np.int64),
         interior_polys=_cat(int_poly, np.int32),
         boundary_pixels=_cat(bnd_pix, np.int64),
@@ -90,3 +108,8 @@ def build_fragment_table(geometries: list[Geometry],
         num_polygons=len(geometries),
         viewport=viewport,
     )
+    # Materialize the concatenated covered arrays now, while the table
+    # is cold — queries then never allocate them per gesture.
+    table.covered_pixels
+    table.covered_polys
+    return table

@@ -38,6 +38,8 @@ class Interaction:
     cache_misses: int = 0
     #: Backend the plan resolved to for this gesture.
     backend: str = ""
+    #: Execution mode the backend ran in ("parallel" / "serial" / "").
+    parallel: str = ""
 
 
 @dataclass
@@ -64,10 +66,16 @@ class InteractiveSession:
     """Replays exploration gestures and logs refresh latency."""
 
     def __init__(self, manager: DataManager, dataset: str, regions: str,
-                 method: str = "bounded", resolution: int = 512):
+                 method: str = "bounded", resolution: int = 512,
+                 workers: int | None = None):
         self.manager = manager
         self.method = method
         self.resolution = int(resolution)
+        if workers is not None:
+            # Per-session worker override; the engine's other parallel
+            # knobs (chunk size, thresholds) are left as configured.
+            ctx = manager.engine.ctx
+            ctx.parallel = ctx.parallel.with_workers(workers)
         self.state = SessionState(dataset=dataset, regions=regions)
         self.log: list[Interaction] = []
         self.last_result: AggregationResult | None = None
@@ -137,7 +145,8 @@ class InteractiveSession:
             rows_aggregated=result.stats.get("points_after_filter", 0),
             cache_hits=cache.get("query_hits", 0),
             cache_misses=cache.get("query_misses", 0),
-            backend=plan.get("chosen", result.method)))
+            backend=plan.get("chosen", result.method),
+            parallel=result.stats.get("parallel", {}).get("mode", "")))
         return result
 
     # -- reporting -------------------------------------------------------------
@@ -163,6 +172,8 @@ class InteractiveSession:
             "cache_misses": misses,
             "cache_hit_rate": (hits / (hits + misses)
                                if hits + misses else 0.0),
+            "parallel_gestures": sum(
+                1 for i in self.log if i.parallel == "parallel"),
         }
 
     def report(self) -> str:

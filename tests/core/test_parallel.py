@@ -1,0 +1,294 @@
+"""Parallel/serial equivalence for the multi-process execution layer.
+
+The parallel joins must be drop-in replacements: bitwise-equal results
+for COUNT and SUM (the test data uses integer-valued measures, so float
+addition is exact in any merge order), tolerance-equal for AVG/MIN/MAX.
+The suite covers all five aggregates, with and without filters, plus
+the empty-chunk, empty-table, and single-worker edge cases, and the
+planner's serial-fallback threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AVG,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    ParallelConfig,
+    SpatialAggregation,
+    SpatialAggregationEngine,
+    accurate_raster_join,
+    bounded_raster_join,
+    parallel_accurate_raster_join,
+    parallel_bounded_raster_join,
+    parallel_build_fragment_table,
+    parallel_index_join,
+    tiled_bounded_raster_join,
+)
+from repro.core.parallel import ParallelConfig as PC
+from repro.core.parallel import parallel_point_pass
+from repro.index import PointGridIndex
+from repro.raster import Viewport, build_fragment_table
+from repro.table import F, PointTable
+
+AGGREGATES = (COUNT, SUM, AVG, MIN, MAX)
+
+#: Forces the multi-process path even on tiny test inputs.
+SMALL_CHUNKS = ParallelConfig(workers=3, chunk_size=400,
+                              serial_threshold=100, region_threshold=2,
+                              fragment_threshold=1)
+
+
+def _table(n: int, seed: int = 3) -> PointTable:
+    gen = np.random.default_rng(seed)
+    # Integer-valued fares: float sums are then exact regardless of the
+    # order chunks merge in, so SUM can be asserted bitwise.
+    return PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n),
+        fare=np.floor(gen.exponential(10.0, n)))
+
+
+def _query(agg: str, filtered: bool) -> SpatialAggregation:
+    if agg == COUNT:
+        query = SpatialAggregation.count()
+    else:
+        ctor = {SUM: SpatialAggregation.sum_of,
+                AVG: SpatialAggregation.avg_of,
+                MIN: SpatialAggregation.min_of,
+                MAX: SpatialAggregation.max_of}[agg]
+        query = ctor("fare")
+    if filtered:
+        query = query.where(F("fare") > 5)
+    return query
+
+
+def _assert_equivalent(agg: str, serial: np.ndarray,
+                       parallel: np.ndarray) -> None:
+    if agg in (COUNT, SUM):
+        np.testing.assert_array_equal(parallel, serial)
+    else:
+        np.testing.assert_allclose(parallel, serial, rtol=1e-12,
+                                   equal_nan=True)
+
+
+@pytest.fixture(scope="module")
+def table() -> PointTable:
+    return _table(4_000)
+
+
+@pytest.fixture(scope="module")
+def viewport(simple_regions) -> Viewport:
+    return Viewport.fit(simple_regions.bbox, 256)
+
+
+@pytest.fixture(scope="module")
+def fragments(simple_regions, viewport):
+    return build_fragment_table(list(simple_regions.geometries), viewport)
+
+
+class TestBoundedEquivalence:
+    @pytest.mark.parametrize("agg", AGGREGATES)
+    @pytest.mark.parametrize("filtered", [False, True])
+    def test_matches_serial(self, agg, filtered, table, simple_regions,
+                            viewport, fragments):
+        query = _query(agg, filtered)
+        serial = bounded_raster_join(table, simple_regions, query, viewport,
+                                     fragments=fragments)
+        parallel = parallel_bounded_raster_join(
+            table, simple_regions, query, viewport, fragments=fragments,
+            config=SMALL_CHUNKS)
+        _assert_equivalent(agg, serial.values, parallel.values)
+        if serial.has_bounds:
+            np.testing.assert_array_equal(parallel.lower, serial.lower)
+            np.testing.assert_array_equal(parallel.upper, serial.upper)
+        assert parallel.method == serial.method
+        assert parallel.stats["parallel"]["point_pass"]["pooled"]
+
+    def test_single_worker_runs_in_process(self, table, simple_regions,
+                                           viewport, fragments):
+        config = ParallelConfig(workers=1, chunk_size=400)
+        serial = bounded_raster_join(table, simple_regions,
+                                     SpatialAggregation.count(), viewport,
+                                     fragments=fragments)
+        parallel = parallel_bounded_raster_join(
+            table, simple_regions, SpatialAggregation.count(), viewport,
+            fragments=fragments, config=config)
+        np.testing.assert_array_equal(parallel.values, serial.values)
+        assert not parallel.stats["parallel"]["point_pass"]["pooled"]
+
+    def test_empty_table(self, simple_regions, viewport, fragments):
+        empty = _table(0)
+        result = parallel_bounded_raster_join(
+            empty, simple_regions, SpatialAggregation.count(), viewport,
+            fragments=fragments, config=SMALL_CHUNKS)
+        np.testing.assert_array_equal(result.values,
+                                      np.zeros(len(simple_regions)))
+
+    def test_empty_chunk(self, simple_regions, viewport, fragments):
+        # A filter that empties some chunks entirely: all matching rows
+        # live in the first fifth of the table, the rest scatter nothing.
+        gen = np.random.default_rng(11)
+        n = 2_000
+        x = np.concatenate([gen.uniform(0, 100, n // 5),
+                            np.full(n - n // 5, 50.0)])
+        y = np.concatenate([gen.uniform(0, 100, n // 5),
+                            np.full(n - n // 5, 50.0)])
+        fare = np.concatenate([np.full(n // 5, 7.0),
+                               np.zeros(n - n // 5)])
+        table = PointTable.from_arrays(x, y, fare=fare)
+        query = SpatialAggregation.count(F("fare") > 5)
+        serial = bounded_raster_join(table, simple_regions, query, viewport,
+                                     fragments=fragments)
+        parallel = parallel_bounded_raster_join(
+            table, simple_regions, query, viewport, fragments=fragments,
+            config=SMALL_CHUNKS)
+        np.testing.assert_array_equal(parallel.values, serial.values)
+
+
+class TestAccurateEquivalence:
+    @pytest.mark.parametrize("agg", AGGREGATES)
+    @pytest.mark.parametrize("filtered", [False, True])
+    def test_matches_serial(self, agg, filtered, table, simple_regions,
+                            viewport, fragments):
+        query = _query(agg, filtered)
+        serial = accurate_raster_join(table, simple_regions, query,
+                                      viewport, fragments=fragments)
+        parallel = parallel_accurate_raster_join(
+            table, simple_regions, query, viewport, fragments=fragments,
+            config=SMALL_CHUNKS)
+        # Same (point, region) decisions, only distributed — exact for
+        # every aggregate with integer-valued data.
+        _assert_equivalent(agg, serial.values, parallel.values)
+        assert parallel.exact
+        assert (parallel.stats["boundary_points_tested"]
+                == serial.stats["boundary_points_tested"])
+
+
+class TestTiledEquivalence:
+    @pytest.mark.parametrize("agg", AGGREGATES)
+    def test_matches_serial(self, agg, table, simple_regions):
+        query = _query(agg, filtered=False)
+        serial = tiled_bounded_raster_join(table, simple_regions, query,
+                                           resolution=512, tile_pixels=128)
+        parallel = tiled_bounded_raster_join(table, simple_regions, query,
+                                             resolution=512, tile_pixels=128,
+                                             config=SMALL_CHUNKS)
+        _assert_equivalent(agg, serial.values, parallel.values)
+        if serial.has_bounds:
+            np.testing.assert_allclose(parallel.lower, serial.lower,
+                                       rtol=1e-12)
+            np.testing.assert_allclose(parallel.upper, serial.upper,
+                                       rtol=1e-12)
+
+
+class TestIndexJoinEquivalence:
+    @pytest.mark.parametrize("agg", AGGREGATES)
+    def test_matches_serial(self, agg, table, simple_regions):
+        from repro.baselines.grid_join import grid_index_join
+
+        query = _query(agg, filtered=True)
+        index = PointGridIndex(table.x, table.y, table.bbox, nx=32, ny=32)
+        serial = grid_index_join(table, simple_regions, query, index=index)
+        parallel = parallel_index_join(table, simple_regions, query, index,
+                                       SMALL_CHUNKS,
+                                       method="grid-index-join")
+        _assert_equivalent(agg, serial.values, parallel.values)
+        assert parallel.method == serial.method
+        assert (parallel.stats["candidates_tested"]
+                == serial.stats["candidates_tested"])
+
+
+class TestFragmentStitching:
+    def test_sharded_build_matches_serial(self, simple_regions, viewport):
+        serial = build_fragment_table(list(simple_regions.geometries),
+                                      viewport)
+        parallel = parallel_build_fragment_table(
+            list(simple_regions.geometries), viewport, SMALL_CHUNKS)
+        for name in ("interior_pixels", "interior_polys",
+                     "boundary_pixels", "boundary_polys",
+                     "covered_boundary_pixels", "covered_boundary_polys",
+                     "covered_pixels", "covered_polys"):
+            np.testing.assert_array_equal(getattr(parallel, name),
+                                          getattr(serial, name),
+                                          err_msg=name)
+        assert parallel.num_polygons == serial.num_polygons
+
+    def test_covered_arrays_precomputed(self, fragments):
+        # Satellite: the concatenated covered arrays are materialized at
+        # build time, not re-concatenated per query.
+        assert "covered_pixels" in fragments.__dict__
+        assert fragments.covered_pixels is fragments.covered_pixels
+
+
+class TestPointPassStats:
+    def test_per_worker_timings_recorded(self, table, simple_regions,
+                                         viewport):
+        canvases, stats = parallel_point_pass(
+            table, SpatialAggregation.count(), viewport, SMALL_CHUNKS)
+        assert stats["pooled"]
+        assert stats["chunks"] > 1
+        assert len(stats["per_worker"]) == stats["chunks"]
+        assert all(w["time_s"] >= 0 for w in stats["per_worker"])
+        assert sum(w["rows"] for w in stats["per_worker"]) == len(table)
+        assert canvases["count"].sum() == stats["points_in_viewport"]
+
+
+class TestConfigDecisions:
+    def test_below_threshold_is_serial(self):
+        config = PC(workers=4, serial_threshold=1_000)
+        decision = config.decide(999)
+        assert not decision["use"]
+        assert "below serial threshold" in decision["reason"]
+
+    def test_above_threshold_is_parallel(self):
+        config = PC(workers=4, chunk_size=100, serial_threshold=1_000)
+        decision = config.decide(1_000)
+        assert decision["use"]
+        assert decision["workers"] == 4
+
+    def test_one_worker_never_parallel(self):
+        config = PC(workers=1, serial_threshold=10)
+        assert not config.decide(10_000_000)["use"]
+
+    def test_point_cost_serial_below_threshold(self):
+        config = PC(workers=4, serial_threshold=1_000)
+        assert config.point_cost(500) == 500.0
+
+    def test_point_cost_parallel_above_threshold(self):
+        config = PC(workers=4, chunk_size=1_000, serial_threshold=1_000)
+        n = 4_000_000
+        assert config.point_cost(n) < n
+
+
+class TestEngineIntegration:
+    def test_workers_kwarg_threads_through(self, simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=128, workers=2)
+        assert engine.ctx.parallel.resolve_workers() == 2
+        result = engine.execute(_table(500), simple_regions,
+                                SpatialAggregation.count(),
+                                method="bounded")
+        # Small input: the backend must record a serial decision.
+        assert result.stats["parallel"]["mode"] == "serial"
+        assert result.stats["plan"]["parallel"]["use"] is False
+
+    def test_engine_parallel_run_matches_serial(self, simple_regions):
+        table = _table(6_000)
+        parallel_engine = SpatialAggregationEngine(
+            default_resolution=128,
+            parallel=ParallelConfig(workers=2, chunk_size=500,
+                                    serial_threshold=1_000))
+        serial_engine = SpatialAggregationEngine(default_resolution=128,
+                                                 workers=1)
+        query = SpatialAggregation.sum_of("fare")
+        rp = parallel_engine.execute(table, simple_regions, query,
+                                     method="bounded")
+        rs = serial_engine.execute(table, simple_regions, query,
+                                   method="bounded")
+        np.testing.assert_array_equal(rp.values, rs.values)
+        assert rp.stats["parallel"]["mode"] == "parallel"
+        assert rp.stats["plan"]["parallel"]["use"] is True

@@ -114,3 +114,60 @@ class TestPlanRecording:
         engine.execute(table, simple_regions, query, method="grid")
         r = engine.execute(table, simple_regions, query)
         assert "grid" in r.stats["plan"]["inputs"]["indexes_cached"]
+
+
+class TestParallelDecision:
+    """``method="auto"`` records the serial/parallel decision and never
+    pays fork overhead below the documented small-input threshold."""
+
+    def test_small_input_decides_serial(self, simple_regions):
+        from repro.core import ParallelConfig
+
+        engine = SpatialAggregationEngine(
+            default_resolution=256,
+            parallel=ParallelConfig(workers=4, serial_threshold=10_000))
+        r = engine.execute(_table(2_000, seed=8), simple_regions,
+                          SpatialAggregation.count(), epsilon=5.0)
+        decision = r.stats["plan"]["parallel"]
+        assert decision["use"] is False
+        assert decision["threshold"] == 10_000
+        assert "below serial threshold" in decision["reason"]
+        assert r.stats["parallel"]["mode"] == "serial"
+
+    def test_default_threshold_is_documented_constant(self, simple_regions,
+                                                      engine):
+        from repro.core import PARALLEL_POINT_THRESHOLD
+
+        r = engine.execute(_table(1_000, seed=9), simple_regions,
+                          SpatialAggregation.count(), epsilon=5.0)
+        assert (r.stats["plan"]["parallel"]["threshold"]
+                == PARALLEL_POINT_THRESHOLD)
+
+    def test_large_input_decides_parallel(self, simple_regions, small_table):
+        from repro.core import ParallelConfig
+
+        engine = SpatialAggregationEngine(
+            default_resolution=256,
+            parallel=ParallelConfig(workers=4, chunk_size=5_000,
+                                    serial_threshold=20_000))
+        r = engine.execute(small_table, simple_regions,
+                          SpatialAggregation.count(), epsilon=5.0)
+        assert r.stats["plan"]["chosen"] == "bounded"
+        decision = r.stats["plan"]["parallel"]
+        assert decision["use"] is True
+        assert r.stats["parallel"]["mode"] == "parallel"
+        assert r.stats["parallel"]["point_pass"]["workers"] > 1
+
+    def test_non_parallelizable_backend_pinned_serial(self, simple_regions,
+                                                      engine):
+        r = engine.execute(_table(200, seed=10), simple_regions,
+                          SpatialAggregation.count())
+        if r.stats["plan"]["chosen"] in ("naive", "quadtree", "cube"):
+            assert r.stats["plan"]["parallel"]["use"] is False
+
+    def test_inputs_record_parallel_knobs(self, simple_regions, engine):
+        r = engine.execute(_table(300, seed=11), simple_regions,
+                          SpatialAggregation.count())
+        inputs = r.stats["plan"]["inputs"]
+        assert inputs["workers"] >= 1
+        assert inputs["parallel_threshold"] > 0
