@@ -1,0 +1,248 @@
+"""Timeline brush-step latency: temporal canvas cube vs. re-scatter.
+
+The cube's claim is O(pixels) per brush step: once the prefix-summed
+time slices exist, any aligned ``[t0, t1)`` materializes as a two-slice
+difference, independent of point count — while the baseline re-runs the
+whole point pass per gesture.  This benchmark slides a multi-day brush
+across a month of taxi data and times each step both ways, verifying
+per step that the cube answer is bitwise-identical (COUNT, and SUM over
+integer-valued fares; AVG within float round-off).
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_tcube_brush.py``) —
+  statistical timings in the shared benchmark session;
+* standalone (``python benchmarks/bench_tcube_brush.py [--points N]
+  [--resolution 512] [--out BENCH_tcube.json]``) — emits the
+  machine-readable record future PRs compare against, and exits
+  non-zero if any brush diverges (CI's benchmark-smoke job runs this
+  at tiny sizes; the full-size acceptance bar is >= 10x per step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DAY = 86_400
+BRUSH_DAYS = 7
+
+
+def run_brush(table, regions, resolution: int = 512, repeats: int = 5,
+              brush_days: int = BRUSH_DAYS, speedup_floor: float | None
+              = None) -> dict:
+    """Time sliding brushes via the cube vs. fresh bounded joins.
+
+    Returns the BENCH_tcube.json payload: per-aggregate median
+    brush-step latency for both paths, the speedup, the one-time cube
+    build cost, and per-step equality verdicts.
+    """
+    from repro.core import (
+        SpatialAggregation,
+        bounded_raster_join,
+        build_temporal_canvas_cube,
+    )
+    from repro.raster import Viewport, build_fragment_table
+    from repro.table import TimeRange
+
+    viewport = Viewport.fit(regions.bbox, resolution)
+    fragments = build_fragment_table(list(regions.geometries), viewport)
+
+    tvals = table.column("t").values
+    origin = int(tvals.min()) // DAY * DAY
+    num_days = (int(tvals.max()) - origin) // DAY + 1
+    steps = max(1, num_days - brush_days)
+    brushes = [(origin + d * DAY, origin + (d + brush_days) * DAY)
+               for d in range(steps)]
+
+    def median_ms(fn):
+        fn()  # warmup
+        times = []
+        for __ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return float(np.median(times) * 1000)
+
+    aggregates = [("count", None), ("sum", "fare"), ("avg", "fare")]
+    results = []
+    for agg, value_column in aggregates:
+        t0 = time.perf_counter()
+        cube = build_temporal_canvas_cube(table, viewport, "t", DAY,
+                                          value_column=value_column)
+        build_ms = (time.perf_counter() - t0) * 1000
+
+        queries = [SpatialAggregation(agg, value_column,
+                                      (TimeRange("t", lo, hi),))
+                   for lo, hi in brushes]
+
+        equal = True
+        max_rel_err = 0.0
+        for query in queries:
+            got = cube.answer(regions, fragments, query)
+            want = bounded_raster_join(table, regions, query, viewport,
+                                       fragments=fragments)
+            if agg == "avg":
+                denom = np.where(want.values == 0, 1.0,
+                                 np.abs(want.values))
+                err = np.nanmax(np.abs(got.values - want.values) / denom)
+                max_rel_err = max(max_rel_err, float(err))
+                equal = equal and max_rel_err <= 1e-12
+            else:
+                equal = equal and (
+                    np.array_equal(got.values, want.values)
+                    and np.array_equal(got.lower, want.lower)
+                    and np.array_equal(got.upper, want.upper))
+
+        def sweep_cube(qs=queries):
+            for q in qs:
+                cube.answer(regions, fragments, q)
+
+        def sweep_scatter(qs=queries):
+            for q in qs:
+                bounded_raster_join(table, regions, q, viewport,
+                                    fragments=fragments)
+
+        cube_ms = median_ms(sweep_cube) / steps
+        scatter_ms = median_ms(sweep_scatter) / steps
+        results.append({
+            "agg": agg,
+            "value_column": value_column,
+            "build_ms": build_ms,
+            "brush_step_cube_ms": cube_ms,
+            "brush_step_rescatter_ms": scatter_ms,
+            "speedup": scatter_ms / cube_ms if cube_ms > 0 else
+            float("inf"),
+            "equal": bool(equal),
+            "max_avg_rel_err": max_rel_err,
+            "slices": cube.num_buckets,
+            "active_pixels": cube.num_active_pixels,
+            "cube_bytes": cube.memory_bytes(),
+        })
+
+    return {
+        "benchmark": "tcube-brush-step",
+        "points": len(table),
+        "regions": len(regions),
+        "resolution": resolution,
+        "brush_days": brush_days,
+        "brush_steps": steps,
+        "repeats": repeats,
+        "speedup_floor": speedup_floor,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="tcube brush")
+
+    @pytest.mark.parametrize("path", ["tcube", "rescatter"])
+    def test_brush_step_latency(benchmark, bench_taxi, bench_regions, path):
+        from repro.core import (
+            SpatialAggregation,
+            bounded_raster_join,
+            build_temporal_canvas_cube,
+        )
+        from repro.raster import Viewport, build_fragment_table
+        from repro.table import TimeRange
+
+        table = bench_taxi["200k"]
+        regions = bench_regions["neighborhoods"]
+        viewport = Viewport.fit(regions.bbox, 512)
+        fragments = build_fragment_table(list(regions.geometries), viewport)
+        tvals = table.column("t").values
+        origin = int(tvals.min()) // DAY * DAY
+        query = SpatialAggregation.count().during(
+            "t", origin + 3 * DAY, origin + 10 * DAY)
+
+        if path == "tcube":
+            cube = build_temporal_canvas_cube(table, viewport, "t", DAY)
+            run = lambda: cube.answer(regions, fragments, query)  # noqa: E731
+        else:
+            run = lambda: bounded_raster_join(  # noqa: E731
+                table, regions, query, viewport, fragments=fragments)
+        run()
+        result = benchmark(run)
+        benchmark.extra_info["path"] = path
+        benchmark.extra_info["total_count"] = float(result.values.sum())
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="tcube brush-step latency vs. re-scatter -> JSON")
+    parser.add_argument("--points", type=int, default=1_000_000)
+    parser.add_argument("--regions", type=int, default=71)
+    parser.add_argument("--resolution", type=int, default=512)
+    parser.add_argument("--brush-days", type=int, default=BRUSH_DAYS)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--speedup-floor", type=float, default=None,
+                        help="fail if any aggregate's brush-step speedup "
+                             "lands below this (full-size bar: 10)")
+    parser.add_argument("--out", default="BENCH_tcube.json")
+    args = parser.parse_args(argv)
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+    from repro.table import numeric_column
+
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    # Integer-valued fares so SUM prefix differences are bitwise-exact
+    # (the equality check, not the timing, needs this).
+    table = table.with_column(
+        numeric_column("fare", np.round(table.values("fare"))))
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+
+    payload = run_brush(table, regions, resolution=args.resolution,
+                        repeats=args.repeats, brush_days=args.brush_days,
+                        speedup_floor=args.speedup_floor)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'agg':>6} {'build':>9} {'cube/step':>10} "
+          f"{'scatter/step':>13} {'speedup':>8}  equal")
+    for row in payload["results"]:
+        print(f"{row['agg']:>6} {row['build_ms']:>7.1f}ms "
+              f"{row['brush_step_cube_ms']:>8.2f}ms "
+              f"{row['brush_step_rescatter_ms']:>11.1f}ms "
+              f"{row['speedup']:>7.1f}x  {row['equal']}")
+    print(f"wrote {out}")
+
+    diverged = [r["agg"] for r in payload["results"] if not r["equal"]]
+    if diverged:
+        print(f"ERROR: cube answers diverged for {diverged}",
+              file=sys.stderr)
+        return 1
+    if args.speedup_floor is not None:
+        slow = [r["agg"] for r in payload["results"]
+                if r["agg"] != "avg" and r["speedup"] < args.speedup_floor]
+        if slow:
+            print(f"ERROR: brush-step speedup below "
+                  f"{args.speedup_floor}x for {slow}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -188,11 +188,17 @@ def _cmd_session(args) -> int:
 
     session = InteractiveSession(manager, "data", "regions",
                                  method=args.method,
-                                 resolution=args.resolution)
+                                 resolution=args.resolution,
+                                 tcube=args.tcube)
     tvals = (table.values("t") if table.has_column("t") else None)
     if tvals is not None and len(tvals):
         t0, t1 = int(tvals.min()), int(tvals.max()) + 1
         third = max((t1 - t0) // 3, 1)
+        if third > 86400:
+            # Snap brush edges to the day, as Urbane's timeline widget
+            # does — aligned gestures are what the temporal cube serves.
+            third = third // 86400 * 86400
+            t0 = t0 // 86400 * 86400
         session.brush_time(t0, t0 + third)
         session.brush_time(t0 + third, t0 + 2 * third)
         session.clear_time_brush()
@@ -265,6 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for large inputs")
     ses.add_argument("--method", default="bounded", choices=METHODS,
                      help="backend for every gesture (or 'auto')")
+    ses.add_argument("--no-tcube", dest="tcube", action="store_false",
+                     default=True,
+                     help="disable the temporal canvas cube for "
+                          "time-brush gestures (always re-scatter)")
     ses.set_defaults(func=_cmd_session)
     return parser
 

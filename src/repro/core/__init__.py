@@ -67,6 +67,15 @@ from .query import SpatialAggregation
 from .regions import RegionSet
 from .result import AggregationResult
 from .sql import ParsedQuery, parse_query, to_sql, tokenize
+from .tcube import (
+    MAX_TCUBE_SLICES,
+    TCUBE_AGGREGATES,
+    TemporalCanvasCube,
+    build_temporal_canvas_cube,
+    infer_bucket_seconds,
+    split_time_filter,
+    tcube_servable,
+)
 from .tiling import make_tiles, tiled_bounded_raster_join
 
 __all__ = [
@@ -82,6 +91,7 @@ __all__ = [
     "ExecutionPlan",
     "MAX",
     "MAX_CANVAS_RESOLUTION",
+    "MAX_TCUBE_SLICES",
     "METHODS",
     "MIN",
     "PARALLEL_POINT_THRESHOLD",
@@ -96,15 +106,19 @@ __all__ = [
     "SUPPORTED_AGGREGATES",
     "SpatialAggregation",
     "SpatialAggregationEngine",
+    "TCUBE_AGGREGATES",
+    "TemporalCanvasCube",
     "accurate_raster_join",
     "backend_names",
     "bump_revision",
     "boundary_mass_bounds",
     "bounded_raster_join",
     "bounded_raster_join_multi",
+    "build_temporal_canvas_cube",
     "epsilon_for_viewport",
     "fingerprint",
     "get_backend",
+    "infer_bucket_seconds",
     "make_tiles",
     "parallel_accurate_raster_join",
     "parallel_bounded_raster_join",
@@ -117,6 +131,8 @@ __all__ = [
     "register_backend",
     "relative_bound_width",
     "resolution_for_epsilon",
+    "split_time_filter",
+    "tcube_servable",
     "tiled_bounded_raster_join",
     "to_sql",
     "tokenize",

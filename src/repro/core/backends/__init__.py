@@ -1,9 +1,10 @@
 """Backend registry: every execution strategy behind one interface.
 
-Importing this package registers the eight built-in backends —
+Importing this package registers the nine built-in backends —
 ``bounded``, ``accurate``, ``tiled`` (raster family), ``grid``,
-``rtree``, ``quadtree``, ``naive`` (exact baselines), and ``cube``
-(pre-aggregation).  Third-party and test backends plug in with the same
+``rtree``, ``quadtree``, ``naive`` (exact baselines), ``cube`` and
+``tcube-raster`` (pre-aggregation).  Third-party and test backends plug
+in with the same
 :func:`register_backend` decorator; the executor resolves every method
 name through :func:`get_backend`, so there is no dispatch ladder to
 extend.
@@ -22,6 +23,7 @@ from .registry import (
 from . import raster as _raster  # noqa: F401,E402
 from . import baseline as _baseline  # noqa: F401,E402
 from . import cube as _cube  # noqa: F401,E402
+from . import tcube as _tcube  # noqa: F401,E402
 
 __all__ = [
     "Backend",

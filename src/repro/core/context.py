@@ -115,3 +115,22 @@ class ExecutionContext:
         tfp, rfp = fingerprint(table), fingerprint(regions)
         return [self.cache.peek(k) for k in list(self.cache._entries)
                 if k[0] == "cube" and k[1] == tfp and k[2] == rfp]
+
+    def tcube_for(self, table: PointTable, spec: tuple, builder):
+        """A temporal canvas cube for (table, build spec).
+
+        ``spec`` is :attr:`TemporalCanvasCube.spec` — (viewport, time
+        column, bucket seconds, value column, residual filters) — so the
+        entry is region-set independent: any region set rendered over
+        the same viewport reuses the same cube.
+        """
+        key = ("tcube", fingerprint(table), spec)
+        return self.cache.get_or_build(key, builder)
+
+    def cached_tcubes(self, table: PointTable) -> list:
+        """Every temporal canvas cube materialized for this table —
+        what the planner (and the timeline view) probe before paying a
+        build or a re-scatter."""
+        tfp = fingerprint(table)
+        return [self.cache.peek(k) for k in list(self.cache._entries)
+                if k[0] == "tcube" and k[1] == tfp]

@@ -41,7 +41,7 @@ from .result import AggregationResult
 #: The built-in methods; custom backends registered via
 #: :func:`repro.core.backends.register_backend` are accepted too.
 METHODS = ("auto", "bounded", "accurate", "tiled", "grid", "rtree",
-           "quadtree", "naive", "cube")
+           "quadtree", "naive", "cube", "tcube-raster")
 
 
 class SpatialAggregationEngine:

@@ -37,8 +37,17 @@ class CostBasedPlanner:
 
     def plan_inputs(self, ctx: ExecutionContext, plan: ExecutionPlan) -> dict:
         """The statistics the cost model runs on (also logged in stats)."""
+        from .tcube import find_answering_cube
+
         table, regions = plan.table, plan.regions
         desired = planned_resolution(regions, plan, ctx, capped=False)
+        viewport = plan.viewport
+        if viewport is None and desired <= ctx.max_canvas_resolution:
+            try:
+                viewport = ctx.plan_viewport(regions, plan.resolution,
+                                             plan.epsilon)
+            except QueryError:
+                viewport = None
         return {
             "n_points": len(table),
             "n_regions": len(regions),
@@ -58,6 +67,10 @@ class CostBasedPlanner:
             "cube_cached": any(
                 cube.can_answer(regions, plan.query)
                 for cube in ctx.cached_cubes(table, regions)),
+            "tcube_cached": (
+                viewport is not None
+                and find_answering_cube(ctx, table, plan.query,
+                                        viewport) is not None),
         }
 
     def candidates(self, ctx: ExecutionContext, plan: ExecutionPlan,

@@ -74,6 +74,13 @@ class PointStream:
         # Running (region, bucket) counts; grown as time advances.
         self._matrix = np.zeros((len(regions), 0), dtype=np.float64)
         self._append_seconds = 0.0
+        self._parallel = parallel or (context.parallel if context
+                                      is not None else ParallelConfig())
+        # Temporal canvas cubes kept live across appends, keyed by value
+        # column (None = count-only).  Event-log order means new points
+        # only ever land in the tail bucket onward, so each batch is an
+        # O(batch + pixels) prefix update instead of a rebuild.
+        self._tcubes: dict[str | None, "TemporalCanvasCube"] = {}
 
     # -- ingestion ----------------------------------------------------------
 
@@ -116,6 +123,14 @@ class PointStream:
             np.add.at(self._matrix,
                       (labels[inside].astype(np.int64),
                        buckets[inside].astype(np.int64)), 1.0)
+
+        for cube in self._tcubes.values():
+            values = None
+            if cube.value_column is not None:
+                values = batch.column(cube.value_column).values.astype(
+                    np.float64, copy=False)[valid]
+            cube.append(pixel_ids[valid], tvals[valid], values=values,
+                        all_in_viewport=bool(valid.all()))
 
         self._chunks.append(batch)
         self._consolidated = None
@@ -166,6 +181,44 @@ class PointStream:
         lo = int(np.searchsorted(tvals, start, side="left"))
         hi = int(np.searchsorted(tvals, end, side="left"))
         return table.take(np.arange(lo, hi))
+
+    def tcube(self, value_column: str | None = None):
+        """The stream's live temporal canvas cube (built on first use).
+
+        Built once from the consolidated history, then kept current by
+        :meth:`append` via tail-bucket prefix updates — so interactive
+        brushes over a running stream never pay a re-scatter.
+        """
+        from ..core.tcube import build_temporal_canvas_cube
+
+        cube = self._tcubes.get(value_column)
+        if cube is None:
+            cube = build_temporal_canvas_cube(
+                self.table(), self.viewport, self.time_column,
+                self.bucket_seconds, value_column=value_column,
+                origin=self._origin, config=self._parallel)
+            self._tcubes[value_column] = cube
+        return cube
+
+    def brush(self, start: int, end: int, agg: str = "count",
+              value_column: str | None = None):
+        """Bounded aggregation over ``[start, end)`` from the live cube.
+
+        ``start``/``end`` must align to the stream's bucket grid (or
+        clamp outside it); the answer is bitwise-identical to running
+        the bounded raster join over :meth:`window_table`.
+        """
+        from ..core.query import SpatialAggregation
+        from ..table import TimeRange
+
+        query = SpatialAggregation(
+            agg, value_column, (TimeRange(self.time_column, start, end),))
+        cube = self.tcube(value_column)
+        if not cube.can_answer(query, self.viewport):
+            raise QueryError(
+                f"brush [{start}, {end}) does not align to the stream's "
+                f"{self.bucket_seconds}s buckets (origin {cube.origin})")
+        return cube.answer(self.regions, self.fragments, query)
 
     def matrix(self) -> RegionTimeMatrix:
         """The running region x time count matrix (O(1) snapshot)."""

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core import AggregationResult, SpatialAggregation
-from ..errors import QueryError
+from ..errors import QueryError, ReproError
 from ..table import FilterExpr, TimeRange
 from .datamanager import DataManager
 
@@ -67,10 +67,13 @@ class InteractiveSession:
 
     def __init__(self, manager: DataManager, dataset: str, regions: str,
                  method: str = "bounded", resolution: int = 512,
-                 workers: int | None = None):
+                 workers: int | None = None, tcube: bool = True):
         self.manager = manager
         self.method = method
         self.resolution = int(resolution)
+        #: Route timeline brushes through the temporal canvas cube when
+        #: one can serve them (built on the first brush, hit afterwards).
+        self.tcube = bool(tcube)
         if workers is not None:
             # Per-session worker override; the engine's other parallel
             # knobs (chunk size, thresholds) are left as configured.
@@ -132,10 +135,24 @@ class InteractiveSession:
 
     def _refresh(self, op: str, detail: str) -> AggregationResult:
         query = self.state.effective_query()
+        method = self.method
+        if self.tcube and op == "time-brush":
+            method = self._brush_method(query)
         t0 = time.perf_counter()
-        result = self.manager.aggregate(
-            self.state.dataset, self.state.regions, query,
-            method=self.method, resolution=self.resolution)
+        try:
+            result = self.manager.aggregate(
+                self.state.dataset, self.state.regions, query,
+                method=method, resolution=self.resolution)
+        except ReproError:
+            # The cube path can decline late (e.g. a brush that stopped
+            # aligning after an append); the configured method is always
+            # a valid answer.
+            if method == self.method:
+                raise
+            method = self.method
+            result = self.manager.aggregate(
+                self.state.dataset, self.state.regions, query,
+                method=method, resolution=self.resolution)
         latency = time.perf_counter() - t0
         self.last_result = result
         cache = result.stats.get("cache", {})
@@ -148,6 +165,28 @@ class InteractiveSession:
             backend=plan.get("chosen", result.method),
             parallel=result.stats.get("parallel", {}).get("mode", "")))
         return result
+
+    def _brush_method(self, query: SpatialAggregation) -> str:
+        """Pick the backend for a time-brush gesture.
+
+        A brush only changes the :class:`TimeRange` predicate, which is
+        exactly what the temporal canvas cube answers in O(pixels); when
+        :func:`tcube_servable` says the cube path applies (aggregate,
+        alignment, and budget-wise) the gesture runs ``tcube-raster``
+        (building the cube on the first brush, hitting it afterwards).
+        """
+        from ..core.tcube import tcube_servable
+
+        engine = self.manager.engine
+        try:
+            table = self.manager.dataset(self.state.dataset)
+            regions = self.manager.region_set(self.state.regions)
+            viewport = engine.plan_viewport(regions, self.resolution, None)
+            if tcube_servable(engine.ctx, table, query, viewport):
+                return "tcube-raster"
+        except ReproError:
+            pass
+        return self.method
 
     # -- reporting -------------------------------------------------------------
 

@@ -67,10 +67,13 @@ class TimeSeries:
             return ""
         vals = self.values
         if len(vals) > width:
-            # Block-average down to the width budget.
+            # Block-average down to the width budget (vectorized:
+            # segment sums via reduceat over the edge offsets).
             edges = np.linspace(0, len(vals), width + 1).astype(int)
-            vals = np.array([vals[a:b].mean() if b > a else 0.0
-                             for a, b in zip(edges[:-1], edges[1:])])
+            sums = np.add.reduceat(vals, edges[:-1])
+            counts = np.diff(edges)
+            vals = np.where(counts > 0,
+                            sums / np.maximum(counts, 1), 0.0)
         hi = vals.max()
         if hi <= 0:
             return glyphs[0] * len(vals)
@@ -104,10 +107,62 @@ class TimelineView:
         regions = self.manager.region_set(region_set)
         viewport = Viewport.fit(regions.bbox, resolution)
         fragments = self.manager.engine.fragments_for(regions, viewport)
+        fast = self._matrix_from_tcube(
+            table, regions, viewport, fragments, _BUCKETS[bucket],
+            time_column, tuple(filters), value_column)
+        if fast is not None:
+            return fast
         return region_time_matrix(
             table, regions, viewport, time_column=time_column,
             bucket_seconds=_BUCKETS[bucket], filters=filters,
             value_column=value_column, fragments=fragments)
+
+    def _matrix_from_tcube(self, table, regions, viewport, fragments,
+                           bucket_s, time_column, filters, value_column):
+        """Assemble the heat matrix from a cached temporal canvas cube.
+
+        Peek-only: never builds a cube.  The cube's slices use the same
+        pixel-center labeling as :func:`region_time_matrix`, so counts
+        match that path exactly; the bucket span is trimmed to the
+        labeled extent the exact path would produce.
+        """
+        from ..core.heatmatrix import RegionTimeMatrix, pixel_region_labels
+        from ..core.tcube import _same_filters
+
+        ctx = self.manager.engine.ctx
+        for cube in ctx.cached_tcubes(table):
+            if cube is None or cube.viewport != viewport:
+                continue
+            if cube.bucket_seconds != bucket_s or \
+                    cube.time_column != time_column:
+                continue
+            if not _same_filters(cube.residual_filters, filters):
+                continue
+            if value_column is not None and \
+                    cube.value_column != value_column:
+                continue
+            if cube.num_buckets == 0:
+                continue
+            labels = pixel_region_labels(fragments)
+            counts = cube.region_matrix(labels, len(regions), "count")
+            live = np.flatnonzero(counts.any(axis=0))
+            if len(live) == 0:
+                continue
+            lo, hi = int(live[0]), int(live[-1]) + 1
+            values = (counts if value_column is None
+                      else cube.region_matrix(labels, len(regions), "sum"))
+            return RegionTimeMatrix(
+                regions=regions,
+                bucket_starts=cube.bucket_starts[lo:hi],
+                values=values[:, lo:hi],
+                bucket_seconds=bucket_s,
+                stats={
+                    "source": "tcube",
+                    "points_labeled": int(round(counts.sum())),
+                    "epsilon_world_units": viewport.pixel_diag,
+                },
+            )
+        return None
 
     def series(
         self,
@@ -130,22 +185,23 @@ class TimelineView:
                 f"{sorted(_BUCKETS)}")
         bucket_s = _BUCKETS[bucket]
         table: PointTable = self.manager.dataset(dataset)
+        label = f"{dataset}/{bucket}"
+
+        if region_name is None:
+            fast = self._series_from_tcube(table, bucket_s, time_column,
+                                           tuple(filters), value_column,
+                                           label)
+            if fast is not None:
+                return fast
         mask = combine_filters(list(filters)).mask(table)
 
         if region_name is not None:
             if region_set is None:
                 raise QueryError("region_name requires region_set")
             regions = self.manager.region_set(region_set)
-            geom = regions[regions.id_of(region_name)]
-            inside = np.zeros(len(table), dtype=bool)
-            box_mask = geom.bbox.contains_points(table.xy)
-            cand = np.flatnonzero(box_mask & mask)
-            if len(cand):
-                inside[cand] = geom.contains_points(table.xy[cand])
-            mask = mask & inside
+            mask = mask & self._inside_mask(table, regions, region_name)
 
         tvals = table.column(time_column).values[mask]
-        label = f"{dataset}/{bucket}"
         if len(tvals) == 0:
             return TimeSeries(np.empty(0, dtype=np.int64),
                               np.empty(0), bucket_s, label)
@@ -160,3 +216,57 @@ class TimelineView:
             values = np.bincount(idx, minlength=nbuckets).astype(np.float64)
         starts = origin + np.arange(nbuckets, dtype=np.int64) * bucket_s
         return TimeSeries(starts, values, bucket_s, label)
+
+    def _series_from_tcube(self, table, bucket_s, time_column, filters,
+                           value_column, label):
+        """Serve the whole-city series from a cached temporal cube.
+
+        Peek-only, and only when the cube provably holds every filtered
+        point (``covers_all_points``): the cube buckets the identical
+        point set at the identical origin, so the per-bucket totals are
+        the same ``bincount`` the exact path computes.
+        """
+        from ..core.tcube import _same_filters
+
+        ctx = self.manager.engine.ctx
+        for cube in ctx.cached_tcubes(table):
+            if cube is None or not cube.covers_all_points:
+                continue
+            if cube.bucket_seconds != bucket_s or \
+                    cube.time_column != time_column:
+                continue
+            if not _same_filters(cube.residual_filters, filters):
+                continue
+            if value_column is not None and \
+                    cube.value_column != value_column:
+                continue
+            if cube.num_buckets == 0:
+                continue
+            kind = "count" if value_column is None else "sum"
+            return TimeSeries(cube.bucket_starts,
+                              cube.bucket_totals(kind), bucket_s, label)
+        return None
+
+    def _inside_mask(self, table, regions, region_name) -> np.ndarray:
+        """Point-in-region mask, cached in the engine's unified cache.
+
+        Keyed by (table, region set, region id) only — no filters — so
+        every filter combination brushed over the same region reuses one
+        point-in-polygon pass.
+        """
+        from ..core.cache import fingerprint
+
+        gid = regions.id_of(region_name)
+        ctx = self.manager.engine.ctx
+        key = ("inside-mask", fingerprint(table), fingerprint(regions),
+               int(gid))
+
+        def build() -> np.ndarray:
+            geom = regions[gid]
+            inside = np.zeros(len(table), dtype=bool)
+            cand = np.flatnonzero(geom.bbox.contains_points(table.xy))
+            if len(cand):
+                inside[cand] = geom.contains_points(table.xy[cand])
+            return inside
+
+        return ctx.cache.get_or_build(key, build)

@@ -1,0 +1,316 @@
+"""Temporal canvas cube: build, answer, append, planner integration.
+
+The load-bearing claims: cube answers are *bitwise* equal to the serial
+bounded raster join for COUNT (always) and SUM (integer-valued data),
+within float round-off for AVG; appends match a from-scratch rebuild;
+and the planner only ever routes ``auto`` to the cube when a cached one
+already answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpatialAggregation,
+    SpatialAggregationEngine,
+    TCUBE_AGGREGATES,
+    bounded_raster_join,
+    build_temporal_canvas_cube,
+    infer_bucket_seconds,
+    split_time_filter,
+    tcube_servable,
+)
+from repro.core.tcube import find_answering_cube
+from repro.errors import CubeError, QueryError
+from repro.raster import Viewport, build_fragment_table
+from repro.table import PointTable, TimeRange, timestamp_column
+
+HOUR = 3_600
+T0 = 1_000_000 // HOUR * HOUR  # hour-aligned epoch origin
+SPAN_HOURS = 36
+
+
+@pytest.fixture(scope="module")
+def cube_table() -> PointTable:
+    """20k points over 36 hours with integer fares and a signed column."""
+    gen = np.random.default_rng(4242)
+    n = 20_000
+    x = gen.uniform(0, 100, n)
+    y = gen.uniform(0, 100, n)
+    fare = np.round(gen.exponential(12.0, n))
+    delta = np.round(gen.normal(0.0, 5.0, n))  # signed values
+    t = gen.integers(T0, T0 + SPAN_HOURS * HOUR, n)
+    return PointTable.from_arrays(
+        x, y, name="cube-pts",
+        fare=fare, delta=delta, t=timestamp_column("t", t))
+
+
+@pytest.fixture(scope="module")
+def viewport(simple_regions) -> Viewport:
+    return Viewport.fit(simple_regions.bbox, 256)
+
+
+@pytest.fixture(scope="module")
+def fragments(simple_regions, viewport):
+    return build_fragment_table(list(simple_regions.geometries), viewport)
+
+
+@pytest.fixture(scope="module")
+def cube(cube_table, viewport):
+    return build_temporal_canvas_cube(cube_table, viewport, "t", HOUR,
+                                      value_column="fare")
+
+
+def brush_query(agg, value_column, start, end):
+    return SpatialAggregation(agg, value_column,
+                              (TimeRange("t", start, end),))
+
+
+def assert_bitwise(got, want):
+    np.testing.assert_array_equal(got.values, want.values)
+    np.testing.assert_array_equal(got.lower, want.lower)
+    np.testing.assert_array_equal(got.upper, want.upper)
+
+
+class TestSplitAndInfer:
+    def test_split_single_timerange(self):
+        q = SpatialAggregation.count().during("t", 10, 20)
+        tr, residual = split_time_filter(q)
+        assert (tr.start, tr.end) == (10, 20)
+        assert residual == ()
+
+    def test_split_no_timerange(self):
+        q = SpatialAggregation.count()
+        tr, residual = split_time_filter(q)
+        assert tr is None and residual == ()
+
+    def test_split_two_timeranges_declines(self):
+        q = SpatialAggregation.count().during("t", 0, 50).during("t", 10, 20)
+        tr, residual = split_time_filter(q)
+        assert tr is None and len(residual) == 2
+
+    def test_infer_prefers_coarsest(self):
+        # A day-aligned brush over a few days: the day rung fits.
+        assert infer_bucket_seconds(86_400, 3 * 86_400,
+                                    1000, 5 * 86_400) == 86_400
+
+    def test_infer_hour_when_day_unaligned(self):
+        start, end = T0 + HOUR, T0 + 5 * HOUR
+        got = infer_bucket_seconds(start, end, T0, T0 + SPAN_HOURS * HOUR)
+        assert got == HOUR
+
+    def test_infer_none_when_impossible(self):
+        # Second-aligned brush over a span too wide for second buckets.
+        assert infer_bucket_seconds(7, 11, 0, 10_000_000) is None
+
+
+class TestBuildAndAnswer:
+    def test_shape_and_accounting(self, cube, cube_table, viewport):
+        assert cube.num_buckets == SPAN_HOURS
+        assert cube.prefix["count"].shape == (SPAN_HOURS + 1,
+                                              cube.num_active_pixels)
+        assert np.all(cube.prefix["count"][0] == 0)
+        assert cube.memory_bytes() > 0
+        # Points in [0,100]^2 overhang the regions' viewport, so the
+        # cube records it cannot vouch for whole-table series totals.
+        assert not cube.covers_all_points
+        assert cube.nonnegative_values  # fares >= 0: no mass plane
+        assert "mass" not in cube.prefix
+        in_view = viewport.pixel_ids_of(cube_table.x, cube_table.y)[1].sum()
+        assert cube.bucket_totals("count").sum() == in_view
+
+    @pytest.mark.parametrize("lo,hi", [(3, 20), (7, 8), (0, SPAN_HOURS)])
+    def test_count_bitwise(self, cube, cube_table, simple_regions,
+                           viewport, fragments, lo, hi):
+        q = brush_query("count", None, T0 + lo * HOUR, T0 + hi * HOUR)
+        assert cube.can_answer(q, viewport)
+        got = cube.answer(simple_regions, fragments, q)
+        want = bounded_raster_join(cube_table, simple_regions, q, viewport,
+                                   fragments=fragments)
+        assert_bitwise(got, want)
+        assert got.stats["tcube"]["slices_touched"] == hi - lo
+
+    def test_sum_bitwise_integer_values(self, cube, cube_table,
+                                        simple_regions, viewport, fragments):
+        q = brush_query("sum", "fare", T0 + 5 * HOUR, T0 + 29 * HOUR)
+        got = cube.answer(simple_regions, fragments, q)
+        want = bounded_raster_join(cube_table, simple_regions, q, viewport,
+                                   fragments=fragments)
+        assert_bitwise(got, want)
+
+    def test_avg_within_roundoff(self, cube, cube_table, simple_regions,
+                                 viewport, fragments):
+        q = brush_query("avg", "fare", T0 + 2 * HOUR, T0 + 30 * HOUR)
+        got = cube.answer(simple_regions, fragments, q)
+        want = bounded_raster_join(cube_table, simple_regions, q, viewport,
+                                   fragments=fragments)
+        np.testing.assert_allclose(got.values, want.values,
+                                   rtol=1e-12, atol=0.0)
+
+    def test_signed_values_store_mass_plane(self, cube_table, simple_regions,
+                                            viewport, fragments):
+        signed = build_temporal_canvas_cube(cube_table, viewport, "t", HOUR,
+                                            value_column="delta")
+        assert not signed.nonnegative_values
+        assert "mass" in signed.prefix
+        q = brush_query("sum", "delta", T0 + 4 * HOUR, T0 + 11 * HOUR)
+        got = signed.answer(simple_regions, fragments, q)
+        want = bounded_raster_join(cube_table, simple_regions, q, viewport,
+                                   fragments=fragments)
+        assert_bitwise(got, want)
+
+    def test_clamped_out_of_range_brush_is_zero(self, cube, simple_regions,
+                                                viewport, fragments):
+        q = brush_query("count", None, T0 - 10 * HOUR, T0 - 5 * HOUR)
+        assert cube.can_answer(q, viewport)
+        got = cube.answer(simple_regions, fragments, q)
+        assert np.all(got.values == 0)
+        assert np.all(got.upper == 0)
+
+    def test_unaligned_brush_declines(self, cube, simple_regions, viewport,
+                                      fragments):
+        q = brush_query("count", None, T0 + HOUR + 17, T0 + 5 * HOUR)
+        assert not cube.can_answer(q, viewport)
+        with pytest.raises(CubeError):
+            cube.answer(simple_regions, fragments, q)
+
+    def test_wrong_viewport_or_agg_declines(self, cube, simple_regions):
+        other = Viewport.fit(simple_regions.bbox, 128)
+        q = brush_query("count", None, T0, T0 + HOUR)
+        assert not cube.can_answer(q, other)
+        assert "min" not in TCUBE_AGGREGATES
+        q_min = brush_query("min", "fare", T0, T0 + HOUR)
+        assert not cube.can_answer(q_min, cube.viewport)
+
+    def test_parallel_build_bitwise_identical(self, cube_table, viewport,
+                                              cube):
+        from repro.core import ParallelConfig
+
+        forced = build_temporal_canvas_cube(
+            cube_table, viewport, "t", HOUR, value_column="fare",
+            config=ParallelConfig(workers=4, serial_threshold=1))
+        for kind in cube.prefix:
+            np.testing.assert_array_equal(forced.prefix[kind],
+                                          cube.prefix[kind])
+        np.testing.assert_array_equal(forced.active_pixels,
+                                      cube.active_pixels)
+
+    def test_empty_table_cube(self, simple_regions, viewport, fragments):
+        empty = PointTable.from_arrays(
+            np.empty(0), np.empty(0), name="empty",
+            t=timestamp_column("t", np.empty(0, dtype=np.int64)))
+        c = build_temporal_canvas_cube(empty, viewport, "t", HOUR)
+        assert c.num_buckets == 0
+        q = brush_query("count", None, T0, T0 + HOUR)
+        assert c.can_answer(q, viewport)
+        got = c.answer(simple_regions, fragments, q)
+        assert np.all(got.values == 0)
+
+
+class TestAppend:
+    def test_append_matches_rebuild(self, cube_table, viewport):
+        order = np.argsort(cube_table.column("t").values, kind="stable")
+        sorted_table = cube_table.take(order)
+        cut = len(sorted_table) // 2
+        head = sorted_table.take(np.arange(cut))
+        tail = sorted_table.take(np.arange(cut, len(sorted_table)))
+
+        cube = build_temporal_canvas_cube(head, viewport, "t", HOUR,
+                                          value_column="fare")
+        pixel_ids, valid = viewport.pixel_ids_of(tail.x, tail.y)
+        cube.append(pixel_ids[valid],
+                    tail.column("t").values[valid],
+                    values=tail.values("fare")[valid],
+                    all_in_viewport=bool(valid.all()))
+
+        full = build_temporal_canvas_cube(sorted_table, viewport, "t", HOUR,
+                                          value_column="fare")
+        np.testing.assert_array_equal(cube.active_pixels, full.active_pixels)
+        for kind in full.prefix:
+            np.testing.assert_allclose(cube.prefix[kind], full.prefix[kind],
+                                       rtol=0, atol=1e-9)
+        np.testing.assert_array_equal(cube.prefix["count"],
+                                      full.prefix["count"])
+
+    def test_append_rejects_settled_history(self, cube_table, viewport):
+        cube = build_temporal_canvas_cube(cube_table, viewport, "t", HOUR)
+        with pytest.raises(QueryError):
+            cube.append(np.array([0]), np.array([T0]))  # bucket 0 << tail
+
+    def test_append_extends_buckets_and_pixels(self, viewport):
+        t = timestamp_column("t", np.array([T0 + 10], dtype=np.int64))
+        table = PointTable.from_arrays(np.array([50.0]), np.array([50.0]),
+                                       name="one", t=t)
+        cube = build_temporal_canvas_cube(table, viewport, "t", HOUR)
+        assert cube.num_buckets == 1
+        pid, valid = viewport.pixel_ids_of(np.array([20.0]),
+                                           np.array([80.0]))
+        cube.append(pid, np.array([T0 + 5 * HOUR + 1]))
+        assert cube.num_buckets == 6
+        assert cube.num_active_pixels == 2
+        assert cube.bucket_totals("count").sum() == 2
+
+
+class TestEngineIntegration:
+    def test_explicit_method_builds_then_hits(self, cube_table,
+                                              simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=256)
+        q = brush_query("count", None, T0 + 2 * HOUR, T0 + 9 * HOUR)
+        first = engine.execute(cube_table, simple_regions, q,
+                               method="tcube-raster")
+        assert first.stats["tcube"]["built"]
+        assert not first.stats["tcube"]["hit"]
+        second = engine.execute(cube_table, simple_regions, q,
+                                method="tcube-raster")
+        assert second.stats["tcube"]["hit"]
+        np.testing.assert_array_equal(first.values, second.values)
+
+    def test_auto_picks_cached_cube_and_matches_bounded(self, cube_table,
+                                                        simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=256)
+        q = brush_query("count", None, T0 + HOUR, T0 + 12 * HOUR)
+        cold = engine.execute(cube_table, simple_regions, q, method="auto")
+        assert cold.stats["plan"]["chosen"] != "tcube-raster"
+        assert not cold.stats["plan"]["inputs"]["tcube_cached"]
+
+        engine.execute(cube_table, simple_regions, q, method="tcube-raster")
+        hot = engine.execute(cube_table, simple_regions, q, method="auto")
+        assert hot.stats["plan"]["inputs"]["tcube_cached"]
+        assert hot.stats["plan"]["chosen"] == "tcube-raster"
+
+        want = engine.execute(cube_table, simple_regions, q,
+                              method="bounded")
+        assert_bitwise(hot, want)
+
+    def test_cached_cube_serves_other_aligned_brushes(self, cube_table,
+                                                      simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=256)
+        build_q = brush_query("count", None, T0, T0 + 4 * HOUR)
+        engine.execute(cube_table, simple_regions, build_q,
+                       method="tcube-raster")
+        other = brush_query("count", None, T0 + 20 * HOUR, T0 + 33 * HOUR)
+        viewport = engine.plan_viewport(simple_regions, None, None)
+        assert find_answering_cube(engine.ctx, cube_table, other,
+                                   viewport) is not None
+        result = engine.execute(cube_table, simple_regions, other,
+                                method="auto")
+        assert result.stats["plan"]["chosen"] == "tcube-raster"
+        assert result.stats["tcube"]["hit"]
+
+    def test_tcube_servable_gates(self, cube_table, simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=256)
+        viewport = engine.plan_viewport(simple_regions, None, None)
+        ctx = engine.ctx
+        aligned = brush_query("count", None, T0, T0 + 2 * HOUR)
+        assert tcube_servable(ctx, cube_table, aligned, viewport)
+        no_time = SpatialAggregation.count()
+        assert not tcube_servable(ctx, cube_table, no_time, viewport)
+        bad_agg = brush_query("min", "fare", T0, T0 + 2 * HOUR)
+        assert not tcube_servable(ctx, cube_table, bad_agg, viewport)
+
+    def test_cache_byte_accounting(self, cube_table, simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=256)
+        q = brush_query("count", None, T0, T0 + 2 * HOUR)
+        before = engine.cache_stats()["bytes"]
+        engine.execute(cube_table, simple_regions, q, method="tcube-raster")
+        assert engine.cache_stats()["bytes"] > before
