@@ -1,0 +1,262 @@
+"""Concurrent serving throughput: latency, coalescing, and shedding.
+
+The serving layer's claim is graceful concurrency: identical in-flight
+queries coalesce into one engine run, excess load is shed with a
+structured retry hint instead of queueing unboundedly, and every served
+answer stays bitwise-identical to a solo engine execution.  This
+benchmark stands up a real :class:`~repro.serve.server.QueryServer` on
+a private event loop and hammers it over HTTP at 1x / 4x / 16x the
+configured concurrency, recording per-load p50/p99 latency, QPS,
+coalesce hit-rate and shed rate.
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_serve_throughput.py``) —
+  single-client round-trip latency in the shared benchmark session;
+* standalone (``python benchmarks/bench_serve_throughput.py
+  [--points N] [--out BENCH_serve.json]``) — emits the machine-readable
+  record and exits non-zero if any served answer diverges from the
+  direct engine run or an admission slot leaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+LOAD_FACTORS = (1, 4, 16)
+
+
+def _percentile_ms(samples: list[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    return float(np.percentile(np.array(samples) * 1000, q))
+
+
+def run_serve(table, regions, max_concurrency: int = 4,
+              requests_per_client: int = 8,
+              load_factors=LOAD_FACTORS, resolution: int = 256) -> dict:
+    """Drive a live server at increasing load; returns the
+    BENCH_serve.json payload."""
+    from repro.core import SpatialAggregation, SpatialAggregationEngine
+    from repro.errors import OverloadedError
+    from repro.serve import QueryService, ServeClient, ServerThread
+    from repro.table import F
+    from repro.urbane import DataManager
+
+    manager = DataManager(SpatialAggregationEngine(
+        default_resolution=resolution))
+    dataset = manager.add_dataset(table)
+    region_name = manager.add_region_set(regions)
+    service = QueryService(manager, max_concurrency=max_concurrency,
+                           max_queue=2 * max_concurrency, max_wait_s=5.0)
+    thread = ServerThread(service)
+    url = thread.start()
+
+    results = []
+    try:
+        for load in load_factors:
+            clients = load * max_concurrency
+            # Each client cycles a small pool of distinct filters: the
+            # sharing drives coalescing, the distinctness drives real
+            # queue depth.  cache=False so repeats measure execution
+            # (and coalescing), not the unified cache.
+            thresholds = [0.5 * k for k in
+                          range(max(2, clients // 2))]
+            direct = {
+                thr: manager.engine.execute(
+                    manager.dataset(dataset), regions,
+                    SpatialAggregation.count(F("fare") > thr))
+                for thr in thresholds
+            }
+            flight_before = dict(service.flight.stats())
+            shed_before = service.admission.stats()["shed_total"]
+            mismatches = []
+            latencies: list[float] = []
+            shed = 0
+
+            def one_client(cid, thresholds=thresholds, direct=direct,
+                           latencies=latencies, mismatches=mismatches):
+                nonlocal shed
+                client = ServeClient(url, timeout_s=30)
+                for r in range(requests_per_client):
+                    thr = thresholds[(cid + r) % len(thresholds)]
+                    t0 = time.perf_counter()
+                    try:
+                        remote = client.query(
+                            dataset, region_name,
+                            query=SpatialAggregation.count(
+                                F("fare") > thr),
+                            cache=False, timeout_s=5.0)
+                    except OverloadedError:
+                        shed += 1
+                        continue
+                    latencies.append(time.perf_counter() - t0)
+                    want = direct[thr]
+                    if not (np.array_equal(remote.values, want.values)
+                            and np.array_equal(remote.lower, want.lower)
+                            and np.array_equal(remote.upper,
+                                               want.upper)):
+                        mismatches.append(thr)
+
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                list(pool.map(one_client, range(clients)))
+            wall_s = time.perf_counter() - t0
+
+            # Give the loop a beat to unwind finished handlers, then
+            # check for leaked capacity.
+            deadline = time.monotonic() + 5.0
+            while (service.admission.active or service.admission.waiting
+                   ) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            leaked = (service.admission.active
+                      + service.admission.waiting)
+
+            flight_after = service.flight.stats()
+            leaders = flight_after["leaders"] - flight_before["leaders"]
+            coalesced = (flight_after["coalesced"]
+                         - flight_before["coalesced"])
+            lookups = leaders + coalesced
+            total = clients * requests_per_client
+            results.append({
+                "load_factor": load,
+                "clients": clients,
+                "requests": total,
+                "served": len(latencies),
+                "shed": shed,
+                "shed_rate": shed / total if total else 0.0,
+                "shed_counter_delta":
+                    service.admission.stats()["shed_total"] - shed_before,
+                "p50_ms": _percentile_ms(latencies, 50),
+                "p99_ms": _percentile_ms(latencies, 99),
+                "qps": len(latencies) / wall_s if wall_s > 0 else 0.0,
+                "coalesce_leaders": leaders,
+                "coalesced": coalesced,
+                "coalesce_hit_rate": (coalesced / lookups) if lookups
+                else 0.0,
+                "distinct_queries": len(thresholds),
+                "all_equal": not mismatches,
+                "leaked_slots": int(leaked),
+            })
+    finally:
+        thread.stop()
+        service.close()
+
+    return {
+        "benchmark": "serve-throughput",
+        "points": len(table),
+        "regions": len(regions),
+        "resolution": resolution,
+        "max_concurrency": max_concurrency,
+        "max_queue": 2 * max_concurrency,
+        "requests_per_client": requests_per_client,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="serve")
+
+    def test_unary_query_round_trip(benchmark, bench_taxi, bench_regions):
+        from repro.core import SpatialAggregation, SpatialAggregationEngine
+        from repro.serve import QueryService, ServeClient, ServerThread
+        from repro.urbane import DataManager
+
+        manager = DataManager(SpatialAggregationEngine(
+            default_resolution=256))
+        dataset = manager.add_dataset(bench_taxi["200k"])
+        region_name = manager.add_region_set(bench_regions["neighborhoods"])
+        service = QueryService(manager)
+        thread = ServerThread(service)
+        url = thread.start()
+        try:
+            client = ServeClient(url, timeout_s=30)
+            query = SpatialAggregation.count()
+
+            def run():
+                return client.query(dataset, region_name, query=query)
+
+            run()  # warm the polygon raster
+            remote = benchmark(run)
+            benchmark.extra_info["regions"] = len(remote.values)
+        finally:
+            thread.stop()
+            service.close()
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="concurrent serving throughput -> JSON")
+    parser.add_argument("--points", type=int, default=200_000)
+    parser.add_argument("--regions", type=int, default=71)
+    parser.add_argument("--resolution", type=int, default=256)
+    parser.add_argument("--max-concurrency", type=int, default=4)
+    parser.add_argument("--requests-per-client", type=int, default=8)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+
+    payload = run_serve(table, regions,
+                        max_concurrency=args.max_concurrency,
+                        requests_per_client=args.requests_per_client,
+                        resolution=args.resolution)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'load':>5} {'clients':>8} {'served':>7} {'shed':>6} "
+          f"{'p50':>8} {'p99':>8} {'qps':>7} {'coalesce':>9}  equal")
+    for row in payload["results"]:
+        print(f"{row['load_factor']:>4}x {row['clients']:>8} "
+              f"{row['served']:>7} {row['shed']:>6} "
+              f"{row['p50_ms']:>6.1f}ms {row['p99_ms']:>6.1f}ms "
+              f"{row['qps']:>7.1f} "
+              f"{row['coalesce_hit_rate'] * 100:>8.1f}%  "
+              f"{row['all_equal']}")
+    print(f"wrote {out}")
+
+    bad_equal = [r["load_factor"] for r in payload["results"]
+                 if not r["all_equal"]]
+    if bad_equal:
+        print(f"ERROR: served answers diverged at load {bad_equal}",
+              file=sys.stderr)
+        return 1
+    leaked = [r["load_factor"] for r in payload["results"]
+              if r["leaked_slots"]]
+    if leaked:
+        print(f"ERROR: admission slots leaked at load {leaked}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Four subcommands cover the offline workflow around the library:
+Five subcommands cover the workflow around the library:
 
 * ``generate`` — synthesize the demo city's data sets and region
   hierarchies into files (``.npz`` tables + ``.geojson`` regions);
 * ``query``    — run a query in the paper's SQL dialect against those
-  files and print (or CSV-export) the per-region results;
+  files — or, with ``--url``, against a running query server — and
+  print (or CSV-export) the per-region results;
 * ``compare``  — run one query through several backends and report
   latencies and agreement;
 * ``session``  — replay a scripted interactive session and print the
-  per-gesture latency log.
+  per-gesture latency log;
+* ``serve``    — host data sets behind the concurrent query service
+  (admission control, coalescing, progressive streaming).
 
 Run ``python -m repro <subcommand> --help`` for the options.
 """
@@ -67,7 +70,39 @@ def _cmd_generate(args) -> int:
 # -- query --------------------------------------------------------------------
 
 
+def _remote_query(args) -> int:
+    """``repro query --url``: run the SQL against a query server."""
+    from .serve import ServeClient
+
+    client = ServeClient(args.url)
+    t0 = time.perf_counter()
+    result = client.query(None, None, sql=args.sql,
+                          method=args.method,
+                          deadline_ms=args.deadline_ms)
+    elapsed = time.perf_counter() - t0
+    print(f"-- remote {args.url}")
+    print(f"-- method={result.method} regions={len(result.region_names)} "
+          f"latency={elapsed * 1000:.1f}ms (network included)")
+    plan = result.stats.get("plan") or {}
+    degraded = plan.get("degraded")
+    if degraded and degraded.get("applied"):
+        steps = ", ".join(s["step"] for s in degraded["steps"])
+        print(f"-- degraded: {steps}")
+    order = sorted(range(len(result.region_names)),
+                   key=lambda i: -result.values[i])[:args.top]
+    width = max((len(result.region_names[i]) for i in order), default=10)
+    for i in order:
+        print(f"{result.region_names[i]:<{width}}  "
+              f"{float(result.values[i]):,.3f}")
+    return 0
+
+
 def _cmd_query(args) -> int:
+    if args.url:
+        return _remote_query(args)
+    if not args.data or not args.regions:
+        raise ReproError("--data and --regions are required "
+                         "(or pass --url for a remote server)")
     parsed = parse_query(args.sql)
     table = load_npz(Path(args.data))
     regions = _load_regions(Path(args.regions), name=parsed.regions)
@@ -85,13 +120,20 @@ def _cmd_query(args) -> int:
     print(f"-- method={result.method} rows={len(table):,} "
           f"regions={len(regions)} latency={elapsed * 1000:.1f}ms")
     plan = result.stats.get("plan", {})
-    if plan.get("planned"):
-        inputs = plan.get("inputs", {})
-        print(f"-- plan: chosen={plan['chosen']} "
+    decision = plan.get("decision") or {}
+    if decision.get("planned"):
+        inputs = plan.get("inputs") or {}
+        print(f"-- plan: chosen={decision['chosen']} "
               f"(points={inputs.get('n_points'):,}, "
               f"regions={inputs.get('n_regions')}, "
               f"epsilon={inputs.get('epsilon')}, "
               f"exact={inputs.get('exact')})")
+    degraded = plan.get("degraded")
+    if degraded and degraded.get("applied"):
+        steps = ", ".join(s["step"] for s in degraded["steps"])
+        print(f"-- degraded: {steps} "
+              f"(deadline={degraded['deadline_ms']:.0f}ms, "
+              f"predicted={degraded['predicted_ms']:.1f}ms)")
     par = result.stats.get("parallel", {})
     if par:
         if par.get("mode") == "parallel":
@@ -215,6 +257,58 @@ def _cmd_session(args) -> int:
     return 0
 
 
+# -- serve --------------------------------------------------------------------
+
+
+def _parse_named(spec: str, default_name: str | None = None
+                 ) -> tuple[str, Path]:
+    """``name=path`` or bare ``path`` (name defaults to the file stem)."""
+    if "=" in spec:
+        name, _, path = spec.partition("=")
+        return name, Path(path)
+    path = Path(spec)
+    return default_name or path.stem, path
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import QueryServer, QueryService
+    from .urbane import DataManager
+
+    manager = DataManager(SpatialAggregationEngine(
+        default_resolution=args.resolution, workers=args.workers))
+    for spec in args.data:
+        name, path = _parse_named(spec)
+        table = load_npz(path)
+        manager.add_dataset(table, name)
+        print(f"dataset {name!r}: {len(table):,} rows from {path}")
+    for spec in args.regions:
+        name, path = _parse_named(spec)
+        regions = _load_regions(path, name=name)
+        manager.add_region_set(regions, name)
+        print(f"regions {name!r}: {len(regions)} regions from {path}")
+
+    service = QueryService(
+        manager, max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms)
+    server = QueryServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving on {server.url}  "
+              f"(concurrency={args.max_concurrency}, "
+              f"queue={args.max_queue})")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 # -- entry point ------------------------------------------------------------------
 
 
@@ -233,10 +327,18 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--months", type=int, default=3)
     gen.set_defaults(func=_cmd_generate)
 
-    qry = sub.add_parser("query", help="run a SQL query against files")
+    qry = sub.add_parser("query",
+                         help="run a SQL query against files or a server")
     qry.add_argument("sql", help="query in the paper's SQL dialect")
-    qry.add_argument("--data", required=True, help="point table .npz")
-    qry.add_argument("--regions", required=True, help="regions .geojson")
+    qry.add_argument("--data", help="point table .npz")
+    qry.add_argument("--regions", help="regions .geojson")
+    qry.add_argument("--url", default=None,
+                     help="query a running 'repro serve' endpoint instead "
+                          "of local files (FROM clause names the served "
+                          "dataset and region set)")
+    qry.add_argument("--deadline-ms", type=float, default=None,
+                     help="per-query latency budget; the planner degrades "
+                          "precision to honor it")
     qry.add_argument("--method", default="auto", choices=METHODS,
                      help="execution backend; 'auto' runs the cost-based "
                           "planner (default)")
@@ -276,6 +378,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the temporal canvas cube for "
                           "time-brush gestures (always re-scatter)")
     ses.set_defaults(func=_cmd_session)
+
+    srv = sub.add_parser("serve",
+                         help="host data sets behind the query service")
+    srv.add_argument("--data", action="append", required=True,
+                     metavar="NAME=PATH",
+                     help="point table .npz to serve (repeatable; bare "
+                          "paths use the file stem as the name)")
+    srv.add_argument("--regions", action="append", required=True,
+                     metavar="NAME=PATH",
+                     help="regions .geojson to serve (repeatable)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8750)
+    srv.add_argument("--resolution", type=int, default=512)
+    srv.add_argument("--workers", type=int, default=None,
+                     help="worker processes for large inputs")
+    srv.add_argument("--max-concurrency", type=int, default=4,
+                     help="queries executing at once (thread pool size)")
+    srv.add_argument("--max-queue", type=int, default=16,
+                     help="admission queue depth before shedding load")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     help="default per-query latency budget (requests "
+                          "can override)")
+    srv.set_defaults(func=_cmd_serve)
     return parser
 
 

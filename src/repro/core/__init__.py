@@ -76,7 +76,12 @@ from .tcube import (
     split_time_filter,
     tcube_servable,
 )
-from .tiling import make_tiles, tiled_bounded_raster_join
+from .tiling import (
+    TilePartial,
+    iter_tiled_partials,
+    make_tiles,
+    tiled_bounded_raster_join,
+)
 
 __all__ = [
     "AVG",
@@ -108,6 +113,7 @@ __all__ = [
     "SpatialAggregationEngine",
     "TCUBE_AGGREGATES",
     "TemporalCanvasCube",
+    "TilePartial",
     "accurate_raster_join",
     "backend_names",
     "bump_revision",
@@ -119,6 +125,7 @@ __all__ = [
     "fingerprint",
     "get_backend",
     "infer_bucket_seconds",
+    "iter_tiled_partials",
     "make_tiles",
     "parallel_accurate_raster_join",
     "parallel_bounded_raster_join",

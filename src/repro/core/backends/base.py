@@ -54,8 +54,19 @@ class ExecutionPlan:
     epsilon: float | None = None
     exact: bool = False
     viewport: Viewport | None = None
+    #: Soft latency budget (milliseconds) for deadline-aware planning:
+    #: when the cost model predicts a miss, the planner degrades the
+    #: plan (exact -> bounded, then a coarser canvas) and records every
+    #: step in ``decision["degraded"]``.  ``None`` disables degradation.
+    deadline_ms: float | None = None
+    #: Cooperative cancellation token (``threading.Event``-like: only
+    #: ``is_set()`` is called).  Checked before dispatch and between
+    #: tiles of the progressive tiled path; a set token raises
+    #: :class:`~repro.errors.QueryCancelled`.
+    cancel: object | None = None
     #: Filled by the planner (or the executor for explicit methods):
-    #: chosen backend, cost-model inputs, per-candidate costs.
+    #: ``{"inputs": ..., "decision": ..., "parallel": ..., "degraded":
+    #: ...}`` — the normalized ``stats["plan"]`` payload.
     decision: dict = field(default_factory=dict)
 
 

@@ -171,7 +171,8 @@ class TiledRasterBackend(Backend):
         result = tiled_bounded_raster_join(
             plan.table, plan.regions, plan.query,
             resolution=resolution or ctx.default_resolution,
-            config=ctx.parallel if decision["use"] else None)
+            config=ctx.parallel if decision["use"] else None,
+            cancel=plan.cancel)
         if not decision["use"]:
             result.stats["parallel"] = {"mode": "serial",
                                         "reason": decision["reason"]}

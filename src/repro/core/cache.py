@@ -1,23 +1,43 @@
 """The unified execution cache: content fingerprints + a bounded LRU store.
 
 Every reusable artifact on the execution path — polygon fragment
-tables, point indexes, materialized cubes — lives in one
-:class:`QueryCache` keyed by *content fingerprints* instead of raw
-``id()`` values.  ``id()`` keys have a latent reuse bug: once a table is
-garbage collected its address can be handed to a brand-new table, and a
-stale index would silently answer for the wrong data.  Fingerprints are
-drawn from a process-global monotone counter and attached to the object,
-so a token is never reused, and each carries a revision number that
-:func:`bump_revision` increments to invalidate every derived entry.
+tables, point indexes, materialized cubes, full query results — lives
+in one :class:`QueryCache` keyed by *content fingerprints* instead of
+raw ``id()`` values.  ``id()`` keys have a latent reuse bug: once a
+table is garbage collected its address can be handed to a brand-new
+table, and a stale index would silently answer for the wrong data.
+Fingerprints are drawn from a process-global monotone counter and
+attached to the object, so a token is never reused, and each carries a
+revision number that :func:`bump_revision` increments to invalidate
+every derived entry.
 
 The store itself is an LRU with per-entry byte accounting, a byte and
 entry budget, and hit/miss/eviction counters — the numbers surfaced as
 ``result.stats["cache"]`` on every query.
+
+Concurrency contract (the serving layer runs many engine calls against
+one cache from a thread pool):
+
+* every mutation — LRU touch, insert, eviction, byte accounting,
+  counter bump — happens under one internal lock, so concurrent
+  queries can never corrupt the order book or the byte ledger;
+* :meth:`QueryCache.get_or_build` is *single-flight per key*: the first
+  thread to miss becomes the build leader, concurrent threads asking
+  for the same key block on a per-key latch and receive the leader's
+  artifact instead of duplicating the build (``single_flight_waits``
+  counts the piggybacks).  Distinct keys build concurrently — the main
+  lock is never held across a build;
+* cached :class:`~repro.core.result.AggregationResult` values are
+  handed out as **defensive copies**: results carry a mutable ``stats``
+  dict that callers routinely annotate, and returning the stored object
+  by reference would let one caller's mutation corrupt every later
+  reader's view.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -29,6 +49,10 @@ _TOKEN_COUNTER = itertools.count(1)
 
 _TOKEN_ATTR = "_repro_cache_token"
 _REVISION_ATTR = "_repro_cache_revision"
+
+#: Guards token assignment so two threads fingerprinting the same new
+#: object cannot race to different tokens.
+_TOKEN_LOCK = threading.Lock()
 
 
 def fingerprint(obj) -> tuple:
@@ -42,12 +66,15 @@ def fingerprint(obj) -> tuple:
     """
     token = getattr(obj, _TOKEN_ATTR, None)
     if token is None:
-        token = next(_TOKEN_COUNTER)
-        try:
-            object.__setattr__(obj, _TOKEN_ATTR, token)
-        except (AttributeError, TypeError):
-            # No __dict__ (slots, builtins): fall back to keying by value.
-            return (type(obj).__name__, obj)
+        with _TOKEN_LOCK:
+            token = getattr(obj, _TOKEN_ATTR, None)
+            if token is None:
+                token = next(_TOKEN_COUNTER)
+                try:
+                    object.__setattr__(obj, _TOKEN_ATTR, token)
+                except (AttributeError, TypeError):
+                    # No __dict__ (slots, builtins): key by value.
+                    return (type(obj).__name__, obj)
     return (type(obj).__name__, token, getattr(obj, _REVISION_ATTR, 0))
 
 
@@ -58,8 +85,9 @@ def bump_revision(obj) -> int:
     therefore every cache key built from it — changes.  Returns the new
     revision.
     """
-    rev = getattr(obj, _REVISION_ATTR, 0) + 1
-    object.__setattr__(obj, _REVISION_ATTR, rev)
+    with _TOKEN_LOCK:
+        rev = getattr(obj, _REVISION_ATTR, 0) + 1
+        object.__setattr__(obj, _REVISION_ATTR, rev)
     return rev
 
 
@@ -91,6 +119,21 @@ def estimate_nbytes(value, _depth: int = 0) -> int:
     return 64
 
 
+def _defensive(value):
+    """Copy-on-read for mutable cached artifacts.
+
+    Query results are the one cached type whose consumers mutate what
+    they receive (``result.stats`` annotations); everything else
+    (fragment tables, indexes, cubes) is treated as immutable shared
+    state and returned by reference.
+    """
+    from .result import AggregationResult
+
+    if isinstance(value, AggregationResult):
+        return value.copy()
+    return value
+
+
 @dataclass
 class CacheEntry:
     value: object
@@ -98,7 +141,8 @@ class CacheEntry:
 
 
 class QueryCache:
-    """LRU cache with byte accounting and hit/miss/eviction counters."""
+    """Thread-safe LRU cache with byte accounting and single-flight
+    builds; hit/miss/eviction counters surface in query stats."""
 
     def __init__(self, max_bytes: int = 256 * 1024 * 1024,
                  max_entries: int = 512):
@@ -108,52 +152,90 @@ class QueryCache:
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
+        #: Per-key build latches for single-flight get_or_build.
+        self._building: dict[tuple, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Lookups that blocked on another thread's in-progress build of
+        #: the same key and reused its artifact (stampedes prevented).
+        self.single_flight_waits = 0
 
     # -- core operations ---------------------------------------------------
 
     def get(self, key: tuple, default=None):
         """Fetch + LRU-touch; counts a hit or a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return _defensive(entry.value)
 
     def peek(self, key: tuple, default=None):
         """Fetch without touching LRU order or counters (planner probes)."""
-        entry = self._entries.get(key)
-        return default if entry is None else entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            return default if entry is None else entry.value
 
     def put(self, key: tuple, value, nbytes: int | None = None) -> None:
         if nbytes is None:
             nbytes = estimate_nbytes(value)
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._bytes -= old.nbytes
-        self._entries[key] = CacheEntry(value, int(nbytes))
-        self._bytes += int(nbytes)
-        self._evict()
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = CacheEntry(value, int(nbytes))
+            self._bytes += int(nbytes)
+            self._evict()
 
     def get_or_build(self, key: tuple, builder, nbytes: int | None = None):
-        """The main entry point: return the cached value or build + store."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry.value
-        self.misses += 1
-        value = builder()
-        self.put(key, value, nbytes=nbytes)
-        return value
+        """The main entry point: return the cached value or build + store.
+
+        Single-flight: concurrent callers of the same missing key run
+        one build; the rest block on a per-key latch and reuse the
+        leader's artifact.  The main lock is never held across
+        ``builder()``, so distinct keys build concurrently.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return _defensive(entry.value)
+            self.misses += 1
+            latch = self._building.get(key)
+            leader = latch is None
+            if leader:
+                latch = self._building[key] = threading.Lock()
+        if not leader:
+            # Wait for the leader's build, then read what it stored.
+            with latch:
+                pass
+            with self._lock:
+                self.single_flight_waits += 1
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    return _defensive(entry.value)
+            # Leader failed (builder raised) — fall through and build.
+            return self.get_or_build(key, builder, nbytes=nbytes)
+        with latch:
+            try:
+                value = builder()
+                self.put(key, value, nbytes=nbytes)
+            finally:
+                with self._lock:
+                    self._building.pop(key, None)
+        return _defensive(value)
 
     def _evict(self) -> None:
         # Evict LRU-first until within budget; the newest entry always
         # survives so a single oversized artifact is still usable.
+        # Callers hold self._lock.
         while len(self._entries) > 1 and (
                 self._bytes > self.max_bytes
                 or len(self._entries) > self.max_entries):
@@ -166,36 +248,48 @@ class QueryCache:
     def invalidate(self, prefix: str) -> int:
         """Drop every entry whose key starts with ``prefix``; returns the
         number removed (not counted as evictions)."""
-        doomed = [k for k in self._entries if k and k[0] == prefix]
-        for key in doomed:
-            self._bytes -= self._entries.pop(key).nbytes
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k in self._entries if k and k[0] == prefix]
+            for key in doomed:
+                self._bytes -= self._entries.pop(key).nbytes
+            return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[tuple]:
+        """Snapshot of the current keys (safe to iterate concurrently)."""
+        with self._lock:
+            return list(self._entries)
 
     @property
     def total_bytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def stats(self) -> dict:
         """Counters + occupancy, the ``stats["cache"]`` payload."""
-        lookups = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-            "bytes": self._bytes,
-            "max_bytes": self.max_bytes,
-            "hit_rate": (self.hits / lookups) if lookups else 0.0,
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "single_flight_waits": self.single_flight_waits,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }

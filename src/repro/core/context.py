@@ -113,8 +113,9 @@ class ExecutionContext:
         """Every cube already materialized for this (table, regions) pair
         — what the planner probes before it will ever pick ``cube``."""
         tfp, rfp = fingerprint(table), fingerprint(regions)
-        return [self.cache.peek(k) for k in list(self.cache._entries)
-                if k[0] == "cube" and k[1] == tfp and k[2] == rfp]
+        return [cube for k in self.cache.keys()
+                if k[0] == "cube" and k[1] == tfp and k[2] == rfp
+                and (cube := self.cache.peek(k)) is not None]
 
     def tcube_for(self, table: PointTable, spec: tuple, builder):
         """A temporal canvas cube for (table, build spec).
@@ -132,5 +133,6 @@ class ExecutionContext:
         what the planner (and the timeline view) probe before paying a
         build or a re-scatter."""
         tfp = fingerprint(table)
-        return [self.cache.peek(k) for k in list(self.cache._entries)
-                if k[0] == "tcube" and k[1] == tfp]
+        return [cube for k in self.cache.keys()
+                if k[0] == "tcube" and k[1] == tfp
+                and (cube := self.cache.peek(k)) is not None]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 
-from ..errors import GeometryError, QueryError
+from ..errors import GeometryError, QueryCancelled, QueryError
 from ..raster import FragmentTable, Viewport
 from ..table import PointTable
 from .backends import ExecutionPlan, backend_names, get_backend, has_backend
@@ -112,14 +112,22 @@ class SpatialAggregationEngine:
         epsilon: float | None = None,
         exact: bool = False,
         viewport: Viewport | None = None,
+        deadline_ms: float | None = None,
+        cancel=None,
     ) -> AggregationResult:
         """Run one spatial aggregation query.
 
         ``method='auto'`` routes through the cost-based planner; any
         registered backend name runs that backend directly (the
-        benchmark harness does this).  Every result carries
-        ``stats["plan"]`` (the decision and its inputs) and
-        ``stats["cache"]`` (unified-cache counters, including this
+        benchmark harness does this).  ``deadline_ms`` enables
+        deadline-aware planning: if the cost model predicts a miss, the
+        planner degrades the plan (exact -> bounded, then a coarser
+        canvas) and records it in ``stats["plan"]["degraded"]``.
+        ``cancel`` is a ``threading.Event``-like token checked before
+        dispatch (and between tiles on the tiled path); once set the
+        query raises :class:`~repro.errors.QueryCancelled`.  Every
+        result carries ``stats["plan"]`` (the decision and its inputs)
+        and ``stats["cache"]`` (unified-cache counters, including this
         query's own hits/misses).
         """
         t0 = time.perf_counter()
@@ -130,7 +138,7 @@ class SpatialAggregationEngine:
         plan = ExecutionPlan(
             table=table, regions=regions, query=query, method=method,
             resolution=resolution, epsilon=epsilon, exact=exact,
-            viewport=viewport)
+            viewport=viewport, deadline_ms=deadline_ms, cancel=cancel)
 
         if method == "auto":
             chosen = self.planner.choose(self.ctx, plan)
@@ -141,14 +149,23 @@ class SpatialAggregationEngine:
                     f"{('auto',) + backend_names()}")
             chosen = method
             plan.decision = {
-                "chosen": chosen,
-                "planned": False,
                 "inputs": self.planner.plan_inputs(self.ctx, plan),
+                "decision": {"chosen": chosen, "planned": False},
+                "parallel": None,
+                "degraded": None,
             }
 
+        if cancel is not None and cancel.is_set():
+            raise QueryCancelled("query cancelled before dispatch")
         hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
         result = get_backend(chosen).run(self.ctx, plan)
         self._attach_stats(result, plan, hits0, misses0, t0)
+        if plan.decision.get("decision", {}).get("planned"):
+            # Feed the observed latency back into the planner's
+            # units-per-second calibration for future deadline checks.
+            cost = plan.decision["decision"]["costs"].get(chosen)
+            if cost is not None and cost != float("inf"):
+                self.planner.observe(cost, time.perf_counter() - t0)
         return result
 
     def _attach_stats(self, result: AggregationResult, plan: ExecutionPlan,
@@ -189,8 +206,12 @@ class SpatialAggregationEngine:
                 table=table, regions=regions, query=query,
                 method="bounded", resolution=resolution, epsilon=epsilon,
                 viewport=viewport,
-                decision={"chosen": "bounded", "planned": False,
-                          "multi": len(queries)})
+                decision={"inputs": None,
+                          "decision": {"chosen": "bounded",
+                                       "planned": False,
+                                       "multi": len(queries)},
+                          "parallel": None,
+                          "degraded": None})
             self._attach_stats(result, plan, hits0, misses0, t0)
         return results
 

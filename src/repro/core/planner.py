@@ -5,9 +5,13 @@ for each query it gathers cheap statistics (point count, region and
 vertex counts, the requested epsilon/exactness, what the unified cache
 already holds), filters the registered backends by capability, prices
 the survivors with :meth:`Backend.estimate_cost`, and picks the
-cheapest.  The decision — inputs, per-candidate costs, chosen backend —
-is recorded verbatim in ``result.stats["plan"]`` so every answer
-explains itself.
+cheapest.  The decision is recorded in a normalized ``stats["plan"]``
+payload so every answer explains itself::
+
+    {"inputs":   ...statistics the cost model ran on...,
+     "decision": {"chosen": ..., "planned": ..., "costs": ...},
+     "parallel": ...the serial/parallel decision...,
+     "degraded": None | ...deadline-degradation record...}
 
 Capability gates:
 
@@ -18,6 +22,17 @@ Capability gates:
   ever a candidate when a cube materialized earlier for this exact
   (table, region set) pair can already answer the query — the planner
   never pays a cube build for an ad-hoc polygon set.
+
+Deadline-aware degradation: when the plan carries a ``deadline_ms``
+hint (the serving layer threads per-request deadlines through), the
+planner converts the chosen candidate's abstract cost into predicted
+milliseconds via a self-calibrating units-per-second rate (updated from
+observed executions by :meth:`CostBasedPlanner.observe`).  If the
+prediction misses the deadline it walks a degradation ladder — drop
+``exact`` (accurate -> bounded), then halve the canvas resolution down
+to :data:`MIN_DEGRADED_RESOLUTION` — replanning after each step, and
+records every step in ``stats["plan"]["degraded"]`` so a degraded
+answer is always labeled as such.
 
 Candidates come from the registry, so third-party backends registered
 with :func:`register_backend` compete in ``auto`` planning too.
@@ -31,9 +46,45 @@ from .backends.base import ExecutionPlan
 from .backends.raster import planned_resolution
 from .context import ExecutionContext
 
+#: Initial calibration of abstract cost units per wall-clock second.
+#: One unit is roughly one point visited; a NumPy point pass sustains
+#: on the order of 10M points/s, and :meth:`CostBasedPlanner.observe`
+#: refines the rate from real executions (EWMA).
+UNITS_PER_SECOND = 10e6
+
+#: Degradation never coarsens the canvas below this resolution — the
+#: floor at which per-region bounds stop being useful.
+MIN_DEGRADED_RESOLUTION = 64
+
+#: EWMA weight of a fresh observation when recalibrating the rate.
+_OBSERVE_ALPHA = 0.3
+
 
 class CostBasedPlanner:
     """Chooses a backend for ``method='auto'`` and records why."""
+
+    def __init__(self, units_per_second: float = UNITS_PER_SECOND):
+        if units_per_second <= 0:
+            raise QueryError("units_per_second must be positive")
+        self.units_per_second = float(units_per_second)
+
+    # -- calibration -------------------------------------------------------
+
+    def observe(self, cost_units: float, elapsed_s: float) -> None:
+        """Fold one (predicted cost, observed latency) pair into the
+        units-per-second calibration (EWMA, outlier-tolerant)."""
+        if cost_units <= 0 or elapsed_s <= 0:
+            return
+        rate = float(cost_units) / float(elapsed_s)
+        self.units_per_second = ((1.0 - _OBSERVE_ALPHA)
+                                 * self.units_per_second
+                                 + _OBSERVE_ALPHA * rate)
+
+    def predict_ms(self, cost_units: float) -> float:
+        """Predicted wall-clock milliseconds for an abstract cost."""
+        return float(cost_units) / self.units_per_second * 1000.0
+
+    # -- statistics --------------------------------------------------------
 
     def plan_inputs(self, ctx: ExecutionContext, plan: ExecutionPlan) -> dict:
         """The statistics the cost model runs on (also logged in stats)."""
@@ -58,6 +109,7 @@ class CostBasedPlanner:
             "canvas_cap": ctx.max_canvas_resolution,
             "epsilon": plan.epsilon,
             "exact": plan.exact,
+            "deadline_ms": plan.deadline_ms,
             "fragments_cached": (
                 plan.viewport is not None
                 and ctx.has_fragments(regions, plan.viewport)),
@@ -105,8 +157,9 @@ class CostBasedPlanner:
             names.append(name)
         return names
 
-    def choose(self, ctx: ExecutionContext, plan: ExecutionPlan) -> str:
-        """Pick a backend; fills ``plan.decision`` as a side effect."""
+    def _price(self, ctx: ExecutionContext, plan: ExecutionPlan
+               ) -> tuple[dict, dict, str]:
+        """One plan->(inputs, costs, cheapest) evaluation round."""
         inputs = self.plan_inputs(ctx, plan)
         names = self.candidates(ctx, plan, inputs)
         if not names:
@@ -120,6 +173,67 @@ class CostBasedPlanner:
             for name in names
         }
         chosen = min(names, key=lambda n: costs[n])
+        return inputs, costs, chosen
+
+    # -- deadline degradation ----------------------------------------------
+
+    def _degrade(self, ctx: ExecutionContext, plan: ExecutionPlan,
+                 inputs: dict, costs: dict, chosen: str
+                 ) -> tuple[dict, dict, str, dict]:
+        """Walk the degradation ladder until the deadline fits (or the
+        ladder is exhausted); mutates ``plan`` (exact/resolution)."""
+        deadline = float(plan.deadline_ms)
+        steps: list[dict] = []
+        predicted = self.predict_ms(costs[chosen])
+
+        # Rung 1: drop exactness — accurate -> bounded keeps hard error
+        # bounds, shedding the exact boundary pass.
+        if predicted > deadline and plan.exact:
+            was = chosen
+            plan.exact = False
+            inputs, costs, chosen = self._price(ctx, plan)
+            predicted = self.predict_ms(costs[chosen])
+            steps.append({"step": "exact->bounded", "from": was,
+                          "to": chosen, "predicted_ms": predicted})
+
+        # Rung 2: coarsen the canvas.  Halving the resolution quarters
+        # the pixel terms (and can move an over-cap 'tiled' plan back
+        # onto a single canvas); the wider pixel diagonal widens — but
+        # never invalidates — the error bounds.  An explicit viewport
+        # pins the canvas, so it is never overridden.
+        while (predicted > deadline and plan.viewport is None
+               and get_backend(chosen).capabilities.uses_canvas):
+            current = planned_resolution(plan.regions, plan, ctx,
+                                         capped=False)
+            if current <= MIN_DEGRADED_RESOLUTION:
+                break
+            plan.resolution = max(MIN_DEGRADED_RESOLUTION, current // 2)
+            plan.epsilon = None
+            inputs, costs, chosen = self._price(ctx, plan)
+            predicted = self.predict_ms(costs[chosen])
+            steps.append({"step": "coarser-canvas",
+                          "resolution": plan.resolution,
+                          "to": chosen, "predicted_ms": predicted})
+
+        degraded = {
+            "applied": bool(steps),
+            "deadline_ms": deadline,
+            "predicted_ms": predicted,
+            "within_deadline": predicted <= deadline,
+            "steps": steps,
+            "units_per_second": self.units_per_second,
+        }
+        return inputs, costs, chosen, degraded
+
+    # -- entry point -------------------------------------------------------
+
+    def choose(self, ctx: ExecutionContext, plan: ExecutionPlan) -> str:
+        """Pick a backend; fills ``plan.decision`` as a side effect."""
+        inputs, costs, chosen = self._price(ctx, plan)
+        degraded = None
+        if plan.deadline_ms is not None:
+            inputs, costs, chosen, degraded = self._degrade(
+                ctx, plan, inputs, costs, chosen)
         # The serial/parallel decision rides along with the backend
         # choice: parallelizable backends follow the input-cardinality
         # rule (small inputs never pay fork/IPC overhead), everything
@@ -132,10 +246,13 @@ class CostBasedPlanner:
                         "threshold": ctx.parallel.serial_threshold,
                         "reason": f"backend {chosen!r} is not parallelizable"}
         plan.decision = {
-            "chosen": chosen,
-            "planned": True,
             "inputs": inputs,
-            "costs": costs,
+            "decision": {
+                "chosen": chosen,
+                "planned": True,
+                "costs": costs,
+            },
             "parallel": parallel,
+            "degraded": degraded,
         }
         return chosen

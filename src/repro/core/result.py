@@ -7,6 +7,7 @@ raster join only), and execution statistics for the benchmark harness.
 
 from __future__ import annotations
 
+import copy as _copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +35,26 @@ class AggregationResult:
 
     def __len__(self) -> int:
         return len(self.values)
+
+    def copy(self) -> "AggregationResult":
+        """An independent deep copy (arrays and the stats dict).
+
+        The serving layer hands one executed result to every coalesced
+        waiter and the unified cache hands results back on hits; a copy
+        per consumer means one caller's mutation (annotating stats,
+        scaling values) can never corrupt another's view.  The region
+        set is shared — it is immutable by convention and fingerprinted
+        by identity, so copying it would defeat downstream caching.
+        """
+        return AggregationResult(
+            regions=self.regions,
+            values=self.values.copy(),
+            method=self.method,
+            lower=None if self.lower is None else self.lower.copy(),
+            upper=None if self.upper is None else self.upper.copy(),
+            exact=self.exact,
+            stats=_copy.deepcopy(self.stats),
+        )
 
     def value_of(self, region_name: str) -> float:
         """Aggregate value of one region, by name."""

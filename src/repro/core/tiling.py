@@ -7,15 +7,25 @@ splits the global pixel grid into tiles, runs the render passes per
 tile, and merges the per-region partials — pixels belong to exactly one
 tile, so additive partials merge by summation and min/max by
 combination, and the numeric error bounds remain hard.
+
+Because every tile contributes an independent additive partial, the
+same machinery also supports *progressive* execution:
+:func:`iter_tiled_partials` yields a :class:`TilePartial` snapshot
+after each tile (or every ``every`` tiles) — estimate plus hard bounds
+over the pixels processed so far — and the serving layer streams those
+snapshots to clients as they arrive.  The final snapshot is computed in
+the exact accumulation order of the serial full run, so a streamed
+answer converges bitwise to :func:`tiled_bounded_raster_join`'s.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import QueryError
+from ..errors import QueryCancelled, QueryError
 from ..geometry import BBox
 from ..raster import Viewport, build_fragment_table, gather_reduce, gather_sum
 from ..table import PointTable
@@ -74,59 +84,83 @@ def _accumulate_covered(part: PartialAggregate, fragments, canvases,
                                  np.maximum, -np.inf), out=part.maxs)
 
 
-def tiled_bounded_raster_join(
-    table: PointTable,
-    regions: RegionSet,
-    query: SpatialAggregation,
-    resolution: int,
-    tile_pixels: int = 1024,
-    config: ParallelConfig | None = None,
-) -> AggregationResult:
-    """Bounded raster join over a virtual canvas of arbitrary size.
+@dataclass
+class TilePartial:
+    """One progressive snapshot of a tiled join in flight.
 
-    With a :class:`ParallelConfig`, contiguous tile ranges run in worker
-    processes; tiles partition the pixel grid, so per-range partials and
-    boundary masses merge by plain addition (min/max by combination)
-    and results match the serial order exactly for COUNT.
+    ``values``/``lower``/``upper`` cover only the tiles processed so
+    far — the hard-bound contract holds per snapshot: the true answer
+    restricted to those pixels lies within [lower, upper].  The last
+    snapshot (``final=True``) equals the full tiled join bitwise.
     """
-    t_start = time.perf_counter()
-    viewport = Viewport.fit(regions.bbox, resolution)
-    tiles = make_tiles(viewport, tile_pixels)
 
-    # One global point pass: filter, project to global pixel coords,
-    # then route points to tiles by integer division.
-    mask = query.filter_mask(table)
-    values = query.values_for(table)
-    x = table.x[mask]
-    y = table.y[mask]
-    if values is not None:
-        values = values[mask]
-    ix, iy = viewport.pixel_of(x, y)
-    valid = ((ix >= 0) & (ix < viewport.width)
-             & (iy >= 0) & (iy < viewport.height))
-    ix = ix[valid]
-    iy = iy[valid]
-    if values is not None:
-        values = values[valid]
+    tile_index: int        #: 1-based count of tiles folded in so far.
+    tiles_total: int
+    values: np.ndarray
+    lower: np.ndarray | None
+    upper: np.ndarray | None
+    final: bool
+    stats: dict
 
-    tiles_per_row = -(-viewport.width // tile_pixels)  # ceil div
-    tile_of_point = ((iy // tile_pixels) * tiles_per_row
-                     + (ix // tile_pixels))
-    order = np.argsort(tile_of_point, kind="stable")
-    tile_sorted = tile_of_point[order]
-    tile_offsets = np.searchsorted(
-        tile_sorted, np.arange(len(tiles) + 1), side="left")
 
-    geometries = list(regions.geometries)
-    geom_boxes = [g.bbox for g in geometries]
+class _TileJoinState:
+    """The shared prep + per-tile kernel behind both the one-shot and
+    the progressive tiled joins: one global point pass (filter, project,
+    stable-sort route to tiles), then :meth:`run_tile` folds one tile's
+    render passes into caller-owned accumulators."""
 
-    def run_tile(tile_idx: int, part: PartialAggregate,
+    def __init__(self, table: PointTable, regions: RegionSet,
+                 query: SpatialAggregation, resolution: int,
+                 tile_pixels: int):
+        self.regions = regions
+        self.query = query
+        self.resolution = resolution
+        self.tile_pixels = tile_pixels
+        self.viewport = Viewport.fit(regions.bbox, resolution)
+        self.tiles = make_tiles(self.viewport, tile_pixels)
+
+        # One global point pass: filter, project to global pixel coords,
+        # then route points to tiles by integer division.
+        mask = query.filter_mask(table)
+        values = query.values_for(table)
+        x = table.x[mask]
+        y = table.y[mask]
+        if values is not None:
+            values = values[mask]
+        ix, iy = self.viewport.pixel_of(x, y)
+        valid = ((ix >= 0) & (ix < self.viewport.width)
+                 & (iy >= 0) & (iy < self.viewport.height))
+        self.ix = ix[valid]
+        self.iy = iy[valid]
+        self.values = values[valid] if values is not None else None
+
+        tiles_per_row = -(-self.viewport.width // tile_pixels)  # ceil div
+        tile_of_point = ((self.iy // tile_pixels) * tiles_per_row
+                         + (self.ix // tile_pixels))
+        self.order = np.argsort(tile_of_point, kind="stable")
+        tile_sorted = tile_of_point[self.order]
+        self.tile_offsets = np.searchsorted(
+            tile_sorted, np.arange(len(self.tiles) + 1), side="left")
+
+        self.geometries = list(regions.geometries)
+        self.geom_boxes = [g.bbox for g in self.geometries]
+
+    def empty_accumulators(self
+                           ) -> tuple[PartialAggregate, np.ndarray, np.ndarray]:
+        n = len(self.regions)
+        return (PartialAggregate.empty(self.query.agg, n),
+                np.zeros(n), np.zeros(n))
+
+    def run_tile(self, tile_idx: int, part: PartialAggregate,
                  mass_in: np.ndarray, mass_out: np.ndarray) -> None:
-        tile_vp, col0, row0 = tiles[tile_idx]
+        query = self.query
+        ix, iy, values = self.ix, self.iy, self.values
+        tile_vp, col0, row0 = self.tiles[tile_idx]
         # Regions overlapping this tile (ids must be preserved).
-        local_ids = [gid for gid, gb in enumerate(geom_boxes)
+        local_ids = [gid for gid, gb in enumerate(self.geom_boxes)
                      if gb.intersects(tile_vp.bbox)]
-        sel = order[tile_offsets[tile_idx]:tile_offsets[tile_idx + 1]]
+        sel = self.order[
+            self.tile_offsets[tile_idx]:self.tile_offsets[tile_idx + 1]]
         if not local_ids and len(sel) == 0:
             return
 
@@ -138,7 +172,7 @@ def tiled_bounded_raster_join(
         if not local_ids:
             return
         local_fragments = build_fragment_table(
-            [geometries[gid] for gid in local_ids], tile_vp)
+            [self.geometries[gid] for gid in local_ids], tile_vp)
         # Remap the local polygon ids back to global region ids.
         remap = np.asarray(local_ids, dtype=np.int64)
 
@@ -171,17 +205,59 @@ def tiled_bounded_raster_join(
             mass_in[remap] += m_in
             mass_out[remap] += m_all - m_in
 
+    def snapshot(self, part: PartialAggregate, mass_in: np.ndarray,
+                 mass_out: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Finalize the accumulators without consuming them.
+
+        ``PartialAggregate.finalize`` returns fresh arrays, so the
+        accumulators keep absorbing later tiles untouched.
+        """
+        estimate = part.finalize()
+        lower = upper = None
+        if self.query.agg in BOUNDABLE_AGGREGATES:
+            lower = estimate - mass_in
+            upper = estimate + mass_out
+        return estimate, lower, upper
+
+
+def tiled_bounded_raster_join(
+    table: PointTable,
+    regions: RegionSet,
+    query: SpatialAggregation,
+    resolution: int,
+    tile_pixels: int = 1024,
+    config: ParallelConfig | None = None,
+    cancel=None,
+) -> AggregationResult:
+    """Bounded raster join over a virtual canvas of arbitrary size.
+
+    With a :class:`ParallelConfig`, contiguous tile ranges run in worker
+    processes; tiles partition the pixel grid, so per-range partials and
+    boundary masses merge by plain addition (min/max by combination)
+    and results match the serial order exactly for COUNT.
+
+    ``cancel`` (``threading.Event``-like) is honored between tiles on
+    the serial path — fork workers cannot observe a parent-set event,
+    so a pooled run completes its ranges before the token is rechecked.
+    """
+    t_start = time.perf_counter()
+    state = _TileJoinState(table, regions, query, resolution, tile_pixels)
+    tiles = state.tiles
+
     def range_task(tlo: int, thi: int):
-        local = PartialAggregate.empty(query.agg, len(regions))
-        m_in = np.zeros(len(regions))
-        m_out = np.zeros(len(regions))
+        local, m_in, m_out = state.empty_accumulators()
         for tile_idx in range(tlo, thi):
-            run_tile(tile_idx, local, m_in, m_out)
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelled("tiled join cancelled mid-run")
+            state.run_tile(tile_idx, local, m_in, m_out)
         return local, m_in, m_out
 
     workers = config.resolve_workers() if config is not None else 1
     ranges = _even_ranges(len(tiles), min(workers, len(tiles)))
     results, pooled = _fork_map(range_task, ranges, workers)
+    if cancel is not None and cancel.is_set():
+        raise QueryCancelled("tiled join cancelled")
 
     part, mass_in, mass_out = results[0]
     for other, m_in, m_out in results[1:]:
@@ -189,11 +265,7 @@ def tiled_bounded_raster_join(
         mass_in += m_in
         mass_out += m_out
 
-    estimate = part.finalize()
-    lower = upper = None
-    if query.agg in BOUNDABLE_AGGREGATES:
-        lower = estimate - mass_in
-        upper = estimate + mass_out
+    estimate, lower, upper = state.snapshot(part, mass_in, mass_out)
 
     return AggregationResult(
         regions=regions,
@@ -207,7 +279,7 @@ def tiled_bounded_raster_join(
             "resolution": resolution,
             "tile_pixels": tile_pixels,
             "time_total_s": time.perf_counter() - t_start,
-            "epsilon_world_units": viewport.pixel_diag,
+            "epsilon_world_units": state.viewport.pixel_diag,
             "parallel": {
                 "mode": "parallel" if pooled else "serial",
                 "workers": min(workers, len(ranges)),
@@ -216,3 +288,59 @@ def tiled_bounded_raster_join(
             },
         },
     )
+
+
+def iter_tiled_partials(
+    table: PointTable,
+    regions: RegionSet,
+    query: SpatialAggregation,
+    resolution: int,
+    tile_pixels: int = 1024,
+    every: int = 1,
+    cancel=None,
+):
+    """Progressive tiled join: yield a :class:`TilePartial` snapshot
+    every ``every`` tiles, always serially and always ending with a
+    ``final=True`` snapshot.
+
+    Tiles are processed in the serial order of
+    :func:`tiled_bounded_raster_join`, so the final snapshot's values
+    and bounds are bitwise-identical to the one-shot serial result.
+    Each snapshot's [lower, upper] interval is a hard bound on the true
+    answer *restricted to the pixels folded in so far* — the serving
+    layer forwards them as bounded-error progress metadata.
+
+    A set ``cancel`` token stops the generator between tiles with
+    :class:`~repro.errors.QueryCancelled`.
+    """
+    if every < 1:
+        raise QueryError("every must be >= 1")
+    t_start = time.perf_counter()
+    state = _TileJoinState(table, regions, query, resolution, tile_pixels)
+    tiles_total = len(state.tiles)
+    part, mass_in, mass_out = state.empty_accumulators()
+
+    for tile_idx in range(tiles_total):
+        if cancel is not None and cancel.is_set():
+            raise QueryCancelled("progressive tiled join cancelled")
+        state.run_tile(tile_idx, part, mass_in, mass_out)
+        done = tile_idx + 1
+        final = done == tiles_total
+        if not final and done % every:
+            continue
+        values, lower, upper = state.snapshot(part, mass_in, mass_out)
+        yield TilePartial(
+            tile_index=done,
+            tiles_total=tiles_total,
+            values=values,
+            lower=lower,
+            upper=upper,
+            final=final,
+            stats={
+                "resolution": resolution,
+                "tile_pixels": tile_pixels,
+                "progress": done / tiles_total,
+                "epsilon_world_units": state.viewport.pixel_diag,
+                "time_elapsed_s": time.perf_counter() - t_start,
+            },
+        )

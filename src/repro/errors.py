@@ -34,5 +34,32 @@ class CubeError(ExecutionError):
     polygon or filter combination that was not materialized)."""
 
 
+class QueryCancelled(ExecutionError):
+    """The query's cancellation token was set (client disconnected or
+    the caller gave up) before or during execution."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the concurrent query service."""
+
+
+class OverloadedError(ServeError):
+    """The serving layer shed this request (admission queue full or the
+    queue wait exceeded the request deadline).
+
+    Carries ``retry_after_ms`` — the client-visible backoff hint that
+    becomes the structured ``retry_after`` field of the error payload
+    (and the HTTP ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 250.0):
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class ProtocolError(ServeError):
+    """A malformed or version-incompatible request/response payload."""
+
+
 class DataGenerationError(ReproError):
     """Invalid parameters passed to a synthetic data generator."""

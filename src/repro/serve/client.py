@@ -1,0 +1,145 @@
+"""Stdlib client for the query service.
+
+``http.client`` only — usable from any Python without the repro
+package's heavier imports beyond NumPy.  One connection per request
+(the server speaks ``Connection: close``), blocking calls, and typed
+errors: a 429 raises :class:`~repro.errors.OverloadedError` carrying
+the server's ``retry_after_ms`` so callers can implement honest
+back-off; 4xx payloads raise :class:`~repro.errors.ProtocolError` (or
+:class:`~repro.errors.QueryError` when the server says the query
+itself was bad).
+
+Streaming responses (``stream=True``) yield one decoded partial dict
+per NDJSON line as the server produces them — ``http.client`` strips
+the chunked framing transparently.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import urlsplit
+
+from ..errors import OverloadedError, ProtocolError, QueryError, ServeError
+from .protocol import (
+    PROTOCOL_VERSION,
+    RemoteResult,
+    encode_request,
+    result_from_json,
+)
+
+DEFAULT_TIMEOUT_S = 60.0
+
+
+def _raise_for_payload(status: int, payload: dict,
+                       retry_after_header: str | None) -> None:
+    message = payload.get("message", f"HTTP {status}")
+    if status == 429:
+        retry_ms = payload.get("retry_after_ms")
+        if retry_ms is None and retry_after_header:
+            retry_ms = float(retry_after_header) * 1000.0
+        raise OverloadedError(message, retry_after_ms=retry_ms or 250.0)
+    error = payload.get("error", "")
+    if status == 400 and error not in ("ProtocolError", "JSONDecodeError"):
+        raise QueryError(message)
+    if 400 <= status < 500:
+        raise ProtocolError(message)
+    raise ServeError(f"server error {status}: {message}")
+
+
+class ServeClient:
+    """Blocking client for a ``repro serve`` endpoint."""
+
+    def __init__(self, url: str, timeout_s: float = DEFAULT_TIMEOUT_S):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ProtocolError(f"unsupported scheme {parts.scheme!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout_s = float(timeout_s)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+
+    def _get_json(self, path: str) -> dict:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            payload = json.loads(resp.read().decode("utf-8"))
+            if resp.status != 200:
+                _raise_for_payload(resp.status, payload,
+                                   resp.getheader("Retry-After"))
+            return payload
+        finally:
+            conn.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._get_json("/v1/health")
+
+    def stats(self) -> dict:
+        return self._get_json("/v1/stats")
+
+    def query(self, dataset: str, regions: str, query=None, sql=None,
+              **knobs) -> RemoteResult:
+        """Run one query; returns a :class:`RemoteResult`.
+
+        Accepts the same knobs as the wire protocol (``method``,
+        ``resolution``, ``epsilon``, ``exact``, ``deadline_ms``,
+        ``cache``...).  For progressive results use :meth:`stream`.
+        """
+        body = encode_request(dataset, regions, query=query, sql=sql,
+                              **knobs)
+        if body.get("stream"):
+            raise ProtocolError("use stream() for streaming queries")
+        conn = self._connect()
+        try:
+            conn.request("POST", "/v1/query", body=json.dumps(body),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            payload = json.loads(resp.read().decode("utf-8"))
+            if resp.status != 200:
+                _raise_for_payload(resp.status, payload,
+                                   resp.getheader("Retry-After"))
+            return result_from_json(payload)
+        finally:
+            conn.close()
+
+    def stream(self, dataset: str, regions: str, query=None, sql=None,
+               **knobs):
+        """Run one progressive query; yields partial dicts as decoded
+        from the NDJSON stream (``kind="partial"``, ending with
+        ``final=true``).  A terminal ``kind="error"`` line raises."""
+        knobs.setdefault("stream", True)
+        body = encode_request(dataset, regions, query=query, sql=sql,
+                              **knobs)
+        conn = self._connect()
+        try:
+            conn.request("POST", "/v1/query", body=json.dumps(body),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            if resp.status != 200:
+                payload = json.loads(resp.read().decode("utf-8"))
+                _raise_for_payload(resp.status, payload,
+                                   resp.getheader("Retry-After"))
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line.decode("utf-8"))
+                if payload.get("kind") == "error":
+                    _raise_for_payload(500, payload, None)
+                if payload.get("v") != PROTOCOL_VERSION:
+                    raise ProtocolError(
+                        f"unexpected protocol version {payload.get('v')!r}")
+                yield payload
+        finally:
+            conn.close()

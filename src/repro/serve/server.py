@@ -1,0 +1,330 @@
+"""The asyncio HTTP front end — stdlib only.
+
+A deliberately small HTTP/1.1 implementation over
+``asyncio.start_server`` (the container has no web framework, and the
+protocol needs exactly three routes):
+
+* ``GET /v1/health`` — liveness;
+* ``GET /v1/stats``  — service counters (admission, coalescing, cache);
+* ``POST /v1/query`` — one JSON request body per query.  Non-streaming
+  requests get one JSON object back; ``"stream": true`` requests get a
+  chunked ``application/x-ndjson`` response, one
+  :class:`~repro.core.tiling.TilePartial` per line, ending with the
+  ``final`` snapshot.
+
+Error mapping: malformed requests and unknown datasets are 400s,
+admission sheds are **429 + Retry-After** (seconds, from the
+controller's ``retry_after_ms`` hint), engine faults are 500s — always
+with a JSON error payload so clients never parse prose.
+
+Disconnect handling: each request runs as a task racing an EOF watch on
+the connection; when the client goes away mid-query the task is
+cancelled, which unwinds admission (slot freed) and single-flight
+(refcount dropped, engine cancelled between tiles once the last
+participant leaves).
+
+One request per connection (``Connection: close``) — the protocol is
+request/response, and skipping keep-alive keeps the parser honest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+
+from ..errors import (
+    OverloadedError,
+    ProtocolError,
+    QueryCancelled,
+    ReproError,
+)
+from .protocol import (
+    decode_request,
+    error_to_json,
+    partial_to_json,
+    result_to_json,
+)
+from .service import QueryService
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+
+
+def _head(status: str, content_type: str, length: int | None,
+          extra: dict | None = None) -> bytes:
+    lines = [f"HTTP/1.1 {status}", f"Content-Type: {content_type}",
+             "Connection: close"]
+    if length is None:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {length}")
+    for key, value in (extra or {}).items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def _chunk(data: bytes) -> bytes:
+    return f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"
+
+
+def _error_response(exc: Exception) -> tuple[str, dict, dict]:
+    """(status, payload, extra headers) for a failed request."""
+    if isinstance(exc, OverloadedError):
+        retry_s = max(1, math.ceil(exc.retry_after_ms / 1000.0))
+        return ("429 Too Many Requests", error_to_json(exc),
+                {"Retry-After": str(retry_s)})
+    if isinstance(exc, (ProtocolError, json.JSONDecodeError)):
+        return "400 Bad Request", error_to_json(exc), {}
+    if isinstance(exc, ReproError):
+        # Unknown dataset, bad column, malformed query, ...: the
+        # client's fault, not the server's.
+        return "400 Bad Request", error_to_json(exc), {}
+    return "500 Internal Server Error", error_to_json(exc), {}
+
+
+class QueryServer:
+    """Serves a :class:`QueryService` over HTTP."""
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.connections = 0
+        self.disconnects = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port)
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        try:
+            method, path, headers = await self._read_head(reader)
+            length = int(headers.get("content-length", "0"))
+            if length > _MAX_BODY_BYTES:
+                raise ProtocolError(f"request body over {_MAX_BODY_BYTES}B")
+            body = await reader.readexactly(length) if length else b""
+            await self._dispatch(method, path, body, reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            self.disconnects += 1
+        except Exception as exc:  # noqa: BLE001 - boundary: report as JSON
+            await self._send_error(writer, exc)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_head(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", 1)
+        try:
+            method, path, _version = request_line.decode("ascii").split()
+        except ValueError:
+            raise ProtocolError(
+                f"malformed request line {request_line!r}") from None
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ProtocolError("too many header lines")
+        return method, path, headers
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> None:
+        if method == "GET" and path == "/v1/health":
+            await self._send_json(writer, "200 OK", {"ok": True, "v": 1})
+            return
+        if method == "GET" and path == "/v1/stats":
+            from .protocol import jsonable
+
+            await self._send_json(writer, "200 OK",
+                                  jsonable(self.service.stats()))
+            return
+        if method == "POST" and path == "/v1/query":
+            req = decode_request(json.loads(body.decode("utf-8")))
+            if req["stream"]:
+                await self._stream_query(req, writer)
+            else:
+                await self._unary_query(req, reader, writer)
+            return
+        await self._send_json(
+            writer, "404 Not Found",
+            {"kind": "error", "error": "NotFound",
+             "message": f"no route {method} {path}"})
+
+    async def _unary_query(self, req: dict, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        # Race the query against connection EOF: a client that hangs up
+        # must release its slot (admission) and its vote (coalescing)
+        # immediately, not when the result is ready.
+        work = asyncio.ensure_future(self.service.execute(req))
+        eof_watch = asyncio.ensure_future(reader.read(1))
+        try:
+            done, _pending = await asyncio.wait(
+                {work, eof_watch}, return_when=asyncio.FIRST_COMPLETED)
+            if work not in done:
+                # EOF (or stray bytes; either way this connection can
+                # no longer receive an answer).
+                self.disconnects += 1
+                work.cancel()
+                try:
+                    await work
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+                return
+            result = work.result()
+            await self._send_json(writer, "200 OK", result_to_json(result))
+        except asyncio.CancelledError:
+            work.cancel()
+            raise
+        except QueryCancelled:
+            self.disconnects += 1
+        except Exception as exc:  # noqa: BLE001 - boundary
+            await self._send_error(writer, exc)
+        finally:
+            eof_watch.cancel()
+
+    async def _stream_query(self, req: dict,
+                            writer: asyncio.StreamWriter) -> None:
+        started = False
+        try:
+            async for partial in self.service.stream(req):
+                if not started:
+                    writer.write(_head("200 OK", "application/x-ndjson",
+                                       None))
+                    started = True
+                line = _json_bytes(partial_to_json(partial)) + b"\n"
+                writer.write(_chunk(line))
+                await writer.drain()
+            if started:
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            self.disconnects += 1
+        except QueryCancelled:
+            self.disconnects += 1
+        except Exception as exc:  # noqa: BLE001 - boundary
+            if not started:
+                await self._send_error(writer, exc)
+            else:
+                # Mid-stream failure: emit a terminal error line so the
+                # client can tell truncation from completion.
+                try:
+                    line = _json_bytes(error_to_json(exc)) + b"\n"
+                    writer.write(_chunk(line) + b"0\r\n\r\n")
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    self.disconnects += 1
+
+    # -- response writers --------------------------------------------------
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: str,
+                         payload: dict, extra: dict | None = None) -> None:
+        body = _json_bytes(payload)
+        try:
+            writer.write(_head(status, "application/json", len(body), extra)
+                         + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            self.disconnects += 1
+
+    async def _send_error(self, writer: asyncio.StreamWriter,
+                          exc: Exception) -> None:
+        status, payload, extra = _error_response(exc)
+        await self._send_json(writer, status, payload, extra)
+
+
+class ServerThread:
+    """A :class:`QueryServer` on a private event loop in a daemon thread.
+
+    The synchronous harnesses (tests, the throughput benchmark, the
+    CLI's self-test) need a live server without owning an event loop;
+    this wraps start/stop behind plain calls.
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.server = QueryServer(service, host=host, port=port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> str:
+        """Start serving; returns the base URL."""
+        ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.server.start())
+            ready.set()
+            loop.run_forever()
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-serve",
+                                        daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise RuntimeError("server failed to start within 10s")
+        return self.server.url
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

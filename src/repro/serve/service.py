@@ -1,0 +1,251 @@
+"""The query service: engine execution behind admission + coalescing.
+
+:class:`QueryService` is the asyncio-facing seam between the HTTP
+layer and the (synchronous, NumPy-bound) engine.  Each request flows
+through four stages:
+
+1. **Admission** (:mod:`repro.serve.admission`) — a bounded queue in
+   front of a concurrency semaphore sized to the thread pool; overload
+   sheds with ``retry_after_ms`` instead of queueing without bound.
+2. **Coalescing** (:mod:`repro.serve.coalesce`) — requests with the
+   same fingerprint key share one execution; every participant gets an
+   independent ``result.copy()``, so no response aliases another.
+3. **Execution** — the engine runs on a thread pool (the event loop
+   never blocks on NumPy); results are cached in the engine's own
+   unified cache under a ``("served", ...)`` key, so a repeated query
+   is a cache hit even after its flight has landed.
+4. **Streaming** (:meth:`QueryService.stream`) — long queries route
+   through the progressive tiled join and yield per-tile partials with
+   hard error bounds as they accumulate.
+
+Cancellation is cooperative end to end: a disconnected client cancels
+its handler task, the single-flight refcount drops, and when the last
+participant is gone the flight's ``threading.Event`` stops the engine
+between tiles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.cache import fingerprint
+from ..core.tiling import iter_tiled_partials
+from ..errors import ProtocolError, QueryError
+from ..urbane.datamanager import DataManager
+from .admission import AdmissionController
+from .coalesce import SingleFlight
+
+#: Sentinel closing a streaming queue.
+_DONE = object()
+
+
+class QueryService:
+    """Admission-controlled, coalescing front end over a DataManager."""
+
+    def __init__(self, manager: DataManager,
+                 max_concurrency: int = 4,
+                 max_queue: int = 16,
+                 max_wait_s: float = 10.0,
+                 default_deadline_ms: float | None = None):
+        self.manager = manager
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency, max_queue=max_queue,
+            max_wait_s=max_wait_s)
+        self.flight = SingleFlight()
+        self.default_deadline_ms = default_deadline_ms
+        self.pool = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="repro-serve")
+        self._streams: dict[str, object] = {}
+        self.queries = 0
+        self.stream_queries = 0
+        self.errors = 0
+
+    # -- registration ------------------------------------------------------
+
+    def add_stream(self, stream, name: str) -> str:
+        """Serve a live :class:`~repro.stream.buffer.PointStream`.
+
+        The stream's consolidated table is resolved *per query*, so
+        appends between requests are picked up automatically — and
+        because consolidation produces a fresh table object per append,
+        stale cached results stop matching by construction.
+        """
+        if name in self._streams or name in self.manager.dataset_names:
+            raise QueryError(f"dataset {name!r} already registered")
+        self._streams[name] = stream
+        return name
+
+    def _resolve_table(self, dataset: str):
+        """(table, stream version or None) for a dataset name."""
+        stream = self._streams.get(dataset)
+        if stream is not None:
+            return stream.table(), stream.version
+        return self.manager.dataset(dataset), None
+
+    # -- keys --------------------------------------------------------------
+
+    def query_key(self, req: dict) -> tuple:
+        """The coalescing/caching identity of a request.
+
+        Content fingerprints for the data, the full repr of the frozen
+        query (filters included), and every knob that can change the
+        answer — ``deadline_ms`` included, since degradation changes
+        what comes back.
+        """
+        table, _version = self._resolve_table(req["dataset"])
+        regions = self.manager.region_set(req["regions"])
+        query = req["query"]
+        if query is None:
+            raise ProtocolError("request has no parsed query")
+        return ("served", fingerprint(table), fingerprint(regions),
+                repr(query), req["method"], req["resolution"],
+                req["epsilon"], bool(req["exact"]), req["deadline_ms"])
+
+    # -- one-shot queries --------------------------------------------------
+
+    def _parse_sql(self, req: dict) -> None:
+        """Resolve a ``sql`` request into dataset/regions/query fields."""
+        from ..core.sql import parse_query
+
+        parsed = parse_query(req["sql"])
+        req["dataset"] = req["dataset"] or parsed.table
+        req["regions"] = req["regions"] or parsed.regions
+        req["query"] = parsed.aggregation
+
+    def _run(self, req: dict, key: tuple, cancel: threading.Event):
+        """Engine execution (thread-pool side)."""
+        table, stream_version = self._resolve_table(req["dataset"])
+        regions = self.manager.region_set(req["regions"])
+        engine = self.manager.engine
+        deadline = req["deadline_ms"]
+        if deadline is None:
+            deadline = self.default_deadline_ms
+
+        def build():
+            result = engine.execute(
+                table, regions, req["query"], method=req["method"],
+                resolution=req["resolution"], epsilon=req["epsilon"],
+                exact=bool(req["exact"]), deadline_ms=deadline,
+                cancel=cancel)
+            if stream_version is not None:
+                result.stats["stream_version"] = stream_version
+            return result
+
+        if req.get("cache", True):
+            # The unified cache defensively copies results on read, so
+            # the stored original is never the object handed out.
+            return engine.ctx.cache.get_or_build(key, build)
+        return build()
+
+    async def execute(self, req: dict):
+        """Serve one non-streaming request; returns a private
+        :class:`~repro.core.result.AggregationResult` copy.
+
+        Coalescing happens *before* admission: joiners of an in-flight
+        identical query never consume a slot (they do no work), so
+        under a burst of identical requests the admission queue only
+        sees distinct work.  A shed leader sheds its joiners with it —
+        shared fate, shared ``retry_after``.
+        """
+        if req.get("sql"):
+            self._parse_sql(req)
+        self.queries += 1
+        key = self.query_key(req)
+        loop = asyncio.get_running_loop()
+
+        async def start(cancel: threading.Event):
+            async with self.admission.slot(req.get("timeout_s")):
+                return await loop.run_in_executor(
+                    self.pool, self._run, req, key, cancel)
+
+        try:
+            result = await self.flight.run(key, start)
+        except Exception:
+            self.errors += 1
+            raise
+        # Each participant gets an independent copy — coalesced
+        # responses must not alias one another's arrays or stats.
+        return result.copy()
+
+    # -- streaming queries -------------------------------------------------
+
+    async def stream(self, req: dict):
+        """Serve one progressive request: an async iterator of
+        :class:`~repro.core.tiling.TilePartial` snapshots.
+
+        Streaming runs are not coalesced (each client owns its pace and
+        its cancel token) but still pass admission, so a flood of
+        streamers sheds like everything else.
+        """
+        if req.get("sql"):
+            self._parse_sql(req)
+        async with self.admission.slot(req.get("timeout_s")):
+            self.queries += 1
+            self.stream_queries += 1
+            table, _version = self._resolve_table(req["dataset"])
+            regions = self.manager.region_set(req["regions"])
+            if req["query"] is None:
+                raise ProtocolError("request has no parsed query")
+            resolution = (req["resolution"]
+                          or self.manager.engine.default_resolution)
+            cancel = threading.Event()
+            loop = asyncio.get_running_loop()
+            queue: asyncio.Queue = asyncio.Queue(maxsize=4)
+
+            def produce():
+                try:
+                    for partial in iter_tiled_partials(
+                            table, regions, req["query"], resolution,
+                            tile_pixels=int(req["tile_pixels"]),
+                            every=int(req["stream_every"]),
+                            cancel=cancel):
+                        asyncio.run_coroutine_threadsafe(
+                            queue.put(partial), loop).result()
+                    asyncio.run_coroutine_threadsafe(
+                        queue.put(_DONE), loop).result()
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    try:
+                        asyncio.run_coroutine_threadsafe(
+                            queue.put(exc), loop).result()
+                    except RuntimeError:
+                        pass  # loop already gone; nothing to notify
+
+            future = loop.run_in_executor(self.pool, produce)
+            try:
+                while True:
+                    item = await queue.get()
+                    if item is _DONE:
+                        break
+                    if isinstance(item, BaseException):
+                        self.errors += 1
+                        raise item
+                    yield item
+            finally:
+                # Consumer gone (disconnect) or exhausted: stop the
+                # producer between tiles and drain so it can finish.
+                cancel.set()
+                while not future.done():
+                    try:
+                        queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        await asyncio.sleep(0.01)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "queries": self.queries,
+            "stream_queries": self.stream_queries,
+            "errors": self.errors,
+            "admission": self.admission.stats(),
+            "coalesce": self.flight.stats(),
+            "cache": self.manager.engine.cache_stats(),
+            "datasets": sorted(self.manager.dataset_names
+                               + list(self._streams)),
+            "region_sets": self.manager.region_set_names,
+        }
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=False, cancel_futures=True)

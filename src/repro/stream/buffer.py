@@ -70,6 +70,10 @@ class PointStream:
         self._chunks: list[PointTable] = []
         self._consolidated: PointTable | None = None
         self._last_timestamp: int | None = None
+        #: Monotone append count; the serving layer stamps it into
+        #: response stats so a client can tell which snapshot of a live
+        #: stream answered its query.
+        self._version = 0
         self._origin = origin
         # Running (region, bucket) counts; grown as time advances.
         self._matrix = np.zeros((len(regions), 0), dtype=np.float64)
@@ -135,6 +139,7 @@ class PointStream:
         self._chunks.append(batch)
         self._consolidated = None
         self._last_timestamp = int(tvals[-1])
+        self._version += 1
         elapsed = time.perf_counter() - t0
         self._append_seconds += elapsed
         return {
@@ -158,6 +163,16 @@ class PointStream:
     @property
     def last_timestamp(self) -> int | None:
         return self._last_timestamp
+
+    @property
+    def version(self) -> int:
+        """Number of batches ingested so far (snapshot identifier).
+
+        Consolidation produces a fresh table object per version, so a
+        query served at version N caches — and coalesces — under keys
+        that stop matching the moment version N+1 lands.
+        """
+        return self._version
 
     def table(self) -> PointTable:
         """The consolidated stream contents (cached between appends)."""

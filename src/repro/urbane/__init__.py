@@ -36,6 +36,7 @@ from .session import (
     INTERACTIVE_THRESHOLD_S,
     Interaction,
     InteractiveSession,
+    RemoteSession,
     SessionState,
 )
 from .timeline import TimelineView, TimeSeries
@@ -55,6 +56,7 @@ __all__ = [
     "MapView",
     "NODATA_RGB",
     "RegionComparator",
+    "RemoteSession",
     "SessionState",
     "TimeSeries",
     "TimelineView",

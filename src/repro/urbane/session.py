@@ -162,7 +162,8 @@ class InteractiveSession:
             rows_aggregated=result.stats.get("points_after_filter", 0),
             cache_hits=cache.get("query_hits", 0),
             cache_misses=cache.get("query_misses", 0),
-            backend=plan.get("chosen", result.method),
+            backend=(plan.get("decision") or {}).get("chosen",
+                                                     result.method),
             parallel=result.stats.get("parallel", {}).get("mode", "")))
         return result
 
@@ -233,3 +234,104 @@ class InteractiveSession:
             f"{stats['interactive_fraction'] * 100:.0f}% interactive, "
             f"cache hit rate {stats['cache_hit_rate'] * 100:.0f}%")
         return "\n".join(lines)
+
+
+class RemoteSession:
+    """An interactive session whose queries run on a query server.
+
+    The same gesture vocabulary as :class:`InteractiveSession`, but the
+    data lives behind a ``repro serve`` endpoint: every gesture becomes
+    one protocol request through a
+    :class:`~repro.serve.client.ServeClient`, so many analysts share
+    one engine — and its unified cache, admission control, and query
+    coalescing (two sessions brushing the same week coalesce into one
+    execution).  Latencies logged here include the network round trip.
+
+    Schema validation is the server's job: a filter over a column the
+    served data set lacks comes back as a
+    :class:`~repro.errors.QueryError` on the gesture that used it.
+    """
+
+    def __init__(self, url_or_client, dataset: str, regions: str,
+                 method: str = "auto", resolution: int | None = None,
+                 deadline_ms: float | None = None):
+        from ..serve.client import ServeClient
+
+        if isinstance(url_or_client, str):
+            self.client = ServeClient(url_or_client)
+        else:
+            self.client = url_or_client
+        self.method = method
+        self.resolution = resolution
+        #: Per-gesture latency budget, degrading precision server-side.
+        self.deadline_ms = deadline_ms
+        self.state = SessionState(dataset=dataset, regions=regions)
+        self.log: list[Interaction] = []
+        self.last_result = None  # RemoteResult of the latest gesture
+        self._refresh("open", f"{dataset} x {regions}")
+
+    # -- gestures (the InteractiveSession vocabulary) ----------------------
+
+    def set_aggregation(self, agg: SpatialAggregation):
+        self.state.agg = agg
+        return self._refresh("aggregate", agg.describe())
+
+    def add_filter(self, expr: FilterExpr):
+        self.state.filters = self.state.filters + (expr,)
+        return self._refresh("filter+", type(expr).__name__)
+
+    def clear_filters(self):
+        self.state.filters = ()
+        return self._refresh("filter-clear", "")
+
+    def brush_time(self, start: int, end: int, time_column: str = "t"):
+        if end <= start:
+            raise QueryError(f"empty time brush [{start}, {end})")
+        self.state.time_brush = TimeRange(time_column, start, end)
+        return self._refresh("time-brush", f"[{start}, {end})")
+
+    def clear_time_brush(self):
+        self.state.time_brush = None
+        return self._refresh("time-brush-clear", "")
+
+    def set_region_level(self, regions: str):
+        self.state.regions = regions
+        return self._refresh("resolution", regions)
+
+    def set_dataset(self, dataset: str):
+        """Switch data set; attribute filters are dropped (they refer
+        to the old schema), matching :meth:`InteractiveSession
+        .set_dataset`."""
+        self.state.dataset = dataset
+        self.state.filters = ()
+        return self._refresh("dataset", dataset)
+
+    # -- internals ---------------------------------------------------------
+
+    def _refresh(self, op: str, detail: str):
+        query = self.state.effective_query()
+        t0 = time.perf_counter()
+        result = self.client.query(
+            self.state.dataset, self.state.regions, query=query,
+            method=self.method, resolution=self.resolution,
+            deadline_ms=self.deadline_ms)
+        latency = time.perf_counter() - t0
+        self.last_result = result
+        stats = result.stats or {}
+        cache = stats.get("cache") or {}
+        plan = stats.get("plan") or {}
+        self.log.append(Interaction(
+            op=op, detail=detail, latency_s=latency,
+            rows_aggregated=int(stats.get("points_after_filter", 0) or 0),
+            cache_hits=int(cache.get("query_hits", 0) or 0),
+            cache_misses=int(cache.get("query_misses", 0) or 0),
+            backend=(plan.get("decision") or {}).get("chosen",
+                                                     result.method),
+            parallel=(stats.get("parallel") or {}).get("mode", "")))
+        return result
+
+    # -- reporting ---------------------------------------------------------
+
+    latencies = InteractiveSession.latencies
+    summary = InteractiveSession.summary
+    report = InteractiveSession.report

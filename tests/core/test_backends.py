@@ -82,7 +82,7 @@ class TestRegistry:
                                SpatialAggregation.count(),
                                method="constant")
             assert r.method == "constant"
-            assert r.stats["plan"]["chosen"] == "constant"
+            assert r.stats["plan"]["decision"]["chosen"] == "constant"
         finally:
             unregister_backend("constant")
         with pytest.raises(QueryError):

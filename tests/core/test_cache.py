@@ -172,3 +172,133 @@ class TestContextCaching:
         warm = engine.execute(t, simple_regions, query, method="bounded")
         assert warm.stats["cache"]["query_hits"] > 0
         assert warm.stats["cache"]["query_misses"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_stay_consistent(self):
+        import threading
+
+        cache = QueryCache(max_bytes=1 << 20, max_entries=64)
+        errors = []
+
+        def worker(seed):
+            gen = np.random.default_rng(seed)
+            try:
+                for i in range(300):
+                    key = ("k", int(gen.integers(0, 32)))
+                    op = gen.random()
+                    if op < 0.5:
+                        cache.get_or_build(
+                            key, lambda: np.zeros(int(gen.integers(1, 64))))
+                    elif op < 0.8:
+                        cache.get(key)
+                    elif op < 0.9:
+                        cache.put(key, np.zeros(8))
+                    else:
+                        cache.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["entries"] <= 64
+        # Byte ledger must equal the sum of live entries exactly.
+        with cache._lock:
+            assert cache.total_bytes == sum(
+                e.nbytes for e in cache._entries.values())
+
+    def test_single_flight_builds_once_under_contention(self):
+        import threading
+        import time as _time
+
+        cache = QueryCache()
+        builds = []
+        barrier = threading.Barrier(8)
+
+        def build():
+            builds.append(1)
+            _time.sleep(0.05)
+            return np.arange(10)
+
+        out = []
+
+        def worker():
+            barrier.wait()
+            out.append(cache.get_or_build(("slow",), build))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert len(out) == 8
+        assert cache.single_flight_waits >= 1
+
+    def test_failed_leader_does_not_poison_the_key(self):
+        import threading
+
+        cache = QueryCache()
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build(("k",), failing)
+        # The latch must be gone: a later build succeeds normally.
+        value = cache.get_or_build(("k",), lambda: 42)
+        assert value == 42
+        assert ("k",) in cache
+        assert not cache._building
+
+
+class TestDefensiveCopies:
+    def test_cached_result_is_copied_on_read(self, simple_regions):
+        engine = SpatialAggregationEngine(default_resolution=64)
+        t = _table(500, seed=11)
+        query = SpatialAggregation.count()
+        key = ("served", fingerprint(t))
+        built = engine.ctx.cache.get_or_build(
+            key, lambda: engine.execute(t, simple_regions, query,
+                                        method="bounded"))
+        again = engine.ctx.cache.get(key)
+        assert again is not built
+        assert np.array_equal(again.values, built.values)
+        # Mutating one reader's view must not leak into the next's.
+        again.stats["poison"] = True
+        again.values[:] = -1.0
+        third = engine.ctx.cache.get(key)
+        assert "poison" not in third.stats
+        assert np.array_equal(third.values, built.values)
+
+    def test_non_result_artifacts_shared_by_reference(self):
+        cache = QueryCache()
+        arr = np.arange(5)
+        cache.put(("a",), arr)
+        assert cache.get(("a",)) is arr
+
+    def test_result_copy_is_independent(self, simple_regions):
+        from repro.core import bounded_raster_join
+        from repro.raster import Viewport
+
+        t = _table(1_000, seed=12)
+        vp = Viewport.fit(simple_regions.bbox, 64)
+        r = bounded_raster_join(t, simple_regions, 
+                                SpatialAggregation.count(), vp)
+        r.stats["nested"] = {"deep": [1, 2]}
+        c = r.copy()
+        assert c.values is not r.values
+        assert np.array_equal(c.values, r.values)
+        assert c.lower is not r.lower and np.array_equal(c.lower, r.lower)
+        c.stats["nested"]["deep"].append(3)
+        assert r.stats["nested"]["deep"] == [1, 2]
+        # The region set is intentionally shared (fingerprint identity).
+        assert c.regions is r.regions

@@ -43,8 +43,8 @@ class TestDispatch:
                                exact=True)
         assert approx.method == "bounded-raster-join"
         assert exact.method == "accurate-raster-join"
-        assert approx.stats["plan"]["chosen"] == "bounded"
-        assert exact.stats["plan"]["chosen"] == "accurate"
+        assert approx.stats["plan"]["decision"]["chosen"] == "bounded"
+        assert exact.stats["plan"]["decision"]["chosen"] == "accurate"
 
     def test_unknown_method_rejected(self, simple_regions, engine):
         with pytest.raises(QueryError):
@@ -62,8 +62,8 @@ class TestDispatch:
         for method in ("auto", "bounded", "naive"):
             r = engine.execute(table, simple_regions,
                                SpatialAggregation.count(), method=method)
-            assert "chosen" in r.stats["plan"]
-            assert r.stats["plan"]["planned"] == (method == "auto")
+            assert "chosen" in r.stats["plan"]["decision"]
+            assert r.stats["plan"]["decision"]["planned"] == (method == "auto")
             assert {"hits", "misses", "evictions"} <= set(r.stats["cache"])
 
     def test_execute_multi_carries_stats(self, simple_regions, engine):
@@ -72,7 +72,7 @@ class TestDispatch:
                    SpatialAggregation.sum_of("fare")]
         results = engine.execute_multi(table, simple_regions, queries)
         for r in results:
-            assert r.stats["plan"]["chosen"] == "bounded"
+            assert r.stats["plan"]["decision"]["chosen"] == "bounded"
             assert "hits" in r.stats["cache"]
 
 

@@ -26,20 +26,20 @@ class TestBackendChoice:
     def test_tiny_table_avoids_raster(self, simple_regions, engine):
         r = engine.execute(_table(200), simple_regions,
                            SpatialAggregation.count())
-        assert r.stats["plan"]["chosen"] in ("naive", "grid")
+        assert r.stats["plan"]["decision"]["chosen"] in ("naive", "grid")
 
     def test_large_table_coarse_epsilon_goes_bounded(self, simple_regions,
                                                      engine, small_table):
         r = engine.execute(small_table, simple_regions,
                            SpatialAggregation.count(), epsilon=5.0)
-        assert r.stats["plan"]["chosen"] == "bounded"
+        assert r.stats["plan"]["decision"]["chosen"] == "bounded"
         assert r.has_bounds
 
     def test_exact_request_goes_accurate(self, simple_regions, engine,
                                          small_table):
         r = engine.execute(small_table, simple_regions,
                            SpatialAggregation.count(), exact=True)
-        assert r.stats["plan"]["chosen"] == "accurate"
+        assert r.stats["plan"]["decision"]["chosen"] == "accurate"
         assert r.exact
 
     def test_resolution_above_cap_goes_tiled(self, simple_regions,
@@ -48,7 +48,7 @@ class TestBackendChoice:
                                           max_canvas_resolution=512)
         r = engine.execute(small_table, simple_regions,
                            SpatialAggregation.count(), resolution=2048)
-        assert r.stats["plan"]["chosen"] == "tiled"
+        assert r.stats["plan"]["decision"]["chosen"] == "tiled"
         assert r.stats["resolution"] == 2048
 
     def test_tight_epsilon_goes_tiled(self, simple_regions, small_table):
@@ -56,7 +56,7 @@ class TestBackendChoice:
                                           max_canvas_resolution=256)
         r = engine.execute(small_table, simple_regions,
                            SpatialAggregation.count(), epsilon=0.05)
-        assert r.stats["plan"]["chosen"] == "tiled"
+        assert r.stats["plan"]["decision"]["chosen"] == "tiled"
 
     def test_exact_never_picks_approximate(self, simple_regions, engine):
         for n in (100, 5_000):
@@ -69,7 +69,7 @@ class TestBackendChoice:
         query = SpatialAggregation.count()
         engine.execute(table, simple_regions, query, method="cube")
         r = engine.execute(table, simple_regions, query)
-        assert r.stats["plan"]["chosen"] == "cube"
+        assert r.stats["plan"]["decision"]["chosen"] == "cube"
         assert r.stats["plan"]["inputs"]["cube_cached"]
 
     def test_no_cube_for_adhoc_regions(self, simple_regions, city_regions,
@@ -80,7 +80,7 @@ class TestBackendChoice:
         query = SpatialAggregation.count()
         engine.execute(table, simple_regions, query, method="cube")
         r = engine.execute(table, city_regions, query)
-        assert r.stats["plan"]["chosen"] != "cube"
+        assert r.stats["plan"]["decision"]["chosen"] != "cube"
 
 
 class TestPlanRecording:
@@ -89,22 +89,27 @@ class TestPlanRecording:
         r = engine.execute(_table(1_000, seed=5), simple_regions,
                            SpatialAggregation.count())
         plan = r.stats["plan"]
-        assert plan["planned"] is True
-        assert plan["chosen"] in plan["costs"]
+        assert set(plan) == {"inputs", "decision", "parallel", "degraded"}
+        decision = plan["decision"]
+        assert decision["planned"] is True
+        assert decision["chosen"] in decision["costs"]
         inputs = plan["inputs"]
         assert inputs["n_points"] == 1_000
         assert inputs["n_regions"] == len(simple_regions)
         assert inputs["total_vertices"] == simple_regions.total_vertices
         assert inputs["exact"] is False
+        # No deadline was requested, so no degradation record.
+        assert plan["degraded"] is None
         # The chosen backend priced cheapest among the candidates.
-        assert plan["costs"][plan["chosen"]] == min(plan["costs"].values())
+        costs = decision["costs"]
+        assert costs[decision["chosen"]] == min(costs.values())
 
     def test_explicit_method_recorded_as_unplanned(self, simple_regions,
                                                    engine):
         r = engine.execute(_table(500, seed=6), simple_regions,
                            SpatialAggregation.count(), method="naive")
-        assert r.stats["plan"]["chosen"] == "naive"
-        assert r.stats["plan"]["planned"] is False
+        assert r.stats["plan"]["decision"]["chosen"] == "naive"
+        assert r.stats["plan"]["decision"]["planned"] is False
 
     def test_cache_state_feeds_the_planner(self, simple_regions, engine):
         # Once the grid index for this table is cached, its build cost
@@ -152,7 +157,7 @@ class TestParallelDecision:
                                     serial_threshold=20_000))
         r = engine.execute(small_table, simple_regions,
                           SpatialAggregation.count(), epsilon=5.0)
-        assert r.stats["plan"]["chosen"] == "bounded"
+        assert r.stats["plan"]["decision"]["chosen"] == "bounded"
         decision = r.stats["plan"]["parallel"]
         assert decision["use"] is True
         assert r.stats["parallel"]["mode"] == "parallel"
@@ -162,7 +167,7 @@ class TestParallelDecision:
                                                       engine):
         r = engine.execute(_table(200, seed=10), simple_regions,
                           SpatialAggregation.count())
-        if r.stats["plan"]["chosen"] in ("naive", "quadtree", "cube"):
+        if r.stats["plan"]["decision"]["chosen"] in ("naive", "quadtree", "cube"):
             assert r.stats["plan"]["parallel"]["use"] is False
 
     def test_inputs_record_parallel_knobs(self, simple_regions, engine):
@@ -171,3 +176,88 @@ class TestParallelDecision:
         inputs = r.stats["plan"]["inputs"]
         assert inputs["workers"] >= 1
         assert inputs["parallel_threshold"] > 0
+
+
+class TestDeadlineDegradation:
+    def test_tight_deadline_degrades_exact_to_bounded(self, simple_regions,
+                                                      engine):
+        r = engine.execute(_table(20_000, seed=20), simple_regions,
+                           SpatialAggregation.count(), exact=True,
+                           deadline_ms=1e-4)
+        degraded = r.stats["plan"]["degraded"]
+        assert degraded is not None and degraded["applied"] is True
+        assert degraded["steps"][0]["step"] == "exact->bounded"
+        assert r.stats["plan"]["decision"]["chosen"] != "accurate"
+        assert not r.exact
+
+    def test_tight_deadline_coarsens_canvas(self, simple_regions, engine):
+        r = engine.execute(_table(20_000, seed=21), simple_regions,
+                           SpatialAggregation.count(), resolution=512,
+                           deadline_ms=1e-4)
+        degraded = r.stats["plan"]["degraded"]
+        assert degraded["applied"] is True
+        coarser = [s for s in degraded["steps"]
+                   if s["step"] == "coarser-canvas"]
+        assert coarser
+        from repro.core.planner import MIN_DEGRADED_RESOLUTION
+        assert coarser[-1]["resolution"] >= MIN_DEGRADED_RESOLUTION
+        assert r.stats["canvas_pixels"] < 512 * 512
+
+    def test_generous_deadline_leaves_plan_alone(self, simple_regions,
+                                                 engine):
+        r = engine.execute(_table(1_000, seed=22), simple_regions,
+                           SpatialAggregation.count(), exact=True,
+                           deadline_ms=60_000.0)
+        degraded = r.stats["plan"]["degraded"]
+        assert degraded["applied"] is False
+        assert degraded["within_deadline"] is True
+        assert r.exact
+
+    def test_no_deadline_records_none(self, simple_regions, engine):
+        r = engine.execute(_table(500, seed=23), simple_regions,
+                           SpatialAggregation.count())
+        assert r.stats["plan"]["degraded"] is None
+        assert r.stats["plan"]["inputs"]["deadline_ms"] is None
+
+    def test_explicit_viewport_never_degraded(self, simple_regions, engine):
+        from repro.raster import Viewport
+
+        vp = Viewport.fit(simple_regions.bbox, 512)
+        r = engine.execute(_table(20_000, seed=24), simple_regions,
+                           SpatialAggregation.count(), viewport=vp,
+                           deadline_ms=1e-4)
+        assert r.stats["canvas_pixels"] == vp.num_pixels
+
+    def test_explicit_method_skips_degradation(self, simple_regions, engine):
+        r = engine.execute(_table(5_000, seed=25), simple_regions,
+                           SpatialAggregation.count(), method="bounded",
+                           deadline_ms=1e-4)
+        assert r.stats["plan"]["degraded"] is None
+
+    def test_observe_calibrates_throughput(self):
+        from repro.core.planner import CostBasedPlanner
+
+        p = CostBasedPlanner(units_per_second=1e6)
+        before = p.predict_ms(1e6)
+        assert before == pytest.approx(1000.0)
+        for _ in range(50):
+            p.observe(1e6, 0.1)  # machine is 10x faster than assumed
+        after = p.predict_ms(1e6)
+        assert after < before / 2
+
+    def test_observe_ignores_degenerate_samples(self):
+        from repro.core.planner import CostBasedPlanner
+
+        p = CostBasedPlanner(units_per_second=1e6)
+        p.observe(0.0, 0.1)
+        p.observe(1e6, 0.0)
+        assert p.predict_ms(1e6) == pytest.approx(1000.0)
+
+    def test_execution_observes_and_recalibrates(self, simple_regions):
+        from repro.core import SpatialAggregationEngine
+
+        engine = SpatialAggregationEngine(default_resolution=128)
+        before = engine.planner.units_per_second
+        engine.execute(_table(10_000, seed=26), simple_regions,
+                       SpatialAggregation.count())
+        assert engine.planner.units_per_second != before

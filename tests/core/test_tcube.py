@@ -270,13 +270,13 @@ class TestEngineIntegration:
         engine = SpatialAggregationEngine(default_resolution=256)
         q = brush_query("count", None, T0 + HOUR, T0 + 12 * HOUR)
         cold = engine.execute(cube_table, simple_regions, q, method="auto")
-        assert cold.stats["plan"]["chosen"] != "tcube-raster"
+        assert cold.stats["plan"]["decision"]["chosen"] != "tcube-raster"
         assert not cold.stats["plan"]["inputs"]["tcube_cached"]
 
         engine.execute(cube_table, simple_regions, q, method="tcube-raster")
         hot = engine.execute(cube_table, simple_regions, q, method="auto")
         assert hot.stats["plan"]["inputs"]["tcube_cached"]
-        assert hot.stats["plan"]["chosen"] == "tcube-raster"
+        assert hot.stats["plan"]["decision"]["chosen"] == "tcube-raster"
 
         want = engine.execute(cube_table, simple_regions, q,
                               method="bounded")
@@ -294,7 +294,7 @@ class TestEngineIntegration:
                                    viewport) is not None
         result = engine.execute(cube_table, simple_regions, other,
                                 method="auto")
-        assert result.stats["plan"]["chosen"] == "tcube-raster"
+        assert result.stats["plan"]["decision"]["chosen"] == "tcube-raster"
         assert result.stats["tcube"]["hit"]
 
     def test_tcube_servable_gates(self, cube_table, simple_regions):

@@ -92,3 +92,86 @@ class TestTiledJoin:
                                           SpatialAggregation.count(),
                                           128, tile_pixels=32)
         assert tiled.stats["tiles"] == 16
+
+
+class TestProgressivePartials:
+    def test_final_partial_matches_one_shot_bitwise(self, simple_regions):
+        from repro.core import iter_tiled_partials
+
+        t = _table(30_000, seed=3)
+        query = SpatialAggregation.sum_of("fare")
+        full = tiled_bounded_raster_join(t, simple_regions,
+                                         query, 512, tile_pixels=128)
+        parts = list(iter_tiled_partials(t, simple_regions, query, 512,
+                                         tile_pixels=128))
+        assert parts[-1].final
+        assert parts[-1].tile_index == parts[-1].tiles_total
+        assert np.array_equal(parts[-1].values, full.values)
+        assert np.array_equal(parts[-1].lower, full.lower)
+        assert np.array_equal(parts[-1].upper, full.upper)
+
+    def test_partials_are_monotone_for_count(self, simple_regions):
+        from repro.core import iter_tiled_partials
+
+        t = _table(20_000, seed=4)
+        parts = list(iter_tiled_partials(t, simple_regions,
+                                         SpatialAggregation.count(), 512,
+                                         tile_pixels=128))
+        assert len(parts) > 1
+        prev = np.zeros(len(simple_regions))
+        for p in parts:
+            assert (p.values >= prev - 1e-9).all()
+            assert (p.lower <= p.values + 1e-9).all()
+            assert (p.upper >= p.values - 1e-9).all()
+            prev = p.values
+
+    def test_every_throttles_snapshots(self, simple_regions):
+        from repro.core import iter_tiled_partials
+
+        t = _table(5_000, seed=5)
+        q = SpatialAggregation.count()
+        all_parts = list(iter_tiled_partials(t, simple_regions, q, 512,
+                                             tile_pixels=128, every=1))
+        some = list(iter_tiled_partials(t, simple_regions, q, 512,
+                                        tile_pixels=128, every=4))
+        assert len(some) < len(all_parts)
+        assert some[-1].final
+        assert np.array_equal(some[-1].values, all_parts[-1].values)
+
+    def test_snapshot_stats_carry_progress(self, simple_regions):
+        from repro.core import iter_tiled_partials
+
+        t = _table(2_000, seed=6)
+        parts = list(iter_tiled_partials(t, simple_regions,
+                                         SpatialAggregation.count(), 256,
+                                         tile_pixels=64))
+        progress = [p.stats["progress"] for p in parts]
+        assert progress == sorted(progress)
+        assert progress[-1] == 1.0
+
+    def test_cancel_token_stops_iteration(self, simple_regions):
+        import threading
+
+        from repro.core import iter_tiled_partials
+        from repro.errors import QueryCancelled
+
+        t = _table(5_000, seed=7)
+        ev = threading.Event()
+        it = iter_tiled_partials(t, simple_regions,
+                                 SpatialAggregation.count(), 512,
+                                 tile_pixels=64)
+        next(it)
+        ev.set()
+        it2 = iter_tiled_partials(t, simple_regions,
+                                  SpatialAggregation.count(), 512,
+                                  tile_pixels=64, cancel=ev)
+        with pytest.raises(QueryCancelled):
+            next(it2)
+
+    def test_invalid_every_rejected(self, simple_regions):
+        from repro.core import iter_tiled_partials
+
+        with pytest.raises(QueryError):
+            list(iter_tiled_partials(_table(100), simple_regions,
+                                     SpatialAggregation.count(), 128,
+                                     every=0))

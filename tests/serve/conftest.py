@@ -1,0 +1,47 @@
+"""Serve-suite fixtures: a small served workload and a live server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialAggregationEngine
+from repro.serve import QueryService, ServerThread
+from repro.urbane import DataManager
+
+
+def make_manager(resolution: int = 128) -> DataManager:
+    from repro.table import PointTable, timestamp_column
+
+    gen = np.random.default_rng(42)
+    n = 20_000
+    manager = DataManager(SpatialAggregationEngine(
+        default_resolution=resolution))
+    manager.add_dataset(PointTable.from_arrays(
+        gen.uniform(0, 100, n), gen.uniform(0, 100, n), name="trips",
+        fare=gen.exponential(10.0, n),
+        t=timestamp_column("t", gen.integers(0, 1_000, n))))
+    return manager
+
+
+@pytest.fixture()
+def manager(simple_regions) -> DataManager:
+    m = make_manager()
+    m.add_region_set(simple_regions)
+    return m
+
+
+@pytest.fixture()
+def service(manager):
+    svc = QueryService(manager, max_concurrency=4, max_queue=8,
+                       max_wait_s=5.0)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def server(service):
+    thread = ServerThread(service)
+    url = thread.start()
+    yield url
+    thread.stop()

@@ -1,0 +1,199 @@
+"""Admission control: slot accounting, shedding, cancellation safety."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import OverloadedError
+from repro.serve import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def until(predicate, timeout=2.0):
+    """Spin the loop until ``predicate()`` holds (bounded)."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        assert loop.time() < deadline, "condition never became true"
+        await asyncio.sleep(0.001)
+
+
+class TestSlotAccounting:
+    def test_slot_held_then_released(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=2)
+            async with ctl.slot():
+                assert ctl.active == 1
+            assert ctl.active == 0
+            assert ctl.admitted == 1
+
+        run(scenario())
+
+    def test_concurrency_cap_enforced(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=2, max_queue=8)
+            peak = 0
+            running = 0
+
+            async def work():
+                nonlocal peak, running
+                async with ctl.slot():
+                    running += 1
+                    peak = max(peak, running)
+                    await asyncio.sleep(0.01)
+                    running -= 1
+
+            await asyncio.gather(*[work() for _ in range(6)])
+            assert peak <= 2
+            assert ctl.admitted == 6
+            assert ctl.active == 0
+
+        run(scenario())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+
+class TestShedding:
+    def test_queue_full_sheds_immediately(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=1)
+            release = asyncio.Event()
+
+            async def hog():
+                async with ctl.slot():
+                    await release.wait()
+
+            hog_task = asyncio.ensure_future(hog())
+            await until(lambda: ctl.active == 1)
+
+            async def waiter():
+                async with ctl.slot():
+                    pass
+
+            waiter_task = asyncio.ensure_future(waiter())
+            await until(lambda: ctl.waiting == 1)
+            with pytest.raises(OverloadedError) as exc:
+                async with ctl.slot():
+                    pass
+            assert exc.value.retry_after_ms > 0
+            assert ctl.shed_queue_full == 1
+            release.set()
+            await asyncio.gather(hog_task, waiter_task)
+            assert ctl.active == 0
+
+        run(scenario())
+
+    def test_wait_timeout_sheds(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=4,
+                                      max_wait_s=0.02)
+            release = asyncio.Event()
+
+            async def hog():
+                async with ctl.slot():
+                    await release.wait()
+
+            hog_task = asyncio.ensure_future(hog())
+            await until(lambda: ctl.active == 1)
+            with pytest.raises(OverloadedError):
+                async with ctl.slot():
+                    pass
+            assert ctl.shed_wait_timeout == 1
+            assert ctl.waiting == 0  # the shed waiter left the queue
+            release.set()
+            await hog_task
+            assert ctl.active == 0
+
+        run(scenario())
+
+    def test_retry_after_scales_with_queue_depth(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=10)
+            empty_hint = ctl.retry_after_ms()
+            release = asyncio.Event()
+
+            async def hog():
+                async with ctl.slot():
+                    await release.wait()
+
+            async def waiter():
+                async with ctl.slot():
+                    pass
+
+            hog_task = asyncio.ensure_future(hog())
+            await until(lambda: ctl.active == 1)
+            waiters = [asyncio.ensure_future(waiter()) for _ in range(5)]
+            await until(lambda: ctl.waiting == 5)
+            assert ctl.retry_after_ms() > empty_hint
+            release.set()
+            await asyncio.gather(hog_task, *waiters)
+
+        run(scenario())
+
+
+class TestCancellation:
+    def test_cancelled_holder_releases_slot(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=4)
+            started = asyncio.Event()
+
+            async def holder():
+                async with ctl.slot():
+                    started.set()
+                    await asyncio.sleep(60)
+
+            task = asyncio.ensure_future(holder())
+            await started.wait()
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert ctl.active == 0
+            # The slot is genuinely free again.
+            async with ctl.slot():
+                assert ctl.active == 1
+
+        run(scenario())
+
+    def test_cancelled_waiter_leaves_queue(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=4)
+            release = asyncio.Event()
+
+            async def hog():
+                async with ctl.slot():
+                    await release.wait()
+
+            async def waiter():
+                async with ctl.slot():
+                    pass
+
+            hog_task = asyncio.ensure_future(hog())
+            await until(lambda: ctl.active == 1)
+            waiter_task = asyncio.ensure_future(waiter())
+            await until(lambda: ctl.waiting == 1)
+            waiter_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter_task
+            assert ctl.waiting == 0
+            release.set()
+            await hog_task
+            assert ctl.active == 0
+
+        run(scenario())
+
+
+class TestStats:
+    def test_stats_shape(self):
+        ctl = AdmissionController(max_concurrency=3, max_queue=5)
+        stats = ctl.stats()
+        assert stats["max_concurrency"] == 3
+        assert stats["max_queue"] == 5
+        assert stats["shed_total"] == 0
+        assert {"active", "waiting", "admitted"} <= set(stats)

@@ -1,0 +1,179 @@
+"""QueryService: execution, coalescing, caching, streaming."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialAggregation
+from repro.errors import QueryError
+from repro.serve.protocol import decode_request, encode_request
+from repro.table import F
+
+
+def make_req(query=None, sql=None, **knobs):
+    return decode_request(encode_request(
+        "trips", "simple", query=query, sql=sql, **knobs))
+
+
+class TestExecute:
+    def test_matches_direct_engine_execution(self, manager, service,
+                                             simple_regions):
+        query = SpatialAggregation.sum_of("fare", F("fare") > 2)
+        served = asyncio.run(service.execute(make_req(query)))
+        direct = manager.engine.execute(
+            manager.dataset("trips"), simple_regions, query)
+        assert np.array_equal(served.values, direct.values)
+        assert np.array_equal(served.lower, direct.lower)
+        assert np.array_equal(served.upper, direct.upper)
+
+    def test_each_caller_gets_independent_copy(self, service):
+        query = SpatialAggregation.count()
+        a = asyncio.run(service.execute(make_req(query)))
+        b = asyncio.run(service.execute(make_req(query)))
+        assert a is not b
+        assert a.values is not b.values
+        a.values[:] = -1
+        a.stats["poison"] = True
+        assert not np.array_equal(a.values, b.values)
+        assert "poison" not in b.stats
+
+    def test_repeat_query_hits_cache_not_engine(self, service):
+        query = SpatialAggregation.count()
+        asyncio.run(service.execute(make_req(query)))
+        before = service.manager.engine.ctx.cache.stats()["hits"]
+        asyncio.run(service.execute(make_req(query)))
+        assert service.manager.engine.ctx.cache.stats()["hits"] > before
+
+    def test_cache_false_bypasses_the_cache(self, service):
+        query = SpatialAggregation.count()
+        key = service.query_key(make_req(query, cache=False))
+        asyncio.run(service.execute(make_req(query, cache=False)))
+        assert service.manager.engine.ctx.cache.get(key) is None
+
+    def test_key_distinguishes_every_knob(self, service):
+        query = SpatialAggregation.count()
+        base = service.query_key(make_req(query))
+        assert service.query_key(make_req(query)) == base
+        variants = [
+            make_req(query, method="naive"),
+            make_req(query, resolution=64),
+            make_req(query, epsilon=3.0),
+            make_req(query, exact=True),
+            make_req(query, deadline_ms=50.0),
+            make_req(SpatialAggregation.sum_of("fare")),
+        ]
+        keys = {service.query_key(v) for v in variants}
+        assert base not in keys
+        assert len(keys) == len(variants)
+
+    def test_sql_requests_served(self, service):
+        served = asyncio.run(service.execute(make_req(
+            sql="SELECT COUNT(*) FROM trips, simple "
+                "WHERE trips.loc INSIDE simple.geometry")))
+        direct = asyncio.run(service.execute(
+            make_req(SpatialAggregation.count())))
+        assert np.array_equal(served.values, direct.values)
+
+    def test_unknown_dataset_raises(self, service):
+        req = decode_request(encode_request(
+            "nope", "simple", query=SpatialAggregation.count()))
+        with pytest.raises(QueryError):
+            asyncio.run(service.execute(req))
+        assert service.errors >= 0  # key error happens before the flight
+
+    def test_concurrent_identical_requests_coalesce(self, service):
+        async def burst():
+            reqs = [make_req(SpatialAggregation.sum_of("fare"),
+                             cache=False) for _ in range(8)]
+            return await asyncio.gather(
+                *[service.execute(r) for r in reqs])
+
+        results = asyncio.run(burst())
+        assert service.flight.coalesced > 0
+        first = results[0]
+        for r in results[1:]:
+            assert r is not first
+            assert np.array_equal(r.values, first.values)
+
+    def test_deadline_degrades_and_is_recorded(self, service):
+        served = asyncio.run(service.execute(make_req(
+            SpatialAggregation.count(), exact=True, deadline_ms=1e-4)))
+        degraded = served.stats["plan"]["degraded"]
+        assert degraded["applied"] is True
+        assert not served.exact
+
+
+class TestStreamedDatasets:
+    @staticmethod
+    def _batch(gen, n, t_start, name="live"):
+        from repro.table import PointTable, timestamp_column
+
+        t = np.sort(gen.integers(t_start, t_start + 1_000, n))
+        return PointTable.from_arrays(
+            gen.uniform(0, 100, n), gen.uniform(0, 100, n), name=name,
+            t=timestamp_column("t", t))
+
+    def test_stream_dataset_reflects_appends(self, service, manager,
+                                             simple_regions):
+        from repro.stream import PointStream
+
+        gen = np.random.default_rng(1)
+        stream = PointStream(simple_regions, resolution=128)
+        stream.append(self._batch(gen, 1_000, 0))
+        service.add_stream(stream, "live")
+
+        req = decode_request(encode_request(
+            "live", "simple", query=SpatialAggregation.count()))
+        before = asyncio.run(service.execute(req))
+        stream.append(self._batch(gen, 2_000, 1_000))
+        after = asyncio.run(service.execute(req))
+        assert after.values.sum() > before.values.sum()
+        assert after.stats["stream_version"] > before.stats["stream_version"]
+
+    def test_duplicate_registration_rejected(self, service, simple_regions):
+        from repro.stream import PointStream
+
+        stream = PointStream(simple_regions, resolution=64)
+        service.add_stream(stream, "live2")
+        with pytest.raises(QueryError):
+            service.add_stream(stream, "live2")
+        with pytest.raises(QueryError):
+            service.add_stream(stream, "trips")
+
+
+class TestStreaming:
+    def test_stream_yields_partials_ending_final(self, service, manager,
+                                                 simple_regions):
+        async def consume():
+            req = make_req(SpatialAggregation.count(), stream=True,
+                           tile_pixels=64)
+            return [p async for p in service.stream(req)]
+
+        parts = asyncio.run(consume())
+        assert parts[-1].final
+        direct = manager.engine.execute(
+            manager.dataset("trips"), simple_regions,
+            SpatialAggregation.count(), method="bounded")
+        assert np.array_equal(parts[-1].values, direct.values)
+
+    def test_abandoned_stream_frees_the_slot(self, service):
+        async def abandon():
+            req = make_req(SpatialAggregation.count(), stream=True,
+                           tile_pixels=32, stream_every=1)
+            agen = service.stream(req)
+            await agen.__anext__()  # first partial only
+            await agen.aclose()
+
+        asyncio.run(abandon())
+        assert service.admission.active == 0
+
+
+class TestStats:
+    def test_stats_shape(self, service):
+        asyncio.run(service.execute(make_req(SpatialAggregation.count())))
+        stats = service.stats()
+        assert stats["queries"] == 1
+        assert "admission" in stats and "coalesce" in stats
+        assert "trips" in stats["datasets"]
+        assert "simple" in stats["region_sets"]
