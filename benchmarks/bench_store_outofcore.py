@@ -1,0 +1,279 @@
+"""Out-of-core store: build throughput, zone-map pruning, query parity.
+
+The store's claim is that exploration over data that does not fit the
+memory budget stays interactive *and* exact: partitions are mmapped on
+demand under an LRU budget, zone maps prune everything the query
+provably cannot touch, and the streamed scan returns answers
+bitwise-identical to materializing the whole table.  This benchmark
+builds a partitioned store from taxi trips, then drives viewport zooms
+(each cutting the touched-partition count ~4x) and a time brush
+against both the out-of-core path and the in-memory bounded join.
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_store_outofcore.py``) —
+  statistical timings in the shared benchmark session;
+* standalone (``python benchmarks/bench_store_outofcore.py [--points N]
+  [--out BENCH_store.json]``) — emits the machine-readable record and
+  exits non-zero if any answer diverges from in-memory (CI's
+  benchmark-smoke job runs this at tiny sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DAY = 86_400
+#: (label, shrink factor of the viewport window per axis).
+ZOOMS = (("city", 1.0), ("district", 0.5), ("block", 0.25))
+
+
+def _median_ms(fn, repeats: int) -> float:
+    fn()  # warmup
+    times = []
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times) * 1000)
+
+
+def _zoom_viewport(bbox, factor: float, resolution: int):
+    from repro.geometry import BBox
+    from repro.raster import Viewport
+
+    cx = (bbox.xmin + bbox.xmax) / 2
+    cy = (bbox.ymin + bbox.ymax) / 2
+    w = bbox.width * factor / 2
+    h = bbox.height * factor / 2
+    return Viewport.fit(BBox(cx - w, cy - h, cx + w, cy + h), resolution)
+
+
+def _results_equal(got, want) -> bool:
+    for name in ("values", "lower", "upper"):
+        a, b = getattr(got, name), getattr(want, name)
+        if (a is None) != (b is None):
+            return False
+        if a is not None and not np.array_equal(
+                np.asarray(a), np.asarray(b), equal_nan=True):
+            return False
+    return True
+
+
+def run_store(table, regions, store_dir, resolution: int = 512,
+              repeats: int = 5, partition_rows: int = 8_192,
+              grid: int = 4, bucket_days: int = 7,
+              budget_partitions: int = 2) -> dict:
+    """Build the store, then measure pruning and parity per zoom level.
+
+    Returns the BENCH_store.json payload: build throughput, per-zoom
+    partition counts and store-vs-in-memory latency, the time-brush
+    pruned fraction, and equality verdicts throughout.
+    """
+    from repro.core import SpatialAggregation, SpatialAggregationEngine
+    from repro.store import Dataset, build_store
+    from repro.table import TimeRange
+
+    t0 = time.perf_counter()
+    built = build_store(table, Path(store_dir), grid=grid,
+                        partition_rows=partition_rows,
+                        time_column="t",
+                        time_bucket_seconds=bucket_days * DAY)
+    build_s = time.perf_counter() - t0
+    budget = max(p.nbytes for p in built.partitions) * budget_partitions
+    dataset = Dataset.open(built.path, memory_budget_bytes=budget)
+
+    engine = SpatialAggregationEngine(default_resolution=resolution)
+    reference = built.to_table()
+    query = SpatialAggregation("sum", "fare")
+
+    zooms = []
+    all_equal = True
+    for label, factor in ZOOMS:
+        viewport = _zoom_viewport(regions.bbox, factor, resolution)
+        got = engine.execute(dataset, regions, query, viewport=viewport)
+        want = engine.execute(reference, regions, query, method="bounded",
+                              viewport=viewport)
+        equal = _results_equal(got, want)
+        all_equal = all_equal and equal
+        store_ms = _median_ms(
+            lambda: engine.execute(dataset, regions, query,
+                                   viewport=viewport), repeats)
+        memory_ms = _median_ms(
+            lambda: engine.execute(reference, regions, query,
+                                   method="bounded", viewport=viewport),
+            repeats)
+        parts = got.stats["store"]["partitions"]
+        zooms.append({
+            "zoom": label,
+            "window_factor": factor,
+            "partitions_scanned": parts["scanned"],
+            "partitions_pruned": parts["pruned"],
+            "rows_scanned": got.stats["store"]["rows"]["scanned"],
+            "store_ms": store_ms,
+            "in_memory_ms": memory_ms,
+            "equal": bool(equal),
+        })
+
+    tvals = table.column("t").values
+    origin = int(tvals.min()) // DAY * DAY
+    brush_query = SpatialAggregation(
+        "count", None, (TimeRange("t", origin, origin + 7 * DAY),))
+    got = engine.execute(dataset, regions, brush_query,
+                         resolution=resolution)
+    want = engine.execute(reference, regions, brush_query,
+                          method="bounded", resolution=resolution)
+    brush_equal = _results_equal(got, want)
+    all_equal = all_equal and brush_equal
+    brush_parts = got.stats["store"]["partitions"]
+
+    mounts = dataset.mount_stats()
+    return {
+        "benchmark": "store-outofcore",
+        "points": len(table),
+        "regions": len(regions),
+        "resolution": resolution,
+        "repeats": repeats,
+        "partition_rows": partition_rows,
+        "build": {
+            "seconds": build_s,
+            "rows_per_s": len(table) / build_s if build_s > 0 else 0.0,
+            "partitions": built.num_partitions,
+            "store_bytes": built.total_nbytes,
+        },
+        "memory_budget_bytes": budget,
+        "mounts": mounts,
+        "zooms": zooms,
+        "time_brush": {
+            "days": 7,
+            "partitions_scanned": brush_parts["scanned"],
+            "partitions_pruned": brush_parts["pruned"],
+            "pruned_fraction": (brush_parts["pruned"]
+                                / max(1, brush_parts["total"])),
+            "equal": bool(brush_equal),
+        },
+        "all_equal": bool(all_equal),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="store out-of-core")
+
+    @pytest.fixture(scope="module")
+    def bench_store(bench_taxi, tmp_path_factory):
+        from repro.store import build_store
+
+        return build_store(
+            bench_taxi["200k"], tmp_path_factory.mktemp("bench") / "store",
+            grid=4, partition_rows=8_192,
+            time_column="t", time_bucket_seconds=7 * DAY)
+
+    @pytest.mark.parametrize("path", ["store", "in-memory"])
+    def test_zoomed_query_latency(benchmark, bench_store, bench_regions,
+                                  path):
+        from repro.core import SpatialAggregation, SpatialAggregationEngine
+
+        regions = bench_regions["neighborhoods"]
+        engine = SpatialAggregationEngine(default_resolution=512)
+        viewport = _zoom_viewport(regions.bbox, 0.25, 512)
+        query = SpatialAggregation("sum", "fare")
+        table = (bench_store if path == "store"
+                 else bench_store.to_table())
+        method = "auto" if path == "store" else "bounded"
+        run = lambda: engine.execute(  # noqa: E731
+            table, regions, query, method=method, viewport=viewport)
+        result = benchmark(run)
+        benchmark.extra_info["path"] = path
+        benchmark.extra_info["total_sum"] = float(
+            np.asarray(result.values).sum())
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="out-of-core store build/prune/parity -> JSON")
+    parser.add_argument("--points", type=int, default=400_000)
+    parser.add_argument("--regions", type=int, default=71)
+    parser.add_argument("--resolution", type=int, default=512)
+    parser.add_argument("--partition-rows", type=int, default=8_192)
+    parser.add_argument("--grid", type=int, default=4)
+    parser.add_argument("--bucket-days", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--store-dir", default=None,
+                        help="where to build the store (default: a "
+                             "temporary directory)")
+    parser.add_argument("--out", default="BENCH_store.json")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+    from repro.table import numeric_column
+
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    # Integer-valued fares keep SUM exact under any scan fold (the
+    # equality check, not the timing, needs this).
+    table = table.with_column(
+        numeric_column("fare", np.round(table.values("fare"))))
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = args.store_dir or str(Path(tmp) / "store")
+        payload = run_store(table, regions, store_dir,
+                            resolution=args.resolution,
+                            repeats=args.repeats,
+                            partition_rows=args.partition_rows,
+                            grid=args.grid, bucket_days=args.bucket_days)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    build = payload["build"]
+    print(f"build: {build['partitions']} partitions, "
+          f"{build['store_bytes'] / 1e6:.1f} MB, "
+          f"{build['rows_per_s'] / 1e6:.2f}M rows/s")
+    print(f"{'zoom':>9} {'scanned':>8} {'pruned':>7} {'store':>9} "
+          f"{'in-memory':>10}  equal")
+    for row in payload["zooms"]:
+        print(f"{row['zoom']:>9} {row['partitions_scanned']:>8} "
+              f"{row['partitions_pruned']:>7} {row['store_ms']:>7.1f}ms "
+              f"{row['in_memory_ms']:>8.1f}ms  {row['equal']}")
+    brush = payload["time_brush"]
+    print(f"7-day brush: pruned {brush['pruned_fraction'] * 100:.0f}% "
+          f"of partitions, equal={brush['equal']}")
+    print(f"mounts: {payload['mounts']['evictions']} evictions under "
+          f"{payload['memory_budget_bytes'] / 1e6:.1f} MB budget")
+    print(f"wrote {out}")
+
+    if not payload["all_equal"]:
+        print("ERROR: out-of-core answers diverged from in-memory",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the workflow around the library:
+Six subcommands cover the workflow around the library:
 
 * ``generate`` — synthesize the demo city's data sets and region
   hierarchies into files (``.npz`` tables + ``.geojson`` regions);
@@ -12,7 +12,11 @@ Five subcommands cover the workflow around the library:
 * ``session``  — replay a scripted interactive session and print the
   per-gesture latency log;
 * ``serve``    — host data sets behind the concurrent query service
-  (admission control, coalescing, progressive streaming).
+  (admission control, coalescing, progressive streaming); serves
+  in-memory tables, out-of-core stores (``--store``), or a whole
+  ``datasets.json`` manifest of lazily-mounted stores;
+* ``store``    — build, inspect, and query out-of-core dataset stores
+  (``store build`` / ``store inspect`` / ``store query``).
 
 Run ``python -m repro <subcommand> --help`` for the options.
 """
@@ -278,16 +282,31 @@ def _cmd_serve(args) -> int:
 
     manager = DataManager(SpatialAggregationEngine(
         default_resolution=args.resolution, workers=args.workers))
-    for spec in args.data:
+    budget = (None if args.store_budget_mb is None
+              else int(args.store_budget_mb * 1024 * 1024))
+    for spec in args.data or ():
         name, path = _parse_named(spec)
         table = load_npz(path)
         manager.add_dataset(table, name)
         print(f"dataset {name!r}: {len(table):,} rows from {path}")
-    for spec in args.regions:
+    for spec in args.store or ():
+        name, path = _parse_named(spec)
+        manager.add_store(path, name=name, memory_budget_bytes=budget)
+        print(f"store {name!r}: lazy mount of {path}")
+    for spec in args.regions or ():
         name, path = _parse_named(spec)
         regions = _load_regions(path, name=name)
         manager.add_region_set(regions, name)
         print(f"regions {name!r}: {len(regions)} regions from {path}")
+    if args.datasets_json:
+        from .serve import mount_datasets
+
+        for line in mount_datasets(manager, args.datasets_json):
+            print(line)
+    if not manager.dataset_names or not manager.region_set_names:
+        raise ReproError(
+            "nothing to serve: give --data/--store and --regions "
+            "(or a --datasets-json manifest providing them)")
 
     service = QueryService(
         manager, max_concurrency=args.max_concurrency,
@@ -306,6 +325,98 @@ def _cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("\nshutting down")
+    return 0
+
+
+# -- store --------------------------------------------------------------------
+
+
+def _cmd_store_build(args) -> int:
+    from .store import DatasetWriter, build_store_from_csv
+
+    t0 = time.perf_counter()
+    kwargs = dict(partition_rows=args.partition_rows, grid=args.grid,
+                  time_column=args.time_column,
+                  time_bucket_seconds=args.time_bucket_seconds,
+                  name=args.name)
+    if args.csv:
+        dataset = build_store_from_csv(Path(args.csv), Path(args.out),
+                                       chunk_rows=args.chunk_rows,
+                                       **kwargs)
+    else:
+        table = load_npz(Path(args.data))
+        with DatasetWriter(Path(args.out), **kwargs) as writer:
+            writer.write_table(table)
+        from .store import Dataset
+
+        dataset = Dataset.open(Path(args.out))
+    elapsed = time.perf_counter() - t0
+    rate = len(dataset) / elapsed if elapsed > 0 else float("inf")
+    print(f"built {dataset.describe()}")
+    print(f"  {dataset.total_nbytes:,} column bytes in "
+          f"{dataset.num_partitions} partitions; "
+          f"{elapsed:.2f}s ({rate:,.0f} rows/s)")
+    return 0
+
+
+def _cmd_store_inspect(args) -> int:
+    from .store import Dataset
+
+    dataset = Dataset.open(Path(args.path))
+    manifest = dataset.manifest
+    print(dataset.describe())
+    print(f"  partition_rows={manifest.partition_rows} "
+          f"grid={manifest.grid_nx}x{manifest.grid_ny} "
+          f"time_column={manifest.time_column!r} "
+          f"bucket_s={manifest.time_bucket_seconds}")
+    print(f"  {dataset.total_nbytes:,} column bytes on disk")
+    if args.partitions:
+        for info in manifest.partitions:
+            bbox = ("none" if info.bbox is None else
+                    f"({info.bbox.xmin:.4g},{info.bbox.ymin:.4g})-"
+                    f"({info.bbox.xmax:.4g},{info.bbox.ymax:.4g})")
+            print(f"  {info.directory}: rows={info.rows:,} "
+                  f"key={info.key} bbox={bbox} bytes={info.nbytes:,}")
+    return 0
+
+
+def _cmd_store_query(args) -> int:
+    from .store import Dataset
+
+    parsed = parse_query(args.sql)
+    budget = (None if args.budget_mb is None
+              else int(args.budget_mb * 1024 * 1024))
+    dataset = Dataset.open(Path(args.path), memory_budget_bytes=budget)
+    regions = _load_regions(Path(args.regions), name=parsed.regions)
+    engine = SpatialAggregationEngine(
+        default_resolution=args.resolution,
+        max_canvas_resolution=max(args.resolution, 4096))
+
+    t0 = time.perf_counter()
+    result = engine.execute(dataset, regions, parsed.aggregation,
+                            method=args.method)
+    elapsed = time.perf_counter() - t0
+
+    store = result.stats["store"]
+    parts = store["partitions"]
+    print(f"-- {parsed.describe()}")
+    print(f"-- method={result.method} rows={len(dataset):,} "
+          f"regions={len(regions)} latency={elapsed * 1000:.1f}ms")
+    print(f"-- partitions: {parts['scanned']}/{parts['total']} scanned "
+          f"({parts['pruned']} pruned: "
+          f"{store['pruned_by']['viewport']} viewport, "
+          f"{store['pruned_by']['filter']} filter, "
+          f"{store['pruned_by']['empty']} empty); "
+          f"{store['rows']['scanned']:,} rows, "
+          f"{store['bytes_scanned']:,} bytes")
+    mounted = store["mounted"]
+    print(f"-- mounts: {mounted['mounts']} mapped "
+          f"({mounted['hits']} hits, {mounted['evictions']} evictions, "
+          f"{mounted['mapped_bytes']:,} bytes resident)")
+    shown = result.top_k(args.top)
+    width = max((len(n) for n, __ in shown), default=10)
+    for name, value in shown:
+        print(f"{name:<{width}}  {value:,.3f}")
     return 0
 
 
@@ -381,11 +492,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     srv = sub.add_parser("serve",
                          help="host data sets behind the query service")
-    srv.add_argument("--data", action="append", required=True,
+    srv.add_argument("--data", action="append",
                      metavar="NAME=PATH",
                      help="point table .npz to serve (repeatable; bare "
                           "paths use the file stem as the name)")
-    srv.add_argument("--regions", action="append", required=True,
+    srv.add_argument("--store", action="append",
+                     metavar="NAME=DIR",
+                     help="out-of-core store directory to serve "
+                          "(repeatable; mounted lazily on first query)")
+    srv.add_argument("--datasets-json", default=None,
+                     help="datasets.json manifest declaring stores/"
+                          "tables/regions to mount (stores stay lazy)")
+    srv.add_argument("--store-budget-mb", type=float, default=None,
+                     help="per-store partition-mapping budget in MiB "
+                          "(least-recently-scanned partitions unmap "
+                          "first)")
+    srv.add_argument("--regions", action="append",
                      metavar="NAME=PATH",
                      help="regions .geojson to serve (repeatable)")
     srv.add_argument("--host", default="127.0.0.1")
@@ -401,6 +523,54 @@ def build_parser() -> argparse.ArgumentParser:
                      help="default per-query latency budget (requests "
                           "can override)")
     srv.set_defaults(func=_cmd_serve)
+
+    sto = sub.add_parser("store",
+                         help="build / inspect / query out-of-core "
+                              "dataset stores")
+    sto_sub = sto.add_subparsers(dest="store_command", required=True)
+
+    stb = sto_sub.add_parser("build",
+                             help="ingest a table into a store directory")
+    src = stb.add_mutually_exclusive_group(required=True)
+    src.add_argument("--data", help="point table .npz to ingest")
+    src.add_argument("--csv", help="x,y,... CSV to ingest in chunks")
+    stb.add_argument("--out", required=True, help="store directory to create")
+    stb.add_argument("--name", default=None, help="dataset name "
+                     "(default: source file stem)")
+    stb.add_argument("--partition-rows", type=int, default=65_536,
+                     help="rows per partition (default 65536)")
+    stb.add_argument("--grid", type=int, default=8,
+                     help="spatial sort grid cells per axis (default 8)")
+    stb.add_argument("--time-column", default=None,
+                     help="timestamp column for temporal bucketing "
+                          "(with --time-bucket-seconds)")
+    stb.add_argument("--time-bucket-seconds", type=int, default=None,
+                     help="temporal bucket width for the sort key")
+    stb.add_argument("--chunk-rows", type=int, default=100_000,
+                     help="CSV ingest chunk size (--csv only)")
+    stb.set_defaults(func=_cmd_store_build)
+
+    sti = sto_sub.add_parser("inspect", help="print a store's manifest")
+    sti.add_argument("path", help="store directory")
+    sti.add_argument("--partitions", action="store_true",
+                     help="list every partition's zone-map summary")
+    sti.set_defaults(func=_cmd_store_inspect)
+
+    stq = sto_sub.add_parser("query",
+                             help="run a SQL query out-of-core against "
+                                  "a store")
+    stq.add_argument("sql", help="query in the paper's SQL dialect")
+    stq.add_argument("--store", dest="path", required=True,
+                     help="store directory")
+    stq.add_argument("--regions", required=True, help="regions .geojson")
+    stq.add_argument("--method", default="auto",
+                     choices=("auto", "bounded", "tiled"))
+    stq.add_argument("--resolution", type=int, default=512)
+    stq.add_argument("--budget-mb", type=float, default=None,
+                     help="partition-mapping memory budget in MiB")
+    stq.add_argument("--top", type=int, default=10,
+                     help="print the top-N regions")
+    stq.set_defaults(func=_cmd_store_query)
     return parser
 
 

@@ -91,6 +91,18 @@ def bump_revision(obj) -> int:
     return rev
 
 
+def _is_mmap_backed(arr: np.ndarray) -> bool:
+    """Whether ``arr``'s buffer is an ``np.memmap`` (directly or through
+    a view chain).  Views keep their source alive via ``.base``, so
+    walking the chain finds the owning mapping."""
+    node = arr
+    while node is not None:
+        if isinstance(node, np.memmap):
+            return True
+        node = getattr(node, "base", None)
+    return False
+
+
 def estimate_nbytes(value, _depth: int = 0) -> int:
     """Approximate resident size of a cached artifact.
 
@@ -98,10 +110,18 @@ def estimate_nbytes(value, _depth: int = 0) -> int:
     levels deep), preferring an object's own ``memory_bytes()`` when it
     has one.  An estimate, not an audit — the cache budget only needs
     the right order of magnitude.
+
+    Memmap-backed arrays charge **zero**: their pages are file-backed
+    and reclaimable by the OS at any time, so billing them against the
+    cache's byte budget would evict genuinely resident artifacts to
+    "free" memory the cache never held (out-of-core store partitions
+    are the main producer of such arrays).
     """
     if value is None:
         return 0
     if isinstance(value, np.ndarray):
+        if _is_mmap_backed(value):
+            return 0
         return int(value.nbytes)
     mem = getattr(value, "memory_bytes", None)
     if callable(mem):

@@ -140,6 +140,21 @@ class SpatialAggregationEngine:
             resolution=resolution, epsilon=epsilon, exact=exact,
             viewport=viewport, deadline_ms=deadline_ms, cancel=cancel)
 
+        # Out-of-core datasets take the partition-streamed store path;
+        # imported lazily so repro.core never depends on repro.store at
+        # module load (store's execution imports core's kernels).
+        from ..store.dataset import Dataset
+
+        if isinstance(table, Dataset):
+            from ..store.execute import execute_dataset
+
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelled("query cancelled before dispatch")
+            hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
+            result = execute_dataset(self.ctx, plan, method=method)
+            self._attach_stats(result, plan, hits0, misses0, t0)
+            return result
+
         if method == "auto":
             chosen = self.planner.choose(self.ctx, plan)
         else:

@@ -84,6 +84,51 @@ def _accumulate_covered(part: PartialAggregate, fragments, canvases,
                                  np.maximum, -np.inf), out=part.maxs)
 
 
+def fold_tile_join(geometries, local_ids: list[int],
+                   query: SpatialAggregation, tile_vp: Viewport,
+                   canvases: dict, mass_canvas,
+                   part: PartialAggregate, mass_in: np.ndarray,
+                   mass_out: np.ndarray) -> None:
+    """Fold one tile's polygon pass + gather join into global
+    accumulators.
+
+    ``canvases`` are the tile's blended point canvases and
+    ``mass_canvas`` the per-pixel absolute-contribution mass (None for
+    unboundable aggregates).  Shared by the in-memory tiled join and
+    the out-of-core store scan: both produce identical tile canvases,
+    so folding through one code path keeps their results bitwise-equal.
+    """
+    if not local_ids:
+        return
+    local_fragments = build_fragment_table(
+        [geometries[gid] for gid in local_ids], tile_vp)
+    # Remap the local polygon ids back to global region ids.
+    remap = np.asarray(local_ids, dtype=np.int64)
+
+    # Accumulate through a local partial, then scatter to global ids.
+    local_part = PartialAggregate.empty(query.agg, len(local_ids))
+    _accumulate_covered(local_part, local_fragments, canvases, query.agg)
+    if part.counts is not None:
+        part.counts[remap] += local_part.counts
+    if part.sums is not None:
+        part.sums[remap] += local_part.sums
+    if part.mins is not None:
+        np.minimum.at(part.mins, remap, local_part.mins)
+    if part.maxs is not None:
+        np.maximum.at(part.maxs, remap, local_part.maxs)
+
+    if query.agg in BOUNDABLE_AGGREGATES:
+        m_in = gather_sum(mass_canvas,
+                          local_fragments.covered_boundary_pixels,
+                          local_fragments.covered_boundary_polys,
+                          len(local_ids))
+        m_all = gather_sum(mass_canvas, local_fragments.boundary_pixels,
+                           local_fragments.boundary_polys,
+                           len(local_ids))
+        mass_in[remap] += m_in
+        mass_out[remap] += m_all - m_in
+
+
 @dataclass
 class TilePartial:
     """One progressive snapshot of a tiled join in flight.
@@ -171,23 +216,7 @@ class _TileJoinState:
 
         if not local_ids:
             return
-        local_fragments = build_fragment_table(
-            [self.geometries[gid] for gid in local_ids], tile_vp)
-        # Remap the local polygon ids back to global region ids.
-        remap = np.asarray(local_ids, dtype=np.int64)
-
-        # Accumulate through a local partial, then scatter to global ids.
-        local_part = PartialAggregate.empty(query.agg, len(local_ids))
-        _accumulate_covered(local_part, local_fragments, canvases, query.agg)
-        if part.counts is not None:
-            part.counts[remap] += local_part.counts
-        if part.sums is not None:
-            part.sums[remap] += local_part.sums
-        if part.mins is not None:
-            np.minimum.at(part.mins, remap, local_part.mins)
-        if part.maxs is not None:
-            np.maximum.at(part.maxs, remap, local_part.maxs)
-
+        mass = None
         if query.agg in BOUNDABLE_AGGREGATES:
             if query.agg == COUNT:
                 mass = canvases["count"]
@@ -196,14 +225,8 @@ class _TileJoinState:
 
                 mass = scatter_sum(local_pix, np.abs(local_vals),
                                    tile_vp.num_pixels)
-            m_in = gather_sum(mass, local_fragments.covered_boundary_pixels,
-                              local_fragments.covered_boundary_polys,
-                              len(local_ids))
-            m_all = gather_sum(mass, local_fragments.boundary_pixels,
-                               local_fragments.boundary_polys,
-                               len(local_ids))
-            mass_in[remap] += m_in
-            mass_out[remap] += m_all - m_in
+        fold_tile_join(self.geometries, local_ids, query, tile_vp,
+                       canvases, mass, part, mass_in, mass_out)
 
     def snapshot(self, part: PartialAggregate, mass_in: np.ndarray,
                  mass_out: np.ndarray

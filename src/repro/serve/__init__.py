@@ -24,6 +24,7 @@ per-request deadline through.
 from .admission import AdmissionController
 from .client import ServeClient
 from .coalesce import SingleFlight
+from .mounts import mount_datasets
 from .protocol import (
     PROTOCOL_VERSION,
     RemoteResult,
@@ -52,6 +53,7 @@ __all__ = [
     "encode_request",
     "filter_from_json",
     "filter_to_json",
+    "mount_datasets",
     "query_from_json",
     "query_to_json",
     "result_from_json",

@@ -1,0 +1,89 @@
+"""Lazy dataset mounting for the query service.
+
+A server rarely wants every data set resident: a ``datasets.json``
+manifest declares what *can* be served, and out-of-core stores listed
+there are registered lazily — the directory is opened on the first
+query that names it, and its partitions are mmapped under an LRU
+memory budget (see :mod:`repro.store`).  In-memory tables and region
+sets are loaded eagerly since queries need them whole anyway.
+
+Manifest schema::
+
+    {
+      "stores":  [{"name": "taxi", "path": "stores/taxi",
+                   "memory_budget_mb": 256}],
+      "tables":  [{"name": "small", "path": "small.npz"}],
+      "regions": [{"name": "nbhd", "path": "nbhd.geojson"}]
+    }
+
+Relative paths resolve against the manifest's own directory; every
+section is optional.  ``memory_budget_mb`` is per-store and optional
+(unbudgeted stores keep all touched partitions mapped).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import SchemaError
+from ..geometry import read_geojson
+from ..table import load_csv, load_npz
+
+
+def _load_regions(path: Path, name: str):
+    from ..core import RegionSet
+
+    geometries, props = read_geojson(path)
+    names = [p.get("name", f"region-{i}") for i, p in enumerate(props)]
+    return RegionSet(name, geometries, names)
+
+
+def _load_table(path: Path):
+    if path.suffix == ".csv":
+        return load_csv(path)
+    return load_npz(path)
+
+
+def mount_datasets(manager, manifest_path) -> list[str]:
+    """Register a ``datasets.json`` manifest on a
+    :class:`~repro.urbane.DataManager`.
+
+    Returns one human-readable line per entry registered (the serve CLI
+    prints them).  Stores are *not* opened here — only named.
+    """
+    manifest_path = Path(manifest_path)
+    try:
+        spec = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"cannot read datasets manifest "
+                          f"{manifest_path}: {exc}") from None
+    if not isinstance(spec, dict):
+        raise SchemaError("datasets manifest must be a JSON object")
+    base = manifest_path.parent
+    lines: list[str] = []
+
+    for entry in spec.get("stores", ()):
+        path = base / entry["path"]
+        budget_mb = entry.get("memory_budget_mb")
+        budget = None if budget_mb is None else int(budget_mb * 1024 * 1024)
+        name = manager.add_store(path, name=entry.get("name"),
+                                 memory_budget_bytes=budget)
+        budget_note = (f", budget {budget_mb} MiB"
+                       if budget_mb is not None else "")
+        lines.append(f"store {name!r}: lazy mount of {path}{budget_note}")
+
+    for entry in spec.get("tables", ()):
+        path = base / entry["path"]
+        table = _load_table(path)
+        name = manager.add_dataset(table, entry.get("name"))
+        lines.append(f"dataset {name!r}: {len(table):,} rows from {path}")
+
+    for entry in spec.get("regions", ()):
+        path = base / entry["path"]
+        name = entry.get("name") or path.stem
+        regions = _load_regions(path, name)
+        manager.add_region_set(regions, name)
+        lines.append(f"regions {name!r}: {len(regions)} regions "
+                     f"from {path}")
+    return lines

@@ -1,0 +1,38 @@
+"""Out-of-core dataset store.
+
+Columnar, partitioned, mmap-backed storage for point tables larger
+than memory: :class:`DatasetWriter` ingests tables or chunk streams
+into spatially-sorted fixed-size partitions with zone-map footers;
+:class:`Dataset` opens a store directory and exposes partitions as
+zero-copy memmap views; :class:`PartitionPruner` turns zone maps into
+answer-preserving partition skips; :func:`execute_dataset` runs the
+raster-join pipeline partition-streamed, bitwise-equal to the
+in-memory engine.
+"""
+
+from .dataset import Dataset
+from .execute import execute_dataset
+from .format import (
+    STORE_FORMAT_VERSION,
+    ColumnSpec,
+    Manifest,
+    PartitionInfo,
+    read_manifest,
+)
+from .pruner import PartitionPruner, PruneResult
+from .writer import DatasetWriter, build_store, build_store_from_csv
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "ColumnSpec",
+    "Dataset",
+    "DatasetWriter",
+    "Manifest",
+    "PartitionInfo",
+    "PartitionPruner",
+    "PruneResult",
+    "build_store",
+    "build_store_from_csv",
+    "execute_dataset",
+    "read_manifest",
+]

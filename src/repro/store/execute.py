@@ -1,0 +1,458 @@
+"""Out-of-core execution: raster joins over pruned store partitions.
+
+The raster join is partition-pipelined (3DPipe-style): zone maps prune
+the manifest, then the surviving partitions stream one at a time
+through filter → project → scatter into a **shared canvas**, and the
+polygon/gather passes run once against the finished canvases.  Peak
+memory is O(partition + canvas), never O(dataset).
+
+**Bitwise equality with the in-memory engine is a design invariant,
+not an accident.**  The in-memory point pass accumulates each canvas
+with one ``np.bincount`` over the whole table — a strictly
+element-sequential ``canvas[pix[i]] += v[i]`` loop.  ``np.add.at`` is
+the same sequential loop, so continuing it partition-by-partition in
+manifest order reproduces the exact floating-point fold of one
+bincount over the concatenated table (COUNT partials are
+integer-valued, hence exact under any fold; MIN/MAX are order-free
+reductions).  Everything downstream of the canvases (gather join,
+boundary-mass bounds) is byte-identical shared code.  The parallel
+scan shards *partitions* across fork workers and merges per-worker
+canvases — exact for COUNT/MIN/MAX, and for SUM/AVG within the usual
+<= 1e-12 reassociation tolerance (bitwise when values are
+integer-valued).
+
+Three paths, mirroring the in-memory backends:
+
+* ``store-bounded`` — one canvas at the planned resolution;
+* ``store-tiled``   — virtual canvases beyond the texture cap; each
+  tile's canvases are accumulated from the partitions whose bbox
+  touches the tile, then folded through the *same*
+  :func:`~repro.core.tiling.fold_tile_join` the in-memory tiled join
+  uses;
+* the parallel scan — engaged by the shared
+  :class:`~repro.core.parallel.ParallelConfig` decision once enough
+  rows survive pruning.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.aggregates import (
+    AVG,
+    BOUNDABLE_AGGREGATES,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    PartialAggregate,
+)
+from ..core.bounded import _join_covered
+from ..core.bounds import (
+    boundary_mass_bounds,
+    epsilon_for_viewport,
+    resolution_for_epsilon,
+)
+from ..core.parallel import _even_ranges, _fork_map
+from ..core.result import AggregationResult
+from ..core.tiling import fold_tile_join, make_tiles
+from ..errors import QueryCancelled, QueryError
+from ..raster import Viewport
+from .dataset import Dataset
+from .format import zone_min
+from .pruner import PartitionPruner
+
+#: Methods the out-of-core path accepts (the store plans its own
+#: bounded/tiled split; index and cube backends need resident data).
+STORE_METHODS = ("auto", "bounded", "tiled")
+
+DEFAULT_TILE_PIXELS = 1024
+
+#: Hard ceiling for epsilon-derived virtual resolutions on the tiled
+#: path (2^20 pixels along the long axis ~ a trillion-pixel canvas).
+MAX_VIRTUAL_RESOLUTION = 1 << 20
+
+
+# -- canvas accumulation -----------------------------------------------------
+
+
+def _canvas_kinds(agg: str, with_mass: bool) -> list[str]:
+    kinds: list[str] = []
+    if agg in (COUNT, AVG):
+        kinds.append("count")
+    if agg in (SUM, AVG):
+        kinds.append("sum")
+    if agg == MIN:
+        kinds.append("min")
+    if agg == MAX:
+        kinds.append("max")
+    if with_mass:
+        kinds.append("mass")
+    return kinds
+
+
+def _empty_canvases(kinds: list[str], num_pixels: int
+                    ) -> dict[str, np.ndarray]:
+    fills = {"min": np.inf, "max": -np.inf}
+    return {kind: np.full(num_pixels, fills.get(kind, 0.0))
+            for kind in kinds}
+
+
+def _project_partition(table, query, viewport
+                       ) -> tuple[np.ndarray, np.ndarray | None, int]:
+    """Filter + project one partition exactly like
+    :func:`repro.core.bounded.rasterize_points` does for the full
+    table — same masks, same gathers, same float ops."""
+    keep = np.flatnonzero(query.filter_mask(table))
+    after_filter = len(keep)
+    pixel_ids, valid = viewport.pixel_ids_of(table.x[keep], table.y[keep])
+    if not valid.all():
+        keep = keep[valid]
+        pixel_ids = pixel_ids[valid]
+    values = query.values_for(table)
+    if values is not None:
+        values = values[keep]
+    return pixel_ids, values, after_filter
+
+
+def _accumulate(canvases: dict[str, np.ndarray], pixel_ids: np.ndarray,
+                values: np.ndarray | None) -> None:
+    """Continue the global element-sequential scatter with one
+    partition's points.
+
+    ``np.add.at`` is unbuffered and applies contributions in element
+    order — the same loop ``np.bincount`` runs — so chaining it across
+    partitions in manifest order equals one bincount over the
+    concatenated table, bit for bit.  COUNT uses per-partition bincount
+    partials: integer-valued floats add exactly under any grouping.
+    """
+    if "count" in canvases:
+        canvases["count"] += np.bincount(pixel_ids,
+                                         minlength=len(canvases["count"]))
+    if "sum" in canvases:
+        np.add.at(canvases["sum"], pixel_ids, values)
+    if "mass" in canvases:
+        np.add.at(canvases["mass"], pixel_ids, np.abs(values))
+    if len(pixel_ids):
+        if "min" in canvases:
+            np.minimum.at(canvases["min"], pixel_ids, values)
+        if "max" in canvases:
+            np.maximum.at(canvases["max"], pixel_ids, values)
+
+
+def _sum_values_nonnegative(dataset: Dataset, survivors: list[int],
+                            value_column: str) -> bool:
+    """Zone-map proof that every surviving value is >= 0 and non-NaN.
+
+    When it holds, the sum canvas doubles as the boundary-mass canvas
+    (|v| == v), mirroring the in-memory fast path.  When it cannot be
+    proven the scan accumulates a separate |v| canvas — which is still
+    bitwise-identical to the sum canvas whenever the values turn out
+    non-negative, so conservatism never costs equality.
+    """
+    for index in survivors:
+        zone = dataset.partitions[index].zones.get(value_column)
+        if zone is None:
+            return False
+        if int(zone.get("nan_count", 0)) > 0:
+            return False
+        lo = zone_min(zone)
+        if lo is None or lo < 0:
+            return False
+    return True
+
+
+# -- the scan ----------------------------------------------------------------
+
+
+def _scan_canvases(dataset: Dataset, survivors: list[int], query,
+                   viewport: Viewport, kinds: list[str], cancel
+                   ) -> tuple[dict[str, np.ndarray], dict]:
+    """Serial partition scan: the bitwise-reference accumulation."""
+    canvases = _empty_canvases(kinds, viewport.num_pixels)
+    after_filter = in_viewport = 0
+    for index in survivors:
+        if cancel is not None and cancel.is_set():
+            raise QueryCancelled("store scan cancelled between partitions")
+        table = dataset.partition_table(index)
+        pixel_ids, values, n_filter = _project_partition(
+            table, query, viewport)
+        after_filter += n_filter
+        in_viewport += len(pixel_ids)
+        _accumulate(canvases, pixel_ids, values)
+    stats = {"points_after_filter": after_filter,
+             "points_in_viewport": in_viewport}
+    return canvases, stats
+
+
+def _scan_canvases_parallel(dataset: Dataset, survivors: list[int], query,
+                            viewport: Viewport, kinds: list[str],
+                            workers: int, cancel
+                            ) -> tuple[dict[str, np.ndarray], dict, bool]:
+    """Partition-sharded scan across fork workers.
+
+    Workers inherit the dataset copy-on-write and mmap their own
+    shards; per-worker canvases merge in shard order (additive kinds
+    add, min/max reduce).  Fork children cannot observe a parent-set
+    cancel token — the caller rechecks after the pool returns.
+    """
+    def shard(lo: int, hi: int):
+        canvases = _empty_canvases(kinds, viewport.num_pixels)
+        after_filter = in_viewport = 0
+        for index in survivors[lo:hi]:
+            table = dataset.partition_table(index)
+            pixel_ids, values, n_filter = _project_partition(
+                table, query, viewport)
+            after_filter += n_filter
+            in_viewport += len(pixel_ids)
+            _accumulate(canvases, pixel_ids, values)
+        return canvases, after_filter, in_viewport
+
+    ranges = _even_ranges(len(survivors), min(workers, len(survivors)))
+    results, pooled = _fork_map(shard, ranges, workers)
+    merged = _empty_canvases(kinds, viewport.num_pixels)
+    after_filter = in_viewport = 0
+    for canvases, n_filter, n_viewport in results:
+        after_filter += n_filter
+        in_viewport += n_viewport
+        for kind in kinds:
+            if kind == "min":
+                np.minimum(merged[kind], canvases[kind], out=merged[kind])
+            elif kind == "max":
+                np.maximum(merged[kind], canvases[kind], out=merged[kind])
+            else:
+                merged[kind] += canvases[kind]
+    stats = {"points_after_filter": after_filter,
+             "points_in_viewport": in_viewport,
+             "shards": len(ranges)}
+    return merged, stats, pooled
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def execute_dataset(ctx, plan, method: str = "auto") -> AggregationResult:
+    """Run one spatial aggregation out-of-core over a :class:`Dataset`.
+
+    Mirrors the engine contract: fills ``plan.decision`` (the
+    ``stats["plan"]`` payload) and returns a result carrying
+    ``stats["store"]`` with partition pruning and mount accounting.
+    """
+    t0 = time.perf_counter()
+    dataset: Dataset = plan.table
+    regions, query = plan.regions, plan.query
+    if method not in STORE_METHODS:
+        raise QueryError(
+            f"method {method!r} is not available out-of-core; a dataset "
+            f"store accepts {STORE_METHODS} (materialize with "
+            f"Dataset.to_table() for the full backend registry)")
+    if plan.exact:
+        raise QueryError(
+            "exact=True is not supported out-of-core; materialize with "
+            "Dataset.to_table() for exact execution")
+
+    # -- plan the canvas ---------------------------------------------------
+    if plan.epsilon is not None:
+        resolution = resolution_for_epsilon(
+            regions.bbox, plan.epsilon,
+            max_resolution=MAX_VIRTUAL_RESOLUTION)
+    elif plan.resolution is not None:
+        resolution = int(plan.resolution)
+    elif plan.viewport is not None:
+        resolution = max(plan.viewport.width, plan.viewport.height)
+    else:
+        resolution = ctx.default_resolution
+
+    over_cap = (plan.viewport is None
+                and resolution > ctx.max_canvas_resolution)
+    if method == "tiled":
+        if plan.viewport is not None:
+            raise QueryError(
+                "the tiled store path plans its own viewport; pass "
+                "resolution/epsilon instead")
+        tiled = True
+    elif method == "bounded":
+        if over_cap:
+            raise QueryError(
+                f"resolution {resolution} exceeds the canvas cap "
+                f"{ctx.max_canvas_resolution}; use method='tiled'")
+        tiled = False
+    else:
+        tiled = over_cap
+
+    pruner = PartitionPruner(dataset)
+    if tiled:
+        result = _execute_tiled(ctx, dataset, pruner, plan, resolution)
+    else:
+        result = _execute_bounded(ctx, dataset, pruner, plan, resolution)
+    result.stats["store"]["dataset"] = dataset.name
+    result.stats["store"]["path"] = str(dataset.path)
+    result.stats["store"]["mounted"] = dataset.mount_stats()
+    result.stats["time_total_s"] = time.perf_counter() - t0
+    return result
+
+
+def _plan_payload(ctx, plan, dataset, prune, chosen, method,
+                  resolution, parallel_decision) -> dict:
+    return {
+        "inputs": {
+            "n_points": len(dataset),
+            "n_regions": len(plan.regions),
+            "agg": plan.query.agg,
+            "n_filters": len(plan.query.filters),
+            "resolution": resolution,
+            "canvas_cap": ctx.max_canvas_resolution,
+            "store_partitions": prune.total,
+            "store_scanned": len(prune.indices),
+            "rows_scanned": prune.rows_scanned,
+        },
+        "decision": {"chosen": chosen, "planned": False,
+                     "requested": method},
+        "parallel": parallel_decision,
+        "degraded": None,
+    }
+
+
+def _execute_bounded(ctx, dataset, pruner, plan,
+                     resolution) -> AggregationResult:
+    regions, query = plan.regions, plan.query
+    viewport = plan.viewport or ctx.plan_viewport(regions, resolution,
+                                                  None)
+    prune = pruner.prune(query.filters, viewport)
+    survivors = prune.indices
+
+    agg = query.agg
+    nonneg = (agg == SUM and _sum_values_nonnegative(
+        dataset, survivors, query.value_column))
+    with_mass = agg == SUM and not nonneg
+    kinds = _canvas_kinds(agg, with_mass)
+
+    decision = ctx.parallel.decide(prune.rows_scanned)
+    plan.decision = _plan_payload(ctx, plan, dataset, prune,
+                                  "store-bounded", plan.method, resolution,
+                                  decision)
+
+    t_points0 = time.perf_counter()
+    pooled = False
+    if decision["use"] and len(survivors) > 1:
+        canvases, scan_stats, pooled = _scan_canvases_parallel(
+            dataset, survivors, query, viewport, kinds,
+            decision["workers"], plan.cancel)
+        if plan.cancel is not None and plan.cancel.is_set():
+            raise QueryCancelled("store scan cancelled")
+    else:
+        canvases, scan_stats = _scan_canvases(
+            dataset, survivors, query, viewport, kinds, plan.cancel)
+    t_points = time.perf_counter() - t_points0
+
+    t_join0 = time.perf_counter()
+    fragments = ctx.fragments_for(regions, viewport)
+    estimate = _join_covered(fragments, canvases, agg)
+    lower = upper = None
+    if agg in BOUNDABLE_AGGREGATES:
+        if agg == COUNT:
+            mass = canvases["count"]
+        elif with_mass:
+            mass = canvases["mass"]
+        else:
+            # Proven non-negative: |v| == v, the sum canvas is the mass.
+            mass = canvases["sum"]
+        lower, upper = boundary_mass_bounds(fragments, estimate, mass)
+    t_join = time.perf_counter() - t_join0
+
+    stats = {
+        "store": prune.stats(),
+        "points_total": len(dataset),
+        **scan_stats,
+        "canvas_pixels": viewport.num_pixels,
+        "epsilon_world_units": epsilon_for_viewport(viewport),
+        "time_point_pass_s": t_points,
+        "time_join_s": t_join,
+        "parallel": {"mode": "parallel" if pooled else "serial",
+                     "pooled": pooled,
+                     "workers": decision.get("workers", 1)},
+    }
+    return AggregationResult(
+        regions=regions, values=estimate,
+        method="store-bounded-raster-join",
+        lower=lower, upper=upper, exact=False, stats=stats)
+
+
+def _execute_tiled(ctx, dataset, pruner, plan, resolution,
+                   tile_pixels: int = DEFAULT_TILE_PIXELS
+                   ) -> AggregationResult:
+    regions, query = plan.regions, plan.query
+    agg = query.agg
+    viewport = Viewport.fit(regions.bbox, resolution)
+    prune = pruner.prune(query.filters, viewport)
+    survivors = prune.indices
+    plan.decision = _plan_payload(
+        ctx, plan, dataset, prune, "store-tiled", plan.method, resolution,
+        {"use": False, "reason": "store tiled path scans serially"})
+
+    tiles = make_tiles(viewport, tile_pixels)
+    geometries = list(regions.geometries)
+    geom_boxes = [g.bbox for g in geometries]
+    part = PartialAggregate.empty(agg, len(regions))
+    mass_in = np.zeros(len(regions))
+    mass_out = np.zeros(len(regions))
+    kinds = _canvas_kinds(agg, with_mass=(agg == SUM))
+    partitions_paged = 0
+
+    for tile_vp, col0, row0 in tiles:
+        if plan.cancel is not None and plan.cancel.is_set():
+            raise QueryCancelled("tiled store scan cancelled between tiles")
+        local_ids = [gid for gid, gb in enumerate(geom_boxes)
+                     if gb.intersects(tile_vp.bbox)]
+        if not local_ids:
+            # The in-memory tiled join also folds nothing here.
+            continue
+        canvases = _empty_canvases(kinds, tile_vp.num_pixels)
+        for index in survivors:
+            info = dataset.partitions[index]
+            if info.bbox is not None and \
+                    not info.bbox.intersects(tile_vp.bbox):
+                continue
+            partitions_paged += 1
+            table = dataset.partition_table(index)
+            mask = query.filter_mask(table)
+            values = query.values_for(table)
+            x = table.x[mask]
+            y = table.y[mask]
+            if values is not None:
+                values = values[mask]
+            ix, iy = viewport.pixel_of(x, y)
+            sel = ((ix >= col0) & (ix < col0 + tile_vp.width)
+                   & (iy >= row0) & (iy < row0 + tile_vp.height))
+            local_pix = ((iy[sel] - row0) * tile_vp.width
+                         + (ix[sel] - col0))
+            local_vals = values[sel] if values is not None else None
+            _accumulate(canvases, local_pix, local_vals)
+        mass = None
+        if agg in BOUNDABLE_AGGREGATES:
+            mass = canvases["count"] if agg == COUNT else canvases["mass"]
+        fold_tile_join(geometries, local_ids, query, tile_vp, canvases,
+                       mass, part, mass_in, mass_out)
+
+    estimate = part.finalize()
+    lower = upper = None
+    if agg in BOUNDABLE_AGGREGATES:
+        lower = estimate - mass_in
+        upper = estimate + mass_out
+
+    stats = {
+        "store": prune.stats(),
+        "points_total": len(dataset),
+        "tiles": len(tiles),
+        "resolution": resolution,
+        "tile_pixels": tile_pixels,
+        "partitions_paged": partitions_paged,
+        "epsilon_world_units": viewport.pixel_diag,
+        "parallel": {"mode": "serial", "pooled": False, "workers": 1},
+    }
+    return AggregationResult(
+        regions=regions, values=estimate,
+        method="store-tiled-bounded-raster-join",
+        lower=lower, upper=upper, exact=False, stats=stats)

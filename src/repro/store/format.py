@@ -1,0 +1,292 @@
+"""On-disk format of the out-of-core dataset store (schema v1).
+
+A store is a directory of fixed-size **partitions** sorted by a spatial
+grid key (x/y cell, optional time bucket)::
+
+    store/
+      manifest.json           # schema, grid, category domains, partition index
+      p00000/
+        footer.json           # zone maps for this partition
+        x.bin  y.bin          # raw little-endian float64 coordinates
+        c0_fare.bin ...       # one raw column file per attribute
+
+Column files are raw little-endian arrays (``<f8`` numeric, ``<i8``
+timestamp, ``<i4`` categorical codes) so a :class:`numpy.memmap` over
+the file *is* the column — zero parse, zero copy.  Categorical codes
+refer to one **global, append-only** category list per column stored in
+the manifest, so partitions written at different times stay mutually
+consistent and concatenate without re-encoding.
+
+Each partition's ``footer.json`` holds its **zone maps** — the metadata
+pruning runs on (GeoBlocks-style): point bbox, per-column min/max (NaNs
+counted separately), time min/max, and a category-presence bitset.  The
+manifest duplicates every footer so a query prunes the whole store from
+one small JSON read; the footer remains the per-partition authority
+(``repro store inspect --check`` verifies the two agree).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..geometry import BBox
+from ..table.column import CATEGORICAL, NUMERIC, TIMESTAMP
+
+#: Version stamped into manifests and footers; readers reject anything newer.
+STORE_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+FOOTER_NAME = "footer.json"
+
+#: Column kind -> the little-endian dtype of its raw ``.bin`` file.
+KIND_DTYPES = {
+    NUMERIC: "<f8",
+    TIMESTAMP: "<i8",
+    CATEGORICAL: "<i4",
+}
+
+
+def column_filename(index: int, name: str) -> str:
+    """Filesystem-safe ``.bin`` name for attribute column ``index``."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)[:48]
+    return f"c{index}_{safe}.bin"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One attribute column of the store schema."""
+
+    name: str
+    kind: str
+    #: Global category list (categorical columns only).  Append-only:
+    #: codes written into earlier partitions never change meaning.
+    categories: tuple[str, ...] = ()
+
+    def to_json(self) -> dict:
+        payload = {"name": self.name, "kind": self.kind}
+        if self.kind == CATEGORICAL:
+            payload["categories"] = list(self.categories)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ColumnSpec":
+        return cls(payload["name"], payload["kind"],
+                   tuple(payload.get("categories") or ()))
+
+
+@dataclass
+class PartitionInfo:
+    """One partition's manifest entry: location, size, and zone maps."""
+
+    directory: str
+    rows: int
+    key: tuple[int, int]                 #: (grid cell id, time bucket)
+    bbox: BBox | None                    #: point envelope; None when empty
+    zones: dict[str, dict] = field(default_factory=dict)
+    nbytes: int = 0                      #: total raw column bytes
+
+    def to_json(self) -> dict:
+        return {
+            "dir": self.directory,
+            "rows": self.rows,
+            "key": list(self.key),
+            "bbox": ([self.bbox.xmin, self.bbox.ymin,
+                      self.bbox.xmax, self.bbox.ymax]
+                     if self.bbox is not None else None),
+            "zones": self.zones,
+            "nbytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PartitionInfo":
+        box = payload.get("bbox")
+        return cls(
+            directory=payload["dir"],
+            rows=int(payload["rows"]),
+            key=tuple(payload["key"]),
+            bbox=BBox(*box) if box is not None else None,
+            zones=payload.get("zones") or {},
+            nbytes=int(payload.get("nbytes", 0)),
+        )
+
+
+# -- zone maps ---------------------------------------------------------------
+
+
+def _scalar(value):
+    """JSON-safe scalar (numpy types -> Python, non-finite -> repr str)."""
+    value = float(value)
+    if np.isfinite(value):
+        return value
+    return repr(value)  # 'inf' / '-inf' survive a JSON round trip below
+
+
+def _unscalar(value):
+    if value is None:
+        return None
+    return float(value)
+
+
+def column_zone(kind: str, values: np.ndarray) -> dict:
+    """The zone map of one column's raw values.
+
+    * numeric: min/max over non-NaN entries (None when all-NaN or
+      empty) plus the NaN count — ``!=`` pruning must know whether NaN
+      rows exist, since ``NaN != v`` is True;
+    * timestamp: integer min/max;
+    * categorical: a presence bitset over global codes (hex string).
+    """
+    zone: dict = {"kind": kind}
+    if kind == NUMERIC:
+        nan_count = int(np.isnan(values).sum()) if len(values) else 0
+        live = len(values) - nan_count
+        zone["nan_count"] = nan_count
+        if live:
+            zone["min"] = _scalar(np.nanmin(values))
+            zone["max"] = _scalar(np.nanmax(values))
+        else:
+            zone["min"] = zone["max"] = None
+    elif kind == TIMESTAMP:
+        if len(values):
+            zone["min"] = int(values.min())
+            zone["max"] = int(values.max())
+        else:
+            zone["min"] = zone["max"] = None
+    else:  # CATEGORICAL
+        bits = 0
+        for code in np.unique(values):
+            bits |= 1 << int(code)
+        zone["bitset"] = hex(bits)
+    return zone
+
+
+def zone_min(zone: dict):
+    value = zone.get("min")
+    return _unscalar(value) if not isinstance(value, str) else float(value)
+
+
+def zone_max(zone: dict):
+    value = zone.get("max")
+    return _unscalar(value) if not isinstance(value, str) else float(value)
+
+
+def zone_bitset(zone: dict) -> int:
+    return int(zone.get("bitset", "0x0"), 16)
+
+
+def build_zones(x: np.ndarray, y: np.ndarray,
+                columns: dict[str, tuple[str, np.ndarray]]
+                ) -> tuple[BBox | None, dict[str, dict]]:
+    """(bbox, per-column zone maps) for one partition's raw arrays."""
+    bbox = None
+    if len(x):
+        bbox = BBox(float(x.min()), float(y.min()),
+                    float(x.max()), float(y.max()))
+    zones = {name: column_zone(kind, values)
+             for name, (kind, values) in columns.items()}
+    return bbox, zones
+
+
+# -- manifest ----------------------------------------------------------------
+
+
+@dataclass
+class Manifest:
+    """The store's one-file index: schema + grid + partition zone maps."""
+
+    name: str
+    partition_rows: int
+    grid_nx: int
+    grid_ny: int
+    grid_bbox: BBox | None
+    time_column: str | None
+    time_bucket_seconds: int | None
+    columns: list[ColumnSpec]
+    partitions: list[PartitionInfo]
+
+    @property
+    def rows(self) -> int:
+        return sum(p.rows for p in self.partitions)
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise SchemaError(
+            f"store has no column {name!r}; "
+            f"available: {[c.name for c in self.columns]}")
+
+    def to_json(self) -> dict:
+        return {
+            "format_version": STORE_FORMAT_VERSION,
+            "name": self.name,
+            "rows": self.rows,
+            "partition_rows": self.partition_rows,
+            "grid": {
+                "nx": self.grid_nx,
+                "ny": self.grid_ny,
+                "bbox": ([self.grid_bbox.xmin, self.grid_bbox.ymin,
+                          self.grid_bbox.xmax, self.grid_bbox.ymax]
+                         if self.grid_bbox is not None else None),
+            },
+            "time": ({"column": self.time_column,
+                      "bucket_seconds": self.time_bucket_seconds}
+                     if self.time_column is not None else None),
+            "columns": [c.to_json() for c in self.columns],
+            "partitions": [p.to_json() for p in self.partitions],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Manifest":
+        version = int(payload.get("format_version", -1))
+        if version > STORE_FORMAT_VERSION:
+            raise SchemaError(
+                f"store format v{version} is newer than this reader "
+                f"(v{STORE_FORMAT_VERSION})")
+        grid = payload.get("grid") or {}
+        gbox = grid.get("bbox")
+        tinfo = payload.get("time")
+        return cls(
+            name=payload.get("name", "store"),
+            partition_rows=int(payload["partition_rows"]),
+            grid_nx=int(grid.get("nx", 1)),
+            grid_ny=int(grid.get("ny", 1)),
+            grid_bbox=BBox(*gbox) if gbox is not None else None,
+            time_column=tinfo["column"] if tinfo else None,
+            time_bucket_seconds=(int(tinfo["bucket_seconds"])
+                                 if tinfo else None),
+            columns=[ColumnSpec.from_json(c) for c in payload["columns"]],
+            partitions=[PartitionInfo.from_json(p)
+                        for p in payload["partitions"]],
+        )
+
+
+def write_manifest(path: Path, manifest: Manifest) -> None:
+    tmp = path / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest.to_json(), indent=1) + "\n")
+    tmp.replace(path / MANIFEST_NAME)
+
+
+def read_manifest(path: Path) -> Manifest:
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise SchemaError(f"{path} is not a dataset store "
+                          f"(no {MANIFEST_NAME})")
+    return Manifest.from_json(json.loads(manifest_path.read_text()))
+
+
+def write_footer(partition_dir: Path, info: PartitionInfo) -> None:
+    payload = {"format_version": STORE_FORMAT_VERSION, **info.to_json()}
+    (partition_dir / FOOTER_NAME).write_text(
+        json.dumps(payload, indent=1) + "\n")
+
+
+def read_footer(partition_dir: Path) -> PartitionInfo:
+    payload = json.loads((Path(partition_dir) / FOOTER_NAME).read_text())
+    return PartitionInfo.from_json(payload)

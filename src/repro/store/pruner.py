@@ -1,0 +1,271 @@
+"""Partition pruning: zone maps vs. viewport, filters, and time brush.
+
+:class:`PartitionPruner` decides which partitions a query can skip
+*without changing the answer*.  Every rule is conservative — a
+partition is pruned only when its zone maps prove **no row can
+contribute**:
+
+* **viewport** — the partition's point bbox misses the canvas window;
+  out-of-window points fail the raster pass's validity mask anyway, so
+  skipping the partition is answer-preserving;
+* **filters** — the filter AST is walked with per-node ``maybe_match``
+  rules against column min/max, NaN counts, and category bitsets.
+  The subtle cases are encoded exactly against the semantics of
+  :mod:`repro.table.filters`: ``!=`` keeps any partition containing
+  NaNs (``NaN != v`` is True), an unknown categorical label under
+  ``==`` matches nothing (prunable) but under ``!=`` matches
+  everything (never prunable), and ``Not(...)`` is never pruned —
+  a sound "maybe" for an inner node does not negate to a sound
+  "maybe not";
+* **time brush** — a :class:`~repro.table.TimeRange` is half-open
+  ``[start, end)``, so ``zone.min >= end`` prunes but touching ``end``
+  exactly does not keep.
+
+The scanned set is therefore always a superset of the needed set, and
+the scan over survivors is bitwise-equal to a scan over everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..raster import Viewport
+from ..table.column import CATEGORICAL, NUMERIC, TIMESTAMP
+from ..table.filters import (
+    And,
+    Between,
+    Comparison,
+    FilterExpr,
+    IsIn,
+    Not,
+    Or,
+    TimeRange,
+    TrueFilter,
+)
+from .dataset import Dataset
+from .format import ColumnSpec, PartitionInfo, zone_bitset, zone_max, zone_min
+
+
+@dataclass
+class PruneResult:
+    """Survivor indices (manifest order) plus accounting."""
+
+    indices: list[int]
+    total: int
+    pruned_empty: int = 0
+    pruned_viewport: int = 0
+    pruned_filter: int = 0
+    rows_total: int = 0
+    rows_scanned: int = 0
+    bytes_scanned: int = 0
+
+    @property
+    def pruned(self) -> int:
+        return self.total - len(self.indices)
+
+    def stats(self) -> dict:
+        """The ``stats["store"]`` partition payload."""
+        return {
+            "partitions": {
+                "total": self.total,
+                "pruned": self.pruned,
+                "scanned": len(self.indices),
+            },
+            "pruned_by": {
+                "empty": self.pruned_empty,
+                "viewport": self.pruned_viewport,
+                "filter": self.pruned_filter,
+            },
+            "rows": {
+                "total": self.rows_total,
+                "scanned": self.rows_scanned,
+            },
+            "bytes_scanned": self.bytes_scanned,
+        }
+
+
+@dataclass
+class PartitionPruner:
+    """Zone-map pruning over one dataset's manifest."""
+
+    dataset: Dataset
+    _schema: dict[str, ColumnSpec] = field(init=False)
+
+    def __post_init__(self):
+        self._schema = {spec.name: spec
+                        for spec in self.dataset.manifest.columns}
+
+    def prune(self, filters: tuple[FilterExpr, ...] = (),
+              viewport: Viewport | None = None) -> PruneResult:
+        """Survivors of ``filters`` + ``viewport`` in manifest order."""
+        partitions = self.dataset.partitions
+        result = PruneResult(indices=[], total=len(partitions),
+                             rows_total=sum(p.rows for p in partitions))
+        for index, info in enumerate(partitions):
+            if info.rows == 0:
+                result.pruned_empty += 1
+                continue
+            if (viewport is not None and info.bbox is not None
+                    and not info.bbox.intersects(viewport.bbox)):
+                result.pruned_viewport += 1
+                continue
+            if any(not self.maybe_match(expr, info) for expr in filters):
+                result.pruned_filter += 1
+                continue
+            result.indices.append(index)
+            result.rows_scanned += info.rows
+            result.bytes_scanned += info.nbytes
+        return result
+
+    # -- per-node rules ----------------------------------------------------
+
+    def maybe_match(self, expr: FilterExpr, info: PartitionInfo) -> bool:
+        """Could any row of ``info`` satisfy ``expr``?  False only when
+        the zone maps prove it; unknown node types answer True."""
+        if isinstance(expr, TrueFilter):
+            return True
+        if isinstance(expr, And):
+            return (self.maybe_match(expr.left, info)
+                    and self.maybe_match(expr.right, info))
+        if isinstance(expr, Or):
+            return (self.maybe_match(expr.left, info)
+                    or self.maybe_match(expr.right, info))
+        if isinstance(expr, Not):
+            # "no row can match inner" does not imply "every row
+            # matches Not(inner)" is false — stay conservative.
+            return True
+        if isinstance(expr, Comparison):
+            return self._maybe_comparison(expr, info)
+        if isinstance(expr, Between):
+            return self._maybe_between(expr, info)
+        if isinstance(expr, IsIn):
+            return self._maybe_isin(expr, info)
+        if isinstance(expr, TimeRange):
+            return self._maybe_time_range(expr, info)
+        return True
+
+    def _zone(self, column: str, info: PartitionInfo
+              ) -> tuple[ColumnSpec, dict] | None:
+        spec = self._schema.get(column)
+        zone = info.zones.get(column)
+        if spec is None or zone is None:
+            return None  # unknown column: scan, let execution raise
+        return spec, zone
+
+    def _maybe_comparison(self, expr: Comparison,
+                          info: PartitionInfo) -> bool:
+        found = self._zone(expr.column, info)
+        if found is None:
+            return True
+        spec, zone = found
+        if spec.kind == CATEGORICAL:
+            return self._maybe_categorical(expr, spec, zone)
+        if not isinstance(expr.value, (int, float, np.integer, np.floating)):
+            return True
+        value = float(expr.value)
+        lo, hi = zone_min(zone), zone_max(zone)
+        nan_count = int(zone.get("nan_count", 0))
+        if expr.op == "!=":
+            # NaN != v is True, so NaN rows always match.
+            if nan_count > 0:
+                return True
+            if lo is None:
+                return False  # no rows with values at all
+            return not (lo == hi == value)
+        if lo is None:
+            # All-NaN (or valueless): <, <=, >, >=, == all evaluate
+            # False against NaN.
+            return False
+        if expr.op == "<":
+            return lo < value
+        if expr.op == "<=":
+            return lo <= value
+        if expr.op == ">":
+            return hi > value
+        if expr.op == ">=":
+            return hi >= value
+        return lo <= value <= hi  # ==
+
+    @staticmethod
+    def _maybe_categorical(expr: Comparison, spec: ColumnSpec,
+                           zone: dict) -> bool:
+        value = expr.value
+        if isinstance(value, str):
+            try:
+                code = spec.categories.index(value)
+            except ValueError:
+                # Unknown label: == matches nothing, != matches all.
+                return expr.op == "!="
+        elif isinstance(value, (int, np.integer)):
+            code = int(value)
+        else:
+            return True
+        bits = zone_bitset(zone)
+        if code < 0:
+            # A negative code matches no stored row: == prunes, != keeps.
+            return expr.op != "=="
+        if expr.op == "==":
+            return bool(bits >> code & 1)
+        if expr.op == "!=":
+            # Prunable only when every row holds exactly this code.
+            return bits != (1 << code)
+        return True  # <, <= etc. raise at scan time; don't hide that
+
+    def _maybe_between(self, expr: Between, info: PartitionInfo) -> bool:
+        found = self._zone(expr.column, info)
+        if found is None:
+            return True
+        spec, zone = found
+        if spec.kind not in (NUMERIC, TIMESTAMP):
+            return True
+        lo, hi = zone_min(zone), zone_max(zone)
+        if lo is None:
+            return False  # all-NaN: NaN fails both closed comparisons
+        try:
+            want_lo, want_hi = float(expr.lo), float(expr.hi)
+        except (TypeError, ValueError):
+            return True
+        return hi >= want_lo and lo <= want_hi
+
+    def _maybe_isin(self, expr: IsIn, info: PartitionInfo) -> bool:
+        found = self._zone(expr.column, info)
+        if found is None:
+            return True
+        spec, zone = found
+        if spec.kind == CATEGORICAL:
+            bits = zone_bitset(zone)
+            for value in expr.values:
+                code = None
+                if isinstance(value, str):
+                    if value in spec.categories:
+                        code = spec.categories.index(value)
+                elif isinstance(value, (int, np.integer)):
+                    code = int(value)
+                if code is not None and code >= 0 and bits >> code & 1:
+                    return True
+            return False  # no listed label present (or none resolvable)
+        lo, hi = zone_min(zone), zone_max(zone)
+        if lo is None:
+            return False  # all-NaN: NaN is not isin anything
+        for value in expr.values:
+            if isinstance(value, (int, float, np.integer, np.floating)) \
+                    and lo <= float(value) <= hi:
+                return True
+        return False
+
+    def _maybe_time_range(self, expr: TimeRange,
+                          info: PartitionInfo) -> bool:
+        found = self._zone(expr.column, info)
+        if found is None:
+            return True
+        spec, zone = found
+        if spec.kind != TIMESTAMP:
+            return True  # scan raises the proper QueryError
+        lo, hi = zone_min(zone), zone_max(zone)
+        if lo is None:
+            return False
+        # Half-open [start, end): a partition whose minimum sits exactly
+        # at `end` holds no matching rows.
+        return hi >= int(expr.start) and lo < int(expr.end)

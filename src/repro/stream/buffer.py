@@ -20,6 +20,7 @@ window query costs O(window), not O(history).
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -196,6 +197,72 @@ class PointStream:
         lo = int(np.searchsorted(tvals, start, side="left"))
         hi = int(np.searchsorted(tvals, end, side="left"))
         return table.take(np.arange(lo, hi))
+
+    def spill(self, dataset_dir, before: int | None = None,
+              **writer_kwargs) -> dict:
+        """Flush the buffer's settled head into an on-disk store.
+
+        Rows with ``t < before`` move to the partitioned store at
+        ``dataset_dir`` (created on the first spill, appended to on
+        later ones); the live buffer keeps only the tail.  ``before``
+        defaults to the start of the bucket holding the last ingested
+        timestamp, so the still-open bucket stays resident and every
+        closed bucket goes out of core.  Spilled partitions inherit the
+        stream's time column and bucket width, so the store prunes on
+        the same temporal grid the stream brushes on.
+
+        The running aggregates (:meth:`matrix` and live :meth:`tcube`
+        cubes) are incremental accumulations over the full history and
+        keep answering for spilled rows; only raw-row access
+        (:meth:`table`, :meth:`window_table`) narrows to the retained
+        tail.  Open the store as a :class:`repro.store.Dataset` to
+        query the spilled history.
+        """
+        from ..store.format import read_manifest
+        from ..store.writer import DatasetWriter
+
+        path = Path(dataset_dir)
+        if before is None:
+            if self._last_timestamp is None:
+                before = 0
+            else:
+                origin = self._origin or 0
+                before = origin + ((self._last_timestamp - origin)
+                                   // self.bucket_seconds
+                                   * self.bucket_seconds)
+        before = int(before)
+        rows = len(self)
+        cut = 0
+        if rows:
+            table = self.table()
+            tvals = table.column(self.time_column).values
+            cut = int(np.searchsorted(tvals, before, side="left"))
+        if cut == 0:
+            return {"rows_spilled": 0, "rows_retained": rows,
+                    "before": before, "path": str(path)}
+
+        writer_kwargs.setdefault("time_column", self.time_column)
+        writer_kwargs.setdefault("time_bucket_seconds",
+                                 self.bucket_seconds)
+        # A fixed grid bbox keeps partition keys stable across spills
+        # even though each spill sees a different slice of the data.
+        writer_kwargs.setdefault("grid_bbox", self.regions.bbox)
+        append = (path / "manifest.json").exists()
+        with DatasetWriter(path, append=append, **writer_kwargs) as writer:
+            writer.add_chunk(table.take(np.arange(cut)))
+
+        if cut == rows:
+            self._chunks = []
+            self._consolidated = None
+        else:
+            tail = table.take(np.arange(cut, rows))
+            self._chunks = [tail]
+            self._consolidated = tail
+        self._version += 1
+        manifest = read_manifest(path)
+        return {"rows_spilled": cut, "rows_retained": rows - cut,
+                "before": before, "path": str(path),
+                "store_partitions": len(manifest.partitions)}
 
     def tcube(self, value_column: str | None = None):
         """The stream's live temporal canvas cube (built on first use).

@@ -30,7 +30,7 @@ from .filters import (
     combine_filters,
     estimate_selectivity,
 )
-from .io import load_csv, load_npz, save_csv, save_npz
+from .io import iter_csv_chunks, load_csv, load_npz, save_csv, save_npz
 from .table import PointTable, table_from_dict
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "categorical_from_codes",
     "combine_filters",
     "estimate_selectivity",
+    "iter_csv_chunks",
     "load_csv",
     "load_npz",
     "numeric_column",

@@ -1,15 +1,31 @@
-"""Table persistence: NPZ (fast, lossless) and CSV (interchange)."""
+"""Table persistence: NPZ (fast, lossless) and CSV (interchange).
+
+CSV reading is chunked: :func:`iter_csv_chunks` streams a file as a
+sequence of bounded :class:`PointTable` chunks (what the out-of-core
+store builder ingests), and :func:`load_csv` is a thin consumer of that
+stream — peak memory is one chunk of parsed rows, not the whole file's
+string rows at once.
+"""
 
 from __future__ import annotations
 
 import csv
+import itertools
 from pathlib import Path
 
 import numpy as np
 
 from ..errors import SchemaError
-from .column import CATEGORICAL, NUMERIC, TIMESTAMP, Column
+from .column import (
+    CATEGORICAL,
+    NUMERIC,
+    TIMESTAMP,
+    Column,
+    categorical_column,
+)
 from .table import PointTable
+
+DEFAULT_CSV_CHUNK_ROWS = 100_000
 
 
 def save_npz(table: PointTable, path) -> None:
@@ -72,40 +88,134 @@ def save_csv(table: PointTable, path) -> None:
             writer.writerow(row)
 
 
+def _chunk_table(header: list[str], rows: list[list[str]],
+                 timestamp_columns: tuple[str, ...], forced: set[str],
+                 kinds: dict[str, str] | None, name: str
+                 ) -> tuple[PointTable, dict[str, str]]:
+    """Parse one batch of CSV rows into a table, inferring column kinds
+    on the first batch (``kinds is None``) and enforcing them after."""
+    cols_raw = list(zip(*rows))
+    x = np.asarray(cols_raw[0], dtype=np.float64)
+    y = np.asarray(cols_raw[1], dtype=np.float64)
+    kinds = {} if kinds is None else kinds
+    attrs: dict[str, Column] = {}
+    for cname, raw in zip(header[2:], cols_raw[2:]):
+        kind = kinds.get(cname)
+        as_float = None
+        if kind is None:
+            if cname in forced:
+                kind = CATEGORICAL
+            else:
+                try:
+                    as_float = np.asarray(raw, dtype=np.float64)
+                    kind = (TIMESTAMP if cname in timestamp_columns
+                            else NUMERIC)
+                except ValueError:
+                    kind = CATEGORICAL
+            kinds[cname] = kind
+        if kind == CATEGORICAL:
+            attrs[cname] = categorical_column(cname, list(raw))
+            continue
+        if as_float is None:
+            try:
+                as_float = np.asarray(raw, dtype=np.float64)
+            except ValueError:
+                # The streaming contract: kinds are fixed by the first
+                # chunk.  Attach the column so load_csv can re-stream
+                # with it forced categorical (whole-file semantics).
+                exc = SchemaError(
+                    f"column {cname!r} was inferred numeric from the "
+                    f"first chunk but holds non-numeric values later; "
+                    f"list it in categorical_columns")
+                exc.column = cname
+                raise exc from None
+        if kind == TIMESTAMP:
+            attrs[cname] = Column(cname, TIMESTAMP,
+                                  as_float.astype(np.int64))
+        else:
+            attrs[cname] = Column(cname, NUMERIC, as_float)
+    return PointTable.from_arrays(x, y, name=name, **attrs), kinds
+
+
+def iter_csv_chunks(path, chunk_rows: int = DEFAULT_CSV_CHUNK_ROWS,
+                    timestamp_columns: tuple[str, ...] = ("t", "timestamp"),
+                    name: str | None = None,
+                    categorical_columns: tuple[str, ...] = ()):
+    """Stream an ``x,y,...`` CSV as :class:`PointTable` chunks.
+
+    Yields tables of at most ``chunk_rows`` rows; peak memory is one
+    chunk's parsed rows, never the whole file.  Column kinds are
+    inferred from the first chunk (float-parseable -> numeric, or
+    timestamp when named in ``timestamp_columns``; otherwise
+    categorical) and enforced on every later chunk — a declared-numeric
+    column meeting an unparseable value raises :class:`SchemaError`
+    naming the column, so callers can re-stream with it listed in
+    ``categorical_columns``.  Chunks of one file share kinds but not
+    categorical code spaces; consumers that merge chunks re-encode
+    (:meth:`PointTable.concat` and the store writer both do).
+    """
+    if chunk_rows < 1:
+        raise SchemaError("chunk_rows must be >= 1")
+    path = Path(path)
+    base = name or path.stem
+    forced = set(categorical_columns)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError("CSV has no data rows") from None
+        if header[:2] != ["x", "y"]:
+            raise SchemaError(
+                f"CSV must start with x,y columns, got {header[:2]}")
+        kinds: dict[str, str] | None = None
+        index = 0
+        while True:
+            rows = list(itertools.islice(reader, chunk_rows))
+            if not rows:
+                break
+            table, kinds = _chunk_table(header, rows, timestamp_columns,
+                                        forced, kinds,
+                                        f"{base}[{index}]")
+            index += 1
+            yield table
+        if index == 0:
+            raise SchemaError("CSV has no data rows")
+
+
 def load_csv(path, timestamp_columns: tuple[str, ...] = ("t", "timestamp"),
-             name: str | None = None) -> PointTable:
+             name: str | None = None,
+             chunk_rows: int = DEFAULT_CSV_CHUNK_ROWS) -> PointTable:
     """Read a CSV written by :func:`save_csv` (or any x,y,... CSV).
 
     Column kinds are inferred: values parseable as floats become numeric
     (or timestamps when the column name is in ``timestamp_columns``),
-    everything else becomes categorical.
+    everything else becomes categorical.  Implemented over
+    :func:`iter_csv_chunks`, so the raw string rows are never all
+    resident at once; a column that turns non-numeric only after the
+    first chunk triggers one re-stream with that column forced
+    categorical, preserving whole-file inference semantics.
     """
     path = Path(path)
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader)
-        rows = list(reader)
-    if header[:2] != ["x", "y"]:
-        raise SchemaError(f"CSV must start with x,y columns, got {header[:2]}")
-    if not rows:
-        raise SchemaError("CSV has no data rows")
-
-    cols_raw = list(zip(*rows))
-    x = np.asarray(cols_raw[0], dtype=np.float64)
-    y = np.asarray(cols_raw[1], dtype=np.float64)
-    attrs = {}
-    for cname, raw in zip(header[2:], cols_raw[2:]):
+    forced: set[str] = set()
+    while True:
+        chunks: list[PointTable] = []
         try:
-            as_float = np.asarray(raw, dtype=np.float64)
-            numeric_ok = True
-        except ValueError:
-            numeric_ok = False
-        if numeric_ok and cname in timestamp_columns:
-            attrs[cname] = Column(cname, TIMESTAMP, as_float.astype(np.int64))
-        elif numeric_ok:
-            attrs[cname] = Column(cname, NUMERIC, as_float)
-        else:
-            from .column import categorical_column
-
-            attrs[cname] = categorical_column(cname, list(raw))
-    return PointTable.from_arrays(x, y, name=name or path.stem, **attrs)
+            for chunk in iter_csv_chunks(
+                    path, chunk_rows=chunk_rows,
+                    timestamp_columns=timestamp_columns,
+                    categorical_columns=tuple(forced)):
+                chunks.append(chunk)
+        except SchemaError as exc:
+            column = getattr(exc, "column", None)
+            if column is None or column in forced:
+                raise
+            forced.add(column)
+            continue
+        break
+    if not chunks:
+        raise SchemaError("CSV has no data rows")
+    final_name = name or path.stem
+    if len(chunks) == 1:
+        return chunks[0].rename(final_name)
+    return PointTable.concat(chunks, name=final_name)

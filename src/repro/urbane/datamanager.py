@@ -10,6 +10,8 @@ is reused by the timeline, the comparison view, and the next gesture.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from ..core import (
     AggregationResult,
     RegionSet,
@@ -21,21 +23,49 @@ from ..table import PointTable
 
 
 class DataManager:
-    """Named data sets + region resolutions + the query engine."""
+    """Named data sets + region resolutions + the query engine.
+
+    Data sets come in two flavors: in-memory :class:`PointTable`\\ s
+    registered eagerly, and on-disk store directories registered
+    **lazily** via :meth:`add_store` — those are opened (one manifest
+    read, zero column bytes) only when the first query names them, and
+    each mounts partitions under its own LRU memory budget.
+    """
 
     def __init__(self, engine: SpatialAggregationEngine | None = None):
         self.engine = engine or SpatialAggregationEngine()
         self._datasets: dict[str, PointTable] = {}
         self._regions: dict[str, RegionSet] = {}
+        #: name -> (store path, partition-mount budget); moved to
+        #: ``_datasets`` as an open Dataset on first query.
+        self._stores: dict[str, tuple[Path, int | None]] = {}
 
     # -- registration ------------------------------------------------------
 
     def add_dataset(self, table: PointTable, name: str | None = None) -> str:
         """Register a point data set; returns the name used."""
         name = name or table.name
-        if name in self._datasets:
+        if name in self._datasets or name in self._stores:
             raise QueryError(f"dataset {name!r} already registered")
         self._datasets[name] = table
+        return name
+
+    def add_store(self, path, name: str | None = None,
+                  memory_budget_bytes: int | None = None) -> str:
+        """Register an on-disk dataset store *without opening it*.
+
+        The store directory is validated and opened on the first query
+        that names it; until then registration costs nothing, so a
+        server can declare every store it might serve and pay only for
+        the ones actually queried.  ``memory_budget_bytes`` caps the
+        bytes of partition files the opened dataset keeps mapped
+        (least-recently-scanned mappings are dropped first).
+        """
+        path = Path(path)
+        name = name or path.name
+        if name in self._datasets or name in self._stores:
+            raise QueryError(f"dataset {name!r} already registered")
+        self._stores[name] = (path, memory_budget_bytes)
         return name
 
     def add_region_set(self, regions: RegionSet, name: str | None = None
@@ -51,19 +81,41 @@ class DataManager:
 
     @property
     def dataset_names(self) -> list[str]:
-        return sorted(self._datasets)
+        return sorted(set(self._datasets) | set(self._stores))
 
     @property
     def region_set_names(self) -> list[str]:
         return sorted(self._regions)
 
     def dataset(self, name: str) -> PointTable:
-        try:
-            return self._datasets[name]
-        except KeyError:
-            raise QueryError(
-                f"no dataset {name!r}; registered: {self.dataset_names}"
-            ) from None
+        table = self._datasets.get(name)
+        if table is not None:
+            return table
+        pending = self._stores.pop(name, None)
+        if pending is not None:
+            from ..store import Dataset
+
+            path, budget = pending
+            dataset = Dataset.open(path, memory_budget_bytes=budget)
+            self._datasets[name] = dataset
+            return dataset
+        raise QueryError(
+            f"no dataset {name!r}; registered: {self.dataset_names}")
+
+    def store_status(self) -> list[dict]:
+        """Mount state of every registered store (lazy ones included)."""
+        from ..store import Dataset
+
+        status = []
+        for name, (path, budget) in sorted(self._stores.items()):
+            status.append({"name": name, "path": str(path),
+                           "opened": False,
+                           "memory_budget_bytes": budget})
+        for name, table in sorted(self._datasets.items()):
+            if isinstance(table, Dataset):
+                status.append({"name": name, "path": str(table.path),
+                               "opened": True, **table.mount_stats()})
+        return status
 
     def region_set(self, name: str) -> RegionSet:
         try:

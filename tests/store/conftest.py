@@ -1,0 +1,45 @@
+"""Shared store fixtures: one deterministic store every suite reuses.
+
+The table is built so that every pruning axis has something to prune:
+x/y cluster by grid cell, ``t`` spans many buckets, ``fare`` is
+integer-valued (so parallel SUM folds stay exact), and ``kind`` labels
+are spatially skewed so categorical bitsets differ across partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store import Dataset, build_store
+from repro.table import PointTable, timestamp_column
+
+HOUR = 3_600
+STORE_ROWS = 60_000
+
+
+def make_store_table(n: int = STORE_ROWS, seed: int = 424242) -> PointTable:
+    gen = np.random.default_rng(seed)
+    x = gen.uniform(0, 100, n)
+    y = gen.uniform(0, 100, n)
+    fare = np.floor(gen.exponential(12.0, n))
+    t = gen.integers(0, 8 * HOUR, n)
+    # Spatially skewed labels: the west half never sees "c".
+    kind = np.where(x < 50, gen.choice(["a", "b"], n),
+                    gen.choice(["a", "b", "c"], n))
+    return PointTable.from_arrays(
+        x, y, name="store-pts",
+        fare=fare, t=timestamp_column("t", t), kind=kind)
+
+
+@pytest.fixture(scope="session")
+def store_table() -> PointTable:
+    return make_store_table()
+
+
+@pytest.fixture(scope="session")
+def store(store_table, tmp_path_factory) -> Dataset:
+    """The table written as a many-partition store (time-bucketed)."""
+    path = tmp_path_factory.mktemp("store") / "pts"
+    return build_store(store_table, path, partition_rows=2_048, grid=4,
+                       time_column="t", time_bucket_seconds=2 * HOUR)

@@ -1,0 +1,212 @@
+"""Out-of-core execution acceptance: bitwise parity with in-memory.
+
+The engine promise under test: running a query against an opened store
+returns *the same answer* as materializing the store and running the
+in-memory backend — bitwise for COUNT and SUM, within 1e-12 for AVG —
+while scanning only the partitions the zone maps cannot rule out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParallelConfig,
+    SpatialAggregation,
+    SpatialAggregationEngine,
+)
+from repro.errors import QueryError
+from repro.store import Dataset
+from repro.table import Comparison, TimeRange
+
+AGGS = [("count", None), ("sum", "fare"), ("avg", "fare"),
+        ("min", "fare"), ("max", "fare")]
+
+
+def assert_results_match(got, want, agg):
+    exact = agg in ("count", "sum", "min", "max")
+    for name in ("values", "lower", "upper"):
+        a, b = getattr(got, name), getattr(want, name)
+        if a is None or b is None:
+            assert a is None and b is None
+            continue
+        a, b = np.asarray(a), np.asarray(b)
+        if exact:
+            assert np.array_equal(a, b, equal_nan=True), name
+        else:
+            np.testing.assert_allclose(a, b, rtol=0, atol=1e-12)
+
+
+@pytest.fixture(scope="module")
+def reference(store):
+    """The store materialized in memory — the parity baseline."""
+    return store.to_table()
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("agg,column", AGGS)
+    def test_bounded_matches_in_memory(self, engine, store, reference,
+                                       simple_regions, agg, column):
+        query = SpatialAggregation(agg, column)
+        got = engine.execute(store, simple_regions, query, resolution=256)
+        want = engine.execute(reference, simple_regions, query,
+                              method="bounded", resolution=256)
+        assert got.method == "store-bounded-raster-join"
+        assert_results_match(got, want, agg)
+
+    def test_filters_match(self, engine, store, reference, simple_regions):
+        filters = (Comparison("fare", ">", 10.0),
+                   Comparison("kind", "==", "a"))
+        query = SpatialAggregation("sum", "fare", filters)
+        got = engine.execute(store, simple_regions, query, resolution=256)
+        want = engine.execute(reference, simple_regions, query,
+                              method="bounded", resolution=256)
+        assert_results_match(got, want, "sum")
+
+    def test_time_brush_matches_and_prunes(self, engine, store, reference,
+                                           simple_regions):
+        query = SpatialAggregation(
+            "count", None, (TimeRange("t", 0, 7_200),))
+        got = engine.execute(store, simple_regions, query, resolution=256)
+        want = engine.execute(reference, simple_regions, query,
+                              method="bounded", resolution=256)
+        assert_results_match(got, want, "count")
+        parts = got.stats["store"]["partitions"]
+        # The store is bucketed at 2h over an 8h span: a 2h brush must
+        # prune most of it.
+        assert parts["pruned"] > 0
+        assert parts["scanned"] < parts["total"]
+
+    def test_signed_values_use_abs_mass(self, engine, tmp_path,
+                                        simple_regions):
+        from repro.store import build_store
+        from repro.table import PointTable, timestamp_column
+
+        gen = np.random.default_rng(78)
+        n = 5_000
+        signed = PointTable.from_arrays(
+            gen.uniform(0, 100, n), gen.uniform(0, 100, n), name="signed",
+            delta=np.floor(gen.normal(0, 8, n)),
+            t=timestamp_column("t", gen.integers(0, 3_600, n)))
+        ds = build_store(signed, tmp_path / "signed", partition_rows=512,
+                         grid=4)
+        query = SpatialAggregation("sum", "delta")
+        got = engine.execute(ds, simple_regions, query, resolution=256)
+        want = engine.execute(ds.to_table(), simple_regions, query,
+                              method="bounded", resolution=256)
+        assert_results_match(got, want, "sum")
+
+
+class TestViewportPruning:
+    def test_viewport_restricted_query_prunes(self, engine, store,
+                                              reference, simple_regions):
+        """The acceptance scenario: a zoomed viewport skips partitions
+        outside the window, answer unchanged."""
+        from repro.raster import Viewport
+
+        viewport = Viewport.fit(simple_regions.geometries[0].bbox, 128)
+        query = SpatialAggregation("count", None)
+        got = engine.execute(store, simple_regions, query,
+                             viewport=viewport)
+        want = engine.execute(reference, simple_regions, query,
+                              method="bounded", viewport=viewport)
+        assert_results_match(got, want, "count")
+        assert got.stats["store"]["partitions"]["pruned"] > 0
+
+
+class TestTiled:
+    def test_tiled_matches_in_memory_tiled(self, engine, store, reference,
+                                           simple_regions):
+        query = SpatialAggregation("sum", "fare")
+        got = engine.execute(store, simple_regions, query, method="tiled",
+                             resolution=1_500)
+        want = engine.execute(reference, simple_regions, query,
+                              method="tiled", resolution=1_500)
+        assert got.method == "store-tiled-bounded-raster-join"
+        assert_results_match(got, want, "sum")
+        assert got.stats["store"]["partitions"]["scanned"] > 0
+
+    def test_auto_goes_tiled_over_canvas_cap(self, store, simple_regions):
+        engine = SpatialAggregationEngine(max_canvas_resolution=512)
+        query = SpatialAggregation("count", None)
+        got = engine.execute(store, simple_regions, query,
+                             resolution=2_000)
+        assert got.method == "store-tiled-bounded-raster-join"
+
+    def test_tiled_rejects_explicit_viewport(self, engine, store,
+                                             simple_regions):
+        from repro.raster import Viewport
+
+        viewport = Viewport.fit(simple_regions.bbox, 128)
+        with pytest.raises(QueryError):
+            engine.execute(store, simple_regions,
+                           SpatialAggregation("count", None),
+                           method="tiled", viewport=viewport)
+
+
+class TestParallel:
+    def test_parallel_scan_matches(self, store, reference, simple_regions):
+        parallel = ParallelConfig(workers=3, chunk_size=400,
+                                  serial_threshold=100)
+        engine = SpatialAggregationEngine(default_resolution=256,
+                                          parallel=parallel)
+        for agg, column in [("count", None), ("sum", "fare"),
+                            ("min", "fare"), ("max", "fare")]:
+            query = SpatialAggregation(agg, column)
+            got = engine.execute(store, simple_regions, query,
+                                 resolution=256)
+            want = engine.execute(reference, simple_regions, query,
+                                  method="bounded", resolution=256)
+            assert_results_match(got, want, agg)
+
+
+class TestBudgetedScan:
+    def test_out_of_core_scan_under_budget(self, store, simple_regions,
+                                           engine):
+        """A store far larger than the mount budget still answers
+        bitwise-identically, holding only O(partition) bytes mapped."""
+        budget = max(info.nbytes for info in store.partitions) * 2
+        assert budget < store.total_nbytes / 4
+        budgeted = Dataset.open(store.path, memory_budget_bytes=budget)
+        query = SpatialAggregation("sum", "fare")
+        got = engine.execute(budgeted, simple_regions, query,
+                             resolution=256)
+        want = engine.execute(store.to_table(), simple_regions, query,
+                              method="bounded", resolution=256)
+        assert_results_match(got, want, "sum")
+        mounts = budgeted.mount_stats()
+        assert mounts["evictions"] > 0
+        assert mounts["mapped_bytes"] <= budget
+
+
+class TestPlanAndErrors:
+    def test_stats_payload(self, engine, store, simple_regions):
+        result = engine.execute(store, simple_regions,
+                                SpatialAggregation("count", None),
+                                resolution=256)
+        sstats = result.stats["store"]
+        assert sstats["dataset"] == store.name
+        parts = sstats["partitions"]
+        assert parts["total"] == store.num_partitions
+        assert parts["scanned"] + parts["pruned"] == parts["total"]
+        assert result.stats["plan"]["decision"]["chosen"].startswith("store-")
+        assert "cache" in result.stats
+
+    def test_exact_rejected(self, engine, store, simple_regions):
+        with pytest.raises(QueryError, match="exact"):
+            engine.execute(store, simple_regions,
+                           SpatialAggregation("count", None), exact=True)
+
+    def test_unknown_method_rejected(self, engine, store, simple_regions):
+        with pytest.raises(QueryError):
+            engine.execute(store, simple_regions,
+                           SpatialAggregation("count", None),
+                           method="naive")
+
+    def test_unknown_column_raises_at_scan(self, engine, store,
+                                           simple_regions):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError, match="no column"):
+            engine.execute(store, simple_regions,
+                           SpatialAggregation("sum", "nope"),
+                           resolution=256)

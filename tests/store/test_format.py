@@ -1,0 +1,140 @@
+"""Zone maps and manifest/footer serialization (schema v1).
+
+The edge cases the pruner leans on: empty partitions, single-point
+partitions, all-NaN columns (min/max must be None, not NaN), and
+categorical bitsets that survive a JSON round trip untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.geometry import BBox
+from repro.store.format import (
+    STORE_FORMAT_VERSION,
+    ColumnSpec,
+    Manifest,
+    PartitionInfo,
+    build_zones,
+    column_zone,
+    read_footer,
+    read_manifest,
+    write_footer,
+    write_manifest,
+    zone_bitset,
+    zone_max,
+    zone_min,
+)
+from repro.table.column import CATEGORICAL, NUMERIC, TIMESTAMP
+
+
+class TestColumnZone:
+    def test_numeric_min_max_nan_count(self):
+        zone = column_zone(NUMERIC, np.array([3.0, np.nan, -1.5, 8.0]))
+        assert zone_min(zone) == -1.5
+        assert zone_max(zone) == 8.0
+        assert zone["nan_count"] == 1
+
+    def test_empty_column_has_none_bounds(self):
+        for kind in (NUMERIC, TIMESTAMP):
+            zone = column_zone(kind, np.empty(0))
+            assert zone_min(zone) is None
+            assert zone_max(zone) is None
+
+    def test_single_point_min_equals_max(self):
+        zone = column_zone(NUMERIC, np.array([4.25]))
+        assert zone_min(zone) == zone_max(zone) == 4.25
+
+    def test_all_nan_column_has_none_bounds_and_full_count(self):
+        zone = column_zone(NUMERIC, np.full(7, np.nan))
+        assert zone_min(zone) is None
+        assert zone_max(zone) is None
+        assert zone["nan_count"] == 7
+
+    def test_infinities_survive_json(self):
+        import json
+
+        zone = column_zone(NUMERIC, np.array([-np.inf, 1.0, np.inf]))
+        back = json.loads(json.dumps(zone))
+        assert zone_min(back) == -np.inf
+        assert zone_max(back) == np.inf
+
+    def test_timestamp_zone_is_integer(self):
+        zone = column_zone(TIMESTAMP, np.array([30, 10, 20], dtype=np.int64))
+        assert zone["min"] == 10 and zone["max"] == 30
+
+    def test_categorical_bitset_presence(self):
+        zone = column_zone(CATEGORICAL, np.array([0, 2, 2, 5], dtype=np.int32))
+        bits = zone_bitset(zone)
+        assert bits == (1 << 0) | (1 << 2) | (1 << 5)
+        # Absent codes are absent: code 1 was never written.
+        assert not bits >> 1 & 1
+
+    def test_categorical_empty_bitset(self):
+        zone = column_zone(CATEGORICAL, np.empty(0, dtype=np.int32))
+        assert zone_bitset(zone) == 0
+
+
+class TestBuildZones:
+    def test_bbox_and_zones(self):
+        x = np.array([1.0, 5.0, 3.0])
+        y = np.array([2.0, 0.5, 4.0])
+        bbox, zones = build_zones(x, y, {"v": (NUMERIC, np.array([1., 2., 3.]))})
+        assert bbox == BBox(1.0, 0.5, 5.0, 4.0)
+        assert zone_min(zones["v"]) == 1.0
+
+    def test_empty_partition_has_no_bbox(self):
+        bbox, zones = build_zones(np.empty(0), np.empty(0),
+                                  {"v": (NUMERIC, np.empty(0))})
+        assert bbox is None
+        assert zone_min(zones["v"]) is None
+
+
+class TestManifestRoundTrip:
+    def _manifest(self):
+        info = PartitionInfo(
+            "p00000", 3, (2, 1), BBox(0, 0, 1, 1),
+            zones={"fare": column_zone(NUMERIC, np.array([1.0, 2.0])),
+                   "kind": column_zone(CATEGORICAL,
+                                       np.array([0, 3], dtype=np.int32))},
+            nbytes=72)
+        return Manifest(
+            name="trip", partition_rows=1024, grid_nx=4, grid_ny=4,
+            grid_bbox=BBox(0, 0, 10, 10), time_column="t",
+            time_bucket_seconds=3600,
+            columns=[ColumnSpec("fare", NUMERIC),
+                     ColumnSpec("kind", CATEGORICAL, ("a", "b", "c", "d"))],
+            partitions=[info])
+
+    def test_round_trip(self, tmp_path):
+        manifest = self._manifest()
+        write_manifest(tmp_path, manifest)
+        back = read_manifest(tmp_path)
+        assert back.to_json() == manifest.to_json()
+        assert back.rows == 3
+        assert back.column("kind").categories == ("a", "b", "c", "d")
+        assert zone_bitset(back.partitions[0].zones["kind"]) == 0b1001
+
+    def test_footer_round_trip(self, tmp_path):
+        info = self._manifest().partitions[0]
+        write_footer(tmp_path, info)
+        back = read_footer(tmp_path)
+        assert back.to_json() == info.to_json()
+
+    def test_newer_format_rejected(self, tmp_path):
+        manifest = self._manifest()
+        payload = manifest.to_json()
+        payload["format_version"] = STORE_FORMAT_VERSION + 1
+        import json
+
+        (tmp_path / "manifest.json").write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="newer"):
+            read_manifest(tmp_path)
+
+    def test_non_store_directory_rejected(self, tmp_path):
+        with pytest.raises(SchemaError, match="not a dataset store"):
+            read_manifest(tmp_path)
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(SchemaError, match="no column"):
+            self._manifest().column("nope")

@@ -1,0 +1,202 @@
+"""Pruning is conservative and answer-preserving.
+
+Two layers of evidence: synthetic zone maps exercise every per-node
+rule (the edge cases documented in :mod:`repro.store.pruner`), and the
+real store proves end-to-end that every *pruned* partition truly holds
+zero matching rows — the scanned set is a superset of the needed set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BBox
+from repro.raster import Viewport
+from repro.store import Dataset, PartitionPruner
+from repro.store.format import ColumnSpec, Manifest, PartitionInfo, column_zone
+from repro.table.column import CATEGORICAL, NUMERIC, TIMESTAMP
+from repro.table.filters import (
+    And,
+    Between,
+    Comparison,
+    IsIn,
+    Not,
+    Or,
+    TimeRange,
+)
+
+
+def make_pruner(columns, partitions):
+    manifest = Manifest(
+        name="synthetic", partition_rows=64, grid_nx=1, grid_ny=1,
+        grid_bbox=None, time_column=None, time_bucket_seconds=None,
+        columns=columns, partitions=partitions)
+    return PartitionPruner(Dataset("unused", manifest))
+
+
+def info(rows=4, bbox=BBox(0, 0, 1, 1), **zones):
+    return PartitionInfo("p00000", rows, (0, 0), bbox, zones=dict(zones))
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    columns = [ColumnSpec("fare", NUMERIC),
+               ColumnSpec("t", TIMESTAMP),
+               ColumnSpec("kind", CATEGORICAL, ("a", "b", "c"))]
+    return make_pruner(columns, [])
+
+
+class TestComparisonRules:
+    def test_numeric_range(self, synthetic):
+        part = info(fare=column_zone(NUMERIC, np.array([5.0, 10.0])))
+        assert synthetic.maybe_match(Comparison("fare", ">", 9), part)
+        assert not synthetic.maybe_match(Comparison("fare", ">", 10), part)
+        assert synthetic.maybe_match(Comparison("fare", ">=", 10), part)
+        assert not synthetic.maybe_match(Comparison("fare", "<", 5), part)
+        assert synthetic.maybe_match(Comparison("fare", "<=", 5), part)
+        assert synthetic.maybe_match(Comparison("fare", "==", 7), part)
+        assert not synthetic.maybe_match(Comparison("fare", "==", 11), part)
+
+    def test_single_point_zone(self, synthetic):
+        part = info(fare=column_zone(NUMERIC, np.array([4.0])))
+        assert synthetic.maybe_match(Comparison("fare", "==", 4), part)
+        assert not synthetic.maybe_match(Comparison("fare", "!=", 4), part)
+        assert not synthetic.maybe_match(Comparison("fare", "<", 4), part)
+
+    def test_all_nan_prunes_everything_but_ne(self, synthetic):
+        part = info(fare=column_zone(NUMERIC, np.full(4, np.nan)))
+        for op in ("<", "<=", ">", ">=", "=="):
+            assert not synthetic.maybe_match(Comparison("fare", op, 0), part)
+        # NaN != v is True, so != must keep the all-NaN partition.
+        assert synthetic.maybe_match(Comparison("fare", "!=", 0), part)
+        assert not synthetic.maybe_match(Between("fare", 0, 1), part)
+        assert not synthetic.maybe_match(IsIn("fare", (0.0, 1.0)), part)
+
+    def test_ne_keeps_partitions_with_nans(self, synthetic):
+        part = info(fare=column_zone(NUMERIC, np.array([3.0, np.nan])))
+        assert synthetic.maybe_match(Comparison("fare", "!=", 3), part)
+
+    def test_unknown_column_never_prunes(self, synthetic):
+        part = info(fare=column_zone(NUMERIC, np.array([1.0])))
+        assert synthetic.maybe_match(Comparison("mystery", "==", 9), part)
+
+
+class TestCategoricalRules:
+    def _part(self, codes):
+        return info(kind=column_zone(
+            CATEGORICAL, np.array(codes, dtype=np.int32)))
+
+    def test_label_not_in_bitset_prunes_eq(self, synthetic):
+        part = self._part([0, 1])  # only "a", "b" present
+        assert not synthetic.maybe_match(Comparison("kind", "==", "c"), part)
+        assert synthetic.maybe_match(Comparison("kind", "==", "b"), part)
+
+    def test_unknown_label(self, synthetic):
+        part = self._part([0, 1])
+        # Not in the store's domain at all: == matches nothing,
+        # != matches everything.
+        assert not synthetic.maybe_match(Comparison("kind", "==", "zz"), part)
+        assert synthetic.maybe_match(Comparison("kind", "!=", "zz"), part)
+
+    def test_ne_prunes_only_uniform_partition(self, synthetic):
+        assert not synthetic.maybe_match(
+            Comparison("kind", "!=", "a"), self._part([0, 0]))
+        assert synthetic.maybe_match(
+            Comparison("kind", "!=", "a"), self._part([0, 1]))
+
+    def test_isin_checks_each_label(self, synthetic):
+        part = self._part([2])  # only "c"
+        assert synthetic.maybe_match(IsIn("kind", ("a", "c")), part)
+        assert not synthetic.maybe_match(IsIn("kind", ("a", "b")), part)
+        assert not synthetic.maybe_match(IsIn("kind", ("zz",)), part)
+
+
+class TestTimeAndComposite:
+    def test_time_range_half_open(self, synthetic):
+        part = info(t=column_zone(TIMESTAMP,
+                                  np.array([100, 200], dtype=np.int64)))
+        assert synthetic.maybe_match(TimeRange("t", 150, 160), part)
+        assert synthetic.maybe_match(TimeRange("t", 200, 300), part)
+        # [start, end) — a partition starting exactly at `end` is out.
+        assert not synthetic.maybe_match(TimeRange("t", 0, 100), part)
+        assert not synthetic.maybe_match(TimeRange("t", 201, 300), part)
+
+    def test_not_never_prunes(self, synthetic):
+        part = info(fare=column_zone(NUMERIC, np.array([5.0])))
+        inner = Comparison("fare", "==", 99)  # provably no match
+        assert not synthetic.maybe_match(inner, part)
+        assert synthetic.maybe_match(Not(inner), part)
+
+    def test_and_or_combine(self, synthetic):
+        part = info(fare=column_zone(NUMERIC, np.array([5.0, 10.0])))
+        hit = Comparison("fare", ">", 7)
+        miss = Comparison("fare", ">", 99)
+        assert synthetic.maybe_match(And(hit, hit), part)
+        assert not synthetic.maybe_match(And(hit, miss), part)
+        assert synthetic.maybe_match(Or(miss, hit), part)
+        assert not synthetic.maybe_match(Or(miss, miss), part)
+
+
+class TestPruneOnRealStore:
+    """Every pruned partition provably holds zero matching rows."""
+
+    FILTERS = [
+        (Comparison("fare", ">", 100.0),),
+        (Comparison("kind", "==", "c"),),
+        (TimeRange("t", 0, 7_200),),
+        (TimeRange("t", 6 * 3_600, 8 * 3_600),
+         Comparison("fare", ">=", 0.0)),
+        (Between("t", 0, 3_599),),
+        (IsIn("kind", ("c",)),),
+    ]
+
+    @pytest.mark.parametrize("filters", FILTERS,
+                             ids=[f"f{i}" for i in range(len(FILTERS))])
+    def test_pruned_partitions_have_no_matches(self, store, filters):
+        pruner = PartitionPruner(store)
+        result = pruner.prune(filters)
+        survivors = set(result.indices)
+        assert result.pruned + len(survivors) == store.num_partitions
+        for index in range(store.num_partitions):
+            if index in survivors:
+                continue
+            part = store.partition_table(index)
+            for expr in filters:
+                if not expr.mask(part).any():
+                    break  # this filter proves the partition empty
+            else:
+                pytest.fail(f"partition {index} was pruned but matches")
+
+    def test_viewport_pruning_superset(self, store):
+        viewport = Viewport(BBox(0, 0, 25, 25), 64, 64)
+        result = PartitionPruner(store).prune((), viewport=viewport)
+        assert result.pruned_viewport > 0
+        for index in range(store.num_partitions):
+            if index in set(result.indices):
+                continue
+            part = store.partition_table(index)
+            _, valid = viewport.pixel_ids_of(part.x, part.y)
+            assert not valid.any()
+
+    def test_time_brush_prunes_buckets(self, store):
+        """The store is bucketed at 2h; a 2h brush keeps ~1/4 of it."""
+        result = PartitionPruner(store).prune((TimeRange("t", 0, 7_200),))
+        assert 0 < len(result.indices) < store.num_partitions
+
+    def test_stats_payload(self, store):
+        result = PartitionPruner(store).prune((Comparison("kind", "==", "c"),))
+        stats = result.stats()
+        parts = stats["partitions"]
+        assert parts["total"] == store.num_partitions
+        assert parts["pruned"] + parts["scanned"] == parts["total"]
+        assert parts["pruned"] == result.pruned > 0
+        assert stats["rows"]["scanned"] == result.rows_scanned
+        assert stats["bytes_scanned"] > 0
+
+    def test_empty_partition_pruned(self):
+        pruner = make_pruner(
+            [ColumnSpec("fare", NUMERIC)],
+            [PartitionInfo("p00000", 0, (0, 0), None),
+             info(fare=column_zone(NUMERIC, np.array([1.0])))])
+        result = pruner.prune(())
+        assert result.pruned_empty == 1
+        assert result.indices == [1]

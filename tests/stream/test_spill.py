@@ -1,0 +1,135 @@
+"""Stream-to-store spill: the live buffer's settled head goes out of
+core without changing any answer.
+
+The contract: running aggregates (matrix, live cubes) keep covering
+spilled rows, the store + retained tail together hold exactly the
+ingested history, and repeated spills append to one growing store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RegionSet,
+    SpatialAggregation,
+    SpatialAggregationEngine,
+)
+from repro.geometry import Polygon
+from repro.store import Dataset
+from repro.stream import PointStream
+from repro.table import PointTable, timestamp_column
+
+HOUR = 3_600
+
+
+@pytest.fixture(scope="module")
+def spill_regions() -> RegionSet:
+    def square(x0, y0):
+        return Polygon([(x0, y0), (x0 + 4, y0), (x0 + 4, y0 + 4),
+                        (x0, y0 + 4)])
+
+    return RegionSet("quads", [square(0, 0), square(5, 0),
+                               square(0, 5), square(5, 5)],
+                     ["sw", "se", "nw", "ne"])
+
+
+def make_batch(gen, t0, n=2_000):
+    t = np.sort(gen.integers(t0, t0 + HOUR, n))
+    return PointTable.from_arrays(
+        gen.uniform(0, 9, n), gen.uniform(0, 9, n), name="feed",
+        fare=np.floor(gen.exponential(9.0, n)),
+        t=timestamp_column("t", t))
+
+
+@pytest.fixture()
+def fed_stream(spill_regions):
+    gen = np.random.default_rng(52)
+    stream = PointStream(spill_regions, resolution=128,
+                         bucket_seconds=HOUR)
+    batches = [make_batch(gen, hour * HOUR) for hour in range(5)]
+    for batch in batches:
+        stream.append(batch)
+    return stream, batches, gen
+
+
+class TestSpill:
+    def test_default_cutoff_keeps_open_bucket(self, fed_stream, tmp_path):
+        stream, batches, _ = fed_stream
+        stats = stream.spill(tmp_path / "store", partition_rows=1_024)
+        assert stats["before"] == 4 * HOUR
+        assert stats["rows_spilled"] == 4 * 2_000
+        assert stats["rows_retained"] == 2_000 == len(stream)
+        assert stream.table().column("t").values.min() >= 4 * HOUR
+
+    def test_store_plus_tail_is_whole_history(self, fed_stream, tmp_path,
+                                              spill_regions):
+        stream, batches, _ = fed_stream
+        stream.spill(tmp_path / "store", partition_rows=1_024)
+        ds = Dataset.open(tmp_path / "store")
+        whole = PointTable.concat(batches, name="all")
+        assert len(ds) + len(stream) == len(whole)
+
+        engine = SpatialAggregationEngine(default_resolution=128)
+        query = SpatialAggregation("sum", "fare")
+        spilled = engine.execute(ds, spill_regions, query, resolution=128)
+        tail = engine.execute(stream.table(), spill_regions, query,
+                              method="bounded", resolution=128)
+        full = engine.execute(whole, spill_regions, query,
+                              method="bounded", resolution=128)
+        assert np.array_equal(
+            np.asarray(spilled.values) + np.asarray(tail.values),
+            np.asarray(full.values))
+
+    def test_running_aggregates_unaffected(self, fed_stream, tmp_path):
+        stream, _, _ = fed_stream
+        before = stream.matrix().values.copy()
+        stream.spill(tmp_path / "store")
+        assert np.array_equal(stream.matrix().values, before)
+
+    def test_version_bumps_and_noop_spill(self, fed_stream, tmp_path):
+        stream, _, _ = fed_stream
+        v0 = stream.version
+        stats = stream.spill(tmp_path / "store")
+        assert stats["rows_spilled"] > 0
+        assert stream.version == v0 + 1
+        # Nothing left before the cutoff: a second spill is a no-op
+        # and does not churn the version.
+        again = stream.spill(tmp_path / "store")
+        assert again["rows_spilled"] == 0
+        assert stream.version == v0 + 1
+
+    def test_repeated_spills_append(self, fed_stream, tmp_path):
+        stream, batches, gen = fed_stream
+        path = tmp_path / "store"
+        first = stream.spill(path)
+        stream.append(make_batch(gen, 5 * HOUR))
+        # Cutoff advances to the new open bucket: the previously
+        # retained bucket-4 rows spill, the fresh batch stays live.
+        second = stream.spill(path)
+        assert second["rows_spilled"] == 2_000
+        assert second["store_partitions"] >= first["store_partitions"]
+        ds = Dataset.open(path)
+        assert len(ds) == first["rows_spilled"] + second["rows_spilled"]
+        # Spilled partitions carry the stream's temporal bucketing.
+        assert ds.manifest.time_bucket_seconds == HOUR
+        assert ds.manifest.time_column == "t"
+
+    def test_explicit_cutoff(self, fed_stream, tmp_path):
+        stream, _, _ = fed_stream
+        stats = stream.spill(tmp_path / "store", before=2 * HOUR)
+        assert stats["rows_spilled"] == 2 * 2_000
+        assert len(stream) == 3 * 2_000
+
+    def test_spill_everything_empties_buffer(self, fed_stream, tmp_path):
+        stream, _, _ = fed_stream
+        last = stream.last_timestamp
+        stats = stream.spill(tmp_path / "store", before=last + 1)
+        assert stats["rows_retained"] == 0 == len(stream)
+        # Event-log ordering still enforced against the spilled past.
+        assert stream.last_timestamp == last
+
+    def test_empty_stream_spill_is_noop(self, spill_regions, tmp_path):
+        stream = PointStream(spill_regions, resolution=64)
+        stats = stream.spill(tmp_path / "store")
+        assert stats["rows_spilled"] == 0
+        assert not (tmp_path / "store").exists()

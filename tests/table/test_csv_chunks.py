@@ -1,0 +1,95 @@
+"""Chunked CSV ingestion: bounded memory, whole-file parity.
+
+``iter_csv_chunks`` must reproduce exactly what a whole-file
+``load_csv`` parse produces — same kinds, same values, same label sets
+— while only ever holding one chunk of rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import PointTable, iter_csv_chunks, load_csv, save_csv
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    gen = np.random.default_rng(31)
+    n = 5_000
+    table = PointTable.from_arrays(
+        gen.uniform(-10, 10, n), gen.uniform(-10, 10, n), name="trips",
+        fare=gen.exponential(9.0, n).round(2),
+        t=gen.integers(0, 10_000, n).astype(np.int64),
+        kind=gen.choice(["x", "y", "z"], n))
+    path = tmp_path / "trips.csv"
+    save_csv(table, path)
+    return path
+
+
+class TestIterCsvChunks:
+    def test_chunk_sizes(self, csv_path):
+        chunks = list(iter_csv_chunks(csv_path, chunk_rows=1_200))
+        assert [len(c) for c in chunks] == [1_200] * 4 + [200]
+
+    def test_chunks_concat_to_whole_file_parse(self, csv_path):
+        whole = load_csv(csv_path)
+        chunks = list(iter_csv_chunks(csv_path, chunk_rows=1_200))
+        merged = PointTable.concat(chunks, name=whole.name)
+        assert np.array_equal(merged.x, whole.x)
+        assert np.array_equal(merged.y, whole.y)
+        for name in whole.column_names:
+            a, b = merged.column(name), whole.column(name)
+            assert a.kind == b.kind
+            if a.kind == "categorical":
+                assert np.array_equal(np.asarray(a.categories)[a.values],
+                                      np.asarray(b.categories)[b.values])
+            else:
+                assert np.array_equal(a.values, b.values)
+
+    def test_kinds_fixed_by_first_chunk(self, csv_path):
+        first, *rest = iter_csv_chunks(csv_path, chunk_rows=500)
+        kinds = [first.column(n).kind for n in first.column_names]
+        for chunk in rest:
+            assert [chunk.column(n).kind
+                    for n in chunk.column_names] == kinds
+
+    def test_chunk_rows_validated(self, csv_path):
+        with pytest.raises(SchemaError, match="chunk_rows"):
+            list(iter_csv_chunks(csv_path, chunk_rows=0))
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y,fare\n")
+        with pytest.raises(SchemaError, match="no data rows"):
+            list(iter_csv_chunks(path))
+        with pytest.raises(SchemaError, match="no data rows"):
+            load_csv(path)
+
+    def test_missing_coordinates_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,fare\n1,2\n")
+        with pytest.raises(SchemaError):
+            list(iter_csv_chunks(path))
+
+
+class TestLateCategoricalRetry:
+    def test_numeric_then_text_column_retries_as_categorical(self, tmp_path):
+        """A column that parses numeric for the whole first chunk but
+        turns textual later must come back categorical end to end."""
+        path = tmp_path / "late.csv"
+        rows = ["x,y,code"]
+        rows += [f"{i},{i},{i % 3}" for i in range(40)]
+        rows += [f"{i},{i},unknown" for i in range(40, 50)]
+        path.write_text("\n".join(rows) + "\n")
+        table = load_csv(path, chunk_rows=16)
+        col = table.column("code")
+        assert col.kind == "categorical"
+        assert len(table) == 50
+        labels = set(np.asarray(col.categories)[col.values])
+        assert "unknown" in labels
+
+    def test_forced_categorical_skips_inference(self, tmp_path):
+        path = tmp_path / "codes.csv"
+        path.write_text("x,y,code\n1,1,7\n2,2,8\n")
+        chunks = list(iter_csv_chunks(path, categorical_columns=("code",)))
+        assert chunks[0].column("code").kind == "categorical"
