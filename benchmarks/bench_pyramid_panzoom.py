@@ -1,0 +1,266 @@
+"""Pan/zoom gesture latency: canvas-pyramid assembly vs. re-scatter.
+
+The pyramid's claim is that exploration gestures are near-duplicates of
+each other: once one frame has scattered, a pan re-scatters only the
+uncovered margin blocks, a zoom-out 2x2-reduces cached children, and a
+revisited window assembles entirely from cache — with answers bitwise
+identical to the direct bounded join.  This benchmark replays a gesture
+ladder (pans out and back, zoom out, zoom back) against a warm engine
+and times each gesture both ways, verifying parity per gesture.
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_pyramid_panzoom.py``) —
+  statistical timings in the shared benchmark session;
+* standalone (``python benchmarks/bench_pyramid_panzoom.py [--points N]
+  [--resolution 512] [--out BENCH_pyramid.json]``) — emits the
+  machine-readable record future PRs compare against, and exits
+  non-zero if any gesture diverges (CI's benchmark-smoke job runs this
+  at tiny sizes; the full-size acceptance bar is reuse >= 0.5 and a
+  >= 5x median warm-gesture speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _ladder(gv, step: int):
+    """Distinct gestures after the cold frame: pans out and back, a
+    zoom-out, and the zoom back in — revisit-heavy, like a session."""
+    frames = []
+    frames.append(("pan right", gv.pan(step, 0)))
+    frames.append(("pan down", frames[-1][1].pan(0, -step)))
+    frames.append(("pan back", frames[-1][1].pan(-step, step)))
+    frames.append(("zoom out", frames[-1][1].zoom(2.0)))
+    frames.append(("zoom in", frames[-1][1].zoom(0.5)))
+    frames.append(("pan revisit", frames[-1][1].pan(step, 0)))
+    return frames
+
+
+def run_panzoom(table, regions, resolution: int = 512, repeats: int = 5,
+                reuse_floor: float | None = None,
+                speedup_floor: float | None = None) -> dict:
+    """Time the gesture ladder assembled vs. re-scattered.
+
+    Returns the BENCH_pyramid.json payload: per-gesture latency for
+    both paths, block reuse, and per-gesture equality verdicts.
+    """
+    from repro.core import (
+        SpatialAggregation,
+        SpatialAggregationEngine,
+        bounded_raster_join,
+    )
+    from repro.core.pyramid import Viewport
+    from repro.raster import build_fragment_table
+
+    engine = SpatialAggregationEngine(default_resolution=resolution)
+    gv = engine.plan_grid_viewport(regions, resolution)
+    query = SpatialAggregation.count()
+    step = max(16, resolution // 8)
+    frames = _ladder(gv, step)
+
+    # Cold frame: scatter and cache the base window (not measured —
+    # the claim is about *warm* gestures).
+    engine.execute(table, regions, query, method="bounded", viewport=gv)
+
+    # Direct path gets the same head start the warm engine has: the
+    # polygon pass is prefetched per window, so the comparison times
+    # the point pass, which is what assembly avoids.
+    direct_inputs = {}
+    for name, vp in frames:
+        plain = Viewport(vp.bbox, vp.width, vp.height)
+        direct_inputs[name] = (
+            plain, build_fragment_table(list(regions.geometries), plain))
+
+    def median_ms(fn):
+        times = []
+        for __ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return float(np.median(times) * 1000)
+
+    gestures = []
+    hits = misses = derived = 0
+    assembled_px = scattered_px = 0
+    for name, vp in frames:
+        got = engine.execute(table, regions, query, method="bounded",
+                             viewport=vp)
+        plain, fragments = direct_inputs[name]
+        want = bounded_raster_join(table, regions, query, plain,
+                                   fragments=fragments)
+        equal = (np.array_equal(got.values, want.values)
+                 and np.array_equal(got.lower, want.lower)
+                 and np.array_equal(got.upper, want.upper))
+        blocks = got.stats["cache"]["blocks"]
+        hits += blocks["hits"]
+        misses += blocks["misses"]
+        derived += blocks["derived"]
+        assembled_px += blocks["assembled_pixels"]
+        scattered_px += blocks["scattered_pixels"]
+
+        assembled_ms = median_ms(lambda v=vp: engine.execute(
+            table, regions, query, method="bounded", viewport=v))
+        direct_ms = median_ms(lambda p=plain, f=fragments:
+                              bounded_raster_join(table, regions, query,
+                                                  p, fragments=f))
+        gestures.append({
+            "gesture": name,
+            "level": vp.level,
+            "assembled_ms": assembled_ms,
+            "direct_ms": direct_ms,
+            "speedup": direct_ms / assembled_ms if assembled_ms > 0
+            else float("inf"),
+            "block_hits": blocks["hits"],
+            "block_derived": blocks["derived"],
+            "block_misses": blocks["misses"],
+            "reuse_fraction": blocks["reuse_fraction"],
+            "equal": bool(equal),
+        })
+
+    total_px = assembled_px + scattered_px
+    return {
+        "benchmark": "pyramid-panzoom",
+        "points": len(table),
+        "regions": len(regions),
+        "resolution": resolution,
+        "pan_step_pixels": step,
+        "repeats": repeats,
+        "reuse_floor": reuse_floor,
+        "speedup_floor": speedup_floor,
+        "reuse_fraction": assembled_px / total_px if total_px else 0.0,
+        "block_hits": hits,
+        "block_derived": derived,
+        "block_misses": misses,
+        "median_speedup": float(np.median(
+            [g["speedup"] for g in gestures])),
+        "parity_ok": all(g["equal"] for g in gestures),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+        "gestures": gestures,
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="pyramid panzoom")
+
+    @pytest.mark.parametrize("path", ["assembled", "rescatter"])
+    def test_warm_pan_latency(benchmark, bench_taxi, bench_regions, path):
+        from repro.core import (
+            SpatialAggregation,
+            SpatialAggregationEngine,
+            bounded_raster_join,
+        )
+        from repro.core.pyramid import Viewport
+        from repro.raster import build_fragment_table
+
+        table = bench_taxi["200k"]
+        regions = bench_regions["neighborhoods"]
+        engine = SpatialAggregationEngine(default_resolution=512)
+        gv = engine.plan_grid_viewport(regions, 512)
+        query = SpatialAggregation.count()
+        engine.execute(table, regions, query, method="bounded",
+                       viewport=gv)
+        panned = gv.pan(64, 0).pan(-64, 0)  # warm revisit
+
+        if path == "assembled":
+            run = lambda: engine.execute(  # noqa: E731
+                table, regions, query, method="bounded", viewport=panned)
+        else:
+            plain = Viewport(panned.bbox, panned.width, panned.height)
+            fragments = build_fragment_table(
+                list(regions.geometries), plain)
+            run = lambda: bounded_raster_join(  # noqa: E731
+                table, regions, query, plain, fragments=fragments)
+        run()
+        result = benchmark(run)
+        benchmark.extra_info["path"] = path
+        benchmark.extra_info["total_count"] = float(result.values.sum())
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="pan/zoom gesture latency: pyramid assembly vs. "
+                    "re-scatter -> JSON")
+    parser.add_argument("--points", type=int, default=800_000)
+    parser.add_argument("--regions", type=int, default=71)
+    parser.add_argument("--resolution", type=int, default=512)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--reuse-floor", type=float, default=None,
+                        help="fail if the ladder's assembled-pixel "
+                             "fraction lands below this (full-size "
+                             "bar: 0.5)")
+    parser.add_argument("--speedup-floor", type=float, default=None,
+                        help="fail if the median warm-gesture speedup "
+                             "lands below this (full-size bar: 5)")
+    parser.add_argument("--out", default="BENCH_pyramid.json")
+    args = parser.parse_args(argv)
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+
+    payload = run_panzoom(table, regions, resolution=args.resolution,
+                          repeats=args.repeats,
+                          reuse_floor=args.reuse_floor,
+                          speedup_floor=args.speedup_floor)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'gesture':>12} {'assembled':>10} {'direct':>9} "
+          f"{'speedup':>8} {'reuse':>6}  equal")
+    for g in payload["gestures"]:
+        print(f"{g['gesture']:>12} {g['assembled_ms']:>8.2f}ms "
+              f"{g['direct_ms']:>7.1f}ms {g['speedup']:>7.1f}x "
+              f"{g['reuse_fraction'] * 100:>5.0f}%  {g['equal']}")
+    print(f"ladder reuse {payload['reuse_fraction'] * 100:.0f}%, "
+          f"median speedup {payload['median_speedup']:.1f}x")
+    print(f"wrote {out}")
+
+    if not payload["parity_ok"]:
+        diverged = [g["gesture"] for g in payload["gestures"]
+                    if not g["equal"]]
+        print(f"ERROR: assembled answers diverged for {diverged}",
+              file=sys.stderr)
+        return 1
+    if (args.reuse_floor is not None
+            and payload["reuse_fraction"] < args.reuse_floor):
+        print(f"ERROR: reuse fraction "
+              f"{payload['reuse_fraction']:.2f} below "
+              f"{args.reuse_floor}", file=sys.stderr)
+        return 1
+    if (args.speedup_floor is not None
+            and payload["median_speedup"] < args.speedup_floor):
+        print(f"ERROR: median gesture speedup "
+              f"{payload['median_speedup']:.1f}x below "
+              f"{args.speedup_floor}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -150,6 +150,14 @@ def _cmd_query(args) -> int:
               f"{cache.get('query_misses', 0)} misses this query, "
               f"{cache.get('entries', 0)} entries, "
               f"{cache.get('bytes', 0):,} bytes resident")
+        blocks = cache.get("blocks", {})
+        if blocks.get("hits", 0) or blocks.get("misses", 0) \
+                or blocks.get("derived", 0):
+            print(f"-- blocks: {blocks.get('hits', 0)} reused / "
+                  f"{blocks.get('derived', 0)} derived / "
+                  f"{blocks.get('misses', 0)} scattered, "
+                  f"{blocks.get('reuse_fraction', 0.0) * 100:.0f}% of "
+                  f"pixels assembled from cache")
     if args.csv:
         with open(args.csv, "w", newline="") as handle:
             writer = csv.writer(handle)
@@ -253,11 +261,27 @@ def _cmd_session(args) -> int:
     if numeric:
         session.set_aggregation(SpatialAggregation.avg_of(numeric[0]))
         session.set_aggregation(SpatialAggregation.count())
+    # Map gestures: a short pan/zoom ladder over the canvas pyramid.
+    # The first pan scatters blocks; every later gesture assembles
+    # mostly (or entirely) from the cache.
+    session.pan(0, 0)
+    step = max(1, args.resolution // 8)
+    session.pan(step, 0)
+    session.pan(0, -step)
+    session.zoom(2.0)
+    session.zoom(0.5)
+    session.pan(-step, step)
     print(session.report())
     cache = manager.cache_stats()
     print(f"-- engine cache: {cache['hits']} hits, {cache['misses']} "
           f"misses, {cache['evictions']} evictions, "
           f"{cache['bytes']:,} bytes resident")
+    blocks = cache.get("blocks", {})
+    print(f"-- block reuse: {blocks.get('hits', 0)} reused, "
+          f"{blocks.get('derived', 0)} derived, "
+          f"{blocks.get('misses', 0)} scattered "
+          f"({blocks.get('reuse_fraction', 0.0) * 100:.0f}% of pixels "
+          f"assembled)")
     return 0
 
 

@@ -63,6 +63,14 @@ from .parallel import (
     parallel_build_fragment_table,
     parallel_index_join,
 )
+from .pyramid import (
+    DEFAULT_BLOCK,
+    CanvasGrid,
+    GridViewport,
+    assembled_bounded_join,
+    block_coverage,
+    grid_viewport_for,
+)
 from .query import SpatialAggregation
 from .regions import RegionSet
 from .result import AggregationResult
@@ -90,10 +98,13 @@ __all__ = [
     "Backend",
     "BackendCapabilities",
     "COUNT",
+    "CanvasGrid",
     "CostBasedPlanner",
+    "DEFAULT_BLOCK",
     "DEFAULT_RESOLUTION",
     "ExecutionContext",
     "ExecutionPlan",
+    "GridViewport",
     "MAX",
     "MAX_CANVAS_RESOLUTION",
     "MAX_TCUBE_SLICES",
@@ -115,7 +126,9 @@ __all__ = [
     "TemporalCanvasCube",
     "TilePartial",
     "accurate_raster_join",
+    "assembled_bounded_join",
     "backend_names",
+    "block_coverage",
     "bump_revision",
     "boundary_mass_bounds",
     "bounded_raster_join",
@@ -124,6 +137,7 @@ __all__ = [
     "epsilon_for_viewport",
     "fingerprint",
     "get_backend",
+    "grid_viewport_for",
     "infer_bucket_seconds",
     "iter_tiled_partials",
     "make_tiles",

@@ -21,6 +21,7 @@ from ..parallel import (
     parallel_accurate_raster_join,
     parallel_bounded_raster_join,
 )
+from ..pyramid import GridViewport, assembled_bounded_join, block_coverage
 from ..tiling import tiled_bounded_raster_join
 from .base import Backend, BackendCapabilities, ExecutionPlan
 from .registry import register_backend
@@ -89,12 +90,29 @@ class BoundedRasterBackend(Backend):
 
     def estimate_cost(self, table, regions, plan, ctx=None) -> float:
         pixels = planned_pixels(regions, plan, ctx)
-        return (_point_units(table, ctx) + 0.05 * pixels
+        points = _point_units(table, ctx)
+        if ctx is not None and isinstance(plan.viewport, GridViewport):
+            # Pyramid assembly: cached blocks replace that fraction of
+            # the point pass — how ``auto`` prices assembly vs.
+            # re-scatter.
+            coverage = block_coverage(ctx, table, plan.query, plan.viewport)
+            points *= (1.0 - coverage)
+        return (points + 0.05 * pixels
                 + _fragment_cost(regions, plan, ctx, pixels))
 
     def run(self, ctx, plan):
         viewport = plan.viewport or ctx.plan_viewport(
             plan.regions, plan.resolution, plan.epsilon)
+        if isinstance(viewport, GridViewport):
+            # Grid-snapped viewports assemble from the block cache;
+            # only the uncovered delta is scattered, so the parallel
+            # point pass has nothing to shard.
+            result = assembled_bounded_join(
+                ctx, plan.table, plan.regions, plan.query, viewport,
+                fragments=ctx.fragments_for(plan.regions, viewport))
+            result.stats["parallel"] = {"mode": "serial",
+                                        "reason": "pyramid assembly"}
+            return result
         fragments = ctx.fragments_for(plan.regions, viewport)
         decision = decision_for(ctx, plan)
         if decision["use"]:
@@ -163,6 +181,17 @@ class TiledRasterBackend(Backend):
                     1.0, math.sqrt(pixels) / 1024.0))
 
     def run(self, ctx, plan):
+        if isinstance(plan.viewport, GridViewport):
+            # Under a grid-snapped viewport the cache blocks *are* the
+            # tiles: assembly runs the same per-block pixel partition
+            # the tiled join would, with the partials cached across
+            # gestures instead of recomputed.
+            result = assembled_bounded_join(
+                ctx, plan.table, plan.regions, plan.query, plan.viewport,
+                fragments=ctx.fragments_for(plan.regions, plan.viewport))
+            result.stats["parallel"] = {"mode": "serial",
+                                        "reason": "pyramid assembly"}
+            return result
         resolution = plan.resolution
         if resolution is None and plan.epsilon is not None:
             resolution = planned_resolution(plan.regions, plan, ctx,

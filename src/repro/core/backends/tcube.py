@@ -109,7 +109,8 @@ class TemporalCanvasCubeBackend(Backend):
             if built:
                 build_s = time.perf_counter() - t0
 
-        result = cube.answer(plan.regions, fragments, query)
+        result = cube.answer(plan.regions, fragments, query,
+                             viewport=viewport)
         result.stats["tcube"].update({
             "built": built,
             "hit": not built,

@@ -103,13 +103,29 @@ def _is_mmap_backed(arr: np.ndarray) -> bool:
     return False
 
 
-def estimate_nbytes(value, _depth: int = 0) -> int:
+def _buffer_root(arr: np.ndarray) -> np.ndarray:
+    """The array that owns ``arr``'s buffer (walks the ``.base`` chain)."""
+    node = arr
+    while isinstance(getattr(node, "base", None), np.ndarray):
+        node = node.base
+    return node
+
+
+def estimate_nbytes(value, _depth: int = 0, _seen: set | None = None) -> int:
     """Approximate resident size of a cached artifact.
 
     Sums ndarray buffers reachable through attributes/containers (two
     levels deep), preferring an object's own ``memory_bytes()`` when it
     has one.  An estimate, not an audit — the cache budget only needs
     the right order of magnitude.
+
+    Arrays sharing one buffer are charged **once**: each ndarray is
+    resolved to its buffer-owning root through the ``.base`` chain, and
+    a root already seen within this artifact charges zero.  Pyramid
+    levels and canvas slices are views of their source canvas, so
+    charging each view its full ``nbytes`` would bill the same memory
+    several times over and evict unrelated artifacts to cover bytes
+    that were never allocated.
 
     Memmap-backed arrays charge **zero**: their pages are file-backed
     and reclaimable by the OS at any time, so billing them against the
@@ -119,22 +135,29 @@ def estimate_nbytes(value, _depth: int = 0) -> int:
     """
     if value is None:
         return 0
+    if _seen is None:
+        _seen = set()
     if isinstance(value, np.ndarray):
         if _is_mmap_backed(value):
             return 0
-        return int(value.nbytes)
+        root = _buffer_root(value)
+        if id(root) in _seen:
+            return 0
+        _seen.add(id(root))
+        return int(root.nbytes)
     mem = getattr(value, "memory_bytes", None)
     if callable(mem):
         return int(mem())
     if _depth >= 2:
         return 0
     if isinstance(value, (list, tuple, set, frozenset)):
-        return sum(estimate_nbytes(v, _depth + 1) for v in value)
+        return sum(estimate_nbytes(v, _depth + 1, _seen) for v in value)
     if isinstance(value, dict):
-        return sum(estimate_nbytes(v, _depth + 1) for v in value.values())
+        return sum(estimate_nbytes(v, _depth + 1, _seen)
+                   for v in value.values())
     attrs = getattr(value, "__dict__", None)
     if attrs:
-        return 64 + sum(estimate_nbytes(v, _depth + 1)
+        return 64 + sum(estimate_nbytes(v, _depth + 1, _seen)
                         for v in attrs.values())
     return 64
 
@@ -181,6 +204,14 @@ class QueryCache:
         #: Lookups that blocked on another thread's in-progress build of
         #: the same key and reused its artifact (stampedes prevented).
         self.single_flight_waits = 0
+        #: Block-tier reuse ledger (the canvas-pyramid assembly path):
+        #: blocks served from cache, scattered fresh, derived by 2x2
+        #: reduction, and the pixel volumes assembled vs. re-scattered.
+        self.block_hits = 0
+        self.block_misses = 0
+        self.block_derived = 0
+        self.assembled_pixels = 0
+        self.scattered_pixels = 0
 
     # -- core operations ---------------------------------------------------
 
@@ -263,6 +294,32 @@ class QueryCache:
             self._bytes -= entry.nbytes
             self.evictions += 1
 
+    # -- block-tier accounting ---------------------------------------------
+
+    def note_blocks(self, hits: int = 0, misses: int = 0, derived: int = 0,
+                    assembled_pixels: int = 0,
+                    scattered_pixels: int = 0) -> None:
+        """Record one assembly's block reuse (called by the pyramid
+        path after each canvas is assembled)."""
+        with self._lock:
+            self.block_hits += int(hits)
+            self.block_misses += int(misses)
+            self.block_derived += int(derived)
+            self.assembled_pixels += int(assembled_pixels)
+            self.scattered_pixels += int(scattered_pixels)
+
+    def block_snapshot(self) -> dict:
+        """Point-in-time block counters (executors diff two snapshots
+        to attribute reuse to a single query)."""
+        with self._lock:
+            return {
+                "hits": self.block_hits,
+                "misses": self.block_misses,
+                "derived": self.block_derived,
+                "assembled_pixels": self.assembled_pixels,
+                "scattered_pixels": self.scattered_pixels,
+            }
+
     # -- maintenance -------------------------------------------------------
 
     def invalidate(self, prefix: str) -> int:
@@ -303,6 +360,7 @@ class QueryCache:
         """Counters + occupancy, the ``stats["cache"]`` payload."""
         with self._lock:
             lookups = self.hits + self.misses
+            pixels = self.assembled_pixels + self.scattered_pixels
             return {
                 "hits": self.hits,
                 "misses": self.misses,
@@ -312,4 +370,13 @@ class QueryCache:
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
                 "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "blocks": {
+                    "hits": self.block_hits,
+                    "misses": self.block_misses,
+                    "derived": self.block_derived,
+                    "assembled_pixels": self.assembled_pixels,
+                    "scattered_pixels": self.scattered_pixels,
+                    "reuse_fraction": (self.assembled_pixels / pixels
+                                       if pixels else 0.0),
+                },
             }

@@ -61,6 +61,23 @@ class ExecutionContext:
                 f"{self.max_canvas_resolution}; use method='tiled'")
         return Viewport.fit(regions.bbox, resolution)
 
+    def plan_grid_viewport(self, regions: RegionSet,
+                           resolution: int | None = None,
+                           epsilon: float | None = None,
+                           block: int | None = None):
+        """A grid-snapped viewport for interactive pan/zoom sequences.
+
+        Same world window and resolution as :meth:`plan_viewport`, but
+        pinned to a :class:`~repro.core.pyramid.CanvasGrid` so gestures
+        derived from it (``pan``/``zoom``) land on reusable canvas-block
+        keys; the planning inputs are deterministic, so the same region
+        set + resolution always yields the same grid identity.
+        """
+        from .pyramid import DEFAULT_BLOCK, grid_viewport_for
+
+        viewport = self.plan_viewport(regions, resolution, epsilon)
+        return grid_viewport_for(viewport, block or DEFAULT_BLOCK)
+
     # -- cached artifacts --------------------------------------------------
 
     def fragments_for(self, regions: RegionSet,

@@ -100,6 +100,13 @@ class SpatialAggregationEngine:
         """Resolve the canvas for a query (epsilon wins over resolution)."""
         return self.ctx.plan_viewport(regions, resolution, epsilon)
 
+    def plan_grid_viewport(self, regions: RegionSet,
+                           resolution: int | None = None,
+                           epsilon: float | None = None):
+        """Like :meth:`plan_viewport`, pinned to a canvas grid so
+        pan/zoom gestures reuse cached pyramid blocks."""
+        return self.ctx.plan_grid_viewport(regions, resolution, epsilon)
+
     # -- execution ---------------------------------------------------------
 
     def execute(
@@ -151,8 +158,9 @@ class SpatialAggregationEngine:
             if cancel is not None and cancel.is_set():
                 raise QueryCancelled("query cancelled before dispatch")
             hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
+            blocks0 = self.ctx.cache.block_snapshot()
             result = execute_dataset(self.ctx, plan, method=method)
-            self._attach_stats(result, plan, hits0, misses0, t0)
+            self._attach_stats(result, plan, hits0, misses0, blocks0, t0)
             return result
 
         if method == "auto":
@@ -173,8 +181,9 @@ class SpatialAggregationEngine:
         if cancel is not None and cancel.is_set():
             raise QueryCancelled("query cancelled before dispatch")
         hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
+        blocks0 = self.ctx.cache.block_snapshot()
         result = get_backend(chosen).run(self.ctx, plan)
-        self._attach_stats(result, plan, hits0, misses0, t0)
+        self._attach_stats(result, plan, hits0, misses0, blocks0, t0)
         if plan.decision.get("decision", {}).get("planned"):
             # Feed the observed latency back into the planner's
             # units-per-second calibration for future deadline checks.
@@ -184,11 +193,21 @@ class SpatialAggregationEngine:
         return result
 
     def _attach_stats(self, result: AggregationResult, plan: ExecutionPlan,
-                      hits0: int, misses0: int, t0: float) -> None:
+                      hits0: int, misses0: int, blocks0: dict,
+                      t0: float) -> None:
         result.stats["plan"] = plan.decision
         cache = self.ctx.cache.stats()
         cache["query_hits"] = self.ctx.cache.hits - hits0
         cache["query_misses"] = self.ctx.cache.misses - misses0
+        # Per-query block-tier reuse: the delta of the global ledger
+        # over this execution (zeros when the query never touched the
+        # pyramid path).
+        blocks1 = self.ctx.cache.block_snapshot()
+        delta = {k: blocks1[k] - blocks0[k] for k in blocks1}
+        pixels = delta["assembled_pixels"] + delta["scattered_pixels"]
+        delta["reuse_fraction"] = (delta["assembled_pixels"] / pixels
+                                   if pixels else 0.0)
+        cache["blocks"] = delta
         result.stats["cache"] = cache
         result.stats["time_execute_s"] = time.perf_counter() - t0
 
@@ -211,6 +230,7 @@ class SpatialAggregationEngine:
 
         t0 = time.perf_counter()
         hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
+        blocks0 = self.ctx.cache.block_snapshot()
         if viewport is None:
             viewport = self.plan_viewport(regions, resolution, epsilon)
         fragments = self.ctx.fragments_for(regions, viewport)
@@ -227,7 +247,7 @@ class SpatialAggregationEngine:
                                        "multi": len(queries)},
                           "parallel": None,
                           "degraded": None})
-            self._attach_stats(result, plan, hits0, misses0, t0)
+            self._attach_stats(result, plan, hits0, misses0, blocks0, t0)
         return results
 
     def compare(

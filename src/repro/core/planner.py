@@ -88,6 +88,7 @@ class CostBasedPlanner:
 
     def plan_inputs(self, ctx: ExecutionContext, plan: ExecutionPlan) -> dict:
         """The statistics the cost model runs on (also logged in stats)."""
+        from .pyramid import GridViewport, block_coverage
         from .tcube import find_answering_cube
 
         table, regions = plan.table, plan.regions
@@ -123,6 +124,12 @@ class CostBasedPlanner:
                 viewport is not None
                 and find_answering_cube(ctx, table, plan.query,
                                         viewport) is not None),
+            # Fraction of the canvas servable from cached pyramid
+            # blocks (0.0 for ungridded viewports) — the bounded
+            # backend discounts its point pass by this much.
+            "blocks_cached": (
+                block_coverage(ctx, table, plan.query, plan.viewport)
+                if isinstance(plan.viewport, GridViewport) else 0.0),
         }
 
     def candidates(self, ctx: ExecutionContext, plan: ExecutionPlan,

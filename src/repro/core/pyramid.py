@@ -1,0 +1,562 @@
+"""Hierarchical canvas pyramid: block-keyed partial-aggregate reuse.
+
+The GeoBlocks observation: interactive gestures overlap.  A pan shares
+most of its canvas with the previous frame, a zoom-out is exactly a 2x
+reduction of what was already scattered, and a nudged polygon set needs
+no point pass at all.  This module refactors canvas production around
+that reuse:
+
+* :class:`CanvasGrid` — a world-anchored pixel lattice.  Every level-0
+  pixel, every coarser pyramid level, and every ``block x block`` cache
+  block is defined by integer coordinates on this one grid, so two
+  viewports that overlap in the world share block *identities*, not
+  just values.
+* :class:`GridViewport` — a :class:`~repro.raster.Viewport` pinned to a
+  grid: its world->pixel transform goes through the grid anchor and an
+  integer shift (``base_col >> level``), so the direct scatter path and
+  the block-assembly path classify every point identically — the root
+  of the bitwise-parity guarantee.  ``pan``/``zoom`` return grid-
+  snapped viewports, so adjacent gestures produce value-equal keys.
+* :func:`assemble_canvases` — produce a query's canvases by pasting
+  cached blocks, deriving coarse blocks from cached finer ones (a 2x2
+  reduction, see :mod:`repro.raster.pyramid`), and scattering only the
+  uncovered delta.  Blocks are cached *full* (never clipped to the
+  viewport) under the unified cache's byte budget, so an edge block
+  scattered for one frame serves complete for the next pan.
+
+Invalidation is generation-checked, not presence-checked: block keys
+embed ``fingerprint(table)``, which carries the table's revision
+counter.  A stream append or store spill bumps the revision
+(:func:`~repro.core.cache.bump_revision`), which changes every derived
+key at every level at once — a coarser ancestor surviving an eviction
+of its level-0 source can never answer for the new generation, because
+no new-generation key can reach it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import BBox
+from ..raster import (
+    FragmentTable,
+    Viewport,
+    scatter_count,
+    scatter_max,
+    scatter_min,
+    scatter_sum,
+)
+from ..raster.pyramid import PYRAMID_OPS, reduce2x2
+from ..table import PointTable
+from .aggregates import AVG, BOUNDABLE_AGGREGATES, COUNT, MAX, MIN, SUM
+from .bounded import _join_covered
+from .bounds import boundary_mass_bounds, epsilon_for_viewport
+from .cache import fingerprint
+from .query import SpatialAggregation
+from .regions import RegionSet
+from .result import AggregationResult
+from .tiling import grid_block_tiles
+
+#: Side length of one cache block, in pixels (any level).
+DEFAULT_BLOCK = 128
+
+#: Canvas fill where no point landed, per kind.
+_FILL = {"count": 0.0, "sum": 0.0, "mass": 0.0,
+         "min": np.inf, "max": -np.inf}
+
+#: Kinds whose 2x2 reduction is bitwise-exact for *any* value column:
+#: COUNT canvases hold small integers (exact float addition) and
+#: min/max propagation is order-free.  ``sum``/``mass`` join this set
+#: only when the value column is proven integer-valued (see
+#: :func:`column_is_integral`); otherwise a derived coarse sum could
+#: differ from a fresh scatter by reassociation round-off, breaking the
+#: bitwise contract.
+_ALWAYS_DERIVABLE = frozenset({"count", "min", "max"})
+
+
+def canvas_kinds(agg: str) -> tuple[str, ...]:
+    """The canvas kinds a query's assembly must produce.
+
+    SUM carries ``mass`` (the ``|v|`` scatter feeding the boundary
+    bounds) as a first-class kind so bound canvases enjoy the same
+    block reuse as estimates.
+    """
+    if agg == COUNT:
+        return ("count",)
+    if agg == SUM:
+        return ("sum", "mass")
+    if agg == AVG:
+        return ("count", "sum")
+    if agg == MIN:
+        return ("min",)
+    if agg == MAX:
+        return ("max",)
+    raise ValueError(f"unsupported aggregate {agg!r}")
+
+
+@dataclass(frozen=True)
+class CanvasGrid:
+    """A world-anchored pixel lattice shared by a family of viewports.
+
+    ``(x0, y0)`` is the world position of base pixel ``(0, 0)``'s
+    corner; ``pw``/``ph`` are the base (level-0) pixel extents.  The
+    grid is a pure value — two grids with equal fields are the same
+    grid, hash-equal in every cache key.
+    """
+
+    x0: float
+    y0: float
+    pw: float
+    ph: float
+    block: int = DEFAULT_BLOCK
+
+    @classmethod
+    def from_viewport(cls, viewport: Viewport,
+                      block: int = DEFAULT_BLOCK) -> "CanvasGrid":
+        """Anchor a grid at a planned viewport's origin and pixel size."""
+        return cls(viewport.bbox.xmin, viewport.bbox.ymin,
+                   viewport.pixel_width, viewport.pixel_height, int(block))
+
+    def viewport(self, level: int, col0: int, row0: int,
+                 width: int, height: int) -> "GridViewport":
+        """The viewport spanning level-``level`` pixel columns
+        ``[col0, col0+width)`` and rows ``[row0, row0+height)``."""
+        scale = float(1 << level)
+        pw = self.pw * scale
+        ph = self.ph * scale
+        bbox = BBox(self.x0 + col0 * pw, self.y0 + row0 * ph,
+                    self.x0 + (col0 + width) * pw,
+                    self.y0 + (row0 + height) * ph)
+        return GridViewport(bbox=bbox, width=int(width), height=int(height),
+                            grid=self, level=int(level),
+                            col0=int(col0), row0=int(row0))
+
+
+@dataclass(frozen=True)
+class GridViewport(Viewport):
+    """A viewport snapped to a :class:`CanvasGrid`.
+
+    The world->pixel transform is overridden to go through the grid:
+    the base-pixel index ``floor((x - x0) / pw)`` is computed once, then
+    shifted right by ``level`` (arithmetic shift == exact floor
+    division) and offset by ``col0``.  Because :meth:`Viewport
+    .pixel_ids_of` delegates to :meth:`pixel_of`, every consumer — the
+    direct scatter, the block scatter, the tiled point pass — classifies
+    points with the *same* float operations, which is what makes
+    assembled and direct answers bitwise-identical.
+
+    Equality/hash come from the dataclass fields, so two gestures that
+    land on the same ``(grid, level, col0, row0)`` produce value-equal
+    viewports and therefore identical cache keys — no float round-trip
+    can split them.
+    """
+
+    grid: CanvasGrid
+    level: int
+    col0: int
+    row0: int
+
+    def pixel_of(self, x, y) -> tuple[np.ndarray, np.ndarray]:
+        g = self.grid
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        ix = np.floor((x - g.x0) / g.pw).astype(np.int64)
+        iy = np.floor((y - g.y0) / g.ph).astype(np.int64)
+        return (ix >> self.level) - self.col0, (iy >> self.level) - self.row0
+
+    @property
+    def base_origin(self) -> tuple[int, int]:
+        """(col, row) of the top-left pixel in base (level-0) units."""
+        return self.col0 << self.level, self.row0 << self.level
+
+    # -- grid-snapped gestures -------------------------------------------
+
+    def pan(self, dx_pixels: float, dy_pixels: float) -> "GridViewport":
+        """Shift by a whole number of pixels at this level.
+
+        Fractional offsets snap to the nearest integer so the result
+        stays on the block lattice; panning right then left returns the
+        *identical* viewport value, not a float neighbor of it.
+        """
+        return self.grid.viewport(
+            self.level,
+            self.col0 + int(round(dx_pixels)),
+            self.row0 + int(round(dy_pixels)),
+            self.width, self.height)
+
+    def zoom(self, factor: float) -> "GridViewport":
+        """Zoom by (approximately) ``factor``, snapped to a power of two.
+
+        ``factor`` > 1 widens the window (zoom out, coarser pyramid
+        level); < 1 narrows it.  The window center stays fixed up to
+        grid snapping, and zooming below level 0 clamps — the base grid
+        is the finest data the pyramid holds.
+        """
+        if factor <= 0:
+            raise ValueError(f"zoom factor must be positive, got {factor}")
+        steps = int(round(math.log2(factor)))
+        new_level = max(0, self.level + steps)
+        if new_level == self.level:
+            return self
+        # Re-center in base-pixel units, then snap to the new level.
+        cx = (self.col0 + self.width / 2.0) * (1 << self.level)
+        cy = (self.row0 + self.height / 2.0) * (1 << self.level)
+        scale = 1 << new_level
+        col0 = int(round(cx / scale - self.width / 2.0))
+        row0 = int(round(cy / scale - self.height / 2.0))
+        return self.grid.viewport(new_level, col0, row0,
+                                  self.width, self.height)
+
+
+def grid_viewport_for(viewport: Viewport,
+                      block: int = DEFAULT_BLOCK) -> GridViewport:
+    """Pin a planned viewport to its own level-0 canvas grid.
+
+    The result renders the same world window at the same resolution;
+    it just *also* carries the grid identity that makes its canvases
+    assemble from (and contribute to) the block cache.
+    """
+    if isinstance(viewport, GridViewport):
+        return viewport
+    grid = CanvasGrid.from_viewport(viewport, block)
+    return grid.viewport(0, 0, 0, viewport.width, viewport.height)
+
+
+# -- block cache plumbing --------------------------------------------------
+
+
+def block_key(table_fp: tuple, query: SpatialAggregation, kind: str,
+              grid: CanvasGrid, level: int, bx: int, by: int) -> tuple:
+    """Cache key of one block plane.
+
+    ``table_fp`` embeds the table's revision counter, so invalidation
+    is generational: appends/spills bump the revision and every block
+    of every level becomes unreachable at once (a stale entry may stay
+    resident until evicted, but no current-generation query can key to
+    it).
+    """
+    return ("canvas-block", table_fp, repr(query.filters),
+            query.value_column, kind, grid, level, bx, by)
+
+
+def _filter_mask(ctx, table: PointTable, query: SpatialAggregation):
+    """Cached boolean filter mask (None when the query has no filters)."""
+    if not query.filters:
+        return None
+    key = ("filter-mask", fingerprint(table), repr(query.filters))
+    return ctx.cache.get_or_build(key, lambda: query.filter_mask(table))
+
+
+def filtered_count(ctx, table: PointTable,
+                   query: SpatialAggregation) -> int:
+    """Row count surviving the query's filters (cached mask)."""
+    mask = _filter_mask(ctx, table, query)
+    return len(table) if mask is None else int(mask.sum())
+
+
+def column_is_integral(ctx, table: PointTable, column: str) -> bool:
+    """Whether every value of ``column`` is an exact small-enough
+    integer (< 2^53), i.e. whether float summation of any subset in any
+    association is exact — the license to derive coarse SUM blocks by
+    2x2 reduction instead of re-scattering.  Cached per (table, column).
+    """
+    key = ("column-integral", fingerprint(table), column)
+
+    def probe() -> bool:
+        values = np.asarray(table.column(column).values)
+        if values.dtype.kind in "iub":
+            return bool(np.all(np.abs(values.astype(np.float64)) < 2.0 ** 53))
+        if values.dtype.kind != "f":
+            return False
+        return bool(np.all(np.isfinite(values))
+                    and np.all(values == np.floor(values))
+                    and np.all(np.abs(values) < 2.0 ** 53))
+
+    return bool(ctx.cache.get_or_build(key, probe))
+
+
+def memory_block_scatter(ctx, table: PointTable, query: SpatialAggregation,
+                         viewport: GridViewport):
+    """Block scatter source over an in-memory table.
+
+    Candidates come from the cached :class:`~repro.index.PointGridIndex`
+    over a world bbox padded by one base pixel — a superset; exact
+    membership is decided by the canonical grid transform, so a point
+    lands in a block's plane iff the direct path would put it in the
+    same absolute pixel.  Candidates are sorted ascending so bincount
+    accumulates each pixel's contributions in the direct path's row
+    order (bit-for-bit identical partial sums).
+    """
+    grid = viewport.grid
+    level = viewport.level
+    size = grid.block
+    scale = 1 << level
+    index = ctx.grid_index(table)
+    mask = _filter_mask(ctx, table, query)
+    lazy: dict = {}
+
+    def values() -> np.ndarray:
+        if "v" not in lazy:
+            lazy["v"] = query.values_for(table)
+        return lazy["v"]
+
+    def scatter(bx: int, by: int, kinds: tuple[str, ...]):
+        c0 = bx * size * scale
+        r0 = by * size * scale
+        bbox = BBox(grid.x0 + (c0 - 1) * grid.pw,
+                    grid.y0 + (r0 - 1) * grid.ph,
+                    grid.x0 + (c0 + size * scale + 1) * grid.pw,
+                    grid.y0 + (r0 + size * scale + 1) * grid.ph)
+        cand = index.query_bbox(bbox)
+        if len(cand):
+            cand = np.sort(cand)
+            if mask is not None:
+                cand = cand[mask[cand]]
+        gx = np.floor((table.x[cand] - grid.x0) / grid.pw).astype(np.int64)
+        gy = np.floor((table.y[cand] - grid.y0) / grid.ph).astype(np.int64)
+        lx = (gx >> level) - bx * size
+        ly = (gy >> level) - by * size
+        keep = (lx >= 0) & (lx < size) & (ly >= 0) & (ly < size)
+        if not keep.all():
+            cand, lx, ly = cand[keep], lx[keep], ly[keep]
+        pix = ly * size + lx
+        num = size * size
+        vals = values()[cand] if any(k != "count" for k in kinds) else None
+        planes = {}
+        for kind in kinds:
+            if kind == "count":
+                planes[kind] = scatter_count(pix, num).reshape(size, size)
+            elif kind == "sum":
+                planes[kind] = scatter_sum(pix, vals, num).reshape(size, size)
+            elif kind == "mass":
+                planes[kind] = scatter_sum(pix, np.abs(vals),
+                                           num).reshape(size, size)
+            elif kind == "min":
+                planes[kind] = scatter_min(pix, vals, num).reshape(size, size)
+            else:
+                planes[kind] = scatter_max(pix, vals, num).reshape(size, size)
+        return planes, int(len(pix))
+
+    return scatter
+
+
+def assemble_canvases(ctx, table: PointTable, query: SpatialAggregation,
+                      viewport: GridViewport, scatter,
+                      derive_sums: bool) -> tuple[dict, dict]:
+    """Produce the query's canvases from the block cache + delta scatter.
+
+    Per block, in preference order: reuse a cached plane; derive it from
+    four cached children one level down (2x2 reduction — the zoom-out
+    path); scatter it fresh via ``scatter(bx, by, missing_kinds)``.
+    Fresh and derived planes are cached full-size, so the *next* gesture
+    assembles from them.  Returns ``({kind: flat canvas}, reuse info)``.
+    """
+    grid = viewport.grid
+    level = viewport.level
+    size = grid.block
+    kinds = canvas_kinds(query.agg)
+    table_fp = fingerprint(table)
+    cache = ctx.cache
+    shape = (viewport.height, viewport.width)
+    canvases = {k: np.full(shape, _FILL[k], dtype=np.float64)
+                for k in kinds}
+    info = {"blocks": 0, "hits": 0, "derived": 0, "scattered": 0,
+            "assembled_pixels": 0, "scattered_pixels": 0,
+            "points_scattered": 0}
+
+    def key(kind, lvl, bx, by):
+        return block_key(table_fp, query, kind, grid, lvl, bx, by)
+
+    for bx, by, view_sl, block_sl in grid_block_tiles(viewport):
+        info["blocks"] += 1
+        visible = ((view_sl[0].stop - view_sl[0].start)
+                   * (view_sl[1].stop - view_sl[1].start))
+        planes = {}
+        missing = []
+        for kind in kinds:
+            plane = cache.get(key(kind, level, bx, by))
+            if plane is None:
+                missing.append(kind)
+            else:
+                planes[kind] = plane
+        derived = False
+        if missing and level > 0 and all(
+                k in _ALWAYS_DERIVABLE or derive_sums for k in missing):
+            children = {}
+            for kind in missing:
+                quads = [cache.peek(key(kind, level - 1,
+                                        2 * bx + rx, 2 * by + ry))
+                         for ry in (0, 1) for rx in (0, 1)]
+                if any(q is None for q in quads):
+                    children = None
+                    break
+                children[kind] = quads
+            if children is not None:
+                for kind in missing:
+                    tl, tr, bl, br = children[kind]
+                    quad = np.empty((2 * size, 2 * size), dtype=np.float64)
+                    quad[:size, :size] = tl
+                    quad[:size, size:] = tr
+                    quad[size:, :size] = bl
+                    quad[size:, size:] = br
+                    plane = reduce2x2(quad, PYRAMID_OPS[kind])
+                    cache.put(key(kind, level, bx, by), plane)
+                    planes[kind] = plane
+                missing = []
+                derived = True
+        if missing:
+            fresh, points = scatter(bx, by, tuple(missing))
+            for kind, plane in fresh.items():
+                cache.put(key(kind, level, bx, by), plane)
+                planes[kind] = plane
+            info["scattered"] += 1
+            info["scattered_pixels"] += visible
+            info["points_scattered"] += points
+        else:
+            info["derived" if derived else "hits"] += 1
+            info["assembled_pixels"] += visible
+        for kind in kinds:
+            canvases[kind][view_sl] = planes[kind][block_sl]
+
+    cache.note_blocks(
+        hits=info["hits"], misses=info["scattered"],
+        derived=info["derived"],
+        assembled_pixels=info["assembled_pixels"],
+        scattered_pixels=info["scattered_pixels"])
+    return {k: v.ravel() for k, v in canvases.items()}, info
+
+
+def block_coverage(ctx, table: PointTable, query: SpatialAggregation,
+                   viewport: GridViewport) -> float:
+    """Fraction of viewport pixels servable from cached blocks.
+
+    A peek-only probe (no LRU touches, no hit/miss counters) the
+    planner uses to discount the bounded backend's point-pass cost —
+    how ``method="auto"`` prices assembly against re-scatter.
+    """
+    grid = viewport.grid
+    level = viewport.level
+    kinds = canvas_kinds(query.agg)
+    table_fp = fingerprint(table)
+    cache = ctx.cache
+    derive_sums = (query.value_column is None or bool(cache.peek(
+        ("column-integral", table_fp, query.value_column))))
+
+    def key(kind, lvl, bx, by):
+        return block_key(table_fp, query, kind, grid, lvl, bx, by)
+
+    total = covered = 0
+    for bx, by, view_sl, __ in grid_block_tiles(viewport):
+        visible = ((view_sl[0].stop - view_sl[0].start)
+                   * (view_sl[1].stop - view_sl[1].start))
+        total += visible
+        servable = True
+        for kind in kinds:
+            if cache.peek(key(kind, level, bx, by)) is not None:
+                continue
+            if (level > 0 and (kind in _ALWAYS_DERIVABLE or derive_sums)
+                    and all(cache.peek(key(kind, level - 1,
+                                           2 * bx + rx, 2 * by + ry))
+                            is not None
+                            for ry in (0, 1) for rx in (0, 1))):
+                continue
+            servable = False
+            break
+        if servable:
+            covered += visible
+    return covered / total if total else 0.0
+
+
+def assembled_bounded_join(
+    ctx,
+    table: PointTable,
+    regions: RegionSet,
+    query: SpatialAggregation,
+    viewport: GridViewport,
+    fragments: FragmentTable | None = None,
+    scatter=None,
+    derive_sums: bool | None = None,
+    points_after_filter: int | None = None,
+    method: str = "pyramid-raster-join",
+) -> AggregationResult:
+    """The bounded raster join, produced by pyramid assembly.
+
+    Identical join and bound math to :func:`~repro.core.bounded
+    .bounded_raster_join` — only the canvases' provenance differs, and
+    the block scatter reproduces the direct scatter's accumulation
+    order, so the answers (estimate, lower, upper) are bitwise-equal
+    for COUNT/SUM/MIN/MAX and within reassociation round-off for AVG.
+
+    ``scatter`` defaults to the in-memory grid-index source; the store
+    path passes its partition-streaming source instead.
+    """
+    t0 = time.perf_counter()
+    if fragments is None:
+        fragments = ctx.fragments_for(regions, viewport)
+    t_polygons = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    if scatter is None:
+        scatter = memory_block_scatter(ctx, table, query, viewport)
+        if points_after_filter is None:
+            points_after_filter = filtered_count(ctx, table, query)
+    if derive_sums is None:
+        derive_sums = (query.value_column is None
+                       or column_is_integral(ctx, table, query.value_column))
+    canvases, info = assemble_canvases(ctx, table, query, viewport,
+                                       scatter, bool(derive_sums))
+    t_points = time.perf_counter() - t1
+
+    t2 = time.perf_counter()
+    estimate = _join_covered(fragments, canvases, query.agg)
+    lower = upper = None
+    if query.agg in BOUNDABLE_AGGREGATES:
+        mass = canvases["count" if query.agg == COUNT else "mass"]
+        lower, upper = boundary_mass_bounds(fragments, estimate, mass)
+    t_join = time.perf_counter() - t2
+
+    assembled = info["assembled_pixels"]
+    total = assembled + info["scattered_pixels"]
+    if "count" in canvases:
+        in_viewport = int(round(float(canvases["count"].sum())))
+    else:
+        in_viewport = info["points_scattered"]
+    stats = {
+        "points_total": len(table),
+        "points_after_filter": (points_after_filter
+                                if points_after_filter is not None
+                                else info["points_scattered"]),
+        "points_in_viewport": in_viewport,
+        "time_polygon_pass_s": t_polygons,
+        "time_point_pass_s": t_points,
+        "time_join_s": t_join,
+        "interior_fragments": fragments.num_interior_fragments,
+        "boundary_fragments": fragments.num_boundary_fragments,
+        "canvas_pixels": viewport.num_pixels,
+        "epsilon_world_units": epsilon_for_viewport(viewport),
+        "pyramid": {
+            "level": viewport.level,
+            "block": viewport.grid.block,
+            "blocks": info["blocks"],
+            "hits": info["hits"],
+            "derived": info["derived"],
+            "scattered": info["scattered"],
+            "assembled_pixels": assembled,
+            "scattered_pixels": info["scattered_pixels"],
+            "points_scattered": info["points_scattered"],
+            "reuse_fraction": assembled / total if total else 0.0,
+        },
+    }
+    return AggregationResult(
+        regions=regions,
+        values=estimate,
+        method=method,
+        lower=lower,
+        upper=upper,
+        exact=False,
+        stats=stats,
+    )

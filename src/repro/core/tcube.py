@@ -48,9 +48,11 @@ import numpy as np
 
 from ..errors import CubeError, QueryError
 from ..raster import FragmentTable, Viewport
+from ..raster.pyramid import reduce2x2
 from ..table import TIMESTAMP, PointTable, TimeRange, combine_filters
 from .aggregates import AVG, COUNT, SUM
-from .bounds import epsilon_for_viewport
+from .bounded import _join_covered
+from .bounds import boundary_mass_bounds, epsilon_for_viewport
 from .parallel import (
     ParallelConfig,
     _even_ranges,
@@ -230,11 +232,53 @@ class TemporalCanvasCube:
             return None
         return b0, max(b0, b1)
 
+    def reduce_levels_for(self, viewport: Viewport) -> int | None:
+        """How many 2x2 reductions turn this cube's canvas into
+        ``viewport``'s — 0 for the cube's own viewport, ``d > 0`` when
+        both are :class:`~repro.core.pyramid.GridViewport`\\ s on the
+        same grid with the query ``d`` levels coarser and its window a
+        coarse-aligned crop of the cube's (the zoom-out brush), None
+        otherwise.
+
+        Every query coarse pixel's base-pixel footprint must lie fully
+        inside the cube's window: the cube's origin must sit on the
+        coarse lattice, and the query window must not poke past the
+        cube's — a partially-covered edge pixel would mix cube-covered
+        base pixels with world the cube never scattered.
+        """
+        if viewport == self.viewport:
+            return 0
+        from .pyramid import GridViewport
+
+        cv, qv = self.viewport, viewport
+        if not (isinstance(cv, GridViewport)
+                and isinstance(qv, GridViewport)):
+            return None
+        if cv.grid != qv.grid or qv.level <= cv.level:
+            return None
+        d = qv.level - cv.level
+        scale = 1 << d
+        if cv.col0 % scale or cv.row0 % scale:
+            return None
+        if (qv.col0 * scale < cv.col0
+                or qv.row0 * scale < cv.row0
+                or (qv.col0 + qv.width) * scale > cv.col0 + cv.width
+                or (qv.row0 + qv.height) * scale > cv.row0 + cv.height):
+            return None
+        return d
+
     def can_answer(self, query: SpatialAggregation,
                    viewport: Viewport) -> bool:
         """Whether this cube answers ``query`` exactly as the bounded
-        raster join would at ``viewport``."""
-        if viewport != self.viewport:
+        raster join would at ``viewport`` — the cube's own viewport, or
+        (COUNT only) a same-grid viewport a whole number of pyramid
+        levels coarser, served by 2x2-reducing the sliced canvas."""
+        levels = self.reduce_levels_for(viewport)
+        if levels is None:
+            return False
+        if levels and query.agg != COUNT:
+            # A reduced SUM reassociates float additions; only the
+            # integer-exact count canvas keeps the bitwise contract.
             return False
         if query.agg not in TCUBE_AGGREGATES:
             return False
@@ -352,7 +396,8 @@ class TemporalCanvasCube:
         return state
 
     def answer(self, regions: RegionSet, fragments: FragmentTable,
-               query: SpatialAggregation) -> AggregationResult:
+               query: SpatialAggregation,
+               viewport: Viewport | None = None) -> AggregationResult:
         """Answer one aggregate over the query's TimeRange.
 
         Serves the same estimate + boundary-mass bounds the bounded
@@ -360,6 +405,12 @@ class TemporalCanvasCube:
         :meth:`_join_rows`): after the first gesture against a region
         set, a brush step costs O(regions), independent of both point
         count and canvas size.
+
+        ``viewport`` (default: the cube's own) may be a same-grid
+        viewport ``d`` pyramid levels coarser — the zoom-out brush.
+        ``fragments`` must then be the polygon pass at *that* viewport;
+        the sliced count canvas is 2x2-reduced ``d`` times before the
+        gather join (COUNT only, see :meth:`reduce_levels_for`).
         """
         tr, __ = split_time_filter(query, self.time_column)
         if tr is None:
@@ -372,6 +423,17 @@ class TemporalCanvasCube:
                 f"brush [{tr.start}, {tr.end}) does not align with the "
                 f"cube's {self.bucket_seconds}s bucket grid")
         b0, b1 = rng
+
+        if viewport is None:
+            viewport = self.viewport
+        levels = self.reduce_levels_for(viewport)
+        if levels is None:
+            raise CubeError(
+                "viewport is neither the cube's own nor a same-grid "
+                "pyramid coarsening of it")
+        if levels:
+            return self._answer_reduced(regions, fragments, query,
+                                        viewport, levels, b0, b1)
 
         t0 = time.perf_counter()
         rows = self._join_rows(fragments)
@@ -417,6 +479,73 @@ class TemporalCanvasCube:
                 "bucket_seconds": self.bucket_seconds,
                 "active_pixels": self.num_active_pixels,
                 "memory_bytes": self.memory_bytes(),
+                "reduced_levels": 0,
+            },
+        }
+        return AggregationResult(
+            regions=regions,
+            values=estimate,
+            method="tcube-raster-join",
+            lower=lower,
+            upper=upper,
+            exact=False,
+            stats=stats,
+        )
+
+    def _answer_reduced(self, regions: RegionSet, fragments: FragmentTable,
+                        query: SpatialAggregation, viewport: Viewport,
+                        levels: int, b0: int, b1: int) -> AggregationResult:
+        """The pyramid-coarsened brush: slice-difference the count
+        canvas, 2x2-reduce it ``levels`` times, then run the ordinary
+        gather join + boundary-mass bounds at the coarse viewport.
+
+        Count planes hold small integers, so the pairwise reduction is
+        exact — the answer is bitwise-equal to re-scattering the brushed
+        points at the coarse viewport.  O(pixels) per brush rather than
+        the O(regions) row difference, but still point-count-free.
+        """
+        if query.agg != COUNT:
+            raise QueryError(
+                "pyramid-reduced tcube answers serve COUNT only; "
+                f"got {query.agg!r}")
+        t0 = time.perf_counter()
+        canvas = self.range_canvas("count", b0, b1).reshape(
+            self.viewport.height, self.viewport.width)
+        for __ in range(levels):
+            canvas = reduce2x2(canvas, "sum")
+        # Crop to the query window: reduced pixel (j, i) is absolute
+        # coarse pixel (cube.row0 / scale + j, cube.col0 / scale + i),
+        # and reduce_levels_for guaranteed the query window lies inside.
+        scale = 1 << levels
+        offx = viewport.col0 - self.viewport.col0 // scale
+        offy = viewport.row0 - self.viewport.row0 // scale
+        canvas = canvas[offy:offy + viewport.height,
+                        offx:offx + viewport.width]
+        flat = np.ascontiguousarray(canvas).ravel()
+        estimate = _join_covered(fragments, {"count": flat}, COUNT)
+        lower, upper = boundary_mass_bounds(fragments, estimate, flat)
+        t_join = time.perf_counter() - t0
+
+        points = int(round(self.bucket_totals("count")[b0:b1].sum()))
+        stats = {
+            "points_total": int(self.stats.get("points_total", points)),
+            "points_after_filter": points,
+            "points_in_viewport": points,
+            "time_polygon_pass_s": 0.0,
+            "time_point_pass_s": 0.0,
+            "time_join_s": t_join,
+            "interior_fragments": fragments.num_interior_fragments,
+            "boundary_fragments": fragments.num_boundary_fragments,
+            "canvas_pixels": viewport.num_pixels,
+            "epsilon_world_units": epsilon_for_viewport(viewport),
+            "tcube": {
+                "slices": self.num_buckets,
+                "slices_touched": b1 - b0,
+                "slice_range": [b0, b1],
+                "bucket_seconds": self.bucket_seconds,
+                "active_pixels": self.num_active_pixels,
+                "memory_bytes": self.memory_bytes(),
+                "reduced_levels": levels,
             },
         }
         return AggregationResult(

@@ -64,6 +64,41 @@ def make_tiles(viewport: Viewport, tile_pixels: int
     return tiles
 
 
+def grid_block_tiles(viewport) -> list[tuple[int, int, tuple, tuple]]:
+    """Pyramid-aware tiling: the canvas-grid blocks under a viewport.
+
+    Where :func:`make_tiles` cuts a viewport into viewport-relative
+    tiles, this enumerates the *world-anchored* blocks of a
+    :class:`~repro.core.pyramid.GridViewport`'s canvas grid — the units
+    the block cache stores, so a panned viewport lands on the same block
+    identities and only its margin is new.  Duck-typed on the
+    ``grid``/``level``/``col0``/``row0`` fields (this module must not
+    import :mod:`repro.core.pyramid`, which imports it).
+
+    Returns ``(bx, by, view_slices, block_slices)`` per overlapping
+    block: ``view_slices`` indexes the 2-D viewport canvas,
+    ``block_slices`` the block's full ``(block, block)`` plane, and the
+    two select the same pixels.  Blocks partition the pixel lattice, so
+    pasting every pair covers each viewport pixel exactly once.
+    """
+    size = viewport.grid.block
+    c0, r0 = viewport.col0, viewport.row0
+    c1, r1 = c0 + viewport.width, r0 + viewport.height
+    tiles = []
+    for by in range((r0 // size), ((r1 - 1) // size) + 1):
+        gy = by * size
+        rlo, rhi = max(r0, gy), min(r1, gy + size)
+        for bx in range((c0 // size), ((c1 - 1) // size) + 1):
+            gx = bx * size
+            clo, chi = max(c0, gx), min(c1, gx + size)
+            tiles.append((
+                bx, by,
+                (slice(rlo - r0, rhi - r0), slice(clo - c0, chi - c0)),
+                (slice(rlo - gy, rhi - gy), slice(clo - gx, chi - gx)),
+            ))
+    return tiles
+
+
 def _accumulate_covered(part: PartialAggregate, fragments, canvases,
                         agg: str) -> None:
     """Fold one tile's covered-pixel join into the global partial."""

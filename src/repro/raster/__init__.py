@@ -23,6 +23,7 @@ from .canvas import (
     scatter_sum,
 )
 from .fragments import FragmentTable, build_fragment_table
+from .pyramid import PYRAMID_OPS, build_pyramid, reduce2x2
 from .scanline import (
     boundary_pixels,
     boundary_pixels_sampled,
@@ -34,12 +35,15 @@ from .viewport import Viewport
 
 __all__ = [
     "FragmentTable",
+    "PYRAMID_OPS",
     "PixelBuckets",
     "Viewport",
     "boundary_pixels",
     "boundary_pixels_sampled",
     "build_fragment_table",
+    "build_pyramid",
     "coverage_fragments",
+    "reduce2x2",
     "gather_reduce",
     "gather_sum",
     "rasterize_polygon",

@@ -235,13 +235,24 @@ class QueryService:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
+        cache = self.manager.engine.cache_stats()
+        blocks = cache.get("blocks", {})
         return {
             "queries": self.queries,
             "stream_queries": self.stream_queries,
             "errors": self.errors,
             "admission": self.admission.stats(),
             "coalesce": self.flight.stats(),
-            "cache": self.manager.engine.cache_stats(),
+            "cache": cache,
+            # Lifetime pyramid block-tier reuse, surfaced at the top
+            # level so operators see canvas reuse without digging into
+            # the cache counters.
+            "pyramid": {
+                "block_hits": blocks.get("hits", 0),
+                "block_derived": blocks.get("derived", 0),
+                "block_misses": blocks.get("misses", 0),
+                "reuse_fraction": blocks.get("reuse_fraction", 0.0),
+            },
             "datasets": sorted(self.manager.dataset_names
                                + list(self._streams)),
             "region_sets": self.manager.region_set_names,

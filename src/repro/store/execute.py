@@ -56,9 +56,11 @@ from ..core.bounds import (
     resolution_for_epsilon,
 )
 from ..core.parallel import _even_ranges, _fork_map
+from ..core.pyramid import GridViewport, assembled_bounded_join
 from ..core.result import AggregationResult
 from ..core.tiling import fold_tile_join, make_tiles
 from ..errors import QueryCancelled, QueryError
+from ..geometry import BBox
 from ..raster import Viewport
 from .dataset import Dataset
 from .format import zone_min
@@ -285,6 +287,8 @@ def execute_dataset(ctx, plan, method: str = "auto") -> AggregationResult:
     pruner = PartitionPruner(dataset)
     if tiled:
         result = _execute_tiled(ctx, dataset, pruner, plan, resolution)
+    elif isinstance(plan.viewport, GridViewport):
+        result = _execute_assembled(ctx, dataset, pruner, plan, resolution)
     else:
         result = _execute_bounded(ctx, dataset, pruner, plan, resolution)
     result.stats["store"]["dataset"] = dataset.name
@@ -378,6 +382,104 @@ def _execute_bounded(ctx, dataset, pruner, plan,
         regions=regions, values=estimate,
         method="store-bounded-raster-join",
         lower=lower, upper=upper, exact=False, stats=stats)
+
+
+def _store_block_scatter(dataset, survivors, query, viewport):
+    """Block scatter source streaming store partitions.
+
+    Partitions stream in manifest order and accumulate with the same
+    unbuffered ops as :func:`_accumulate`, so each pixel's contribution
+    sequence matches the serial reference scan bit for bit (the block
+    merely restricts *which* pixels are accumulated).  ``survivors``
+    must be pruned by **filters only** — a block cached at a viewport
+    edge covers pixels outside that viewport, and viewport pruning
+    would silently drop their mass, poisoning the block for the next
+    pan that exposes them.
+    """
+    grid = viewport.grid
+    level = viewport.level
+    size = grid.block
+    scale = 1 << level
+    infos = dataset.partitions
+    # after_filter keyed by partition — a partition paged for several
+    # blocks counts its surviving rows once, like the reference scan.
+    scanned = {"after_filter": {}, "partitions": 0}
+
+    def scatter(bx, by, kinds):
+        c0 = bx * size * scale
+        r0 = by * size * scale
+        bbox = BBox(grid.x0 + (c0 - 1) * grid.pw,
+                    grid.y0 + (r0 - 1) * grid.ph,
+                    grid.x0 + (c0 + size * scale + 1) * grid.pw,
+                    grid.y0 + (r0 + size * scale + 1) * grid.ph)
+        flat = _empty_canvases(list(kinds), size * size)
+        points = 0
+        for index in survivors:
+            info = infos[index]
+            if info.bbox is not None and not info.bbox.intersects(bbox):
+                continue
+            scanned["partitions"] += 1
+            table = dataset.partition_table(index)
+            rows = np.flatnonzero(query.filter_mask(table))
+            scanned["after_filter"][index] = len(rows)
+            gx = np.floor((table.x[rows] - grid.x0)
+                          / grid.pw).astype(np.int64)
+            gy = np.floor((table.y[rows] - grid.y0)
+                          / grid.ph).astype(np.int64)
+            lx = (gx >> level) - bx * size
+            ly = (gy >> level) - by * size
+            keep = (lx >= 0) & (lx < size) & (ly >= 0) & (ly < size)
+            if not keep.all():
+                rows, lx, ly = rows[keep], lx[keep], ly[keep]
+            pix = ly * size + lx
+            values = query.values_for(table)
+            if values is not None:
+                values = values[rows]
+            _accumulate(flat, pix, values)
+            points += len(pix)
+        return ({kind: plane.reshape(size, size)
+                 for kind, plane in flat.items()}, points)
+
+    return scatter, scanned
+
+
+def _execute_assembled(ctx, dataset, pruner, plan,
+                       resolution) -> AggregationResult:
+    """The bounded store path under a grid-snapped viewport: canvases
+    assemble from cached pyramid blocks and only uncovered blocks
+    stream partitions.  Answers are bitwise-equal to
+    :func:`_execute_bounded`'s serial reference (SUM's mass canvas is
+    the ``|v|`` scatter, which *is* the sum canvas bitwise whenever the
+    values are non-negative — the fast path the direct scan proves via
+    zone maps)."""
+    regions, query = plan.regions, plan.query
+    viewport: GridViewport = plan.viewport
+    # Filters only — block content must be viewport-independent (see
+    # _store_block_scatter); the viewport still prunes the per-block
+    # partition stream via the block/partition bbox test.
+    prune = pruner.prune(query.filters, None)
+    plan.decision = _plan_payload(
+        ctx, plan, dataset, prune, "store-pyramid", plan.method, resolution,
+        {"use": False, "reason": "pyramid assembly"})
+
+    scatter, scanned = _store_block_scatter(dataset, prune.indices, query,
+                                            viewport)
+    # Coarse SUM/mass blocks are never derived by reduction out-of-core
+    # (no integer-valuedness proof without scanning); COUNT/MIN/MAX
+    # still derive.
+    result = assembled_bounded_join(
+        ctx, dataset, regions, query, viewport,
+        fragments=ctx.fragments_for(regions, viewport),
+        scatter=scatter, derive_sums=False,
+        method="store-pyramid-raster-join")
+    result.stats["points_after_filter"] = sum(
+        scanned["after_filter"].values())
+    result.stats["store"] = prune.stats()
+    result.stats["store"]["partitions_paged"] = scanned["partitions"]
+    result.stats["parallel"] = {"mode": "serial", "pooled": False,
+                                "workers": 1,
+                                "reason": "pyramid assembly"}
+    return result
 
 
 def _execute_tiled(ctx, dataset, pruner, plan, resolution,

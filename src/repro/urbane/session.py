@@ -40,6 +40,11 @@ class Interaction:
     backend: str = ""
     #: Execution mode the backend ran in ("parallel" / "serial" / "").
     parallel: str = ""
+    #: Pyramid block-cache traffic (zeros off the pyramid path).
+    block_hits: int = 0
+    block_misses: int = 0
+    #: Fraction of canvas pixels served from cached blocks.
+    block_reuse: float = 0.0
 
 
 @dataclass
@@ -82,6 +87,10 @@ class InteractiveSession:
         self.state = SessionState(dataset=dataset, regions=regions)
         self.log: list[Interaction] = []
         self.last_result: AggregationResult | None = None
+        # Grid-snapped viewport driving map gestures; created lazily on
+        # the first pan/zoom so sessions that never move the map keep
+        # the plain planned-viewport path (and its cache keys).
+        self._viewport = None
         # Initial render so the cache state matches a real session
         # (polygons rasterized once when the view opens).
         self._refresh("open", f"{dataset} x {regions}")
@@ -114,7 +123,58 @@ class InteractiveSession:
     def set_region_level(self, regions: str) -> AggregationResult:
         self.manager.region_set(regions)  # validate early
         self.state.regions = regions
+        # The canvas grid is planned per region set; a stale viewport
+        # would pin the old world window over the new polygons.
+        self._viewport = None
         return self._refresh("resolution", regions)
+
+    # -- map gestures ------------------------------------------------------
+
+    def grid_viewport(self):
+        """The session's grid-snapped viewport (created on first use).
+
+        Pinning the canvas to a :class:`~repro.core.pyramid.CanvasGrid`
+        makes every later pan/zoom land on block-aligned cache keys, so
+        overlapping gestures assemble from cached pyramid blocks
+        instead of re-scattering the points.
+        """
+        if self._viewport is None:
+            regions = self.manager.region_set(self.state.regions)
+            self._viewport = self.manager.engine.plan_grid_viewport(
+                regions, self.resolution)
+        return self._viewport
+
+    def pan(self, dx_pixels: float, dy_pixels: float) -> AggregationResult:
+        """Shift the map window; snaps to whole pixels on the canvas
+        grid so the new frame reuses every block it still overlaps."""
+        self._viewport = self.grid_viewport().pan(dx_pixels, dy_pixels)
+        return self._refresh("pan", f"({dx_pixels:+g}, {dy_pixels:+g})")
+
+    def zoom(self, factor: float) -> AggregationResult:
+        """Zoom the map window; snaps to the pyramid's power-of-two
+        levels, so zooming out serves from 2x2-reduced cached blocks."""
+        self._viewport = self.grid_viewport().zoom(factor)
+        return self._refresh("zoom", f"x{factor:g}")
+
+    def set_viewport(self, bbox) -> AggregationResult:
+        """Jump to a world window, snapped to the canvas pixel grid.
+
+        Edges round to the nearest pixel boundary at the current level
+        *before* the query is keyed, so a window dragged back to
+        (almost) a previous position fingerprints identically to it and
+        reuses its cached blocks.
+        """
+        gv = self.grid_viewport()
+        grid = gv.grid
+        pw = grid.pw * (1 << gv.level)
+        ph = grid.ph * (1 << gv.level)
+        col0 = int(round((bbox.xmin - grid.x0) / pw))
+        row0 = int(round((bbox.ymin - grid.y0) / ph))
+        width = max(1, int(round((bbox.xmax - bbox.xmin) / pw)))
+        height = max(1, int(round((bbox.ymax - bbox.ymin) / ph)))
+        self._viewport = grid.viewport(gv.level, col0, row0, width, height)
+        return self._refresh(
+            "viewport", f"[{col0},{row0}) {width}x{height}@L{gv.level}")
 
     def set_dataset(self, dataset: str) -> AggregationResult:
         """Switch data set.  Attribute filters are dropped (they refer to
@@ -142,7 +202,8 @@ class InteractiveSession:
         try:
             result = self.manager.aggregate(
                 self.state.dataset, self.state.regions, query,
-                method=method, resolution=self.resolution)
+                method=method, resolution=self.resolution,
+                viewport=self._viewport)
         except ReproError:
             # The cube path can decline late (e.g. a brush that stopped
             # aligning after an append); the configured method is always
@@ -152,10 +213,12 @@ class InteractiveSession:
             method = self.method
             result = self.manager.aggregate(
                 self.state.dataset, self.state.regions, query,
-                method=method, resolution=self.resolution)
+                method=method, resolution=self.resolution,
+                viewport=self._viewport)
         latency = time.perf_counter() - t0
         self.last_result = result
         cache = result.stats.get("cache", {})
+        blocks = cache.get("blocks", {})
         plan = result.stats.get("plan", {})
         self.log.append(Interaction(
             op=op, detail=detail, latency_s=latency,
@@ -164,7 +227,10 @@ class InteractiveSession:
             cache_misses=cache.get("query_misses", 0),
             backend=(plan.get("decision") or {}).get("chosen",
                                                      result.method),
-            parallel=result.stats.get("parallel", {}).get("mode", "")))
+            parallel=result.stats.get("parallel", {}).get("mode", ""),
+            block_hits=(blocks.get("hits", 0) + blocks.get("derived", 0)),
+            block_misses=blocks.get("misses", 0),
+            block_reuse=blocks.get("reuse_fraction", 0.0)))
         return result
 
     def _brush_method(self, query: SpatialAggregation) -> str:
@@ -182,7 +248,8 @@ class InteractiveSession:
         try:
             table = self.manager.dataset(self.state.dataset)
             regions = self.manager.region_set(self.state.regions)
-            viewport = engine.plan_viewport(regions, self.resolution, None)
+            viewport = self._viewport or engine.plan_viewport(
+                regions, self.resolution, None)
             if tcube_servable(engine.ctx, table, query, viewport):
                 return "tcube-raster"
         except ReproError:
@@ -201,6 +268,8 @@ class InteractiveSession:
             return {"interactions": 0}
         hits = sum(i.cache_hits for i in self.log)
         misses = sum(i.cache_misses for i in self.log)
+        block_hits = sum(i.block_hits for i in self.log)
+        block_misses = sum(i.block_misses for i in self.log)
         return {
             "interactions": len(lat),
             "mean_latency_s": float(lat.mean()),
@@ -212,6 +281,10 @@ class InteractiveSession:
             "cache_misses": misses,
             "cache_hit_rate": (hits / (hits + misses)
                                if hits + misses else 0.0),
+            "block_hits": block_hits,
+            "block_misses": block_misses,
+            "block_reuse_rate": (block_hits / (block_hits + block_misses)
+                                 if block_hits + block_misses else 0.0),
             "parallel_gestures": sum(
                 1 for i in self.log if i.parallel == "parallel"),
         }
@@ -219,12 +292,13 @@ class InteractiveSession:
     def report(self) -> str:
         """Human-readable per-interaction log."""
         lines = [f"{'op':<16} {'detail':<32} {'backend':<10} "
-                 f"{'cache':>7} {'latency':>9}"]
+                 f"{'cache':>7} {'blocks':>7} {'latency':>9}"]
         for item in self.log:
             lines.append(
                 f"{item.op:<16} {item.detail[:32]:<32} "
                 f"{item.backend[:10]:<10} "
                 f"{item.cache_hits:>3}h{item.cache_misses:>2}m "
+                f"{item.block_reuse * 100:5.0f}%b "
                 f"{item.latency_s * 1000:7.1f}ms")
         stats = self.summary()
         lines.append(
@@ -232,7 +306,8 @@ class InteractiveSession:
             f"mean {stats['mean_latency_s'] * 1000:.1f}ms, "
             f"max {stats['max_latency_s'] * 1000:.1f}ms, "
             f"{stats['interactive_fraction'] * 100:.0f}% interactive, "
-            f"cache hit rate {stats['cache_hit_rate'] * 100:.0f}%")
+            f"cache hit rate {stats['cache_hit_rate'] * 100:.0f}%, "
+            f"block reuse {stats['block_reuse_rate'] * 100:.0f}%")
         return "\n".join(lines)
 
 
