@@ -1,0 +1,357 @@
+"""Sharded scatter-gather scaling: store shards and the serve pool.
+
+Two measurements, both against the acceptance bar of the sharding
+work:
+
+* **store scatter-gather** — one store-backed bounded join at
+  1/2/4/8 shards (forked over the same mmap'd partitions), median
+  latency and bitwise parity against the single-process answer;
+* **serve soak** — a :class:`~repro.serve.service.QueryService`
+  fronting the same store with a routed worker pool at each shard
+  count, hammered in-process at 1x / 4x / 16x the configured
+  concurrency with distinct (uncacheable) queries, recording QPS,
+  p50/p99 latency, shed rate and per-worker routing spread.
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_shard_scaling.py``) —
+  sharded store query latency in the shared benchmark session;
+* standalone (``python benchmarks/bench_shard_scaling.py
+  [--points N] [--out BENCH_shard.json]``) — emits the
+  machine-readable record and exits non-zero if any sharded answer
+  diverges from single-process execution.
+
+Scaling expectations are hardware-honest: on a single-core host the
+fork fan-out cannot beat serial (the planner's shard threshold exists
+for exactly that regime), so parity is the hard gate here and the
+QPS/latency columns are the record to compare across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+SHARD_COUNTS = (1, 2, 4, 8)
+LOAD_FACTORS = (1, 4, 16)
+#: Shard even at smoke sizes: the bench states its own threshold
+#: instead of inheriting the planner's interactive-scale default.
+BENCH_SERIAL_THRESHOLD = 10_000
+
+
+def _percentile_ms(samples: list[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    return float(np.percentile(np.array(samples) * 1000, q))
+
+
+def _engine(shards: int, resolution: int):
+    from repro.core import ParallelConfig, SpatialAggregationEngine
+
+    return SpatialAggregationEngine(
+        default_resolution=resolution,
+        parallel=ParallelConfig(shards=shards,
+                                serial_threshold=BENCH_SERIAL_THRESHOLD))
+
+
+def _equal(a, b) -> bool:
+    return (np.array_equal(a.values, b.values, equal_nan=True)
+            and np.array_equal(a.lower, b.lower, equal_nan=True)
+            and np.array_equal(a.upper, b.upper, equal_nan=True))
+
+
+def run_store_scaling(store, regions, shard_counts=SHARD_COUNTS,
+                      resolution: int = 256, repeats: int = 3) -> list:
+    """Median sharded store-query latency + parity per shard count."""
+    from repro.core import SpatialAggregation
+
+    query = SpatialAggregation.sum_of("fare")
+    reference = _engine(1, resolution).execute(
+        store, regions, query, resolution=resolution)
+    rows = []
+    serial_ms = None
+    for shards in shard_counts:
+        engine = _engine(shards, resolution)
+        result = engine.execute(store, regions, query,
+                                resolution=resolution)
+        times = []
+        for __ in range(repeats):
+            t0 = time.perf_counter()
+            engine.execute(store, regions, query, resolution=resolution)
+            times.append(time.perf_counter() - t0)
+        median_ms = float(np.median(times) * 1000)
+        if serial_ms is None:
+            serial_ms = median_ms
+        shard_stats = result.stats.get("shards") or {}
+        rows.append({
+            "shards": shards,
+            "median_ms": median_ms,
+            "speedup": serial_ms / median_ms if median_ms else 0.0,
+            "equal": _equal(result, reference),
+            "pooled": bool(shard_stats.get("pooled", False)),
+            "shards_used": shard_stats.get("count", 1),
+            "prefetch_hit_fraction":
+                shard_stats.get("prefetch_hit_fraction", 0.0),
+        })
+    return rows
+
+
+def run_serve_soak(store_path, regions, shard_counts=SHARD_COUNTS,
+                   load_factors=LOAD_FACTORS, max_concurrency: int = 4,
+                   requests_per_client: int = 6,
+                   resolution: int = 256) -> list:
+    """Drive a routed serve pool over the store at increasing load."""
+    from repro.core import SpatialAggregation
+    from repro.errors import OverloadedError
+    from repro.serve import QueryService
+    from repro.serve.protocol import decode_request, encode_request
+    from repro.table import F
+    from repro.urbane import DataManager
+
+    rows = []
+    for shards in shard_counts:
+        manager = DataManager(_engine(1, resolution))
+        manager.add_store(store_path, name="trips")
+        region_name = manager.add_region_set(regions)
+
+        # The whole soak for one service runs on one event loop: the
+        # admission semaphore binds to the loop it first waits on.
+        async def soak_all(manager=manager, shards=shards,
+                           region_name=region_name):
+            service = QueryService(
+                manager, max_concurrency=max_concurrency,
+                max_queue=2 * max_concurrency, max_wait_s=5.0,
+                shards=shards)
+            loop_rows = []
+            try:
+                for load in load_factors:
+                    clients = load * max_concurrency
+                    thresholds = [0.5 * k
+                                  for k in range(max(2, clients // 2))]
+                    direct = {
+                        thr: manager.engine.execute(
+                            manager.dataset("trips"), regions,
+                            SpatialAggregation.count(F("fare") > thr),
+                            resolution=resolution)
+                        for thr in thresholds
+                    }
+                    latencies: list[float] = []
+                    mismatches: list[float] = []
+                    shed = 0
+
+                    async def one_client(cid, thresholds=thresholds,
+                                         direct=direct,
+                                         latencies=latencies,
+                                         mismatches=mismatches,
+                                         service=service):
+                        nonlocal shed
+                        for r in range(requests_per_client):
+                            thr = thresholds[(cid + r) % len(thresholds)]
+                            req = decode_request(encode_request(
+                                "trips", region_name,
+                                query=SpatialAggregation.count(
+                                    F("fare") > thr),
+                                resolution=resolution, cache=False,
+                                timeout_s=5.0))
+                            t0 = time.perf_counter()
+                            try:
+                                result = await service.execute(req)
+                            except OverloadedError:
+                                shed += 1
+                                continue
+                            latencies.append(time.perf_counter() - t0)
+                            if not _equal(result, direct[thr]):
+                                mismatches.append(thr)
+
+                    t0 = time.perf_counter()
+                    await asyncio.gather(
+                        *(one_client(c) for c in range(clients)))
+                    wall_s = time.perf_counter() - t0
+                    total = clients * requests_per_client
+                    pool_stats = service.stats()["pool"]
+                    loop_rows.append({
+                        "shards": shards,
+                        "load_factor": load,
+                        "clients": clients,
+                        "requests": total,
+                        "served": len(latencies),
+                        "shed": shed,
+                        "shed_rate": shed / total if total else 0.0,
+                        "p50_ms": _percentile_ms(latencies, 50),
+                        "p99_ms": _percentile_ms(latencies, 99),
+                        "qps": len(latencies) / wall_s if wall_s
+                        else 0.0,
+                        "all_equal": not mismatches,
+                        "worker_queries": [
+                            w["queries"]
+                            for w in pool_stats["workers"]],
+                    })
+            finally:
+                service.close()
+            return loop_rows
+
+        rows.extend(asyncio.run(soak_all()))
+    return rows
+
+
+def run_shard(table, regions, store_dir,
+              shard_counts=SHARD_COUNTS, load_factors=LOAD_FACTORS,
+              max_concurrency: int = 4, requests_per_client: int = 6,
+              resolution: int = 256, repeats: int = 3) -> dict:
+    """The full BENCH_shard.json payload."""
+    from repro.store import build_store
+
+    # Spatial partitioning only: time-bucketed zone maps would shred
+    # this workload into thousands of tiny partitions (and as many
+    # open mmaps), which benchmarks the page cache, not the shards.
+    store = build_store(table, Path(store_dir) / "store",
+                        partition_rows=max(2_048, len(table) // 64),
+                        grid=4)
+    return {
+        "benchmark": "shard-scaling",
+        "points": len(table),
+        "regions": len(regions),
+        "resolution": resolution,
+        "partitions": store.num_partitions,
+        "max_concurrency": max_concurrency,
+        "requests_per_client": requests_per_client,
+        "serial_threshold": BENCH_SERIAL_THRESHOLD,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+        "store": run_store_scaling(store, regions,
+                                   shard_counts=shard_counts,
+                                   resolution=resolution,
+                                   repeats=repeats),
+        "serve": run_serve_soak(store.path, regions,
+                                shard_counts=shard_counts,
+                                load_factors=load_factors,
+                                max_concurrency=max_concurrency,
+                                requests_per_client=requests_per_client,
+                                resolution=resolution),
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="shard")
+
+    @pytest.fixture(scope="module")
+    def shard_bench_store(bench_taxi, tmp_path_factory):
+        from repro.store import build_store
+        from repro.table import numeric_column
+
+        table = bench_taxi["200k"]
+        table = table.with_column(numeric_column(
+            "fare", np.round(table.values("fare"))))
+        path = tmp_path_factory.mktemp("shard-bench") / "store"
+        return build_store(table, path, partition_rows=8_192, grid=4)
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_sharded_store_query(benchmark, shard_bench_store,
+                                 bench_regions, shards):
+        from repro.core import SpatialAggregation
+
+        regions = bench_regions["neighborhoods"]
+        engine = _engine(shards, 256)
+        query = SpatialAggregation.sum_of("fare")
+        engine.execute(shard_bench_store, regions, query)  # warm raster
+
+        def run():
+            return engine.execute(shard_bench_store, regions, query)
+
+        result = benchmark(run)
+        benchmark.extra_info["shards"] = shards
+        benchmark.extra_info["pooled"] = bool(
+            (result.stats.get("shards") or {}).get("pooled", False))
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded scatter-gather scaling -> JSON")
+    parser.add_argument("--points", type=int, default=200_000)
+    parser.add_argument("--regions", type=int, default=71)
+    parser.add_argument("--resolution", type=int, default=256)
+    parser.add_argument("--shards", default="1,2,4,8",
+                        help="comma-separated shard counts")
+    parser.add_argument("--load", default="1,4,16",
+                        help="comma-separated load factors")
+    parser.add_argument("--max-concurrency", type=int, default=4)
+    parser.add_argument("--requests-per-client", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_shard.json")
+    args = parser.parse_args(argv)
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+    from repro.table import numeric_column
+
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    # Integer-valued fares: the regime where sharded SUM folds stay
+    # bitwise-exact (the store benches use the same convention).
+    table = table.with_column(numeric_column(
+        "fare", np.round(table.values("fare"))))
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+    shard_counts = tuple(int(s) for s in args.shards.split(","))
+    load_factors = tuple(int(s) for s in args.load.split(","))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = run_shard(
+            table, regions, tmp, shard_counts=shard_counts,
+            load_factors=load_factors,
+            max_concurrency=args.max_concurrency,
+            requests_per_client=args.requests_per_client,
+            resolution=args.resolution, repeats=args.repeats)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'shards':>6} {'median':>9} {'speedup':>8} {'pooled':>7}  equal")
+    for row in payload["store"]:
+        print(f"{row['shards']:>6} {row['median_ms']:>7.1f}ms "
+              f"{row['speedup']:>7.2f}x {str(row['pooled']):>7}  "
+              f"{row['equal']}")
+    print(f"{'shards':>6} {'load':>5} {'served':>7} {'shed':>6} "
+          f"{'p50':>8} {'p99':>8} {'qps':>7}  equal")
+    for row in payload["serve"]:
+        print(f"{row['shards']:>6} {row['load_factor']:>4}x "
+              f"{row['served']:>7} {row['shed']:>6} "
+              f"{row['p50_ms']:>6.1f}ms {row['p99_ms']:>6.1f}ms "
+              f"{row['qps']:>7.1f}  {row['all_equal']}")
+    print(f"wrote {out}")
+
+    bad_store = [r["shards"] for r in payload["store"] if not r["equal"]]
+    if bad_store:
+        print(f"ERROR: sharded store answers diverged at {bad_store} "
+              f"shards", file=sys.stderr)
+        return 1
+    bad_serve = [(r["shards"], r["load_factor"])
+                 for r in payload["serve"] if not r["all_equal"]]
+    if bad_serve:
+        print(f"ERROR: served answers diverged at {bad_serve}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

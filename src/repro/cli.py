@@ -31,6 +31,7 @@ from pathlib import Path
 
 from .core import (
     METHODS,
+    ParallelConfig,
     RegionSet,
     SpatialAggregation,
     SpatialAggregationEngine,
@@ -305,7 +306,8 @@ def _cmd_serve(args) -> int:
     from .urbane import DataManager
 
     manager = DataManager(SpatialAggregationEngine(
-        default_resolution=args.resolution, workers=args.workers))
+        default_resolution=args.resolution, workers=args.workers,
+        parallel=ParallelConfig(prefetch_depth=args.prefetch_depth)))
     budget = (None if args.store_budget_mb is None
               else int(args.store_budget_mb * 1024 * 1024))
     for spec in args.data or ():
@@ -335,14 +337,15 @@ def _cmd_serve(args) -> int:
     service = QueryService(
         manager, max_concurrency=args.max_concurrency,
         max_queue=args.max_queue,
-        default_deadline_ms=args.deadline_ms)
+        default_deadline_ms=args.deadline_ms,
+        shards=args.shards)
     server = QueryServer(service, host=args.host, port=args.port)
 
     async def run() -> None:
         await server.start()
         print(f"serving on {server.url}  "
               f"(concurrency={args.max_concurrency}, "
-              f"queue={args.max_queue})")
+              f"queue={args.max_queue}, shards={service.workers.shards})")
         await server.serve_forever()
 
     try:
@@ -414,7 +417,9 @@ def _cmd_store_query(args) -> int:
     regions = _load_regions(Path(args.regions), name=parsed.regions)
     engine = SpatialAggregationEngine(
         default_resolution=args.resolution,
-        max_canvas_resolution=max(args.resolution, 4096))
+        max_canvas_resolution=max(args.resolution, 4096),
+        parallel=ParallelConfig(shards=args.shards,
+                                prefetch_depth=args.prefetch_depth))
 
     t0 = time.perf_counter()
     result = engine.execute(dataset, regions, parsed.aggregation,
@@ -437,6 +442,20 @@ def _cmd_store_query(args) -> int:
     print(f"-- mounts: {mounted['mounts']} mapped "
           f"({mounted['hits']} hits, {mounted['evictions']} evictions, "
           f"{mounted['mapped_bytes']:,} bytes resident)")
+    shards = result.stats.get("shards")
+    if shards:
+        times = ", ".join(f"{s['time_s'] * 1000:.0f}ms"
+                          for s in shards["per_shard"])
+        mode = "forked" if shards["pooled"] else "in-process"
+        print(f"-- shards: {shards['count']} {mode}, prefetch depth "
+              f"{shards['prefetch_depth']} "
+              f"(hit {shards['prefetch_hit_fraction'] * 100:.0f}%), "
+              f"per-shard [{times}]")
+    else:
+        decision = (result.stats.get("plan") or {}).get("shards") or {}
+        if not decision.get("use", True):
+            print(f"-- shards: serial "
+                  f"({decision.get('reason', 'n/a')})")
     shown = result.top_k(args.top)
     width = max((len(n) for n, __ in shown), default=10)
     for name, value in shown:
@@ -539,6 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--resolution", type=int, default=512)
     srv.add_argument("--workers", type=int, default=None,
                      help="worker processes for large inputs")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="serve-worker pool size: each worker owns a "
+                          "private engine cache + coalescing map, and "
+                          "queries route to workers by consistent hash "
+                          "of their fingerprint")
+    srv.add_argument("--prefetch-depth", type=int, default=1,
+                     help="partitions of mmap readahead per shard in "
+                          "out-of-core scans (0 disables)")
     srv.add_argument("--max-concurrency", type=int, default=4,
                      help="queries executing at once (thread pool size)")
     srv.add_argument("--max-queue", type=int, default=16,
@@ -590,6 +617,13 @@ def build_parser() -> argparse.ArgumentParser:
     stq.add_argument("--method", default="auto",
                      choices=("auto", "bounded", "tiled"))
     stq.add_argument("--resolution", type=int, default=512)
+    stq.add_argument("--shards", type=int, default=None,
+                     help="partition-scan shard processes (default: "
+                          "cpu count; the planner still stays serial "
+                          "below the row threshold)")
+    stq.add_argument("--prefetch-depth", type=int, default=1,
+                     help="partitions of mmap readahead per shard "
+                          "(0 disables)")
     stq.add_argument("--budget-mb", type=float, default=None,
                      help="partition-mapping memory budget in MiB")
     stq.add_argument("--top", type=int, default=10,

@@ -175,6 +175,7 @@ class SpatialAggregationEngine:
                 "inputs": self.planner.plan_inputs(self.ctx, plan),
                 "decision": {"chosen": chosen, "planned": False},
                 "parallel": None,
+                "shards": None,
                 "degraded": None,
             }
 
@@ -246,6 +247,7 @@ class SpatialAggregationEngine:
                                        "planned": False,
                                        "multi": len(queries)},
                           "parallel": None,
+                          "shards": None,
                           "degraded": None})
             self._attach_stats(result, plan, hits0, misses0, blocks0, t0)
         return results

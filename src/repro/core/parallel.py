@@ -107,6 +107,12 @@ class ParallelConfig:
     serial_threshold: int = PARALLEL_POINT_THRESHOLD
     region_threshold: int = PARALLEL_REGION_THRESHOLD
     fragment_threshold: int = PARALLEL_FRAGMENT_THRESHOLD
+    #: Shard count for the out-of-core scatter-gather coordinator
+    #: (``repro.shard``); ``None`` resolves like ``workers``.
+    shards: int | None = None
+    #: How many partitions ahead each shard issues ``madvise(WILLNEED)``
+    #: for, so page-in overlaps the current partition's scatter.
+    prefetch_depth: int = 1
 
     def resolve_workers(self) -> int:
         if self.workers is not None:
@@ -115,6 +121,18 @@ class ParallelConfig:
 
     def with_workers(self, workers: int | None) -> "ParallelConfig":
         return replace(self, workers=workers)
+
+    def resolve_shards(self) -> int:
+        if self.shards is not None:
+            return max(1, int(self.shards))
+        return self.resolve_workers()
+
+    def with_shards(self, shards: int | None,
+                    prefetch_depth: int | None = None) -> "ParallelConfig":
+        cfg = replace(self, shards=shards)
+        if prefetch_depth is not None:
+            cfg = replace(cfg, prefetch_depth=max(0, int(prefetch_depth)))
+        return cfg
 
     # -- decisions ---------------------------------------------------------
 
@@ -163,6 +181,48 @@ class ParallelConfig:
                and n_fragments >= self.fragment_threshold)
         return {"use": use, "workers": workers,
                 "threshold": self.fragment_threshold}
+
+    def decide_shards(self, n_partitions: int, n_rows: int) -> dict:
+        """Sharded-vs-serial decision for an out-of-core partition scan.
+
+        Same shape (and pricing philosophy) as :meth:`decide`: forking
+        a shard costs :data:`FORK_OVERHEAD_UNITS`, so below the point
+        threshold — or with fewer than two surviving partitions — the
+        coordinator stays serial.  The effective shard count never
+        exceeds the surviving partition count (empty shards would only
+        pay fork overhead for nothing).
+        """
+        shards = self.resolve_shards()
+        base = {"shards": shards, "prefetch_depth": self.prefetch_depth,
+                "threshold": self.serial_threshold}
+        if shards <= 1:
+            return {"use": False, "reason": "one shard configured", **base}
+        if not _fork_available():
+            return {"use": False,
+                    "reason": "fork start method unavailable", **base}
+        if n_partitions < 2:
+            return {"use": False,
+                    "reason": f"{n_partitions} surviving partition(s)",
+                    **base}
+        if n_rows < self.serial_threshold:
+            return {"use": False,
+                    "reason": f"{n_rows} rows below serial threshold "
+                              f"{self.serial_threshold}", **base}
+        effective = min(shards, n_partitions)
+        return {"use": True, "reason": f"{n_rows} rows in {n_partitions} "
+                                       f"partitions across {effective} "
+                                       f"shards",
+                **{**base, "shards": effective}}
+
+    def shard_cost(self, n_partitions: int, n_rows: int) -> float:
+        """Effective work units for a sharded partition scan — the
+        serial row count when the decision is serial, otherwise the
+        per-shard span plus fork overhead (mirrors :meth:`point_cost`)."""
+        decision = self.decide_shards(n_partitions, n_rows)
+        if not decision["use"]:
+            return float(n_rows)
+        shards = decision["shards"]
+        return n_rows / shards + FORK_OVERHEAD_UNITS * shards
 
     # -- cost model --------------------------------------------------------
 

@@ -260,6 +260,13 @@ class CostBasedPlanner:
                 "costs": costs,
             },
             "parallel": parallel,
+            # Partition sharding is an out-of-core concern; the store
+            # execution path overwrites this with a real decision.
+            "shards": {"use": False,
+                       "shards": ctx.parallel.resolve_shards(),
+                       "prefetch_depth": ctx.parallel.prefetch_depth,
+                       "threshold": ctx.parallel.serial_threshold,
+                       "reason": "in-memory execution has no partitions"},
             "degraded": degraded,
         }
         return chosen

@@ -25,6 +25,7 @@ from .admission import AdmissionController
 from .client import ServeClient
 from .coalesce import SingleFlight
 from .mounts import mount_datasets
+from .pool import ServeWorker, ServeWorkerPool
 from .protocol import (
     PROTOCOL_VERSION,
     RemoteResult,
@@ -37,16 +38,20 @@ from .protocol import (
     result_from_json,
     result_to_json,
 )
+from .routing import HashRing
 from .server import QueryServer, ServerThread
 from .service import QueryService
 
 __all__ = [
     "AdmissionController",
+    "HashRing",
     "PROTOCOL_VERSION",
     "QueryServer",
     "QueryService",
     "RemoteResult",
     "ServeClient",
+    "ServeWorker",
+    "ServeWorkerPool",
     "ServerThread",
     "SingleFlight",
     "decode_request",

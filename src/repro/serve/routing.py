@@ -1,0 +1,79 @@
+"""Consistent-hash routing for the serve-worker pool.
+
+One query fingerprint must always land on the same worker — that is
+what makes per-worker state *shard* instead of duplicate: the
+coalescing map only ever sees a given flight on one worker, and the
+tcube / pyramid-block / result caches each hold their slice of the
+keyspace exactly once across the pool.
+
+:class:`HashRing` is the classic construction: every worker owns
+``replicas`` virtual points on a ring keyed by a stable hash
+(BLAKE2b — ``hash()`` is salted per process and useless here), and a
+key routes to the first virtual point clockwise from its own hash.
+Adding or removing one worker therefore remaps only the keys in the
+arcs it owned (~1/N of the keyspace) — the property that keeps caches
+warm across pool resizes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def stable_hash(text: str) -> int:
+    """A process-independent 64-bit hash of ``text``."""
+    digest = hashlib.blake2b(text.encode("utf-8", "surrogatepass"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes with virtual replicas."""
+
+    def __init__(self, nodes, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = int(replicas)
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._nodes: list[str] = []
+        for node in nodes:
+            self.add(node)
+        if not self._nodes:
+            raise ValueError("a hash ring needs at least one node")
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            point = stable_hash(f"{node}#{replica}")
+            # A (vanishingly unlikely) collision keeps the first owner:
+            # both orderings are consistent, first-wins is deterministic
+            # for a fixed insertion order.
+            if point not in self._owners:
+                self._owners[point] = node
+                bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        for point, owner in list(self._owners.items()):
+            if owner == node:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    def node_for(self, key) -> str:
+        """The worker owning ``key`` (any object with a stable repr)."""
+        point = stable_hash(repr(key))
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap: first point clockwise past zero
+        return self._owners[self._points[index]]

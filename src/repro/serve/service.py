@@ -28,39 +28,59 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from concurrent.futures import ThreadPoolExecutor
 
 from ..core.cache import fingerprint
 from ..core.tiling import iter_tiled_partials
 from ..errors import ProtocolError, QueryError
 from ..urbane.datamanager import DataManager
 from .admission import AdmissionController
-from .coalesce import SingleFlight
+from .pool import ServeWorkerPool
 
 #: Sentinel closing a streaming queue.
 _DONE = object()
 
 
 class QueryService:
-    """Admission-controlled, coalescing front end over a DataManager."""
+    """Admission-controlled, coalescing front end over a DataManager.
+
+    With ``shards > 1`` the service fronts a
+    :class:`~repro.serve.pool.ServeWorkerPool`: requests route by
+    consistent hash of their query fingerprint to one of ``shards``
+    workers, each owning a private engine (unified cache, tcube,
+    pyramid blocks) and coalescing map — the caches *shard* across
+    workers instead of duplicating.  Admission stays global: one
+    controller aggregates the concurrency slots for the whole pool.
+    """
 
     def __init__(self, manager: DataManager,
                  max_concurrency: int = 4,
                  max_queue: int = 16,
                  max_wait_s: float = 10.0,
-                 default_deadline_ms: float | None = None):
+                 default_deadline_ms: float | None = None,
+                 shards: int = 1):
         self.manager = manager
         self.admission = AdmissionController(
             max_concurrency=max_concurrency, max_queue=max_queue,
             max_wait_s=max_wait_s)
-        self.flight = SingleFlight()
         self.default_deadline_ms = default_deadline_ms
-        self.pool = ThreadPoolExecutor(
-            max_workers=max_concurrency, thread_name_prefix="repro-serve")
+        # Worker 0 wraps the manager's engine, so a one-shard pool is
+        # exactly the pre-pool service (same cache, same counters).
+        self.workers = ServeWorkerPool(manager.engine, shards,
+                                       total_threads=max_concurrency)
         self._streams: dict[str, object] = {}
         self.queries = 0
         self.stream_queries = 0
         self.errors = 0
+
+    @property
+    def flight(self):
+        """Worker 0's coalescing map (single-shard back-compat)."""
+        return self.workers.workers[0].flight
+
+    @property
+    def pool(self):
+        """Worker 0's thread pool (single-shard back-compat)."""
+        return self.workers.workers[0].executor
 
     # -- registration ------------------------------------------------------
 
@@ -114,11 +134,13 @@ class QueryService:
         req["regions"] = req["regions"] or parsed.regions
         req["query"] = parsed.aggregation
 
-    def _run(self, req: dict, key: tuple, cancel: threading.Event):
+    def _run(self, req: dict, key: tuple, cancel: threading.Event,
+             engine=None):
         """Engine execution (thread-pool side)."""
         table, stream_version = self._resolve_table(req["dataset"])
         regions = self.manager.region_set(req["regions"])
-        engine = self.manager.engine
+        if engine is None:
+            engine = self.manager.engine
         deadline = req["deadline_ms"]
         if deadline is None:
             deadline = self.default_deadline_ms
@@ -153,15 +175,20 @@ class QueryService:
             self._parse_sql(req)
         self.queries += 1
         key = self.query_key(req)
+        # Consistent-hash routing: this key's worker owns its flights
+        # and its cache slice for the pool's lifetime.
+        worker = self.workers.worker_for(key)
+        worker.queries += 1
         loop = asyncio.get_running_loop()
 
         async def start(cancel: threading.Event):
             async with self.admission.slot(req.get("timeout_s")):
                 return await loop.run_in_executor(
-                    self.pool, self._run, req, key, cancel)
+                    worker.executor, self._run, req, key, cancel,
+                    worker.engine)
 
         try:
-            result = await self.flight.run(key, start)
+            result = await worker.flight.run(key, start)
         except Exception:
             self.errors += 1
             raise
@@ -181,9 +208,14 @@ class QueryService:
         """
         if req.get("sql"):
             self._parse_sql(req)
+        # Streams are not coalesced or cached, but routing them keeps
+        # the pool's thread budgets honest (a flood of streamers lands
+        # spread across workers, not all on worker 0).
+        worker = self.workers.worker_for(self.query_key(req))
         async with self.admission.slot(req.get("timeout_s")):
             self.queries += 1
             self.stream_queries += 1
+            worker.queries += 1
             table, _version = self._resolve_table(req["dataset"])
             regions = self.manager.region_set(req["regions"])
             if req["query"] is None:
@@ -212,7 +244,7 @@ class QueryService:
                     except RuntimeError:
                         pass  # loop already gone; nothing to notify
 
-            future = loop.run_in_executor(self.pool, produce)
+            future = loop.run_in_executor(worker.executor, produce)
             try:
                 while True:
                     item = await queue.get()
@@ -235,15 +267,18 @@ class QueryService:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
-        cache = self.manager.engine.cache_stats()
+        # Pool-wide aggregates: for a one-shard pool these equal the
+        # manager engine's own counters (worker 0 *is* that engine).
+        cache = self.workers.aggregate_cache_stats()
         blocks = cache.get("blocks", {})
         return {
             "queries": self.queries,
             "stream_queries": self.stream_queries,
             "errors": self.errors,
             "admission": self.admission.stats(),
-            "coalesce": self.flight.stats(),
+            "coalesce": self.workers.aggregate_coalesce_stats(),
             "cache": cache,
+            "pool": self.workers.stats(),
             # Lifetime pyramid block-tier reuse, surfaced at the top
             # level so operators see canvas reuse without digging into
             # the cache counters.
@@ -259,4 +294,4 @@ class QueryService:
         }
 
     def close(self) -> None:
-        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.workers.close()

@@ -1,0 +1,423 @@
+"""The shard coordinator: scatter store partitions, gather partials.
+
+Three entry points, one per out-of-core execution path:
+
+* :func:`scatter_gather_canvases` — the bounded path.  Survivors are
+  split into contiguous grid-key shards; each forked shard streams its
+  partitions through the *same* filter → project → scatter code the
+  serial scan runs, into a private canvas; the parent merges canvases
+  in shard order (additive kinds add, min/max reduce).
+* :func:`scatter_gather_tiles` — the tiled path.  Tiles (not
+  partitions) shard contiguously; each shard folds its tile range into
+  a private :class:`~repro.core.aggregates.PartialAggregate` + mass
+  vectors, and the parent merges region vectors in shard order.
+* :func:`prescatter_blocks` — the pyramid path.  Blocks that neither
+  the cache nor a 2x2 child reduction can serve are sharded across
+  workers; each returns its freshly scattered planes (the block-cache
+  *delta*) and the parent installs them, so the subsequent assembly
+  finds every block hot.
+
+**Equality discipline.**  Within a shard, partitions accumulate in
+manifest order with unbuffered ufunc.at ops — the serial reference
+fold, bit for bit.  Merging per-shard partials in shard order is
+exact for COUNT (integer-valued partials), order-free for MIN/MAX,
+and bitwise for SUM whenever the values are integer-valued; float SUM
+and AVG reassociate within <= 1e-12, the same contract the in-memory
+parallel scan documents.
+
+Workers fork over the parent's mmap'd partitions (copy-on-write,
+nothing pickled but the task tuples), and each shard runs a
+:class:`~repro.shard.prefetch.PartitionPrefetcher` so the kernel pages
+in partition *i+1* while partition *i* scatters.  Without ``fork``
+support every entry point degrades to an in-process loop over the
+identical shard code path — same answers, no processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from ..core.aggregates import BOUNDABLE_AGGREGATES, COUNT, PartialAggregate
+from ..core.parallel import _even_ranges, _fork_map
+from ..core.tiling import fold_tile_join
+from ..errors import QueryCancelled
+from .prefetch import PartitionPrefetcher
+
+
+def _scan_helpers():
+    """The serial scan's primitives (imported lazily: ``repro.store``
+    imports this module, so a top-level import would be circular)."""
+    from ..store.execute import (
+        _accumulate,
+        _empty_canvases,
+        _project_partition,
+    )
+    return _accumulate, _empty_canvases, _project_partition
+
+
+# -- shard assignment --------------------------------------------------------
+
+
+def assign_shards(dataset, survivors, n_shards: int) -> list[list[int]]:
+    """Split surviving manifest indices into contiguous grid-key shards.
+
+    The writer lays partitions out sorted by grid key, so survivors
+    (manifest order) group into runs of equal spatial cell; a cell's
+    partitions are never split across shards — a shard owns whole
+    cells, which keeps its page touches spatially local.  Cells are
+    packed into ``n_shards`` contiguous chunks balanced by row count
+    (a cell is assigned by its row-midpoint, so assignment is
+    monotonic and shards stay contiguous in manifest order).  Shards
+    may come back empty when fewer cells survive than shards asked
+    for — callers must treat an empty shard as an identity merge.
+    """
+    n_shards = max(1, int(n_shards))
+    if not survivors:
+        return [[] for _ in range(n_shards)]
+    infos = dataset.partitions
+    groups: list[tuple[list[int], int]] = []
+    last_cell = object()
+    for index in survivors:
+        info = infos[index]
+        cell = info.key[0] if info.key else None
+        if groups and cell == last_cell:
+            groups[-1][0].append(index)
+            groups[-1] = (groups[-1][0], groups[-1][1] + info.rows)
+        else:
+            groups.append(([index], info.rows))
+        last_cell = cell
+    total = sum(rows for _, rows in groups)
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    if total == 0:
+        for (lo, hi), shard in zip(_even_ranges(len(groups), n_shards),
+                                   shards):
+            for indices, _ in groups[lo:hi]:
+                shard.extend(indices)
+        return shards
+    cum = 0
+    for indices, rows in groups:
+        mid = cum + rows / 2.0
+        slot = min(n_shards - 1, int(mid * n_shards / total))
+        shards[slot].extend(indices)
+        cum += rows
+    return shards
+
+
+def merge_canvases(dst: dict, src: dict, kinds) -> None:
+    """Merge one shard's canvases into the accumulator (in shard
+    order): additive kinds add, min/max reduce elementwise."""
+    for kind in kinds:
+        if kind == "min":
+            np.minimum(dst[kind], src[kind], out=dst[kind])
+        elif kind == "max":
+            np.maximum(dst[kind], src[kind], out=dst[kind])
+        else:
+            dst[kind] += src[kind]
+
+
+def _shard_summary(shards, per_shard, pooled, depth) -> dict:
+    issued = sum(s["prefetch"]["issued"] for s in per_shard)
+    advised = sum(s["prefetch"]["advised"] for s in per_shard)
+    return {
+        "count": len(shards),
+        "pooled": pooled,
+        "prefetch_depth": depth,
+        "prefetch_issued": issued,
+        "prefetch_hit_fraction": (advised / issued) if issued else 0.0,
+        "per_shard": per_shard,
+    }
+
+
+# -- bounded path ------------------------------------------------------------
+
+
+def scatter_gather_canvases(dataset, survivors, query, viewport, kinds,
+                            decision, cancel
+                            ) -> tuple[dict, dict, bool]:
+    """Sharded bounded scan: per-shard canvases merged in shard order.
+
+    Returns ``(canvases, stats, pooled)`` shaped like the serial scan's
+    output plus ``stats["shards"]`` (per-shard timings and prefetch
+    counters).
+    """
+    _accumulate, _empty_canvases, _project_partition = _scan_helpers()
+    shards = assign_shards(dataset, survivors, decision["shards"])
+    depth = int(decision.get("prefetch_depth", 1))
+    infos = dataset.partitions
+    parent_pid = os.getpid()
+
+    def run_shard(shard_id: int, indices: list[int]):
+        if os.getpid() != parent_pid:
+            dataset._after_fork()
+        t0 = time.perf_counter()
+        prefetcher = PartitionPrefetcher(dataset, indices, depth)
+        canvases = _empty_canvases(kinds, viewport.num_pixels)
+        after_filter = in_viewport = rows = 0
+        for pos, index in enumerate(indices):
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelled(
+                    "sharded scan cancelled between partitions")
+            prefetcher.advance(pos)
+            table = dataset.partition_table(index)
+            pixel_ids, values, n_filter = _project_partition(
+                table, query, viewport)
+            after_filter += n_filter
+            in_viewport += len(pixel_ids)
+            rows += infos[index].rows
+            _accumulate(canvases, pixel_ids, values)
+        return canvases, {
+            "shard": shard_id, "partitions": len(indices), "rows": rows,
+            "points_after_filter": after_filter,
+            "points_in_viewport": in_viewport,
+            "time_s": time.perf_counter() - t0,
+            "prefetch": prefetcher.stats(),
+        }
+
+    tasks = [(i, indices) for i, indices in enumerate(shards)]
+    results, pooled = _fork_map(run_shard, tasks, len(tasks))
+
+    merged = _empty_canvases(kinds, viewport.num_pixels)
+    per_shard = []
+    after_filter = in_viewport = 0
+    for canvases, shard_stats in results:
+        merge_canvases(merged, canvases, kinds)
+        after_filter += shard_stats["points_after_filter"]
+        in_viewport += shard_stats["points_in_viewport"]
+        per_shard.append(shard_stats)
+    stats = {
+        "points_after_filter": after_filter,
+        "points_in_viewport": in_viewport,
+        "shards": _shard_summary(shards, per_shard, pooled, depth),
+    }
+    return merged, stats, pooled
+
+
+# -- tiled path --------------------------------------------------------------
+
+
+def scatter_gather_tiles(dataset, survivors, query, regions, viewport,
+                         tiles, kinds, decision, cancel):
+    """Sharded tiled scan: contiguous tile ranges per shard, region
+    vectors merged in shard order.
+
+    Each shard owns a contiguous slice of the tile list; within its
+    slice it runs exactly the serial per-tile loop (bbox-pruned
+    partition stream, manifest order, unbuffered accumulation) and
+    folds into a private :class:`PartialAggregate` + mass vectors.
+    The parent merges partials shard-by-shard — additive for
+    counts/sums/mass, reduce for min/max — the same association the
+    sharded bounded scan uses.
+
+    Returns ``(part, mass_in, mass_out, stats, pooled)``.
+    """
+    _accumulate, _empty_canvases, _project_partition = _scan_helpers()
+    agg = query.agg
+    geometries = list(regions.geometries)
+    geom_boxes = [g.bbox for g in geometries]
+    infos = dataset.partitions
+    n_shards = min(int(decision["shards"]), max(1, len(tiles)))
+    ranges = _even_ranges(len(tiles), n_shards)
+    depth = int(decision.get("prefetch_depth", 1))
+    parent_pid = os.getpid()
+
+    def run_shard(shard_id: int, lo: int, hi: int):
+        if os.getpid() != parent_pid:
+            dataset._after_fork()
+        t0 = time.perf_counter()
+        part = PartialAggregate.empty(agg, len(regions))
+        mass_in = np.zeros(len(regions))
+        mass_out = np.zeros(len(regions))
+        paged = 0
+        prefetch = {"depth": depth, "issued": 0, "advised": 0}
+        for tile_vp, col0, row0 in tiles[lo:hi]:
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelled(
+                    "sharded tiled scan cancelled between tiles")
+            local_ids = [gid for gid, gb in enumerate(geom_boxes)
+                         if gb.intersects(tile_vp.bbox)]
+            if not local_ids:
+                continue
+            touching = [
+                index for index in survivors
+                if infos[index].bbox is None
+                or infos[index].bbox.intersects(tile_vp.bbox)]
+            prefetcher = PartitionPrefetcher(dataset, touching, depth)
+            canvases = _empty_canvases(kinds, tile_vp.num_pixels)
+            for pos, index in enumerate(touching):
+                prefetcher.advance(pos)
+                paged += 1
+                table = dataset.partition_table(index)
+                mask = query.filter_mask(table)
+                values = query.values_for(table)
+                x = table.x[mask]
+                y = table.y[mask]
+                if values is not None:
+                    values = values[mask]
+                ix, iy = viewport.pixel_of(x, y)
+                sel = ((ix >= col0) & (ix < col0 + tile_vp.width)
+                       & (iy >= row0) & (iy < row0 + tile_vp.height))
+                local_pix = ((iy[sel] - row0) * tile_vp.width
+                             + (ix[sel] - col0))
+                local_vals = values[sel] if values is not None else None
+                _accumulate(canvases, local_pix, local_vals)
+            pstats = prefetcher.stats()
+            prefetch["issued"] += pstats["issued"]
+            prefetch["advised"] += pstats["advised"]
+            mass = None
+            if agg in BOUNDABLE_AGGREGATES:
+                mass = (canvases["count"] if agg == COUNT
+                        else canvases["mass"])
+            fold_tile_join(geometries, local_ids, query, tile_vp, canvases,
+                           mass, part, mass_in, mass_out)
+        return part, mass_in, mass_out, {
+            "shard": shard_id, "tiles": hi - lo,
+            "partitions_paged": paged,
+            "time_s": time.perf_counter() - t0,
+            "prefetch": prefetch,
+        }
+
+    tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+    results, pooled = _fork_map(run_shard, tasks, len(tasks))
+
+    part = PartialAggregate.empty(agg, len(regions))
+    mass_in = np.zeros(len(regions))
+    mass_out = np.zeros(len(regions))
+    per_shard = []
+    paged = 0
+    for shard_part, shard_in, shard_out, shard_stats in results:
+        part.merge(shard_part)
+        mass_in += shard_in
+        mass_out += shard_out
+        paged += shard_stats["partitions_paged"]
+        per_shard.append(shard_stats)
+    stats = {
+        "partitions_paged": paged,
+        "shards": _shard_summary([r for r in ranges], per_shard, pooled,
+                                 depth),
+    }
+    return part, mass_in, mass_out, stats, pooled
+
+
+# -- pyramid path ------------------------------------------------------------
+
+
+def _blocks_needing_scatter(ctx, table, query, viewport,
+                            derive_sums: bool) -> list[tuple]:
+    """Peek-only probe: the blocks assembly would have to scatter.
+
+    Mirrors :func:`~repro.core.pyramid.assemble_canvases`'s preference
+    order without touching LRU state or counters — a block is listed
+    only when its missing kinds can be served neither from the cache
+    nor by a 2x2 reduction of four cached children.
+    """
+    from ..core.pyramid import (
+        _ALWAYS_DERIVABLE,
+        block_key,
+        canvas_kinds,
+        grid_block_tiles,
+    )
+    from ..core.cache import fingerprint
+
+    grid = viewport.grid
+    level = viewport.level
+    kinds = canvas_kinds(query.agg)
+    table_fp = fingerprint(table)
+    cache = ctx.cache
+
+    def key(kind, lvl, bx, by):
+        return block_key(table_fp, query, kind, grid, lvl, bx, by)
+
+    needs = []
+    for bx, by, _view_sl, _block_sl in grid_block_tiles(viewport):
+        missing = tuple(k for k in kinds
+                        if cache.peek(key(k, level, bx, by)) is None)
+        if not missing:
+            continue
+        if level > 0 and all(k in _ALWAYS_DERIVABLE or derive_sums
+                             for k in missing):
+            if all(cache.peek(key(k, level - 1, 2 * bx + rx,
+                                  2 * by + ry)) is not None
+                   for k in missing for ry in (0, 1) for rx in (0, 1)):
+                continue  # assembly will derive it; nothing to scatter
+        needs.append((bx, by, missing))
+    return needs
+
+
+def prescatter_blocks(ctx, dataset, table, query, viewport, scatter,
+                      scanned, decision, cancel) -> dict | None:
+    """Scatter uncovered pyramid blocks across shards, install deltas.
+
+    Forked shards each scatter a contiguous slice of the
+    missing-block list and hand the parent their fresh planes — the
+    block-cache *delta* — which the parent installs under the same
+    keys the serial scatter would have used, so the following
+    :func:`~repro.core.pyramid.assemble_canvases` pass finds them hot.
+    Each plane is produced by the same ``scatter`` closure the serial
+    path runs, so the installed blocks are bitwise-identical.
+
+    ``scanned`` is the scatter closure's accounting dict; the shards'
+    local copies (fork children start from the parent's pristine
+    state) merge back so ``points_after_filter`` stays truthful.
+    Returns the ``stats["shards"]`` payload, or ``None`` when there
+    was nothing to scatter.
+    """
+    needs = _blocks_needing_scatter(ctx, table, query, viewport,
+                                    derive_sums=False)
+    if not needs:
+        return None
+    from ..core.pyramid import block_key, fingerprint
+    n_shards = min(int(decision["shards"]), len(needs))
+    ranges = _even_ranges(len(needs), n_shards)
+    parent_pid = os.getpid()
+
+    def run_shard(shard_id: int, lo: int, hi: int):
+        if os.getpid() != parent_pid:
+            dataset._after_fork()
+        t0 = time.perf_counter()
+        base_partitions = scanned["partitions"]
+        out = []
+        for bx, by, missing in needs[lo:hi]:
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelled(
+                    "sharded block scatter cancelled between blocks")
+            planes, points = scatter(bx, by, missing)
+            out.append((bx, by, planes, points))
+        # Delta relative to entry: in a fork child this is the shard's
+        # own contribution (the parent's dict is untouched); in the
+        # in-process fallback the shared closure already accumulated
+        # it, and the parent must not add it again.
+        delta = scanned["partitions"] - base_partitions
+        return out, dict(scanned["after_filter"]), delta, {
+            "shard": shard_id, "blocks": hi - lo,
+            "time_s": time.perf_counter() - t0,
+            "prefetch": {"depth": 0, "issued": 0, "advised": 0},
+        }
+
+    tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+    results, pooled = _fork_map(run_shard, tasks, len(tasks))
+
+    grid = viewport.grid
+    level = viewport.level
+    table_fp = fingerprint(table)
+    per_shard = []
+    blocks_installed = 0
+    for out, after_filter, partitions, shard_stats in results:
+        for bx, by, planes, _points in out:
+            for kind, plane in planes.items():
+                ctx.cache.put(
+                    block_key(table_fp, query, kind, grid, level, bx, by),
+                    plane)
+            blocks_installed += 1
+        if pooled:
+            # A partition scanned by several shards records the same
+            # surviving-row count in each — dict-merge keeps it once.
+            scanned["after_filter"].update(after_filter)
+            scanned["partitions"] += partitions
+        per_shard.append(shard_stats)
+    summary = _shard_summary(ranges, per_shard, pooled,
+                             int(decision.get("prefetch_depth", 1)))
+    summary["blocks_prescattered"] = blocks_installed
+    return summary

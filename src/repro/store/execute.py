@@ -62,6 +62,11 @@ from ..core.tiling import fold_tile_join, make_tiles
 from ..errors import QueryCancelled, QueryError
 from ..geometry import BBox
 from ..raster import Viewport
+from ..shard import (
+    prescatter_blocks,
+    scatter_gather_canvases,
+    scatter_gather_tiles,
+)
 from .dataset import Dataset
 from .format import zone_min
 from .pruner import PartitionPruner
@@ -299,7 +304,11 @@ def execute_dataset(ctx, plan, method: str = "auto") -> AggregationResult:
 
 
 def _plan_payload(ctx, plan, dataset, prune, chosen, method,
-                  resolution, parallel_decision) -> dict:
+                  resolution, parallel_decision,
+                  shard_decision=None) -> dict:
+    if shard_decision is None:
+        shard_decision = ctx.parallel.decide_shards(
+            len(prune.indices), prune.rows_scanned)
     return {
         "inputs": {
             "n_points": len(dataset),
@@ -315,6 +324,7 @@ def _plan_payload(ctx, plan, dataset, prune, chosen, method,
         "decision": {"chosen": chosen, "planned": False,
                      "requested": method},
         "parallel": parallel_decision,
+        "shards": shard_decision,
         "degraded": None,
     }
 
@@ -334,13 +344,21 @@ def _execute_bounded(ctx, dataset, pruner, plan,
     kinds = _canvas_kinds(agg, with_mass)
 
     decision = ctx.parallel.decide(prune.rows_scanned)
+    shard_decision = ctx.parallel.decide_shards(len(survivors),
+                                                prune.rows_scanned)
     plan.decision = _plan_payload(ctx, plan, dataset, prune,
                                   "store-bounded", plan.method, resolution,
-                                  decision)
+                                  decision, shard_decision)
 
     t_points0 = time.perf_counter()
     pooled = False
-    if decision["use"] and len(survivors) > 1:
+    if shard_decision["use"]:
+        canvases, scan_stats, pooled = scatter_gather_canvases(
+            dataset, survivors, query, viewport, kinds,
+            shard_decision, plan.cancel)
+        if plan.cancel is not None and plan.cancel.is_set():
+            raise QueryCancelled("store scan cancelled")
+    elif decision["use"] and len(survivors) > 1:
         canvases, scan_stats, pooled = _scan_canvases_parallel(
             dataset, survivors, query, viewport, kinds,
             decision["workers"], plan.cancel)
@@ -376,7 +394,9 @@ def _execute_bounded(ctx, dataset, pruner, plan,
         "time_join_s": t_join,
         "parallel": {"mode": "parallel" if pooled else "serial",
                      "pooled": pooled,
-                     "workers": decision.get("workers", 1)},
+                     "workers": (shard_decision["shards"]
+                                 if shard_decision["use"]
+                                 else decision.get("workers", 1))},
     }
     return AggregationResult(
         regions=regions, values=estimate,
@@ -458,12 +478,23 @@ def _execute_assembled(ctx, dataset, pruner, plan,
     # _store_block_scatter); the viewport still prunes the per-block
     # partition stream via the block/partition bbox test.
     prune = pruner.prune(query.filters, None)
+    shard_decision = ctx.parallel.decide_shards(len(prune.indices),
+                                                prune.rows_scanned)
     plan.decision = _plan_payload(
         ctx, plan, dataset, prune, "store-pyramid", plan.method, resolution,
-        {"use": False, "reason": "pyramid assembly"})
+        {"use": False, "reason": "pyramid assembly"}, shard_decision)
 
     scatter, scanned = _store_block_scatter(dataset, prune.indices, query,
                                             viewport)
+    shard_stats = None
+    if shard_decision["use"]:
+        # Scatter the uncovered blocks across forked shards first; the
+        # returned block-cache deltas install under the same keys, so
+        # the assembly below finds every block hot and the answer stays
+        # bitwise-identical to the serial scatter.
+        shard_stats = prescatter_blocks(
+            ctx, dataset, dataset, query, viewport, scatter, scanned,
+            shard_decision, plan.cancel)
     # Coarse SUM/mass blocks are never derived by reduction out-of-core
     # (no integer-valuedness proof without scanning); COUNT/MIN/MAX
     # still derive.
@@ -476,9 +507,17 @@ def _execute_assembled(ctx, dataset, pruner, plan,
         scanned["after_filter"].values())
     result.stats["store"] = prune.stats()
     result.stats["store"]["partitions_paged"] = scanned["partitions"]
-    result.stats["parallel"] = {"mode": "serial", "pooled": False,
-                                "workers": 1,
-                                "reason": "pyramid assembly"}
+    if shard_stats is not None:
+        result.stats["shards"] = shard_stats
+        pooled = shard_stats["pooled"]
+        result.stats["parallel"] = {
+            "mode": "parallel" if pooled else "serial", "pooled": pooled,
+            "workers": shard_decision["shards"],
+            "reason": "sharded block pre-scatter"}
+    else:
+        result.stats["parallel"] = {"mode": "serial", "pooled": False,
+                                    "workers": 1,
+                                    "reason": "pyramid assembly"}
     return result
 
 
@@ -497,10 +536,22 @@ def _execute_tiled(ctx, dataset, pruner, plan, resolution,
     tiles = make_tiles(viewport, tile_pixels)
     geometries = list(regions.geometries)
     geom_boxes = [g.bbox for g in geometries]
+    kinds = _canvas_kinds(agg, with_mass=(agg == SUM))
+
+    shard_decision = ctx.parallel.decide_shards(len(survivors),
+                                                prune.rows_scanned)
+    if shard_decision["use"] and len(tiles) <= 1:
+        shard_decision = {**shard_decision, "use": False,
+                          "reason": "single tile"}
+    plan.decision["shards"] = shard_decision
+    if shard_decision["use"]:
+        return _finish_tiled(ctx, dataset, plan, prune, resolution,
+                             viewport, tiles, tile_pixels, kinds,
+                             shard_decision)
+
     part = PartialAggregate.empty(agg, len(regions))
     mass_in = np.zeros(len(regions))
     mass_out = np.zeros(len(regions))
-    kinds = _canvas_kinds(agg, with_mass=(agg == SUM))
     partitions_paged = 0
 
     for tile_vp, col0, row0 in tiles:
@@ -553,6 +604,42 @@ def _execute_tiled(ctx, dataset, pruner, plan, resolution,
         "partitions_paged": partitions_paged,
         "epsilon_world_units": viewport.pixel_diag,
         "parallel": {"mode": "serial", "pooled": False, "workers": 1},
+    }
+    return AggregationResult(
+        regions=regions, values=estimate,
+        method="store-tiled-bounded-raster-join",
+        lower=lower, upper=upper, exact=False, stats=stats)
+
+
+def _finish_tiled(ctx, dataset, plan, prune, resolution, viewport, tiles,
+                  tile_pixels, kinds, shard_decision) -> AggregationResult:
+    """The tiled path's sharded finish: contiguous tile ranges fan out
+    across fork workers and the per-shard region vectors merge in
+    shard order (see :func:`repro.shard.scatter_gather_tiles`)."""
+    regions, query = plan.regions, plan.query
+    agg = query.agg
+    part, mass_in, mass_out, scan_stats, pooled = scatter_gather_tiles(
+        dataset, prune.indices, query, regions, viewport, tiles, kinds,
+        shard_decision, plan.cancel)
+    if plan.cancel is not None and plan.cancel.is_set():
+        raise QueryCancelled("tiled store scan cancelled")
+    estimate = part.finalize()
+    lower = upper = None
+    if agg in BOUNDABLE_AGGREGATES:
+        lower = estimate - mass_in
+        upper = estimate + mass_out
+    stats = {
+        "store": prune.stats(),
+        "points_total": len(dataset),
+        "tiles": len(tiles),
+        "resolution": resolution,
+        "tile_pixels": tile_pixels,
+        "partitions_paged": scan_stats["partitions_paged"],
+        "shards": scan_stats["shards"],
+        "epsilon_world_units": viewport.pixel_diag,
+        "parallel": {"mode": "parallel" if pooled else "serial",
+                     "pooled": pooled,
+                     "workers": shard_decision["shards"]},
     }
     return AggregationResult(
         regions=regions, values=estimate,

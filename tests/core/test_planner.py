@@ -89,7 +89,8 @@ class TestPlanRecording:
         r = engine.execute(_table(1_000, seed=5), simple_regions,
                            SpatialAggregation.count())
         plan = r.stats["plan"]
-        assert set(plan) == {"inputs", "decision", "parallel", "degraded"}
+        assert set(plan) == {"inputs", "decision", "parallel", "shards",
+                             "degraded"}
         decision = plan["decision"]
         assert decision["planned"] is True
         assert decision["chosen"] in decision["costs"]

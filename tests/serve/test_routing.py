@@ -1,0 +1,93 @@
+"""HashRing: determinism, spread, and minimal remap on resize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import HashRing
+from repro.serve.routing import stable_hash
+
+KEYS = [("served", "fp", i, "count") for i in range(2_000)]
+
+
+class TestStableHash:
+    def test_deterministic_and_64_bit(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash("abc") != stable_hash("abd")
+        assert 0 <= stable_hash("abc") < 2 ** 64
+
+    def test_not_process_salted(self):
+        # The exact value is pinned: BLAKE2b is stable across runs,
+        # unlike builtin hash() which PYTHONHASHSEED perturbs.
+        assert stable_hash("repro") == int.from_bytes(
+            __import__("hashlib").blake2b(
+                b"repro", digest_size=8).digest(), "big")
+
+
+class TestHashRing:
+    def test_same_key_same_node(self):
+        ring = HashRing(["a", "b", "c"])
+        other = HashRing(["a", "b", "c"])
+        for key in KEYS[:200]:
+            assert ring.node_for(key) == other.node_for(key)
+
+    def test_every_node_owns_keys(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        owners = {ring.node_for(key) for key in KEYS}
+        assert owners == {"w0", "w1", "w2", "w3"}
+
+    def test_spread_is_reasonable(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        counts: dict[str, int] = {}
+        for key in KEYS:
+            node = ring.node_for(key)
+            counts[node] = counts.get(node, 0) + 1
+        # 64 virtual replicas per node keeps the arcs even enough that
+        # no worker owns a majority of a 4-node keyspace.
+        assert max(counts.values()) < len(KEYS) * 0.5
+        assert min(counts.values()) > len(KEYS) * 0.05
+
+    def test_remove_remaps_only_the_lost_arcs(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("w3")
+        moved = 0
+        for key, owner in before.items():
+            now = ring.node_for(key)
+            if owner == "w3":
+                assert now != "w3"
+            elif now != owner:
+                moved += 1
+        # Keys not owned by the removed node never move — that is the
+        # consistency property that keeps sibling caches warm.
+        assert moved == 0
+
+    def test_add_steals_about_one_nth(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add("w3")
+        stolen = sum(1 for key in KEYS if ring.node_for(key) != before[key])
+        assert 0 < stolen < len(KEYS) * 0.6  # ~1/4, generous bound
+        for key in KEYS:
+            if ring.node_for(key) != before[key]:
+                assert ring.node_for(key) == "w3"
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.remove("b")
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a"], replicas=0)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(key) == "only" for key in KEYS[:100])

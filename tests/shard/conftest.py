@@ -1,0 +1,38 @@
+"""Shard-suite fixtures: a mid-size store and a sharded engine maker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParallelConfig, SpatialAggregationEngine
+from repro.store import build_store
+
+from tests.store.conftest import HOUR, make_store_table
+
+
+@pytest.fixture(scope="session")
+def shard_table():
+    return make_store_table(30_000, seed=99)
+
+
+@pytest.fixture(scope="session")
+def shard_store(shard_table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("shard-store") / "pts"
+    return build_store(shard_table, path, partition_rows=1_024, grid=4,
+                       time_column="t", time_bucket_seconds=2 * HOUR)
+
+
+def sharded_engine(shards: int, prefetch_depth: int = 1,
+                   resolution: int = 256) -> SpatialAggregationEngine:
+    """An engine whose scans shard even at test-sized inputs."""
+    return SpatialAggregationEngine(
+        default_resolution=resolution,
+        parallel=ParallelConfig(shards=shards,
+                                prefetch_depth=prefetch_depth,
+                                serial_threshold=100))
+
+
+@pytest.fixture(scope="module")
+def serial_engine():
+    """The single-process reference: one shard, same thresholds."""
+    return sharded_engine(shards=1)

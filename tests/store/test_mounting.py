@@ -75,6 +75,68 @@ class TestLRUMounting:
         assert ds.mount_stats()["partitions_mapped"] == 0
 
 
+class TestMountThreadSafety:
+    def test_concurrent_mounts_keep_lru_consistent(self, store):
+        """Hammer the mount LRU from many threads under a tight budget.
+
+        Without the mount lock this corrupts the OrderedDict / byte
+        counter (or double-evicts); with it, the accounting identities
+        hold exactly and every read returns the right rows.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        budget = max(p.nbytes for p in store.partitions) * 2
+        ds = Dataset.open(store.path, memory_budget_bytes=budget)
+        n = ds.num_partitions
+
+        def hammer(seed: int) -> int:
+            rng = np.random.default_rng(seed)
+            rows = 0
+            for index in rng.integers(0, n, 200):
+                table = ds.partition_table(int(index))
+                rows += len(table)
+                ds.prefetch_partition(int(index))
+                ds.mount_stats()
+            return rows
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            totals = list(pool.map(hammer, range(8)))
+        assert all(t > 0 for t in totals)
+        stats = ds.mount_stats()
+        # mounts - evictions == currently mapped: no entry lost or
+        # double-counted across racing mount/evict pairs.
+        assert stats["mounts"] - stats["evictions"] == \
+            stats["partitions_mapped"]
+        assert stats["mapped_bytes"] <= budget
+        assert stats["mapped_bytes"] == sum(
+            nbytes for _, nbytes in ds._mounted.values())
+
+    def test_concurrent_drop_and_mount(self, store):
+        from concurrent.futures import ThreadPoolExecutor
+
+        ds = Dataset.open(store.path)
+
+        def churn(worker: int):
+            for step in range(100):
+                if worker == 0 and step % 10 == 0:
+                    ds.drop_mounts()
+                else:
+                    ds.partition_table(step % ds.num_partitions)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(churn, range(4)))
+        stats = ds.mount_stats()
+        assert stats["partitions_mapped"] <= ds.num_partitions
+
+    def test_after_fork_replaces_the_lock(self, store):
+        ds = Dataset.open(store.path)
+        before = ds._mount_lock
+        ds._after_fork()
+        assert ds._mount_lock is not before
+        # Still functional after the swap.
+        assert len(ds.partition_table(0)) > 0
+
+
 class TestDataManagerLazy:
     def test_store_opened_on_first_query(self, store, simple_regions):
         manager = DataManager()
