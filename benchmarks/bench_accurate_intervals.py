@@ -1,0 +1,267 @@
+"""Accurate-join interval sweep: FULL/PARTIAL classification payoff.
+
+PR 8 rewired the accurate raster join around per-polygon FULL/PARTIAL
+interval runs: points in FULL cells are credited by the raster pass
+alone and only points in genuinely PARTIAL cells pay an exact
+point-in-polygon test.  This benchmark replays the paper's E4 accuracy
+sweep (resolution ladder, fixed workload) three ways — interval-driven
+accurate, legacy per-pixel accurate, and the bounded approximate join —
+and records for each resolution the latency ratio accurate/bounded,
+the PIP workload actually paid (tested vs. skipped), and the interval
+census (FULL/PARTIAL pixels and run counts), under the kernel the
+registry selected.
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_accurate_intervals.py``)
+  — statistical timings in the shared benchmark session;
+* standalone (``python benchmarks/bench_accurate_intervals.py
+  [--points N] [--resolutions 128,256,512] [--out
+  BENCH_accurate.json]``) — emits the machine-readable record and
+  exits non-zero if the interval-driven join diverges from the legacy
+  implementation (bitwise, every aggregate) or from brute force
+  (bitwise COUNT, 1e-9 relative for float folds).  The full-size
+  acceptance bar is accurate <= 2x bounded per step
+  (``--ratio-ceiling 2``); CI smoke sizes gate on parity only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_RESOLUTIONS = (128, 256, 512)
+
+
+def _median_ms(fn, repeats: int) -> float:
+    fn()  # warmup
+    times = []
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times) * 1000)
+
+
+def run_sweep(table, regions, resolutions=DEFAULT_RESOLUTIONS,
+              repeats: int = 5, ratio_ceiling: float | None = None) -> dict:
+    """Time accurate (interval) vs. legacy accurate vs. bounded across
+    a resolution ladder and verify exactness at every rung.
+
+    Returns the BENCH_accurate.json payload.
+    """
+    from repro import kernels
+    from repro.baselines import naive_join
+    from repro.core import (
+        SpatialAggregation,
+        accurate_raster_join,
+        bounded_raster_join,
+        legacy_accurate_raster_join,
+    )
+    from repro.raster import Viewport, build_fragment_table
+
+    aggregates = [("count", None), ("sum", "fare"), ("avg", "fare")]
+    queries = [SpatialAggregation(agg, col) for agg, col in aggregates]
+    naive = {q.agg: naive_join(table, regions, q) for q in queries}
+
+    results = []
+    for resolution in resolutions:
+        viewport = Viewport.fit(regions.bbox, resolution)
+        t0 = time.perf_counter()
+        fragments = build_fragment_table(list(regions.geometries), viewport)
+        fragment_ms = (time.perf_counter() - t0) * 1000
+        intervals = fragments.intervals
+
+        equal_legacy = True
+        equal_naive = True
+        max_rel_err = 0.0
+        stats = None
+        for query in queries:
+            got = accurate_raster_join(table, regions, query, viewport,
+                                       fragments=fragments)
+            ref = legacy_accurate_raster_join(table, regions, query,
+                                              viewport, fragments=fragments)
+            equal_legacy = equal_legacy and (
+                got.values.tobytes() == ref.values.tobytes())
+            want = naive[query.agg]
+            if query.agg == "count":
+                equal_naive = equal_naive and np.array_equal(
+                    got.values, want.values)
+            else:
+                denom = np.where(want.values == 0, 1.0,
+                                 np.abs(want.values))
+                err = float(np.nanmax(
+                    np.abs(got.values - want.values) / denom))
+                max_rel_err = max(max_rel_err, err)
+                equal_naive = equal_naive and err <= 1e-9
+            if query.agg == "count":
+                stats = got.stats
+
+        count = queries[0]
+        accurate_ms = _median_ms(
+            lambda: accurate_raster_join(table, regions, count, viewport,
+                                         fragments=fragments), repeats)
+        legacy_ms = _median_ms(
+            lambda: legacy_accurate_raster_join(table, regions, count,
+                                               viewport,
+                                               fragments=fragments), repeats)
+        bounded_ms = _median_ms(
+            lambda: bounded_raster_join(table, regions, count, viewport,
+                                        fragments=fragments), repeats)
+
+        acc = stats["accurate"]
+        tested = acc["pip_points_tested"]
+        skipped = acc["pip_points_skipped"]
+        results.append({
+            "resolution": resolution,
+            "fragment_build_ms": fragment_ms,
+            "accurate_ms": accurate_ms,
+            "legacy_accurate_ms": legacy_ms,
+            "bounded_ms": bounded_ms,
+            "ratio_accurate_vs_bounded": accurate_ms / bounded_ms
+            if bounded_ms > 0 else float("inf"),
+            "speedup_vs_legacy": legacy_ms / accurate_ms
+            if accurate_ms > 0 else float("inf"),
+            "full_pixels": acc["full_pixels"],
+            "partial_pixels": acc["partial_pixels"],
+            "full_runs": acc["full_runs"],
+            "partial_runs": acc["partial_runs"],
+            "pip_points_tested": tested,
+            "pip_points_skipped": skipped,
+            "pip_fraction": tested / max(1, tested + skipped),
+            "equal_legacy_bitwise": bool(equal_legacy),
+            "equal_naive": bool(equal_naive),
+            "max_rel_err": max_rel_err,
+        })
+
+    return {
+        "benchmark": "accurate-interval-sweep",
+        "points": len(table),
+        "regions": len(regions),
+        "resolutions": list(resolutions),
+        "repeats": repeats,
+        "ratio_ceiling": ratio_ceiling,
+        "kernel": kernels.info(),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="accurate intervals")
+
+    @pytest.mark.parametrize("path", ["intervals", "legacy", "bounded"])
+    def test_accurate_join_latency(benchmark, bench_taxi, bench_regions,
+                                   path):
+        from repro.core import (
+            SpatialAggregation,
+            accurate_raster_join,
+            bounded_raster_join,
+            legacy_accurate_raster_join,
+        )
+        from repro.raster import Viewport, build_fragment_table
+
+        table = bench_taxi["200k"]
+        regions = bench_regions["neighborhoods"]
+        viewport = Viewport.fit(regions.bbox, 512)
+        fragments = build_fragment_table(list(regions.geometries), viewport)
+        query = SpatialAggregation.count()
+        join = {"intervals": accurate_raster_join,
+                "legacy": legacy_accurate_raster_join,
+                "bounded": bounded_raster_join}[path]
+
+        run = lambda: join(table, regions, query, viewport,  # noqa: E731
+                           fragments=fragments)
+        run()
+        result = benchmark(run)
+        benchmark.extra_info["path"] = path
+        benchmark.extra_info["total_count"] = float(result.values.sum())
+        if path == "intervals":
+            acc = result.stats["accurate"]
+            benchmark.extra_info["pip_fraction"] = (
+                acc["pip_points_tested"]
+                / max(1, acc["pip_points_tested"]
+                      + acc["pip_points_skipped"]))
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="accurate interval sweep vs. legacy/bounded -> JSON")
+    parser.add_argument("--points", type=int, default=500_000)
+    parser.add_argument("--regions", type=int, default=71)
+    parser.add_argument("--resolutions", default="128,256,512",
+                        help="comma-separated canvas resolutions")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--ratio-ceiling", type=float, default=None,
+                        help="fail if accurate/bounded exceeds this at any "
+                             "resolution (full-size bar: 2)")
+    parser.add_argument("--out", default="BENCH_accurate.json")
+    args = parser.parse_args(argv)
+    resolutions = [int(r) for r in args.resolutions.split(",")]
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+
+    payload = run_sweep(table, regions, resolutions=resolutions,
+                        repeats=args.repeats,
+                        ratio_ceiling=args.ratio_ceiling)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"kernel: {payload['kernel']['selected']} "
+          f"(requested={payload['kernel']['requested']})")
+    print(f"{'res':>5} {'accurate':>9} {'legacy':>9} {'bounded':>9} "
+          f"{'vs bnd':>7} {'vs leg':>7} {'pip%':>6}  equal")
+    for row in payload["results"]:
+        print(f"{row['resolution']:>5} {row['accurate_ms']:>7.1f}ms "
+              f"{row['legacy_accurate_ms']:>7.1f}ms "
+              f"{row['bounded_ms']:>7.1f}ms "
+              f"{row['ratio_accurate_vs_bounded']:>6.2f}x "
+              f"{row['speedup_vs_legacy']:>6.2f}x "
+              f"{100 * row['pip_fraction']:>5.1f}%  "
+              f"{row['equal_legacy_bitwise'] and row['equal_naive']}")
+    print(f"wrote {out}")
+
+    diverged = [r["resolution"] for r in payload["results"]
+                if not (r["equal_legacy_bitwise"] and r["equal_naive"])]
+    if diverged:
+        print(f"ERROR: accurate join diverged at resolutions {diverged}",
+              file=sys.stderr)
+        return 1
+    if args.ratio_ceiling is not None:
+        slow = [r["resolution"] for r in payload["results"]
+                if r["ratio_accurate_vs_bounded"] > args.ratio_ceiling]
+        if slow:
+            print(f"ERROR: accurate/bounded ratio above "
+                  f"{args.ratio_ceiling}x at resolutions {slow}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

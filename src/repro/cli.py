@@ -114,7 +114,8 @@ def _cmd_query(args) -> int:
     engine = SpatialAggregationEngine(
         default_resolution=args.resolution,
         max_canvas_resolution=max(args.resolution, 4096),
-        workers=args.workers)
+        workers=args.workers,
+        kernel=args.kernel)
 
     t0 = time.perf_counter()
     result = engine.execute(table, regions, parsed.aggregation,
@@ -145,6 +146,18 @@ def _cmd_query(args) -> int:
             print(f"-- parallel: {par.get('workers')} workers")
         else:
             print(f"-- parallel: serial ({par.get('reason', 'n/a')})")
+    kern = plan.get("kernel") or {}
+    if kern:
+        print(f"-- kernel: {kern.get('selected')} "
+              f"(requested={kern.get('requested')}, "
+              f"numba_available={kern.get('numba_available')})")
+    acc = result.stats.get("accurate")
+    if acc:
+        print(f"-- accurate: {acc.get('full_pixels'):,} full / "
+              f"{acc.get('partial_pixels'):,} partial px "
+              f"({acc.get('partial_runs'):,} runs); "
+              f"pip tested={acc.get('pip_points_tested'):,}, "
+              f"skipped={acc.get('pip_points_skipped'):,}")
     cache = result.stats.get("cache", {})
     if cache:
         print(f"-- cache: {cache.get('query_hits', 0)} hits / "
@@ -189,7 +202,8 @@ def _cmd_compare(args) -> int:
     table = load_npz(Path(args.data))
     regions = _load_regions(Path(args.regions), name=parsed.regions)
     engine = SpatialAggregationEngine(default_resolution=args.resolution,
-                                      workers=args.workers)
+                                      workers=args.workers,
+                                      kernel=args.kernel)
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
 
     results = {}
@@ -307,7 +321,8 @@ def _cmd_serve(args) -> int:
 
     manager = DataManager(SpatialAggregationEngine(
         default_resolution=args.resolution, workers=args.workers,
-        parallel=ParallelConfig(prefetch_depth=args.prefetch_depth)))
+        parallel=ParallelConfig(prefetch_depth=args.prefetch_depth),
+        kernel=args.kernel))
     budget = (None if args.store_budget_mb is None
               else int(args.store_budget_mb * 1024 * 1024))
     for spec in args.data or ():
@@ -419,7 +434,8 @@ def _cmd_store_query(args) -> int:
         default_resolution=args.resolution,
         max_canvas_resolution=max(args.resolution, 4096),
         parallel=ParallelConfig(shards=args.shards,
-                                prefetch_depth=args.prefetch_depth))
+                                prefetch_depth=args.prefetch_depth),
+        kernel=args.kernel)
 
     t0 = time.perf_counter()
     result = engine.execute(dataset, regions, parsed.aggregation,
@@ -466,6 +482,14 @@ def _cmd_store_query(args) -> int:
 # -- entry point ------------------------------------------------------------------
 
 
+def _add_kernel_arg(parser) -> None:
+    parser.add_argument("--kernel", default="auto",
+                        choices=("auto", "numpy", "numba"),
+                        help="scatter/gather kernel implementation "
+                             "('auto' uses numba when installed, NumPy "
+                             "otherwise; results are identical)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -501,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for large inputs "
                           "(default: all cores; small inputs always "
                           "run serial)")
+    _add_kernel_arg(qry)
     qry.add_argument("--top", type=int, default=10,
                      help="print the top-N regions")
     qry.add_argument("--csv", help="write full results to this CSV")
@@ -516,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--resolution", type=int, default=512)
     cmp_.add_argument("--workers", type=int, default=None,
                       help="worker processes for large inputs")
+    _add_kernel_arg(cmp_)
     cmp_.set_defaults(func=_cmd_compare)
 
     ses = sub.add_parser("session",
@@ -573,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--deadline-ms", type=float, default=None,
                      help="default per-query latency budget (requests "
                           "can override)")
+    _add_kernel_arg(srv)
     srv.set_defaults(func=_cmd_serve)
 
     sto = sub.add_parser("store",
@@ -626,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(0 disables)")
     stq.add_argument("--budget-mb", type=float, default=None,
                      help="partition-mapping memory budget in MiB")
+    _add_kernel_arg(stq)
     stq.add_argument("--top", type=int, default=10,
                      help="print the top-N regions")
     stq.set_defaults(func=_cmd_store_query)

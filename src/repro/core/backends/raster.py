@@ -139,9 +139,13 @@ class AccurateRasterBackend(Backend):
         pixels = planned_pixels(regions, plan, ctx)
         avg_vertices = regions.total_vertices / max(1, len(regions))
         units = _point_units(table, ctx)
+        # The exact-PIP term is discounted relative to the pre-interval
+        # implementation (was 0.2): interval classification confines
+        # PIP tests to points in genuinely PARTIAL cells, a small
+        # fraction of the old boundary-bucket population.
         return (2.0 * units + 0.05 * pixels
                 + _fragment_cost(regions, plan, ctx, pixels)
-                + 0.2 * units * avg_vertices)
+                + 0.08 * units * avg_vertices)
 
     def run(self, ctx, plan):
         viewport = plan.viewport or ctx.plan_viewport(

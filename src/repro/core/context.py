@@ -11,6 +11,7 @@ keys are content fingerprints (see :mod:`repro.core.cache`), never raw
 
 from __future__ import annotations
 
+from .. import kernels
 from ..errors import QueryError
 from ..index import PointGridIndex, QuadTree, RTree
 from ..raster import FragmentTable, Viewport, build_fragment_table
@@ -31,7 +32,8 @@ class ExecutionContext:
                  max_canvas_resolution: int = MAX_CANVAS_RESOLUTION,
                  cache_max_bytes: int = 256 * 1024 * 1024,
                  cache_max_entries: int = 512,
-                 parallel: ParallelConfig | None = None):
+                 parallel: ParallelConfig | None = None,
+                 kernel: str = "auto"):
         if default_resolution < 1:
             raise QueryError("default_resolution must be positive")
         self.default_resolution = int(default_resolution)
@@ -39,6 +41,14 @@ class ExecutionContext:
         self.cache = QueryCache(max_bytes=cache_max_bytes,
                                 max_entries=cache_max_entries)
         self.parallel = parallel or ParallelConfig()
+        # Kernel selection is process-global (fork workers inherit it);
+        # the context records the request and resolves it eagerly so a
+        # bad explicit choice fails at construction, not mid-query.
+        self.kernel = kernels.select(kernel).name
+
+    def kernel_info(self) -> dict:
+        """Requested vs selected kernel (``stats["plan"]["kernel"]``)."""
+        return kernels.info()
 
     # -- viewport planning -------------------------------------------------
 

@@ -53,7 +53,8 @@ class SpatialAggregationEngine:
                  cache_max_entries: int = 512,
                  planner: CostBasedPlanner | None = None,
                  parallel: ParallelConfig | None = None,
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 kernel: str = "auto"):
         # ``workers`` is the one-knob shortcut (CLI ``--workers``);
         # ``parallel`` carries the full tuning surface.  Given both, the
         # explicit worker count wins.
@@ -66,7 +67,8 @@ class SpatialAggregationEngine:
             max_canvas_resolution=max_canvas_resolution,
             cache_max_bytes=cache_max_bytes,
             cache_max_entries=cache_max_entries,
-            parallel=parallel)
+            parallel=parallel,
+            kernel=kernel)
         self.planner = planner or CostBasedPlanner()
 
     # -- configuration passthrough ----------------------------------------
@@ -197,6 +199,11 @@ class SpatialAggregationEngine:
                       hits0: int, misses0: int, blocks0: dict,
                       t0: float) -> None:
         result.stats["plan"] = plan.decision
+        if isinstance(plan.decision, dict):
+            # Which compiled-kernel implementation ran the hot loops —
+            # every path (planned, explicit, store, multi) goes through
+            # here, so the selection is visible on every result.
+            plan.decision["kernel"] = self.ctx.kernel_info()
         cache = self.ctx.cache.stats()
         cache["query_hits"] = self.ctx.cache.hits - hits0
         cache["query_misses"] = self.ctx.cache.misses - misses0

@@ -509,9 +509,13 @@ def parallel_build_fragment_table(geometries: list, viewport: Viewport,
         covered_boundary_pixels=cov_pix, covered_boundary_polys=cov_poly,
         num_polygons=n, viewport=viewport,
     )
-    # Same build-time materialization the serial builder does.
+    # Same build-time materialization the serial builder does.  Stitch
+    # order preserves ascending polygon ids and per-polygon pixel sort,
+    # so the interval run encoder's precondition holds.
     stitched.covered_pixels
     stitched.covered_polys
+    stitched.intervals
+    stitched.cell_classes
     return stitched
 
 
@@ -704,7 +708,8 @@ def parallel_accurate_raster_join(
     lives; results are bit-identical to the serial variant because every
     (point, region) decision is unchanged, only distributed.
     """
-    from .accurate import _boundary_pixels_by_polygon, _interior_partial
+    from .accurate import CELL_FULL, CELL_PARTIAL, _cell_classes, \
+        _interior_partial
 
     config = config or ParallelConfig()
     parallel_stats: dict = {
@@ -747,18 +752,25 @@ def parallel_accurate_raster_join(
         blend_stats = {"mode": "serial"}
     parallel_stats["point_pass"] = blend_stats
 
-    is_boundary = np.zeros(viewport.num_pixels, dtype=bool)
-    is_boundary[fragments.boundary_pixels] = True
-    candidate_ids = np.flatnonzero(is_boundary[pixel_ids])
-    buckets = PixelBuckets(pixel_ids[candidate_ids], viewport.num_pixels,
-                           point_ids=candidate_ids)
+    classes = _cell_classes(fragments)
+    point_classes = classes[pixel_ids]
+    candidate_ids = np.flatnonzero(point_classes == CELL_PARTIAL)
+    pip_points_skipped = int((point_classes == CELL_FULL).sum())
+    # Candidate-local buckets (see the serial join): everything the
+    # exact pass touches scales with the PARTIAL population.
+    buckets = PixelBuckets(pixel_ids[candidate_ids], viewport.num_pixels)
     t_points = time.perf_counter() - t1
 
     t2 = time.perf_counter()
     part = _interior_partial(fragments, canvases, query.agg)
 
-    offsets, bpix_sorted = _boundary_pixels_by_polygon(fragments)
-    xy = np.column_stack([x, y])
+    intervals = fragments.intervals
+    # Batched candidate fetch before the fork: workers inherit the
+    # expanded arrays copy-on-write instead of re-expanding per region.
+    cand_all, cand_off = buckets.points_in_grouped_runs(
+        intervals.partial_starts, intervals.partial_lengths,
+        intervals.partial_offsets)
+    xy_cand = np.column_stack([x[candidate_ids], y[candidate_ids]])
     geometries = list(regions.geometries)
     n = len(regions)
     workers = config.resolve_workers()
@@ -769,17 +781,14 @@ def parallel_accurate_raster_join(
         local = PartialAggregate.empty(query.agg, phi - plo)
         tested = 0
         for gid in range(plo, phi):
-            bpix = bpix_sorted[offsets[gid]:offsets[gid + 1]]
-            if len(bpix) == 0:
-                continue
-            cand = buckets.points_in_pixels(bpix)
+            cand = cand_all[cand_off[gid]:cand_off[gid + 1]]
             if len(cand) == 0:
                 continue
             tested += len(cand)
-            inside = geometries[gid].contains_points(xy[cand])
+            inside = geometries[gid].contains_points(xy_cand[cand])
             if not inside.any():
                 continue
-            matched = cand[inside]
+            matched = candidate_ids[cand[inside]]
             accumulate_exact(
                 local, gid - plo,
                 values[matched] if values is not None else None,
@@ -823,6 +832,14 @@ def parallel_accurate_raster_join(
         "interior_fragments": fragments.num_interior_fragments,
         "boundary_fragments": fragments.num_boundary_fragments,
         "canvas_pixels": viewport.num_pixels,
+        "accurate": {
+            "full_pixels": intervals.full_pixels,
+            "partial_pixels": intervals.partial_pixels,
+            "full_runs": intervals.num_full_runs,
+            "partial_runs": intervals.num_partial_runs,
+            "pip_points_tested": boundary_points_tested,
+            "pip_points_skipped": pip_points_skipped,
+        },
         "parallel": parallel_stats,
     }
     return AggregationResult(

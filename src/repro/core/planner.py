@@ -130,6 +130,9 @@ class CostBasedPlanner:
             "blocks_cached": (
                 block_coverage(ctx, table, plan.query, plan.viewport)
                 if isinstance(plan.viewport, GridViewport) else 0.0),
+            # Which scatter/gather kernel implementation runs the hot
+            # loops (selection is process-global, see repro.kernels).
+            "kernel": ctx.kernel_info()["selected"],
         }
 
     def candidates(self, ctx: ExecutionContext, plan: ExecutionPlan,

@@ -9,6 +9,7 @@ query — arbitrary, possibly non-convex, possibly holed shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -21,7 +22,7 @@ from .point import (
     polygon_perimeter,
     polygon_signed_area,
 )
-from .predicates import points_in_ring
+from .predicates import points_in_ring, ring_edges
 
 
 def normalize_ring(vertices, orientation: int = 1) -> np.ndarray:
@@ -96,13 +97,23 @@ class Polygon:
         yield self.exterior
         yield from self.holes
 
+    @cached_property
+    def _ring_edges(self) -> tuple:
+        """Edge columns per ring, built once — the accurate join tests
+        the same region geometries against every brush gesture.
+        (``cached_property`` writes straight into ``__dict__``, so it
+        composes with the frozen dataclass.)"""
+        return tuple(ring_edges(r) for r in self.rings())
+
     def contains_points(self, points) -> np.ndarray:
         """Exact containment mask: inside the exterior and outside holes."""
         pts = as_points(points)
-        mask = points_in_ring(pts, self.exterior)
+        edges = self._ring_edges
+        mask = points_in_ring(pts, self.exterior, edges=edges[0])
         if mask.any():
-            for hole in self.holes:
-                inside_hole = points_in_ring(pts[mask], hole)
+            for hole, hole_edges in zip(self.holes, edges[1:]):
+                inside_hole = points_in_ring(pts[mask], hole,
+                                             edges=hole_edges)
                 if inside_hole.any():
                     idx = np.flatnonzero(mask)
                     mask[idx[inside_hole]] = False

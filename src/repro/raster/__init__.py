@@ -22,7 +22,7 @@ from .canvas import (
     scatter_min,
     scatter_sum,
 )
-from .fragments import FragmentTable, build_fragment_table
+from .fragments import FragmentTable, IntervalSet, build_fragment_table
 from .pyramid import PYRAMID_OPS, build_pyramid, reduce2x2
 from .scanline import (
     boundary_pixels,
@@ -35,6 +35,7 @@ from .viewport import Viewport
 
 __all__ = [
     "FragmentTable",
+    "IntervalSet",
     "PYRAMID_OPS",
     "PixelBuckets",
     "Viewport",

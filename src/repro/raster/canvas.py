@@ -2,20 +2,27 @@
 
 The GPU raster join accumulates point contributions into framebuffer
 pixels with additive (or min/max) blending; these functions are the
-NumPy equivalents.  A canvas is simply a flat ``float64`` array with one
-slot per pixel, indexed by flat pixel id.
+NumPy-style equivalents.  A canvas is simply a flat ``float64`` array
+with one slot per pixel, indexed by flat pixel id.
+
+The actual loops live in :mod:`repro.kernels` (NumPy reference plus an
+optional numba-compiled drop-in); this module validates inputs and
+dispatches to the process-global selected kernel, so every scatter and
+gather call site in the repo picks up the compiled kernels at once.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..errors import ExecutionError
+from ..kernels import numpy_impl as _numpy_impl
 
 
 def scatter_count(pixel_ids: np.ndarray, num_pixels: int) -> np.ndarray:
     """Additive blending of unit contributions: point count per pixel."""
-    return np.bincount(pixel_ids, minlength=num_pixels).astype(np.float64)
+    return kernels.active().scatter_count(pixel_ids, int(num_pixels))
 
 
 def scatter_sum(pixel_ids: np.ndarray, weights: np.ndarray,
@@ -23,41 +30,23 @@ def scatter_sum(pixel_ids: np.ndarray, weights: np.ndarray,
     """Additive blending of weighted contributions: value sum per pixel."""
     if len(pixel_ids) != len(weights):
         raise ExecutionError("pixel_ids and weights length mismatch")
-    return np.bincount(pixel_ids, weights=weights, minlength=num_pixels)
+    return kernels.active().scatter_sum(pixel_ids, weights, int(num_pixels))
 
 
 def scatter_min(pixel_ids: np.ndarray, values: np.ndarray,
                 num_pixels: int) -> np.ndarray:
-    """MIN blending: per-pixel minimum; +inf where no point landed.
-
-    Implemented by sorting (pixel, value) pairs and ``minimum.reduceat``
-    over group boundaries — far faster than ``np.minimum.at``.
-    """
-    return _scatter_reduce(pixel_ids, values, num_pixels, np.minimum, np.inf)
+    """MIN blending: per-pixel minimum; +inf where no point landed."""
+    if len(pixel_ids) != len(values):
+        raise ExecutionError("pixel_ids and values length mismatch")
+    return kernels.active().scatter_min(pixel_ids, values, int(num_pixels))
 
 
 def scatter_max(pixel_ids: np.ndarray, values: np.ndarray,
                 num_pixels: int) -> np.ndarray:
     """MAX blending: per-pixel maximum; -inf where no point landed."""
-    return _scatter_reduce(pixel_ids, values, num_pixels, np.maximum, -np.inf)
-
-
-def _scatter_reduce(pixel_ids, values, num_pixels, ufunc, fill):
     if len(pixel_ids) != len(values):
         raise ExecutionError("pixel_ids and values length mismatch")
-    out = np.full(num_pixels, fill, dtype=np.float64)
-    if len(pixel_ids) == 0:
-        return out
-    # Plain quicksort: stability is irrelevant for commutative reduces
-    # and measurably faster than radix on int64 keys.
-    order = np.argsort(pixel_ids)
-    pix_sorted = pixel_ids[order]
-    val_sorted = np.asarray(values, dtype=np.float64)[order]
-    group_starts = np.flatnonzero(
-        np.concatenate(([True], pix_sorted[1:] != pix_sorted[:-1])))
-    reduced = ufunc.reduceat(val_sorted, group_starts)
-    out[pix_sorted[group_starts]] = reduced
-    return out
+    return kernels.active().scatter_max(pixel_ids, values, int(num_pixels))
 
 
 def gather_sum(canvas: np.ndarray, pixel_ids: np.ndarray,
@@ -69,10 +58,8 @@ def gather_sum(canvas: np.ndarray, pixel_ids: np.ndarray,
     """
     if len(pixel_ids) != len(group_ids):
         raise ExecutionError("pixel_ids and group_ids length mismatch")
-    if len(pixel_ids) == 0:
-        return np.zeros(num_groups, dtype=np.float64)
-    return np.bincount(group_ids, weights=canvas[pixel_ids],
-                       minlength=num_groups)
+    return kernels.active().gather_sum(canvas, pixel_ids, group_ids,
+                                       int(num_groups))
 
 
 def gather_reduce(canvas: np.ndarray, pixel_ids: np.ndarray,
@@ -80,23 +67,16 @@ def gather_reduce(canvas: np.ndarray, pixel_ids: np.ndarray,
                   ufunc, fill: float) -> np.ndarray:
     """MIN/MAX join step: reduce canvas values per group, skipping the
     canvas fill value (pixels no point landed in)."""
-    out = np.full(num_groups, fill, dtype=np.float64)
-    if len(pixel_ids) == 0:
-        return out
-    vals = canvas[pixel_ids]
-    live = vals != fill
-    if not live.any():
-        return out
-    vals = vals[live]
-    groups = group_ids[live]
-    order = np.argsort(groups, kind="stable")
-    groups_sorted = groups[order]
-    vals_sorted = vals[order]
-    starts = np.flatnonzero(
-        np.concatenate(([True], groups_sorted[1:] != groups_sorted[:-1])))
-    reduced = ufunc.reduceat(vals_sorted, starts)
-    out[groups_sorted[starts]] = reduced
-    return out
+    kernel = kernels.active()
+    if ufunc is np.minimum:
+        return kernel.gather_min(canvas, pixel_ids, group_ids,
+                                 int(num_groups), fill)
+    if ufunc is np.maximum:
+        return kernel.gather_max(canvas, pixel_ids, group_ids,
+                                 int(num_groups), fill)
+    # Exotic ufuncs stay on the NumPy reference path.
+    return _numpy_impl.gather_generic(canvas, pixel_ids, group_ids,
+                                      int(num_groups), ufunc, fill)
 
 
 class PixelBuckets:
@@ -115,9 +95,11 @@ class PixelBuckets:
         # Bucket membership is order-free; default sort beats radix here.
         order = np.argsort(pixel_ids)
         self.order = point_ids[order]
-        sorted_pix = pixel_ids[order]
-        self.offsets = np.searchsorted(
-            sorted_pix, np.arange(num_pixels + 1), side="left")
+        # Offsets by counting, not by binary-searching every pixel id:
+        # O(points + pixels) instead of O(pixels log points).
+        counts = np.bincount(pixel_ids, minlength=num_pixels)
+        self.offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)])
 
     def points_in_pixel(self, pixel_id: int) -> np.ndarray:
         """Ids of points in one pixel."""
@@ -126,24 +108,55 @@ class PixelBuckets:
     def points_in_pixels(self, pixel_ids: np.ndarray) -> np.ndarray:
         """Ids of all points in any of the given pixels (vectorized).
 
-        Uses the ragged-range trick: per-pixel (start, length) runs are
-        expanded into one flat index array without a Python loop.
+        Per-pixel (start, length) runs of the CSR order array are
+        expanded into one flat index array by the kernel's
+        ``expand_ranges`` — no Python loop.
         """
         if len(pixel_ids) == 0:
             return np.empty(0, dtype=np.int64)
         starts = self.offsets[pixel_ids]
-        stops = self.offsets[pixel_ids + 1]
-        lengths = stops - starts
-        total = int(lengths.sum())
-        if total == 0:
+        lengths = self.offsets[pixel_ids + 1] - starts
+        idx = kernels.active().expand_ranges(starts, lengths)
+        if len(idx) == 0:
             return np.empty(0, dtype=np.int64)
-        keep = lengths > 0
-        starts = starts[keep]
-        lengths = lengths[keep]
-        flat_starts = np.repeat(starts, lengths)
-        cum = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-        offsets = np.arange(total) - np.repeat(cum, lengths)
-        return self.order[flat_starts + offsets]
+        return self.order[idx]
+
+    def points_in_runs(self, run_starts: np.ndarray,
+                       run_lengths: np.ndarray) -> np.ndarray:
+        """Ids of all points in runs of *consecutive* pixels.
+
+        A run of ``length`` consecutive pixel ids maps to one contiguous
+        slice of the CSR order array, so the candidate fetch costs one
+        range per *interval run* instead of one per pixel — the payoff
+        of the raster-interval classification.  Output order equals
+        ``points_in_pixels`` over the expanded pixel list.
+        """
+        if len(run_starts) == 0:
+            return np.empty(0, dtype=np.int64)
+        lo = self.offsets[run_starts]
+        hi = self.offsets[run_starts + run_lengths]
+        idx = kernels.active().expand_ranges(lo, hi - lo)
+        if len(idx) == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.order[idx]
+
+    def points_in_grouped_runs(self, run_starts: np.ndarray,
+                               run_lengths: np.ndarray,
+                               group_offsets: np.ndarray
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """One expansion for *all* groups' runs: ``(point_ids,
+        offsets)`` where group ``g`` owns ``point_ids[offsets[g]:
+        offsets[g + 1]]`` — the same ids, in the same order, that
+        per-group :meth:`points_in_runs` calls would produce, without
+        paying the expansion overhead once per group.
+        """
+        lo = self.offsets[run_starts]
+        counts = self.offsets[run_starts + run_lengths] - lo
+        cum = np.concatenate([np.zeros(1, dtype=np.int64),
+                              np.cumsum(counts, dtype=np.int64)])
+        idx = kernels.active().expand_ranges(lo, counts)
+        ids = self.order[idx] if len(idx) else np.empty(0, dtype=np.int64)
+        return ids, cum[group_offsets]
 
     def counts_in_pixels(self, pixel_ids: np.ndarray) -> np.ndarray:
         """Number of points per given pixel."""

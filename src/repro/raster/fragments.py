@@ -19,6 +19,82 @@ from ..geometry.polygon import Geometry
 from .scanline import boundary_pixels, coverage_fragments
 from .viewport import Viewport
 
+# Cell classes of the interval classification, as canvas codes.
+CELL_EMPTY = 0
+CELL_FULL = 1
+CELL_PARTIAL = 2
+
+
+@dataclass(frozen=True)
+class IntervalSet:
+    """Per-polygon FULL / PARTIAL pixel-interval classification.
+
+    Raster-interval object approximation (Georgiadis, Tzirita
+    Zacharatou, Mamoulis): each polygon's raster cells are classified
+    into **FULL** runs (guaranteed-interior — every point in the run is
+    inside the polygon), **PARTIAL** runs (cells the boundary may pass
+    through, needing exact tests) and implicit **EMPTY** cells
+    (everything else).  Runs are maximal sequences of consecutive flat
+    pixel ids within one raster row, stored CSR-style per polygon:
+    polygon ``g`` owns runs ``full_offsets[g]:full_offsets[g + 1]``.
+
+    Derived from the fragment table at build time — FULL runs compress
+    the interior fragments, PARTIAL runs the boundary fragments — so
+    the classification is a byproduct of the scanline pass, not an
+    extra rasterization.
+    """
+
+    full_offsets: np.ndarray    # (num_polygons + 1,) int64 run indices
+    full_starts: np.ndarray     # flat pixel id where each run begins
+    full_lengths: np.ndarray    # pixels per run
+    partial_offsets: np.ndarray
+    partial_starts: np.ndarray
+    partial_lengths: np.ndarray
+
+    @property
+    def full_pixels(self) -> int:
+        return int(self.full_lengths.sum())
+
+    @property
+    def partial_pixels(self) -> int:
+        return int(self.partial_lengths.sum())
+
+    @property
+    def num_full_runs(self) -> int:
+        return len(self.full_starts)
+
+    @property
+    def num_partial_runs(self) -> int:
+        return len(self.partial_starts)
+
+
+def _runs_by_polygon(pixels: np.ndarray, polys: np.ndarray,
+                     num_polygons: int, width: int
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run-length encode per-polygon sorted pixel ids into row runs.
+
+    ``pixels`` must be sorted within each polygon with ``polys`` grouped
+    in ascending polygon order — exactly how :func:`build_fragment_table`
+    (and the parallel stitcher) lay the fragment arrays out.  A run
+    breaks on a pixel gap, a polygon change, or a raster row wrap
+    (consecutive flat ids spanning two rows are not spatially adjacent).
+    """
+    n = len(pixels)
+    offsets_shape = num_polygons + 1
+    if n == 0:
+        return (np.zeros(offsets_shape, dtype=np.int64),
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    new_run = np.ones(n, dtype=bool)
+    new_run[1:] = ~((pixels[1:] == pixels[:-1] + 1)
+                    & (polys[1:] == polys[:-1])
+                    & (pixels[1:] % width != 0))
+    run_idx = np.flatnonzero(new_run)
+    starts = pixels[run_idx].astype(np.int64)
+    lengths = np.diff(np.append(run_idx, n)).astype(np.int64)
+    offsets = np.searchsorted(polys[run_idx],
+                              np.arange(offsets_shape)).astype(np.int64)
+    return offsets, starts, lengths
+
 
 @dataclass(frozen=True)
 class FragmentTable:
@@ -60,6 +136,38 @@ class FragmentTable:
     def covered_polys(self) -> np.ndarray:
         return np.concatenate(
             [self.interior_polys, self.covered_boundary_polys])
+
+    @cached_property
+    def intervals(self) -> IntervalSet:
+        """FULL/PARTIAL interval runs per polygon (see
+        :class:`IntervalSet`).  Interior fragments are per-polygon
+        sorted by construction (``np.setdiff1d``), boundary fragments
+        by ``np.unique`` — the precondition of the run encoder."""
+        width = self.viewport.width
+        fo, fs, fl = _runs_by_polygon(self.interior_pixels,
+                                      self.interior_polys,
+                                      self.num_polygons, width)
+        po, ps, pl = _runs_by_polygon(self.boundary_pixels,
+                                      self.boundary_polys,
+                                      self.num_polygons, width)
+        return IntervalSet(full_offsets=fo, full_starts=fs, full_lengths=fl,
+                           partial_offsets=po, partial_starts=ps,
+                           partial_lengths=pl)
+
+    @cached_property
+    def cell_classes(self) -> np.ndarray:
+        """Per-pixel cell class over the union of all polygons.
+
+        PARTIAL wins over FULL: a point in any polygon's PARTIAL cell
+        must be bucketed for exact testing even if the cell is FULL for
+        another polygon (overlapping regions).  One int8 canvas, built
+        once per table — the accurate join classifies every point pass
+        against it.
+        """
+        classes = np.zeros(self.viewport.num_pixels, dtype=np.int8)
+        classes[self.interior_pixels] = CELL_FULL
+        classes[self.boundary_pixels] = CELL_PARTIAL
+        return classes
 
 
 def build_fragment_table(geometries: list[Geometry],
@@ -108,8 +216,11 @@ def build_fragment_table(geometries: list[Geometry],
         num_polygons=len(geometries),
         viewport=viewport,
     )
-    # Materialize the concatenated covered arrays now, while the table
-    # is cold — queries then never allocate them per gesture.
+    # Materialize the concatenated covered arrays and the interval
+    # classification now, while the table is cold — queries then never
+    # allocate them per gesture.
     table.covered_pixels
     table.covered_polys
+    table.intervals
+    table.cell_classes
     return table

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..geometry.point import as_points
 from ..geometry.polygon import Geometry
 from .viewport import Viewport
@@ -119,14 +120,11 @@ def coverage_fragments(geometry: Geometry, viewport: Viewport) -> np.ndarray:
     lengths = lengths[keep]
     span_rows = rows[span_row[keep]]
 
-    # Ragged-range expansion: emit every column of every span.
-    total = int(lengths.sum())
-    starts = np.repeat(col_lo, lengths)
-    offsets = np.arange(total) - np.repeat(
-        np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths)
-    cols = starts + offsets
-    rows_out = np.repeat(span_rows, lengths)
-    return rows_out * viewport.width + cols
+    # A span's flat pixel ids are consecutive within its row, so the
+    # fill is one ragged-range expansion over (row * width + col_lo,
+    # length) runs — dispatched to the selected kernel.
+    return kernels.active().expand_ranges(
+        span_rows * viewport.width + col_lo, lengths)
 
 
 def boundary_pixels_sampled(geometry: Geometry, viewport: Viewport,
@@ -205,6 +203,41 @@ def _mark_with_gridline_neighbors(gx: np.ndarray, gy: np.ndarray,
     return iy[valid] * viewport.width + ix[valid]
 
 
+def _gridline_aligned_ids(line: np.ndarray, a1: np.ndarray, a2: np.ndarray,
+                          horizontal: bool, viewport: Viewport) -> np.ndarray:
+    """Pixel ids of axis-parallel edges lying exactly on a grid line.
+
+    A horizontal edge at integer grid row ``j`` spanning grid-x
+    ``[a, b]`` touches exactly the half-open pixels
+    ``(floor(min), j) .. (floor(max), j)``: row ``j`` owns every point
+    with y == j, and row ``j - 1`` contains only strictly-below points,
+    so marking the neighbor row (as the generic machinery would) is
+    pure over-marking.  Symmetric for vertical edges.
+    """
+    if len(line) == 0:
+        return np.empty(0, dtype=np.int64)
+    fixed = line.astype(np.int64)
+    lo = np.floor(np.minimum(a1, a2)).astype(np.int64)
+    hi = np.floor(np.maximum(a1, a2)).astype(np.int64)
+    if horizontal:
+        fixed_cap, span_cap = viewport.height, viewport.width
+    else:
+        fixed_cap, span_cap = viewport.width, viewport.height
+    lo = np.maximum(lo, 0)
+    hi = np.minimum(hi, span_cap - 1)
+    keep = (hi >= lo) & (fixed >= 0) & (fixed < fixed_cap)
+    if not keep.any():
+        return np.empty(0, dtype=np.int64)
+    fixed, lo, hi = fixed[keep], lo[keep], hi[keep]
+    counts = hi - lo + 1
+    expand = kernels.active().expand_ranges
+    if horizontal:
+        # Consecutive columns of one row are consecutive flat ids.
+        return expand(fixed * viewport.width + lo, counts)
+    rows = expand(lo, counts)
+    return rows * viewport.width + np.repeat(fixed, counts)
+
+
 def boundary_pixels(geometry: Geometry, viewport: Viewport) -> np.ndarray:
     """Exact conservative cover of pixels the boundary passes through.
 
@@ -213,15 +246,21 @@ def boundary_pixels(geometry: Geometry, viewport: Viewport) -> np.ndarray:
     pixel-grid lines split it into pieces, each piece lies inside one
     pixel, and the piece midpoints identify those pixels.  Crossing
     points and vertices that fall exactly on grid lines additionally
-    mark both adjacent pixels (the boundary touches the shared closed
-    edge), so the result is a superset of every pixel whose *closed*
-    square meets the boundary — the property the accurate raster join's
-    exactness rests on — while staying ~3x tighter than sampling with
-    3x3 dilation.
+    mark both adjacent pixels (float-safe conservatism), so the result
+    is a superset of every pixel whose *half-open* square
+    ``[i, i+1) x [j, j+1)`` — the region :meth:`Viewport.pixel_ids_of`
+    assigns points to — meets the boundary.  That superset property is
+    what the accurate raster join's exactness rests on, while staying
+    ~3x tighter than sampling with 3x3 dilation.
+
+    Axis-parallel edges lying *exactly on* a grid line are special-cased
+    (:func:`_gridline_aligned_ids`): they touch only the one row/column
+    that owns the line under the half-open convention, so the
+    both-neighbors rule the generic machinery applies would over-mark an
+    entire row or column of pixels per aligned edge.
     """
     x1, y1, x2, y2 = _ring_edges(list(geometry.rings()))
-    num_edges = len(x1)
-    if num_edges == 0:
+    if len(x1) == 0:
         return np.empty(0, dtype=np.int64)
 
     pw = viewport.pixel_width
@@ -233,6 +272,26 @@ def boundary_pixels(geometry: Geometry, viewport: Viewport) -> np.ndarray:
     gy1 = (y1 - y0) / ph
     gx2 = (x2 - x0) / pw
     gy2 = (y2 - y0) / ph
+
+    # Split off edges running exactly along a grid line — their pixel
+    # cover is a single run, computed directly; everything else goes
+    # through the conservative piece/crossing/vertex machinery.
+    aligned_h = (gy1 == gy2) & (gy1 == np.floor(gy1)) & (gx1 != gx2)
+    aligned_v = (gx1 == gx2) & (gx1 == np.floor(gx1)) & (gy1 != gy2)
+    generic = ~(aligned_h | aligned_v)
+
+    aligned_ids = [
+        _gridline_aligned_ids(gy1[aligned_h], gx1[aligned_h],
+                              gx2[aligned_h], True, viewport),
+        _gridline_aligned_ids(gx1[aligned_v], gy1[aligned_v],
+                              gy2[aligned_v], False, viewport),
+    ]
+
+    gx1, gy1 = gx1[generic], gy1[generic]
+    gx2, gy2 = gx2[generic], gy2[generic]
+    num_edges = len(gx1)
+    if num_edges == 0:
+        return np.unique(np.concatenate(aligned_ids))
 
     def _axis_crossings(a1: np.ndarray, a2: np.ndarray):
         """(edge ids, t values, line indices) of crossings with integer
@@ -283,7 +342,7 @@ def boundary_pixels(geometry: Geometry, viewport: Viewport) -> np.ndarray:
     vx_gy = gy1[ex] + tx * (gy2[ex] - gy1[ex])  # vertical crossings
     hy_gx = gx1[ey] + ty * (gx2[ey] - gx1[ey])  # horizontal crossings
 
-    ids = np.concatenate([
+    ids = np.concatenate(aligned_ids + [
         _mark_with_gridline_neighbors(mid_gx, mid_gy, viewport),
         _mark_with_gridline_neighbors(kx, vx_gy, viewport),
         _mark_with_gridline_neighbors(hy_gx, ky, viewport),

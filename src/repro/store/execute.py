@@ -40,6 +40,7 @@ import time
 
 import numpy as np
 
+from .. import kernels
 from ..core.aggregates import (
     AVG,
     BOUNDABLE_AGGREGATES,
@@ -129,19 +130,22 @@ def _accumulate(canvases: dict[str, np.ndarray], pixel_ids: np.ndarray,
     """Continue the global element-sequential scatter with one
     partition's points.
 
-    ``np.add.at`` is unbuffered and applies contributions in element
-    order — the same loop ``np.bincount`` runs — so chaining it across
-    partitions in manifest order equals one bincount over the
-    concatenated table, bit for bit.  COUNT uses per-partition bincount
-    partials: integer-valued floats add exactly under any grouping.
+    ``scatter_add_at`` (``np.add.at``, or the jitted loop when the
+    numba kernel is selected) is unbuffered and applies contributions
+    in element order — the same loop ``np.bincount`` runs — so
+    chaining it across partitions in manifest order equals one
+    bincount over the concatenated table, bit for bit.  COUNT uses
+    per-partition bincount partials: integer-valued floats add exactly
+    under any grouping.
     """
+    kernel = kernels.active()
     if "count" in canvases:
         canvases["count"] += np.bincount(pixel_ids,
                                          minlength=len(canvases["count"]))
     if "sum" in canvases:
-        np.add.at(canvases["sum"], pixel_ids, values)
+        kernel.scatter_add_at(canvases["sum"], pixel_ids, values)
     if "mass" in canvases:
-        np.add.at(canvases["mass"], pixel_ids, np.abs(values))
+        kernel.scatter_add_at(canvases["mass"], pixel_ids, np.abs(values))
     if len(pixel_ids):
         if "min" in canvases:
             np.minimum.at(canvases["min"], pixel_ids, values)

@@ -90,7 +90,9 @@ class TestPlanRecording:
                            SpatialAggregation.count())
         plan = r.stats["plan"]
         assert set(plan) == {"inputs", "decision", "parallel", "shards",
-                             "degraded"}
+                             "degraded", "kernel"}
+        assert plan["kernel"]["selected"] in ("numpy", "numba")
+        assert plan["kernel"]["requested"] == "auto"
         decision = plan["decision"]
         assert decision["planned"] is True
         assert decision["chosen"] in decision["costs"]

@@ -109,12 +109,16 @@ class TestBoundary:
         """Every pixel containing a boundary sample is marked."""
         marked = set(boundary_pixels(geom, VP).tolist())
         # Dense independent sampling of the boundary (finer than the
-        # rasterizer's own step).
+        # rasterizer's own step).  The a + t*(b - a) lerp keeps a
+        # constant coordinate of axis-parallel edges *exact* (t*0 == 0),
+        # so samples of a gridline-aligned edge land in the row that
+        # owns the line — the a*(1-t) + b*t form rounds a hair off the
+        # line and would sample points the true boundary never touches.
         for ring in geom.rings():
             closed = np.vstack([ring, ring[:1]])
             for a, b in zip(closed[:-1], closed[1:]):
                 t = np.linspace(0, 1, 400)[:, None]
-                pts = a[None, :] * (1 - t) + b[None, :] * t
+                pts = a[None, :] + t * (b - a)[None, :]
                 ids, valid = VP.pixel_ids_of(pts[:, 0], pts[:, 1])
                 assert set(ids[valid].tolist()) <= marked
 
@@ -174,19 +178,56 @@ class TestBoundaryVariants:
             closed = np.vstack([ring, ring[:1]])
             for a, b in zip(closed[:-1], closed[1:]):
                 t = np.linspace(0, 1, 600)[:, None]
-                pts = a[None, :] * (1 - t) + b[None, :] * t
+                # Exact lerp for constant coordinates — see
+                # TestBoundary.test_conservative_cover.
+                pts = a[None, :] + t * (b - a)[None, :]
                 ids, valid = VP.pixel_ids_of(pts[:, 0], pts[:, 1])
                 assert set(ids[valid].tolist()) <= marked
 
-    def test_edge_exactly_on_gridline_marks_both_sides(self):
-        # Square whose left edge runs exactly along pixel column edge
-        # x=20 (pixel width is 1): both column 19 and 20 are boundary.
+    def test_gridline_aligned_rectangle_tight_cover(self):
+        # Regression: edges lying exactly on grid lines used to mark
+        # both neighboring rows/columns (columns 19 and 39 here).
+        # Under the half-open pixel convention column 20 owns every
+        # point with x == 20 and column 19 holds only strictly-smaller
+        # x, so the tight cover is the hollow frame of rows/columns
+        # 20..40 — exactly 4*21 - 4 pixels.
         geom = Polygon([[20, 20], [40, 20], [40, 40], [20, 40]])
         marked = boundary_pixels(geom, VP)
         cols = set((marked % VP.width).tolist())
-        assert {19, 20, 39, 40} <= cols
         rows = set((marked // VP.width).tolist())
-        assert {19, 20, 39, 40} <= rows
+        assert cols == set(range(20, 41))
+        assert rows == set(range(20, 41))
+        assert len(marked) == 4 * 21 - 4
+        # Points exactly on the boundary still land in marked pixels.
+        s = np.arange(20.0, 41.0)
+        on_edges = np.concatenate([
+            np.column_stack([s, np.full_like(s, 20.0)]),
+            np.column_stack([s, np.full_like(s, 40.0)]),
+            np.column_stack([np.full_like(s, 20.0), s]),
+            np.column_stack([np.full_like(s, 40.0), s]),
+        ])
+        ids, valid = VP.pixel_ids_of(on_edges[:, 0], on_edges[:, 1])
+        assert valid.all()
+        assert set(ids.tolist()) <= set(marked.tolist())
+
+    def test_gridline_aligned_rectangle_interior_grows(self):
+        # The tightened cover pushes the guaranteed-interior frontier
+        # out to rows/columns 21..39: a full 19x19 block.
+        geom = Polygon([[20, 20], [40, 20], [40, 40], [20, 40]])
+        interior, _ = rasterize_polygon(geom, VP)
+        assert len(interior) == 19 * 19
+
+    def test_off_gridline_axis_rectangle_unchanged(self):
+        # Axis-parallel edges *not* on a grid line keep the generic
+        # conservative marking: the rectangle's edges at x/y = .5
+        # cross pixel interiors, so exactly one row/column per edge.
+        geom = Polygon([[20.5, 20.5], [40.5, 20.5],
+                        [40.5, 40.5], [20.5, 40.5]])
+        marked = boundary_pixels(geom, VP)
+        cols = set((marked % VP.width).tolist())
+        rows = set((marked // VP.width).tolist())
+        assert cols == set(range(20, 41))
+        assert rows == set(range(20, 41))
 
     def test_vertex_on_grid_cross_marks_diagonal(self):
         # Triangle with a vertex exactly at grid cross (30, 30): the
