@@ -1,0 +1,332 @@
+"""E20: gesture-speculative prefetch under interactive session load.
+
+Replays the E8-style exploration ladder — a time-brush sweep, a pan
+run, zoom toggles — through :class:`~repro.urbane.session.RemoteSession`
+clients against a live server at 1x / 4x / 16x the configured
+concurrency, once with speculation off and once on.  Between gestures
+each analyst "thinks" for a few tens of milliseconds; that think time
+is exactly the idle window the speculator mines, so the measurable
+claim is: per-gesture p50/p99 latency drops and a meaningful fraction
+of gestures land on pre-warmed cache entries, while every answer stays
+bitwise-identical to the unspeculated run (speculation may only change
+*when* work happens, never *what* it computes).
+
+Two faces:
+
+* pytest-benchmark (``pytest benchmarks/bench_speculate_session.py``) —
+  a single analyst's brush sweep with speculation on, asserting hits;
+* standalone (``python benchmarks/bench_speculate_session.py
+  [--points N] [--out BENCH_speculate.json]``) — emits the
+  machine-readable record and exits non-zero if any gesture's answer
+  with speculation on diverges from the same gesture with it off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+LOAD_FACTORS = (1, 4, 16)
+BRUSH_STEPS = 6
+PAN_STEPS = 3
+THINK_S = 0.02
+
+
+def _percentile_ms(samples, q: float) -> float:
+    if not samples:
+        return float("nan")
+    return float(np.percentile(np.asarray(samples) * 1000, q))
+
+
+def _ladder(session, thr, day, epoch, block_px):
+    """The per-analyst gesture script: filter, brush sweep (+1 ladder),
+    pan run (momentum), zoom out/in.  Returns the per-gesture values."""
+    from repro.table import F
+
+    values = [session.last_result.values.copy()]  # the opening query
+
+    def think():
+        time.sleep(THINK_S)
+
+    think()
+    session.add_filter(F("fare") > thr)
+    values.append(session.last_result.values.copy())
+    for k in range(BRUSH_STEPS):
+        think()
+        session.brush_time(epoch + k * day, epoch + (k + 1) * day)
+        values.append(session.last_result.values.copy())
+    for __ in range(PAN_STEPS):
+        think()
+        session.pan(block_px, 0)
+        values.append(session.last_result.values.copy())
+    think()
+    session.zoom(2.0)
+    values.append(session.last_result.values.copy())
+    think()
+    session.zoom(0.5)
+    values.append(session.last_result.values.copy())
+    return values
+
+
+def _run_mode(manager, dataset, region_name, *, speculate, clients,
+              max_concurrency, resolution, budget_ms, day, epoch):
+    """One (load, mode) cell: fresh service, ``clients`` concurrent
+    analysts, each replaying the deterministic ladder for its index."""
+    from repro.serve import QueryService, ServeClient, ServerThread
+    from repro.urbane import RemoteSession
+
+    service = QueryService(manager, max_concurrency=max_concurrency,
+                           max_queue=4 * max_concurrency, max_wait_s=10.0,
+                           speculate=speculate,
+                           speculate_budget_ms=budget_ms)
+    thread = ServerThread(service)
+    url = thread.start()
+    latencies: list[float] = []
+    all_values: dict[int, list] = {}
+    spec_hits = 0
+    gestures = 0
+    errors: list[Exception] = []
+    try:
+        block_px = float(
+            manager.engine.plan_grid_viewport(
+                manager.region_set(region_name), resolution).grid.block)
+
+        def analyst(i):
+            nonlocal spec_hits, gestures
+            try:
+                # Staggered arrivals: analysts do not all open their
+                # dashboards in the same millisecond.  Without this the
+                # opening burst sheds half the fleet into retry back-off
+                # and the p99 measures sleep chains, not serving.
+                time.sleep((i % clients) * 0.01)
+                client = ServeClient(url, timeout_s=30, max_retries=8)
+                session = RemoteSession(client, dataset, region_name,
+                                        resolution=resolution)
+                # Distinct per-analyst threshold: sessions share the
+                # polygon raster but not each other's query cache
+                # entries, so load (and speculation) is real.
+                vals = _ladder(session, 2.0 + 0.5 * i, day, epoch,
+                               block_px)
+                all_values[i] = vals
+                latencies.extend(session.latencies())
+                summary = session.summary()
+                spec_hits += summary["spec_hits"]
+                gestures += summary["interactions"]
+            except Exception as exc:  # noqa: BLE001 - recorded
+                errors.append(exc)
+
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            list(pool.map(analyst, range(clients)))
+        wall_s = time.perf_counter() - t0
+        stats = service.stats()
+    finally:
+        thread.stop()
+        service.close()
+    if errors:
+        raise errors[0]
+    return {
+        "latencies": latencies,
+        "values": all_values,
+        "wall_s": wall_s,
+        "spec_hits": spec_hits,
+        "gestures": gestures,
+        "speculate": stats["speculate"],
+        "shed_total": stats["admission"]["shed_total"],
+    }
+
+
+def run_speculate(table, regions, max_concurrency: int = 4,
+                  load_factors=LOAD_FACTORS, resolution: int = 256,
+                  budget_ms: float = 250.0) -> dict:
+    """Drive the session replay at increasing load with speculation
+    off/on; returns the BENCH_speculate.json payload."""
+    from repro.core import SpatialAggregationEngine
+    from repro.data import month_window
+    from repro.urbane import DataManager
+
+    epoch, month_end = month_window(0)
+    day = (month_end - epoch) // 30
+
+    results = []
+    for load in load_factors:
+        clients = load * max_concurrency
+        modes = {}
+        for speculate in (False, True):
+            # A fresh manager per cell: the comparison is cold-cache
+            # vs cold-cache, and no warmth leaks between modes.
+            manager = DataManager(SpatialAggregationEngine(
+                default_resolution=resolution))
+            dataset = manager.add_dataset(table)
+            region_name = manager.add_region_set(regions)
+            modes[speculate] = _run_mode(
+                manager, dataset, region_name, speculate=speculate,
+                clients=clients, max_concurrency=max_concurrency,
+                resolution=resolution, budget_ms=budget_ms,
+                day=day, epoch=epoch)
+
+        off, on = modes[False], modes[True]
+        mismatches = sum(
+            1
+            for i in off["values"]
+            for a, b in zip(off["values"][i], on["values"][i])
+            if not np.array_equal(a, b))
+        spec = on["speculate"]
+        results.append({
+            "load_factor": load,
+            "clients": clients,
+            "gestures": on["gestures"],
+            "p50_off_ms": _percentile_ms(off["latencies"], 50),
+            "p99_off_ms": _percentile_ms(off["latencies"], 99),
+            "p50_on_ms": _percentile_ms(on["latencies"], 50),
+            "p99_on_ms": _percentile_ms(on["latencies"], 99),
+            "p99_speedup": (_percentile_ms(off["latencies"], 99)
+                            / _percentile_ms(on["latencies"], 99))
+            if on["latencies"] else float("nan"),
+            "hit_rate": (on["spec_hits"] / on["gestures"])
+            if on["gestures"] else 0.0,
+            "spec_issued": spec["issued"],
+            "spec_completed": spec["completed"],
+            "spec_shed": spec["shed"],
+            "spec_errors": spec["errors"],
+            "shed_total_on": on["shed_total"],
+            "shed_total_off": off["shed_total"],
+            "all_equal": mismatches == 0,
+            "mismatches": mismatches,
+        })
+
+    return {
+        "benchmark": "speculate-session",
+        "points": len(table),
+        "regions": len(regions),
+        "resolution": resolution,
+        "max_concurrency": max_concurrency,
+        "speculate_budget_ms": budget_ms,
+        "brush_steps": BRUSH_STEPS,
+        "pan_steps": PAN_STEPS,
+        "think_ms": THINK_S * 1000,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+# -- pytest-benchmark face ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # standalone invocation without pytest installed
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.benchmark(group="E20 speculative prefetch")
+
+    def test_single_analyst_brush_sweep(benchmark, bench_taxi,
+                                        bench_regions):
+        from repro.core import SpatialAggregationEngine
+        from repro.data import month_window
+        from repro.serve import QueryService, ServerThread
+        from repro.urbane import DataManager, RemoteSession
+
+        manager = DataManager(SpatialAggregationEngine(
+            default_resolution=256))
+        dataset = manager.add_dataset(bench_taxi["200k"])
+        region_name = manager.add_region_set(
+            bench_regions["neighborhoods"])
+        service = QueryService(manager, speculate=True)
+        thread = ServerThread(service)
+        url = thread.start()
+        epoch, month_end = month_window(0)
+        day = (month_end - epoch) // 30
+        try:
+            def sweep():
+                session = RemoteSession(url, dataset, region_name,
+                                        resolution=256)
+                for k in range(BRUSH_STEPS):
+                    time.sleep(THINK_S)
+                    session.brush_time(epoch + k * day,
+                                       epoch + (k + 1) * day)
+                return session
+
+            sweep()  # warm rasters; teach the model the ladder
+            session = benchmark(sweep)
+            summary = session.summary()
+            benchmark.extra_info["spec_hits"] = summary["spec_hits"]
+            benchmark.extra_info["spec_stats"] = {
+                k: v for k, v in service.stats()["speculate"].items()
+                if isinstance(v, (int, float))}
+            assert service.stats()["speculate"]["issued"] > 0
+        finally:
+            thread.stop()
+            service.close()
+
+
+# -- standalone face ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gesture-speculative prefetch session replay -> JSON")
+    parser.add_argument("--points", type=int, default=100_000)
+    parser.add_argument("--regions", type=int, default=40)
+    parser.add_argument("--resolution", type=int, default=256)
+    parser.add_argument("--max-concurrency", type=int, default=4)
+    parser.add_argument("--budget-ms", type=float, default=250.0)
+    parser.add_argument("--loads", default="1,4,16",
+                        help="comma-separated load factors")
+    parser.add_argument("--out", default="BENCH_speculate.json")
+    args = parser.parse_args(argv)
+
+    from repro.data import CityModel, generate_taxi_trips, voronoi_regions
+
+    city = CityModel(seed=7)
+    table = generate_taxi_trips(city, args.points, seed=8)
+    regions = voronoi_regions(city, args.regions, name="neighborhoods")
+    loads = tuple(int(x) for x in args.loads.split(","))
+
+    payload = run_speculate(table, regions,
+                            max_concurrency=args.max_concurrency,
+                            load_factors=loads,
+                            resolution=args.resolution,
+                            budget_ms=args.budget_ms)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'load':>5} {'p50 off':>9} {'p50 on':>9} {'p99 off':>9} "
+          f"{'p99 on':>9} {'hits':>6} {'shed':>6}  equal")
+    for row in payload["results"]:
+        print(f"{row['load_factor']:>4}x "
+              f"{row['p50_off_ms']:>7.1f}ms {row['p50_on_ms']:>7.1f}ms "
+              f"{row['p99_off_ms']:>7.1f}ms {row['p99_on_ms']:>7.1f}ms "
+              f"{row['hit_rate'] * 100:>5.1f}% "
+              f"{row['spec_shed']:>6}  {row['all_equal']}")
+    print(f"wrote {out}")
+
+    bad = [r["load_factor"] for r in payload["results"]
+           if not r["all_equal"]]
+    if bad:
+        print(f"ERROR: speculated answers diverged at load {bad}",
+              file=sys.stderr)
+        return 1
+    stuck = [r["load_factor"] for r in payload["results"]
+             if r["spec_errors"]]
+    if stuck:
+        print(f"ERROR: speculative executor errors at load {stuck}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

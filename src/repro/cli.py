@@ -353,14 +353,19 @@ def _cmd_serve(args) -> int:
         manager, max_concurrency=args.max_concurrency,
         max_queue=args.max_queue,
         default_deadline_ms=args.deadline_ms,
-        shards=args.shards)
+        shards=args.shards,
+        speculate=args.speculate,
+        speculate_budget_ms=args.speculate_budget_ms)
     server = QueryServer(service, host=args.host, port=args.port)
 
     async def run() -> None:
         await server.start()
+        spec = (f"speculate={args.speculate_budget_ms:g}ms"
+                if args.speculate else "speculate=off")
         print(f"serving on {server.url}  "
               f"(concurrency={args.max_concurrency}, "
-              f"queue={args.max_queue}, shards={service.workers.shards})")
+              f"queue={args.max_queue}, shards={service.workers.shards}, "
+              f"{spec})")
         await server.serve_forever()
 
     try:
@@ -599,6 +604,17 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--deadline-ms", type=float, default=None,
                      help="default per-query latency budget (requests "
                           "can override)")
+    srv.add_argument("--speculate", dest="speculate", action="store_true",
+                     default=True,
+                     help="warm caches for each session's predicted next "
+                          "gesture on idle slots (default on; shed first "
+                          "under load, never blocks real queries)")
+    srv.add_argument("--no-speculate", dest="speculate",
+                     action="store_false",
+                     help="disable gesture-speculative prefetch")
+    srv.add_argument("--speculate-budget-ms", type=float, default=250.0,
+                     help="predicted-cost budget per gesture for "
+                          "speculative warm-up work")
     _add_kernel_arg(srv)
     srv.set_defaults(func=_cmd_serve)
 

@@ -185,6 +185,27 @@ class CostBasedPlanner:
         chosen = min(names, key=lambda n: costs[n])
         return inputs, costs, chosen
 
+    def predict_plan_ms(self, ctx: ExecutionContext,
+                        plan: ExecutionPlan) -> float:
+        """Predicted wall-clock milliseconds for one plan.
+
+        Prices the plan exactly as :meth:`choose` would (explicit
+        methods price that backend, ``auto`` prices the cheapest
+        eligible candidate) and converts the abstract cost through the
+        EWMA-calibrated rate.  This is the speculation planner's
+        budget currency: cheap to evaluate, no side effects on the
+        plan's decision record.
+        """
+        if plan.method and plan.method != "auto":
+            cost = float(get_backend(plan.method).estimate_cost(
+                plan.table, plan.regions, plan, ctx=ctx))
+        else:
+            _inputs, costs, chosen = self._price(ctx, plan)
+            cost = costs[chosen]
+        if cost == float("inf"):
+            raise QueryError("plan priced at infinite cost")
+        return self.predict_ms(cost)
+
     # -- deadline degradation ----------------------------------------------
 
     def _degrade(self, ctx: ExecutionContext, plan: ExecutionPlan,

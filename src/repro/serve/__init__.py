@@ -19,6 +19,12 @@ built for that load profile:
 Deadline-aware planning (``deadline_ms`` degrading exact -> bounded ->
 coarser canvas) lives in the planner; the service merely threads the
 per-request deadline through.
+
+**Gesture-speculative prefetch** (:mod:`repro.serve.speculate`): the
+service can watch each session's query stream, predict the next gesture
+(adjacent time-brush bucket, neighboring pyramid blocks, +/-1 zoom
+level) and warm the caches for it on otherwise-idle slots — strictly
+lower priority than real work, shed first under load.
 """
 
 from .admission import AdmissionController
@@ -37,13 +43,17 @@ from .protocol import (
     query_to_json,
     result_from_json,
     result_to_json,
+    viewport_from_json,
+    viewport_to_json,
 )
 from .routing import HashRing
 from .server import QueryServer, ServerThread
 from .service import QueryService
+from .speculate import GestureModel, SpeculationPlanner, Speculator
 
 __all__ = [
     "AdmissionController",
+    "GestureModel",
     "HashRing",
     "PROTOCOL_VERSION",
     "QueryServer",
@@ -54,6 +64,8 @@ __all__ = [
     "ServeWorkerPool",
     "ServerThread",
     "SingleFlight",
+    "SpeculationPlanner",
+    "Speculator",
     "decode_request",
     "encode_request",
     "filter_from_json",
@@ -63,4 +75,6 @@ __all__ = [
     "query_to_json",
     "result_from_json",
     "result_to_json",
+    "viewport_from_json",
+    "viewport_to_json",
 ]

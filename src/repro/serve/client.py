@@ -12,13 +12,21 @@ itself was bad).
 Streaming responses (``stream=True``) yield one decoded partial dict
 per NDJSON line as the server produces them — ``http.client`` strips
 the chunked framing transparently.
+
+Retry on shed: with ``max_retries > 0`` (opt-in; default 0 preserves
+the raise-immediately contract) a 429 is retried up to that many times,
+sleeping the server's own ``retry_after_ms`` hint scaled by an
+exponential back-off factor per attempt — the client backs off exactly
+as hard as the server asked, harder each time.  Only overload is
+retried; 4xx/5xx and connection errors raise immediately.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from urllib.parse import urlsplit
+import time
+from urllib.parse import quote, urlsplit
 
 from ..errors import OverloadedError, ProtocolError, QueryError, ServeError
 from .protocol import (
@@ -26,9 +34,16 @@ from .protocol import (
     RemoteResult,
     encode_request,
     result_from_json,
+    viewport_from_json,
 )
 
 DEFAULT_TIMEOUT_S = 60.0
+
+#: Per-attempt multiplier on the server's retry hint.
+BACKOFF_FACTOR = 2.0
+
+#: A single sleep never exceeds this, however large the hint grows.
+MAX_BACKOFF_S = 5.0
 
 
 def _raise_for_payload(status: int, payload: dict,
@@ -50,13 +65,18 @@ def _raise_for_payload(status: int, payload: dict,
 class ServeClient:
     """Blocking client for a ``repro serve`` endpoint."""
 
-    def __init__(self, url: str, timeout_s: float = DEFAULT_TIMEOUT_S):
+    def __init__(self, url: str, timeout_s: float = DEFAULT_TIMEOUT_S,
+                 max_retries: int = 0):
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
             raise ProtocolError(f"unsupported scheme {parts.scheme!r}")
+        if max_retries < 0:
+            raise ProtocolError("max_retries must be >= 0")
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self.retries = 0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -85,18 +105,48 @@ class ServeClient:
     def stats(self) -> dict:
         return self._get_json("/v1/stats")
 
+    def plan_viewport(self, regions: str, resolution: int | None = None):
+        """The server-planned :class:`~repro.core.pyramid.GridViewport`
+        for a region set — the shared grid both ends express pan/zoom
+        gestures on (the bbox floats are recomputed locally from the
+        grid integers, so keys agree bitwise)."""
+        path = f"/v1/viewport?regions={quote(regions)}"
+        if resolution is not None:
+            path += f"&resolution={int(resolution)}"
+        payload = self._get_json(path)
+        if payload.get("kind") != "viewport":
+            raise ProtocolError(
+                f"unexpected viewport payload kind {payload.get('kind')!r}")
+        return viewport_from_json(payload["viewport"])
+
     def query(self, dataset: str, regions: str, query=None, sql=None,
               **knobs) -> RemoteResult:
         """Run one query; returns a :class:`RemoteResult`.
 
         Accepts the same knobs as the wire protocol (``method``,
         ``resolution``, ``epsilon``, ``exact``, ``deadline_ms``,
-        ``cache``...).  For progressive results use :meth:`stream`.
+        ``cache``, ``session``, ``viewport``...).  For progressive
+        results use :meth:`stream`.  When ``max_retries > 0`` a shed
+        (429) is retried with server-seeded exponential back-off.
         """
         body = encode_request(dataset, regions, query=query, sql=sql,
                               **knobs)
         if body.get("stream"):
             raise ProtocolError("use stream() for streaming queries")
+        attempt = 0
+        while True:
+            try:
+                return self._query_once(body)
+            except OverloadedError as exc:
+                if attempt >= self.max_retries:
+                    raise
+                delay_s = (float(exc.retry_after_ms) / 1000.0
+                           * BACKOFF_FACTOR ** attempt)
+                time.sleep(min(delay_s, MAX_BACKOFF_S))
+                attempt += 1
+                self.retries += 1
+
+    def _query_once(self, body: dict) -> RemoteResult:
         conn = self._connect()
         try:
             conn.request("POST", "/v1/query", body=json.dumps(body),

@@ -46,6 +46,15 @@ REQUEST_KNOBS = {
     "stream": False,
     "stream_every": 1,
     "tile_pixels": 256,
+    # Opaque per-session id: lets the server's gesture-speculative
+    # prefetcher keep one transition model per analyst.  Never part of
+    # the query's cache/coalescing key — two sessions issuing the same
+    # query still coalesce.
+    "session": None,
+    # Grid-snapped map window (see viewport_to_json): pan/zoom gestures
+    # send the full viewport, so block-aligned cache keys match across
+    # the wire exactly as they do locally.
+    "viewport": None,
 }
 
 
@@ -163,6 +172,52 @@ def query_from_json(payload: dict) -> SpatialAggregation:
         raise ProtocolError(f"bad query payload: {exc}") from None
 
 
+# -- viewport <-> json --------------------------------------------------------
+
+
+def viewport_to_json(viewport) -> dict:
+    """A :class:`~repro.core.pyramid.GridViewport` -> wire encoding.
+
+    Only the grid anchor (floats) and the integer window coordinates
+    cross the wire; the world bbox is *recomputed* from them on decode
+    through the exact arithmetic of :meth:`CanvasGrid.viewport`.  Both
+    ends therefore hold bit-identical viewport values (Python float
+    repr round-trips through JSON), which is what makes a client-side
+    ``pan`` and the server's speculative prediction of that pan land on
+    the same cache key.
+    """
+    from ..core.pyramid import GridViewport
+
+    if not isinstance(viewport, GridViewport):
+        raise ProtocolError(
+            f"only grid-snapped viewports cross the wire, got "
+            f"{type(viewport).__name__}")
+    grid = viewport.grid
+    return {"x0": grid.x0, "y0": grid.y0, "pw": grid.pw, "ph": grid.ph,
+            "block": int(grid.block), "level": int(viewport.level),
+            "col0": int(viewport.col0), "row0": int(viewport.row0),
+            "width": int(viewport.width), "height": int(viewport.height)}
+
+
+def viewport_from_json(node):
+    """Wire encoding -> :class:`~repro.core.pyramid.GridViewport`."""
+    from ..core.pyramid import CanvasGrid
+
+    if not isinstance(node, dict):
+        raise ProtocolError(f"malformed viewport node: {node!r}")
+    try:
+        grid = CanvasGrid(float(node["x0"]), float(node["y0"]),
+                          float(node["pw"]), float(node["ph"]),
+                          int(node["block"]))
+        return grid.viewport(int(node["level"]), int(node["col0"]),
+                             int(node["row0"]), int(node["width"]),
+                             int(node["height"]))
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"bad viewport node {node!r}: {exc}") from None
+
+
 # -- requests -----------------------------------------------------------------
 
 
@@ -182,6 +237,9 @@ def encode_request(dataset: str, regions: str,
         body["query"] = query_to_json(query)
     for name, default in REQUEST_KNOBS.items():
         value = knobs.get(name, default)
+        if name == "viewport" and value is not None \
+                and not isinstance(value, dict):
+            value = viewport_to_json(value)
         if value != default:
             body[name] = value
     return body
@@ -220,6 +278,10 @@ def decode_request(payload) -> dict:
         out["method"] = "auto"
     if out["stream_every"] is not None and int(out["stream_every"]) < 1:
         raise ProtocolError("stream_every must be >= 1")
+    if out["session"] is not None:
+        out["session"] = str(out["session"])
+    if out["viewport"] is not None:
+        out["viewport"] = viewport_from_json(out["viewport"])
     return out
 
 

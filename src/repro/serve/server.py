@@ -6,6 +6,9 @@ protocol needs exactly three routes):
 
 * ``GET /v1/health`` — liveness;
 * ``GET /v1/stats``  — service counters (admission, coalescing, cache);
+* ``GET /v1/viewport?regions=...&resolution=...`` — the server-planned
+  canvas grid viewport for a region set, so remote clients can express
+  pan/zoom gestures on exactly the grid the server caches blocks on;
 * ``POST /v1/query`` — one JSON request body per query.  Non-streaming
   requests get one JSON object back; ``"stream": true`` requests get a
   chunked ``application/x-ndjson`` response, one
@@ -185,6 +188,9 @@ class QueryServer:
             await self._send_json(writer, "200 OK",
                                   jsonable(self.service.stats()))
             return
+        if method == "GET" and path.split("?", 1)[0] == "/v1/viewport":
+            await self._plan_viewport(path, writer)
+            return
         if method == "POST" and path == "/v1/query":
             req = decode_request(json.loads(body.decode("utf-8")))
             if req["stream"]:
@@ -196,6 +202,32 @@ class QueryServer:
             writer, "404 Not Found",
             {"kind": "error", "error": "NotFound",
              "message": f"no route {method} {path}"})
+
+    async def _plan_viewport(self, path: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """GET /v1/viewport: the canvas-grid viewport the server plans
+        for a region set — the anchor for client-side pan/zoom."""
+        from urllib.parse import parse_qs, urlsplit
+
+        from .protocol import viewport_to_json
+
+        params = parse_qs(urlsplit(path).query)
+        regions = params.get("regions", [None])[0]
+        if not regions:
+            raise ProtocolError("/v1/viewport needs a regions= parameter")
+        resolution = params.get("resolution", [None])[0]
+        if resolution is not None:
+            try:
+                resolution = int(resolution)
+            except ValueError:
+                raise ProtocolError(
+                    f"bad resolution {resolution!r}") from None
+        region_set = self.service.manager.region_set(regions)
+        viewport = self.service.manager.engine.plan_grid_viewport(
+            region_set, resolution)
+        await self._send_json(writer, "200 OK",
+                              {"v": 1, "kind": "viewport",
+                               "viewport": viewport_to_json(viewport)})
 
     async def _unary_query(self, req: dict, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
@@ -305,6 +337,16 @@ class ServerThread:
             ready.set()
             loop.run_forever()
             loop.run_until_complete(self.server.stop())
+            # Speculative warm-ups (and any straggler handlers) may
+            # still be unwinding their cancellation; give them a
+            # bounded window before the loop is torn down so no task
+            # is destroyed while pending.
+            leftovers = asyncio.all_tasks(loop)
+            if leftovers:
+                for task in leftovers:
+                    task.cancel()
+                loop.run_until_complete(
+                    asyncio.wait(leftovers, timeout=5.0))
             loop.close()
 
         self._thread = threading.Thread(target=run, name="repro-serve",

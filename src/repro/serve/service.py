@@ -35,6 +35,7 @@ from ..errors import ProtocolError, QueryError
 from ..urbane.datamanager import DataManager
 from .admission import AdmissionController
 from .pool import ServeWorkerPool
+from .speculate import SPECULATION_DENIED, Speculator
 
 #: Sentinel closing a streaming queue.
 _DONE = object()
@@ -57,7 +58,9 @@ class QueryService:
                  max_queue: int = 16,
                  max_wait_s: float = 10.0,
                  default_deadline_ms: float | None = None,
-                 shards: int = 1):
+                 shards: int = 1,
+                 speculate: bool = False,
+                 speculate_budget_ms: float = 250.0):
         self.manager = manager
         self.admission = AdmissionController(
             max_concurrency=max_concurrency, max_queue=max_queue,
@@ -71,6 +74,12 @@ class QueryService:
         self.queries = 0
         self.stream_queries = 0
         self.errors = 0
+        # Gesture-speculative prefetch: watches the per-session query
+        # stream and warms caches for the predicted next gestures on
+        # idle slots only (see repro.serve.speculate).  Constructed
+        # even when disabled so stats keep a stable shape.
+        self.speculator = Speculator(self, budget_ms=speculate_budget_ms,
+                                     enabled=bool(speculate))
 
     @property
     def flight(self):
@@ -112,7 +121,10 @@ class QueryService:
         Content fingerprints for the data, the full repr of the frozen
         query (filters included), and every knob that can change the
         answer — ``deadline_ms`` included, since degradation changes
-        what comes back.
+        what comes back, and the viewport (a pinned canvas changes the
+        raster answer).  The ``session`` id is deliberately *not* part
+        of the key: identical gestures from different sessions must
+        coalesce and share cache entries.
         """
         table, _version = self._resolve_table(req["dataset"])
         regions = self.manager.region_set(req["regions"])
@@ -121,7 +133,8 @@ class QueryService:
             raise ProtocolError("request has no parsed query")
         return ("served", fingerprint(table), fingerprint(regions),
                 repr(query), req["method"], req["resolution"],
-                req["epsilon"], bool(req["exact"]), req["deadline_ms"])
+                req["epsilon"], bool(req["exact"]), req["deadline_ms"],
+                req.get("viewport"))
 
     # -- one-shot queries --------------------------------------------------
 
@@ -135,8 +148,14 @@ class QueryService:
         req["query"] = parsed.aggregation
 
     def _run(self, req: dict, key: tuple, cancel: threading.Event,
-             engine=None):
-        """Engine execution (thread-pool side)."""
+             engine=None, speculative: bool = False):
+        """Engine execution (thread-pool side).
+
+        ``speculative`` builds insert at the cache's LRU *cold* end
+        (wrong predictions must never evict blocks real queries keep
+        hot) but are otherwise byte-for-byte the real execution — that
+        identity is what lets a real query join a speculative flight.
+        """
         table, stream_version = self._resolve_table(req["dataset"])
         regions = self.manager.region_set(req["regions"])
         if engine is None:
@@ -149,17 +168,23 @@ class QueryService:
             result = engine.execute(
                 table, regions, req["query"], method=req["method"],
                 resolution=req["resolution"], epsilon=req["epsilon"],
-                exact=bool(req["exact"]), deadline_ms=deadline,
-                cancel=cancel)
+                exact=bool(req["exact"]), viewport=req.get("viewport"),
+                deadline_ms=deadline, cancel=cancel)
             if stream_version is not None:
                 result.stats["stream_version"] = stream_version
             return result
 
-        if req.get("cache", True):
-            # The unified cache defensively copies results on read, so
-            # the stored original is never the object handed out.
-            return engine.ctx.cache.get_or_build(key, build)
-        return build()
+        def run_cached():
+            if req.get("cache", True):
+                # The unified cache defensively copies results on read,
+                # so the stored original is never the object handed out.
+                return engine.ctx.cache.get_or_build(key, build)
+            return build()
+
+        if speculative:
+            with engine.ctx.cache.speculative_inserts():
+                return run_cached()
+        return run_cached()
 
     async def execute(self, req: dict):
         """Serve one non-streaming request; returns a private
@@ -180,6 +205,11 @@ class QueryService:
         worker = self.workers.worker_for(key)
         worker.queries += 1
         loop = asyncio.get_running_loop()
+        # Hit attribution *before* running: a warm cache entry or an
+        # in-flight speculative build for this key is a prediction the
+        # user confirmed.
+        spec = self.speculator
+        spec_hit = spec.enabled and spec.note_real_query(key)
 
         async def start(cancel: threading.Event):
             async with self.admission.slot(req.get("timeout_s")):
@@ -189,12 +219,23 @@ class QueryService:
 
         try:
             result = await worker.flight.run(key, start)
+            # A real query that joined a speculative flight inherits
+            # the denial *value* when admission refused the idle slot;
+            # it retries as real work (queueing like any request)
+            # rather than surfacing a speculative shed to the client.
+            while result is SPECULATION_DENIED:
+                result = await worker.flight.run(key, start)
         except Exception:
             self.errors += 1
             raise
+        # Feed the gesture model and (re)plan during think time — the
+        # answer is already on its way out.
+        spec.observe(req)
         # Each participant gets an independent copy — coalesced
         # responses must not alias one another's arrays or stats.
-        return result.copy()
+        copy = result.copy()
+        copy.stats["speculate"] = {"hit": bool(spec_hit)}
+        return copy
 
     # -- streaming queries -------------------------------------------------
 
@@ -288,10 +329,12 @@ class QueryService:
                 "block_misses": blocks.get("misses", 0),
                 "reuse_fraction": blocks.get("reuse_fraction", 0.0),
             },
+            "speculate": self.speculator.stats(),
             "datasets": sorted(self.manager.dataset_names
                                + list(self._streams)),
             "region_sets": self.manager.region_set_names,
         }
 
     def close(self) -> None:
+        self.speculator.close()
         self.workers.close()

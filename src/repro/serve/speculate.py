@@ -1,0 +1,644 @@
+"""Gesture-speculative prefetch: warm the caches for the *next* query.
+
+Interactive sessions have strong gesture locality — after a time brush
+the next query is almost always the adjacent bucket, after a pan the
+neighboring viewport blocks, after a zoom the +/-1 power-of-two level.
+This module gets *ahead* of the user: it watches the per-session query
+stream, predicts the likely next queries, and executes them as strictly
+lower-priority background work so their results are already sitting in
+the unified cache (tcube rows, pyramid blocks, served-result entries)
+when the real gesture arrives.
+
+Three parts:
+
+* :class:`GestureModel` — classifies each request against the session's
+  previous one (``brush+1``, ``brush-1``, ``pan``, ``zoom-in``, ...),
+  maintains a Laplace-smoothed Markov transition table over gesture
+  kinds, and emits ranked candidate next requests: shifted time-brush
+  buckets, the momentum pan plus one-block ring shifts, and the +/-1
+  zoom levels.
+* :class:`SpeculationPlanner` — turns ranked candidates into concrete
+  :class:`WorkItem` warm-ups: resolves each candidate's cache key and
+  owning worker (the same :class:`~repro.serve.routing.HashRing` route
+  the real query will take), drops candidates that are already cached
+  or fall outside the cached tcube's time span, prices the rest through
+  the engine's EWMA-calibrated cost model
+  (:meth:`~repro.core.planner.CostBasedPlanner.predict_plan_ms`), and
+  keeps what fits a per-gesture millisecond budget.
+* :class:`Speculator` — the background executor.  Items run one at a
+  time on **speculative admission slots**
+  (:meth:`~repro.serve.admission.AdmissionController.speculative_slot`):
+  granted only from idle capacity, preempted (cooperatively cancelled)
+  the moment a real request needs the slot, shed *before* any real
+  query is rejected.  Each item runs through its worker's
+  :class:`~repro.serve.coalesce.SingleFlight` map under the *real*
+  query key, so a real query arriving mid-speculation joins the
+  in-flight build instead of re-running it — and the ref-counted cancel
+  protocol guarantees that preempting the speculative leader can never
+  kill a real joiner.  Results are inserted at the cache's LRU *cold*
+  end (:meth:`~repro.core.cache.QueryCache.speculative_inserts`), so a
+  burst of wrong predictions cannot evict blocks real queries keep hot.
+
+Speculation may only ever change *latency*: every answer a real query
+receives is either its own execution or a cache/coalesce artifact of
+the identical request, so results with speculation on are bitwise-equal
+to speculation off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from ..core.backends.base import ExecutionPlan
+from ..core.pyramid import GridViewport
+from ..core.query import SpatialAggregation
+from ..core.tcube import cached_time_span, find_answering_cube, \
+    split_time_filter
+from ..errors import OverloadedError, QueryCancelled, ReproError
+from ..raster.pyramid import block_span
+from ..table.filters import TimeRange
+
+#: Returned by a speculative flight's ``start`` when admission denies
+#: the idle slot.  A *value*, not an exception: a real query that
+#: already joined the flight must see "retry as real work", never
+#: inherit a speculative shed.
+SPECULATION_DENIED = object()
+
+#: Model bucket for requests that carry no ``session`` id.
+GLOBAL_SESSION = "__global__"
+
+#: Laplace priors over gesture kinds — the cold-start encoding of
+#: gesture locality (forward brush sweeps and pans dominate real
+#: sessions) before the transition table has observed anything.
+_PRIORS = {
+    "brush+1": 4.0,
+    "brush-1": 2.0,
+    "brush-jump": 0.5,
+    "pan": 4.0,
+    "zoom-in": 1.0,
+    "zoom-out": 1.0,
+    "other": 0.5,
+}
+
+#: Each one-block ring shift shares the pan family's probability mass
+#: at this discount (the momentum pan keeps the full mass).
+_RING_WEIGHT = 0.25
+
+#: Completed warm-ups remembered for hit attribution (bounded; the
+#: cache itself is the source of truth for whether the entry survived).
+_MAX_WARMED = 512
+
+
+# -- gesture classification ---------------------------------------------------
+
+
+def classify_gesture(prev: dict, req: dict) -> tuple[str | None,
+                                                     tuple[int, int]]:
+    """``(kind, pan_delta)`` of the step from ``prev`` to ``req``.
+
+    Kinds: ``brush+1``/``brush-1`` (time brush stepped forward/back by
+    exactly its own width), ``brush-jump`` (any other brush move),
+    ``pan`` (same grid + level, window shifted; the delta in level
+    pixels rides along), ``zoom-in``/``zoom-out`` (level change on one
+    grid), ``other`` (dataset/regions/query changed), or ``None`` when
+    the request is identical to the previous one (no transition
+    signal).
+    """
+    if (prev.get("dataset"), prev.get("regions")) != \
+            (req.get("dataset"), req.get("regions")):
+        return "other", (0, 0)
+    pv, cv = prev.get("viewport"), req.get("viewport")
+    if isinstance(pv, GridViewport) and isinstance(cv, GridViewport) \
+            and pv.grid == cv.grid and pv != cv:
+        if cv.level == pv.level:
+            return "pan", (cv.col0 - pv.col0, cv.row0 - pv.row0)
+        return ("zoom-out" if cv.level > pv.level else "zoom-in"), (0, 0)
+    pq, cq = prev.get("query"), req.get("query")
+    if pq is None or cq is None:
+        return "other", (0, 0)
+    ptr, prest = split_time_filter(pq)
+    ctr, crest = split_time_filter(cq)
+    if ptr is not None and ctr is not None and ptr.column == ctr.column \
+            and (pq.agg, pq.value_column) == (cq.agg, cq.value_column) \
+            and sorted(map(repr, prest)) == sorted(map(repr, crest)) \
+            and (ptr.start, ptr.end) != (ctr.start, ctr.end):
+        width = int(ptr.end) - int(ptr.start)
+        if int(ctr.end) - int(ctr.start) == width:
+            if int(ctr.start) == int(ptr.start) + width:
+                return "brush+1", (0, 0)
+            if int(ctr.start) == int(ptr.start) - width:
+                return "brush-1", (0, 0)
+        return "brush-jump", (0, 0)
+    if repr(pq) != repr(cq):
+        return "other", (0, 0)
+    return None, (0, 0)
+
+
+def shift_brush(query: SpatialAggregation, brush: TimeRange,
+                shift: int) -> SpatialAggregation:
+    """The query with ``brush`` (one of its filters) moved by ``shift``
+    seconds — the identical frozen shape a client stepping its brush
+    would send, so the cache keys agree."""
+    moved = TimeRange(brush.column, int(brush.start) + int(shift),
+                      int(brush.end) + int(shift))
+    filters = tuple(moved if f is brush else f for f in query.filters)
+    return SpatialAggregation(query.agg, query.value_column, filters)
+
+
+@dataclass
+class _SessionTrace:
+    """Last-seen state of one session's query stream."""
+
+    last_req: dict | None = None
+    last_kind: str | None = None
+    last_pan: tuple[int, int] = (0, 0)
+
+
+class GestureModel:
+    """Markov transition statistics over per-session gesture kinds.
+
+    The transition table is shared across sessions (gesture locality is
+    a property of interaction, not of one analyst) while the *state* —
+    the previous request a prediction extends — is per session.
+    """
+
+    def __init__(self, max_sessions: int = 256):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        self.max_sessions = int(max_sessions)
+        self._sessions: OrderedDict[str, _SessionTrace] = OrderedDict()
+        #: (from_kind, to_kind) -> observation count.
+        self.transitions: dict[tuple[str, str], int] = {}
+        self.observed = 0
+
+    # -- observation -------------------------------------------------------
+
+    def _trace(self, session: str | None) -> _SessionTrace:
+        name = session or GLOBAL_SESSION
+        trace = self._sessions.get(name)
+        if trace is None:
+            trace = self._sessions[name] = _SessionTrace()
+        self._sessions.move_to_end(name)
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+        return trace
+
+    def observe(self, req: dict) -> str | None:
+        """Fold one served request into the model; returns the gesture
+        kind it was classified as (``None`` for a verbatim repeat)."""
+        trace = self._trace(req.get("session"))
+        kind, pan = (None, (0, 0))
+        if trace.last_req is not None:
+            kind, pan = classify_gesture(trace.last_req, req)
+            if trace.last_kind is not None and kind is not None:
+                edge = (trace.last_kind, kind)
+                self.transitions[edge] = self.transitions.get(edge, 0) + 1
+        trace.last_req = dict(req)
+        if kind is not None:
+            trace.last_kind = kind
+            trace.last_pan = pan
+        self.observed += 1
+        return kind
+
+    # -- prediction --------------------------------------------------------
+
+    def probability(self, last_kind: str | None, kind: str) -> float:
+        """Laplace-smoothed ``P(kind | last_kind)``."""
+        prior = _PRIORS.get(kind, 0.5)
+        prior_mass = sum(_PRIORS.values())
+        if last_kind is None:
+            return prior / prior_mass
+        row = {to: count for (frm, to), count in self.transitions.items()
+               if frm == last_kind}
+        return (row.get(kind, 0) + prior) / (sum(row.values()) + prior_mass)
+
+    def predict(self, session: str | None) -> list[tuple[float, str, dict]]:
+        """Ranked ``(score, kind, candidate request)`` — the session's
+        likely next requests, highest probability first."""
+        trace = self._sessions.get(session or GLOBAL_SESSION)
+        if trace is None or trace.last_req is None:
+            return []
+        candidates = (self._brush_candidates(trace)
+                      + self._viewport_candidates(trace))
+        candidates.sort(key=lambda c: -c[0])
+        return candidates
+
+    def _candidate(self, trace: _SessionTrace, **overrides) -> dict:
+        req = dict(trace.last_req)
+        req.update(overrides)
+        req["speculative"] = True
+        req["sql"] = None
+        req["stream"] = False
+        req["cache"] = True
+        return req
+
+    def _brush_candidates(self, trace: _SessionTrace) -> list:
+        query = trace.last_req.get("query")
+        if query is None:
+            return []
+        brush, _residual = split_time_filter(query)
+        if brush is None:
+            return []
+        width = int(brush.end) - int(brush.start)
+        if width <= 0:
+            return []
+        out = []
+        for kind, shift in (("brush+1", width), ("brush-1", -width)):
+            cand = self._candidate(
+                trace, query=shift_brush(query, brush, shift))
+            out.append((self.probability(trace.last_kind, kind), kind, cand))
+        return out
+
+    def _viewport_candidates(self, trace: _SessionTrace) -> list:
+        viewport = trace.last_req.get("viewport")
+        if not isinstance(viewport, GridViewport):
+            return []
+        out = []
+        seen = {viewport}
+        p_pan = self.probability(trace.last_kind, "pan")
+        # Momentum: a pan tends to continue — repeat the last delta.
+        if trace.last_kind == "pan" and trace.last_pan != (0, 0):
+            momentum = viewport.pan(*trace.last_pan)
+            if momentum not in seen:
+                seen.add(momentum)
+                out.append((p_pan, "pan",
+                            self._candidate(trace, viewport=momentum)))
+        # Ring: one cache-block shift along each axis — together these
+        # four windows cover the one-block ring of neighboring pyramid
+        # blocks a pan can expose next (see raster.pyramid.block_ring).
+        block = viewport.grid.block
+        for dx, dy in ((block, 0), (-block, 0), (0, block), (0, -block)):
+            shifted = viewport.pan(dx, dy)
+            if shifted in seen:
+                continue
+            seen.add(shifted)
+            out.append((p_pan * _RING_WEIGHT, "pan",
+                        self._candidate(trace, viewport=shifted)))
+        # Zoom: +/-1 power-of-two level (zoom below level 0 clamps to a
+        # no-op viewport, which dedups out).
+        for kind, factor in (("zoom-out", 2.0), ("zoom-in", 0.5)):
+            zoomed = viewport.zoom(factor)
+            if zoomed in seen:
+                continue
+            seen.add(zoomed)
+            out.append((self.probability(trace.last_kind, kind), kind,
+                        self._candidate(trace, viewport=zoomed)))
+        return out
+
+
+# -- planning -----------------------------------------------------------------
+
+
+@dataclass
+class WorkItem:
+    """One priced warm-up: a concrete request plus where it routes."""
+
+    req: dict
+    key: tuple
+    kind: str            # gesture kind the prediction extends
+    work: str            # "tcube-gather" | "block-scatter" | "query"
+    score: float
+    predicted_ms: float
+    new_blocks: int = 0  # level blocks a viewport candidate would touch
+    generation: int = field(default=0, compare=False)
+
+
+class SpeculationPlanner:
+    """Candidates -> budgeted :class:`WorkItem` list.
+
+    Owns the skip/budget policy and its counters; stateless with
+    respect to the query stream (that is the model's job).
+    """
+
+    def __init__(self, service, budget_ms: float = 250.0,
+                 max_candidates: int = 8):
+        self.service = service
+        self.budget_ms = float(budget_ms)
+        self.max_candidates = int(max_candidates)
+        self.planned = 0
+        self.budget_dropped = 0
+        self.skipped_cached = 0
+        self.skipped_span = 0
+        self.unpriceable = 0
+
+    def plan(self, candidates: list[tuple[float, str, dict]]
+             ) -> list[WorkItem]:
+        items: list[WorkItem] = []
+        spent_ms = 0.0
+        for score, kind, req in candidates[: self.max_candidates]:
+            item = self._price(score, kind, req)
+            if item is None:
+                continue
+            if spent_ms + item.predicted_ms > self.budget_ms:
+                self.budget_dropped += 1
+                continue
+            spent_ms += item.predicted_ms
+            items.append(item)
+        self.planned += len(items)
+        return items
+
+    def _price(self, score: float, kind: str, req: dict) -> WorkItem | None:
+        service = self.service
+        try:
+            key = service.query_key(req)
+        except ReproError:
+            return None
+        # Route by the fingerprint of the *predicted* query: the warmed
+        # cache must live on the worker the real query will hit.
+        worker = service.workers.worker_for(key)
+        ctx = worker.engine.ctx
+        if ctx.cache.peek(key) is not None:
+            self.skipped_cached += 1
+            return None
+        try:
+            table, _version = service._resolve_table(req["dataset"])
+            regions = service.manager.region_set(req["regions"])
+        except ReproError:
+            return None
+        query = req["query"]
+        viewport = req.get("viewport")
+        work = "query"
+        new_blocks = 0
+        if kind.startswith("brush"):
+            # Clamp to the time span cached cubes actually cover — a
+            # brush at the timeline's edge must not speculate into
+            # buckets no data spans.
+            span = cached_time_span(ctx, table)
+            brush, _residual = split_time_filter(query)
+            if span is not None and brush is not None and (
+                    int(brush.end) <= span[0] or int(brush.start) >= span[1]):
+                self.skipped_span += 1
+                return None
+            work = "tcube-gather" if self._cube_answers(
+                worker, table, regions, query, req) else "query"
+        elif isinstance(viewport, GridViewport):
+            work = "block-scatter"
+            bx0, by0, bx1, by1 = block_span(
+                viewport.col0, viewport.row0, viewport.width,
+                viewport.height, viewport.grid.block)
+            new_blocks = (bx1 - bx0) * (by1 - by0)
+        try:
+            plan = ExecutionPlan(
+                table=table, regions=regions, query=query,
+                method=req["method"], resolution=req["resolution"],
+                epsilon=req["epsilon"], exact=bool(req["exact"]),
+                viewport=viewport)
+            predicted_ms = worker.engine.planner.predict_plan_ms(ctx, plan)
+        except Exception:  # noqa: BLE001 - pricing is advisory
+            # Store-backed and custom paths may not price; assume a
+            # quarter budget so unpriceable work is bounded, not free.
+            self.unpriceable += 1
+            predicted_ms = self.budget_ms / 4.0
+        return WorkItem(req=req, key=key, kind=kind, work=work, score=score,
+                        predicted_ms=predicted_ms, new_blocks=new_blocks)
+
+    @staticmethod
+    def _cube_answers(worker, table, regions, query, req) -> bool:
+        try:
+            viewport = req.get("viewport")
+            if viewport is None:
+                viewport = worker.engine.plan_viewport(
+                    regions, req["resolution"], req["epsilon"])
+            return find_answering_cube(worker.engine.ctx, table, query,
+                                       viewport) is not None
+        except ReproError:
+            return False
+
+
+# -- execution ----------------------------------------------------------------
+
+
+class Speculator:
+    """The background executor tying model + planner to the service.
+
+    Runs entirely on the service's event loop; items execute one at a
+    time (speculation is a strictly-background citizen, one idle slot
+    is all it ever holds) and a fresh gesture supersedes whatever was
+    still pending — stale predictions are worthless.
+    """
+
+    def __init__(self, service, budget_ms: float = 250.0,
+                 max_candidates: int = 8, enabled: bool = True):
+        self.service = service
+        self.model = GestureModel()
+        self.planner = SpeculationPlanner(service, budget_ms=budget_ms,
+                                          max_candidates=max_candidates)
+        self.budget_ms = float(budget_ms)
+        self.enabled = bool(enabled)
+        self._pending: deque[WorkItem] = deque()
+        self._generation = 0
+        self._drain_task: asyncio.Task | None = None
+        #: Keys currently being built speculatively.
+        self._inflight: set[tuple] = set()
+        #: In-flight speculative keys a real query has joined (their
+        #: completion is already attributed as a hit).
+        self._joined: set[tuple] = set()
+        #: Completed warm-ups awaiting their real query.
+        self._warmed: OrderedDict[tuple, float] = OrderedDict()
+        self.issued = 0
+        self.completed = 0
+        self.hits = 0
+        self.errors = 0
+        self.skipped_busy = 0
+        self.superseded = 0
+        self.shed_denied = 0
+        self.shed_preempted = 0
+        self.shed_cancelled = 0
+        self.by_kind: dict[str, int] = {}
+        self.by_work: dict[str, int] = {}
+        # Wake on idle capacity: the admission controller fires this
+        # whenever a slot frees with no real request waiting.
+        if self.enabled:
+            service.admission.on_idle = self.kick
+
+    # -- real-query side (event-loop thread) -------------------------------
+
+    def note_real_query(self, key: tuple) -> bool:
+        """Hit attribution for one real query, called before it runs.
+
+        A hit is a real query that lands on speculatively-warmed state:
+        either its key is being built right now (it will join the
+        flight) or a completed warm-up for it still sits in the cache.
+        """
+        if key in self._inflight:
+            self._joined.add(key)
+            self.hits += 1
+            return True
+        if key in self._warmed:
+            del self._warmed[key]
+            worker = self.service.workers.worker_for(key)
+            if worker.engine.ctx.cache.peek(key) is not None:
+                self.hits += 1
+                return True
+        return False
+
+    def observe(self, req: dict) -> None:
+        """Feed one served request into the model and (re)plan.
+
+        Called after the real query completed, so planning and warm-up
+        run during the user's think time.  Never raises: speculation
+        failures must not affect the serving path.
+        """
+        if not self.enabled or req.get("speculative"):
+            return
+        try:
+            self.model.observe(req)
+        except Exception:  # noqa: BLE001 - advisory subsystem
+            self.errors += 1
+            return
+        self._generation += 1
+        if self._pending:
+            # Latest gesture wins: predictions extending an older state
+            # are stale the moment a new request arrives.
+            self.superseded += len(self._pending)
+            self._pending.clear()
+        if not self.service.admission.can_speculate():
+            # Busy system: learn the transition but don't even price
+            # candidates — planning runs on the event loop, and under
+            # load every microsecond there is a real request's latency.
+            self.skipped_busy += 1
+            return
+        try:
+            items = self.planner.plan(self.model.predict(req.get("session")))
+        except Exception:  # noqa: BLE001 - advisory subsystem
+            self.errors += 1
+            return
+        for item in items:
+            item.generation = self._generation
+            self._pending.append(item)
+        self.kick()
+
+    # -- background drain --------------------------------------------------
+
+    def kick(self) -> None:
+        """Start (or let continue) the drain task if work is pending."""
+        if not self.enabled or not self._pending:
+            return
+        if self._drain_task is not None and not self._drain_task.done():
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # not on the loop (e.g. sync teardown): next kick wins
+        self._drain_task = loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        try:
+            while self.enabled and self._pending:
+                if not self.service.admission.can_speculate():
+                    # No idle capacity: leave the queue; the admission
+                    # on_idle callback re-kicks when a slot frees.
+                    return
+                item = self._pending.popleft()
+                if item.generation != self._generation:
+                    self.superseded += 1
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._run_item(item))
+                # wait(), not await: preemption cancels the item task,
+                # and that cancellation must not tear down the drain.
+                try:
+                    await asyncio.wait({task})
+                except asyncio.CancelledError:
+                    # The drain itself was cancelled (shutdown): the
+                    # in-flight item must not outlive the loop.
+                    task.cancel()
+                    raise
+                if task.cancelled():
+                    self.shed_preempted += 1
+                elif task.exception() is not None:
+                    self.errors += 1
+        finally:
+            self._drain_task = None
+
+    async def _run_item(self, item: WorkItem) -> None:
+        service = self.service
+        worker = service.workers.worker_for(item.key)
+        me = asyncio.current_task()
+        loop = asyncio.get_running_loop()
+        self.issued += 1
+        self.by_kind[item.kind] = self.by_kind.get(item.kind, 0) + 1
+        self.by_work[item.work] = self.by_work.get(item.work, 0) + 1
+        worker.spec_queries += 1
+        self._inflight.add(item.key)
+
+        async def start(cancel):
+            try:
+                # Preemption cancels *this participant's* task; the
+                # single-flight refcount then decides whether the build
+                # dies (no joiners) or keeps running for a real joiner.
+                async with service.admission.speculative_slot(me.cancel):
+                    return await loop.run_in_executor(
+                        worker.executor, service._run, item.req, item.key,
+                        cancel, worker.engine, True)
+            except OverloadedError:
+                return SPECULATION_DENIED
+
+        try:
+            result = await worker.flight.run(item.key, start)
+            if result is SPECULATION_DENIED:
+                self.shed_denied += 1
+                return
+            self.completed += 1
+            if item.key not in self._joined:
+                self._warmed[item.key] = time.monotonic()
+                while len(self._warmed) > _MAX_WARMED:
+                    self._warmed.popitem(last=False)
+        except asyncio.CancelledError:
+            raise  # preemption: the drain loop does the accounting
+        except QueryCancelled:
+            self.shed_cancelled += 1
+        except OverloadedError:
+            self.shed_denied += 1
+        except Exception:  # noqa: BLE001 - advisory subsystem
+            self.errors += 1
+        finally:
+            self._inflight.discard(item.key)
+            self._joined.discard(item.key)
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    def close(self) -> None:
+        self.enabled = False
+        self._pending.clear()
+        if self.service.admission.on_idle is self.kick:
+            self.service.admission.on_idle = None
+        task = self._drain_task
+        if task is not None and not task.done():
+            try:
+                task.cancel()
+            except RuntimeError:
+                pass  # foreign/closed loop: the loop's teardown wins
+
+    def stats(self) -> dict:
+        shed = {
+            "denied": self.shed_denied,
+            "preempted": self.shed_preempted,
+            "cancelled": self.shed_cancelled,
+            "superseded": self.superseded,
+        }
+        return {
+            "enabled": self.enabled,
+            "budget_ms": self.budget_ms,
+            "observed": self.model.observed,
+            "planned": self.planner.planned,
+            "issued": self.issued,
+            "completed": self.completed,
+            "hits": self.hits,
+            "shed": sum(shed.values()),
+            "shed_detail": shed,
+            "errors": self.errors,
+            "skipped_busy": self.skipped_busy,
+            "pending": len(self._pending),
+            "inflight": len(self._inflight),
+            "warmed": len(self._warmed),
+            "skipped_cached": self.planner.skipped_cached,
+            "skipped_span": self.planner.skipped_span,
+            "budget_dropped": self.planner.budget_dropped,
+            "unpriceable": self.planner.unpriceable,
+            "by_kind": dict(self.by_kind),
+            "by_work": dict(self.by_work),
+        }

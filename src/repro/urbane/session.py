@@ -25,6 +25,23 @@ from .datamanager import DataManager
 INTERACTIVE_THRESHOLD_S = 1.0
 
 
+def _snap_bbox_viewport(gv, bbox):
+    """A world window snapped onto ``gv``'s canvas grid at its level.
+
+    Edges round to the nearest pixel boundary *before* the query is
+    keyed, so a window dragged back to (almost) a previous position
+    fingerprints identically to it and reuses its cached blocks.
+    """
+    grid = gv.grid
+    pw = grid.pw * (1 << gv.level)
+    ph = grid.ph * (1 << gv.level)
+    col0 = int(round((bbox.xmin - grid.x0) / pw))
+    row0 = int(round((bbox.ymin - grid.y0) / ph))
+    width = max(1, int(round((bbox.xmax - bbox.xmin) / pw)))
+    height = max(1, int(round((bbox.ymax - bbox.ymin) / ph)))
+    return grid.viewport(gv.level, col0, row0, width, height)
+
+
 @dataclass
 class Interaction:
     """One logged gesture: what changed and how long the refresh took."""
@@ -45,6 +62,9 @@ class Interaction:
     block_misses: int = 0
     #: Fraction of canvas pixels served from cached blocks.
     block_reuse: float = 0.0
+    #: Whether the server's gesture-speculative prefetcher had already
+    #: warmed (or was mid-way through building) this gesture's answer.
+    spec_hit: bool = False
 
 
 @dataclass
@@ -164,17 +184,11 @@ class InteractiveSession:
         (almost) a previous position fingerprints identically to it and
         reuses its cached blocks.
         """
-        gv = self.grid_viewport()
-        grid = gv.grid
-        pw = grid.pw * (1 << gv.level)
-        ph = grid.ph * (1 << gv.level)
-        col0 = int(round((bbox.xmin - grid.x0) / pw))
-        row0 = int(round((bbox.ymin - grid.y0) / ph))
-        width = max(1, int(round((bbox.xmax - bbox.xmin) / pw)))
-        height = max(1, int(round((bbox.ymax - bbox.ymin) / ph)))
-        self._viewport = grid.viewport(gv.level, col0, row0, width, height)
+        gv = _snap_bbox_viewport(self.grid_viewport(), bbox)
+        self._viewport = gv
         return self._refresh(
-            "viewport", f"[{col0},{row0}) {width}x{height}@L{gv.level}")
+            "viewport",
+            f"[{gv.col0},{gv.row0}) {gv.width}x{gv.height}@L{gv.level}")
 
     def set_dataset(self, dataset: str) -> AggregationResult:
         """Switch data set.  Attribute filters are dropped (they refer to
@@ -285,6 +299,7 @@ class InteractiveSession:
             "block_misses": block_misses,
             "block_reuse_rate": (block_hits / (block_hits + block_misses)
                                  if block_hits + block_misses else 0.0),
+            "spec_hits": sum(1 for i in self.log if i.spec_hit),
             "parallel_gestures": sum(
                 1 for i in self.log if i.parallel == "parallel"),
         }
@@ -292,13 +307,14 @@ class InteractiveSession:
     def report(self) -> str:
         """Human-readable per-interaction log."""
         lines = [f"{'op':<16} {'detail':<32} {'backend':<10} "
-                 f"{'cache':>7} {'blocks':>7} {'latency':>9}"]
+                 f"{'cache':>7} {'blocks':>7} {'spec':>5} {'latency':>9}"]
         for item in self.log:
             lines.append(
                 f"{item.op:<16} {item.detail[:32]:<32} "
                 f"{item.backend[:10]:<10} "
                 f"{item.cache_hits:>3}h{item.cache_misses:>2}m "
                 f"{item.block_reuse * 100:5.0f}%b "
+                f"{'hit' if item.spec_hit else '-':>5} "
                 f"{item.latency_s * 1000:7.1f}ms")
         stats = self.summary()
         lines.append(
@@ -307,7 +323,8 @@ class InteractiveSession:
             f"max {stats['max_latency_s'] * 1000:.1f}ms, "
             f"{stats['interactive_fraction'] * 100:.0f}% interactive, "
             f"cache hit rate {stats['cache_hit_rate'] * 100:.0f}%, "
-            f"block reuse {stats['block_reuse_rate'] * 100:.0f}%")
+            f"block reuse {stats['block_reuse_rate'] * 100:.0f}%, "
+            f"{stats['spec_hits']} speculative hits")
         return "\n".join(lines)
 
 
@@ -330,6 +347,8 @@ class RemoteSession:
     def __init__(self, url_or_client, dataset: str, regions: str,
                  method: str = "auto", resolution: int | None = None,
                  deadline_ms: float | None = None):
+        import uuid
+
         from ..serve.client import ServeClient
 
         if isinstance(url_or_client, str):
@@ -340,9 +359,17 @@ class RemoteSession:
         self.resolution = resolution
         #: Per-gesture latency budget, degrading precision server-side.
         self.deadline_ms = deadline_ms
+        #: Opaque id sent with every request so the server's
+        #: gesture-speculative prefetcher models *this* analyst's
+        #: stream (never part of cache/coalescing keys).
+        self.session_id = uuid.uuid4().hex
         self.state = SessionState(dataset=dataset, regions=regions)
         self.log: list[Interaction] = []
         self.last_result = None  # RemoteResult of the latest gesture
+        # Grid-snapped viewport driving map gestures, planned by the
+        # server (GET /v1/viewport) on first use so both ends hold the
+        # bit-identical grid.
+        self._viewport = None
         self._refresh("open", f"{dataset} x {regions}")
 
     # -- gestures (the InteractiveSession vocabulary) ----------------------
@@ -371,6 +398,9 @@ class RemoteSession:
 
     def set_region_level(self, regions: str):
         self.state.regions = regions
+        # The canvas grid is planned per region set; a stale viewport
+        # would pin the old world window over the new polygons.
+        self._viewport = None
         return self._refresh("resolution", regions)
 
     def set_dataset(self, dataset: str):
@@ -381,6 +411,41 @@ class RemoteSession:
         self.state.filters = ()
         return self._refresh("dataset", dataset)
 
+    # -- map gestures ------------------------------------------------------
+
+    def grid_viewport(self):
+        """The session's grid-snapped viewport, planned by the server.
+
+        Fetched once per region set via ``GET /v1/viewport``; the wire
+        encoding carries only the grid anchor and integer window, so
+        the client-side viewport (and every pan/zoom derived from it)
+        keys identically to the server's own planning — which is what
+        lets the speculative prefetcher predict this session's map
+        gestures.
+        """
+        if self._viewport is None:
+            self._viewport = self.client.plan_viewport(
+                self.state.regions, self.resolution)
+        return self._viewport
+
+    def pan(self, dx_pixels: float, dy_pixels: float):
+        """Shift the map window (snapped to whole grid pixels)."""
+        self._viewport = self.grid_viewport().pan(dx_pixels, dy_pixels)
+        return self._refresh("pan", f"({dx_pixels:+g}, {dy_pixels:+g})")
+
+    def zoom(self, factor: float):
+        """Zoom the map window (snapped to power-of-two levels)."""
+        self._viewport = self.grid_viewport().zoom(factor)
+        return self._refresh("zoom", f"x{factor:g}")
+
+    def set_viewport(self, bbox):
+        """Jump to a world window, snapped to the canvas pixel grid."""
+        gv = _snap_bbox_viewport(self.grid_viewport(), bbox)
+        self._viewport = gv
+        return self._refresh(
+            "viewport",
+            f"[{gv.col0},{gv.row0}) {gv.width}x{gv.height}@L{gv.level}")
+
     # -- internals ---------------------------------------------------------
 
     def _refresh(self, op: str, detail: str):
@@ -389,7 +454,8 @@ class RemoteSession:
         result = self.client.query(
             self.state.dataset, self.state.regions, query=query,
             method=self.method, resolution=self.resolution,
-            deadline_ms=self.deadline_ms)
+            deadline_ms=self.deadline_ms, session=self.session_id,
+            viewport=self._viewport)
         latency = time.perf_counter() - t0
         self.last_result = result
         stats = result.stats or {}
@@ -402,7 +468,8 @@ class RemoteSession:
             cache_misses=int(cache.get("query_misses", 0) or 0),
             backend=(plan.get("decision") or {}).get("chosen",
                                                      result.method),
-            parallel=(stats.get("parallel") or {}).get("mode", "")))
+            parallel=(stats.get("parallel") or {}).get("mode", ""),
+            spec_hit=bool((stats.get("speculate") or {}).get("hit"))))
         return result
 
     # -- reporting ---------------------------------------------------------

@@ -1,0 +1,593 @@
+"""Gesture-speculative prefetch: model, planner, admission tier, executor."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialAggregation
+from repro.core.pyramid import CanvasGrid
+from repro.errors import OverloadedError
+from repro.serve import AdmissionController, QueryService
+from repro.serve.protocol import decode_request, encode_request
+from repro.serve.speculate import (
+    GestureModel,
+    classify_gesture,
+    shift_brush,
+)
+from repro.table import F, TimeRange
+
+from .conftest import make_manager
+
+
+def make_req(query=None, sql=None, speculative=False, **knobs):
+    req = decode_request(encode_request(
+        "trips", "simple", query=query, sql=sql, **knobs))
+    if speculative:
+        # The speculative marker is internal (set by the planner on
+        # candidate requests), not a wire knob.
+        req["speculative"] = True
+    return req
+
+
+def brush_query(start, end, extra=None):
+    query = SpatialAggregation.count().where(TimeRange("t", start, end))
+    if extra is not None:
+        query = query.where(extra)
+    return query
+
+
+def grid_viewport(level=0, col0=0, row0=0, width=128, height=128, block=64):
+    grid = CanvasGrid(0.0, 0.0, 100.0 / 128, 100.0 / 128, block)
+    return grid.viewport(level, col0, row0, width, height)
+
+
+async def until(predicate, timeout=5.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        assert loop.time() < deadline, "condition never became true"
+        await asyncio.sleep(0.001)
+
+
+async def speculation_settled(svc, timeout=5.0):
+    """Wait until no speculative work is pending or in flight."""
+    def settled():
+        stats = svc.speculator.stats()
+        return stats["pending"] == 0 and stats["inflight"] == 0
+    await until(settled, timeout)
+
+
+@pytest.fixture()
+def spec_service(manager):
+    svc = QueryService(manager, max_concurrency=4, max_queue=8,
+                       max_wait_s=5.0, speculate=True,
+                       speculate_budget_ms=2000.0)
+    yield svc
+    svc.close()
+
+
+# -- gesture classification ---------------------------------------------------
+
+
+class TestClassifyGesture:
+    def _req(self, query=None, viewport=None, dataset="trips",
+             regions="simple"):
+        return {"dataset": dataset, "regions": regions,
+                "query": query, "viewport": viewport}
+
+    def test_brush_stepped_forward_by_width(self):
+        kind, _ = classify_gesture(self._req(brush_query(0, 100)),
+                                   self._req(brush_query(100, 200)))
+        assert kind == "brush+1"
+
+    def test_brush_stepped_back_by_width(self):
+        kind, _ = classify_gesture(self._req(brush_query(100, 200)),
+                                   self._req(brush_query(0, 100)))
+        assert kind == "brush-1"
+
+    def test_brush_jump_and_resize(self):
+        kind, _ = classify_gesture(self._req(brush_query(0, 100)),
+                                   self._req(brush_query(500, 600)))
+        assert kind == "brush-jump"
+        kind, _ = classify_gesture(self._req(brush_query(0, 100)),
+                                   self._req(brush_query(0, 250)))
+        assert kind == "brush-jump"
+
+    def test_brush_with_changed_residual_is_other(self):
+        prev = self._req(brush_query(0, 100))
+        cur = self._req(brush_query(100, 200, F("fare") > 5))
+        kind, _ = classify_gesture(prev, cur)
+        assert kind == "other"
+
+    def test_pan_reports_delta(self):
+        prev = self._req(brush_query(0, 100), grid_viewport())
+        cur = self._req(brush_query(0, 100),
+                        grid_viewport(col0=32, row0=-16))
+        kind, delta = classify_gesture(prev, cur)
+        assert kind == "pan"
+        assert delta == (32, -16)
+
+    def test_zoom_levels(self):
+        prev = self._req(None, grid_viewport(level=1))
+        assert classify_gesture(
+            prev, self._req(None, grid_viewport(level=2)))[0] == "zoom-out"
+        assert classify_gesture(
+            prev, self._req(None, grid_viewport(level=0)))[0] == "zoom-in"
+
+    def test_dataset_or_regions_change_is_other(self):
+        prev = self._req(brush_query(0, 100))
+        assert classify_gesture(
+            prev, self._req(brush_query(100, 200),
+                            dataset="other"))[0] == "other"
+        assert classify_gesture(
+            prev, self._req(brush_query(100, 200),
+                            regions="other"))[0] == "other"
+
+    def test_identical_request_is_no_transition(self):
+        req = self._req(brush_query(0, 100))
+        assert classify_gesture(req, dict(req))[0] is None
+
+
+class TestShiftBrush:
+    def test_shift_matches_a_real_brush_step(self):
+        brushed = brush_query(0, 100, F("fare") > 5)
+        brush = next(f for f in brushed.filters
+                     if isinstance(f, TimeRange))
+        shifted = shift_brush(brushed, brush, 100)
+        assert repr(shifted) == repr(brush_query(100, 200, F("fare") > 5))
+
+    def test_other_filters_preserved_by_identity(self):
+        fare = F("fare") > 5
+        brushed = SpatialAggregation.count().where(
+            TimeRange("t", 0, 10)).where(fare)
+        brush = next(f for f in brushed.filters
+                     if isinstance(f, TimeRange))
+        shifted = shift_brush(brushed, brush, 10)
+        assert any(f is fare for f in shifted.filters)
+
+
+# -- the gesture model --------------------------------------------------------
+
+
+class TestGestureModel:
+    def test_cold_start_ranks_forward_brush_first(self):
+        model = GestureModel()
+        model.observe(make_req(brush_query(0, 100), session="s"))
+        model.observe(make_req(brush_query(100, 200), session="s"))
+        ranked = model.predict("s")
+        assert ranked, "brush state must produce candidates"
+        _score, kind, cand = ranked[0]
+        assert kind == "brush+1"
+        assert repr(cand["query"]) == repr(brush_query(200, 300))
+        assert cand["speculative"] is True
+
+    def test_transitions_sharpen_the_prediction(self):
+        model = GestureModel()
+        prior = model.probability("brush+1", "brush+1")
+        for start in range(0, 2000, 100):
+            model.observe(make_req(brush_query(start, start + 100),
+                                   session="s"))
+        assert model.probability("brush+1", "brush+1") > prior
+
+    def test_sessions_keep_independent_state(self):
+        model = GestureModel()
+        model.observe(make_req(brush_query(0, 100), session="a"))
+        model.observe(make_req(brush_query(500, 600), session="b"))
+        next_a = model.predict("a")[0][2]["query"]
+        next_b = model.predict("b")[0][2]["query"]
+        assert repr(next_a) == repr(brush_query(100, 200))
+        assert repr(next_b) == repr(brush_query(600, 700))
+
+    def test_session_table_is_bounded(self):
+        model = GestureModel(max_sessions=4)
+        for i in range(20):
+            model.observe(make_req(brush_query(0, 100), session=f"s{i}"))
+        assert len(model._sessions) <= 4
+        assert model.predict("s0") == []  # evicted
+        assert model.predict("s19")  # newest survives
+
+    def test_viewport_candidates_cover_ring_and_zoom(self):
+        model = GestureModel()
+        vp = grid_viewport()
+        model.observe(make_req(brush_query(0, 100), session="s",
+                               viewport=vp))
+        ranked = model.predict("s")
+        viewports = [c["viewport"] for _s, k, c in ranked
+                     if c.get("viewport") is not None
+                     and c["viewport"] != vp]
+        block = vp.grid.block
+        expected = {vp.pan(block, 0), vp.pan(-block, 0),
+                    vp.pan(0, block), vp.pan(0, -block), vp.zoom(2.0)}
+        assert expected <= set(viewports)
+
+    def test_momentum_pan_predicted_after_a_pan(self):
+        model = GestureModel()
+        vp = grid_viewport()
+        model.observe(make_req(brush_query(0, 100), session="s",
+                               viewport=vp))
+        model.observe(make_req(brush_query(0, 100), session="s",
+                               viewport=vp.pan(32, 0)))
+        ranked = model.predict("s")
+        momentum = vp.pan(32, 0).pan(32, 0)
+        pans = [(s, c["viewport"]) for s, k, c in ranked if k == "pan"]
+        assert momentum in [v for _s, v in pans]
+        # The momentum pan carries full pan probability; ring shifts
+        # ride at a fraction of it.
+        momentum_score = max(s for s, v in pans if v == momentum)
+        assert all(s < momentum_score for s, v in pans if v != momentum)
+
+
+# -- the speculation planner --------------------------------------------------
+
+
+class TestSpeculationPlanner:
+    def test_candidates_become_priced_work_items(self, spec_service):
+        planner = spec_service.speculator.planner
+        items = planner.plan([(0.5, "brush+1",
+                               make_req(brush_query(0, 100),
+                                        speculative=True))])
+        assert len(items) == 1
+        item = items[0]
+        assert item.key == spec_service.query_key(item.req)
+        assert item.predicted_ms >= 0.0
+        assert item.kind == "brush+1"
+
+    def test_budget_cap_drops_overflow(self, spec_service):
+        planner = spec_service.speculator.planner
+        planner.budget_ms = 0.0  # nothing fits
+        items = planner.plan([(0.5, "brush+1",
+                               make_req(brush_query(0, 100),
+                                        speculative=True))])
+        assert items == []
+        assert planner.budget_dropped == 1
+
+    def test_already_cached_candidates_are_skipped(self, spec_service):
+        query = brush_query(0, 100)
+        asyncio.run(spec_service.execute(make_req(query)))
+        planner = spec_service.speculator.planner
+        before = planner.skipped_cached
+        items = planner.plan([(0.5, "brush+1",
+                               make_req(query, speculative=True))])
+        assert items == []
+        assert planner.skipped_cached == before + 1
+
+    def test_viewport_candidates_count_blocks(self, spec_service):
+        req = make_req(SpatialAggregation.count(), speculative=True,
+                       viewport=grid_viewport())
+        items = spec_service.speculator.planner.plan([(0.5, "pan", req)])
+        assert len(items) == 1
+        assert items[0].work == "block-scatter"
+        assert items[0].new_blocks == 4  # 128x128 window over 64px blocks
+
+
+# -- the speculative admission tier -------------------------------------------
+
+
+class TestSpeculativeAdmission:
+    def test_granted_only_from_idle_capacity(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=4)
+            assert ctl.can_speculate()
+            async with ctl.slot():
+                assert not ctl.can_speculate()
+                with pytest.raises(OverloadedError):
+                    async with ctl.speculative_slot():
+                        pass
+            assert ctl.spec_denied == 1
+            async with ctl.speculative_slot():
+                assert ctl.spec_active == 1
+            assert ctl.spec_active == 0
+            assert ctl.spec_admitted == 1
+
+        asyncio.run(scenario())
+
+    def test_real_contention_preempts_speculation(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=4)
+            preempted = asyncio.Event()
+
+            async def speculative():
+                try:
+                    async with ctl.speculative_slot(preempted.set):
+                        await asyncio.sleep(30)
+                finally:
+                    pass
+
+            spec = asyncio.create_task(speculative())
+            await until(lambda: ctl.spec_active == 1)
+
+            async def real():
+                async with ctl.slot():
+                    return "done"
+
+            real_task = asyncio.create_task(real())
+            await until(preempted.is_set)
+            # Cooperative unwind: the preempt callback fired; cancel the
+            # holder as the speculator would, freeing the slot.
+            spec.cancel()
+            assert await real_task == "done"
+            assert ctl.spec_preempted == 1
+
+        asyncio.run(scenario())
+
+    def test_on_idle_fires_when_slots_free(self):
+        async def scenario():
+            ctl = AdmissionController(max_concurrency=1, max_queue=4)
+            fired = []
+            ctl.on_idle = lambda: fired.append(True)
+            async with ctl.slot():
+                pass
+            assert fired
+
+        asyncio.run(scenario())
+
+    def test_speculative_stats_shape(self):
+        ctl = AdmissionController()
+        spec = ctl.stats()["speculative"]
+        assert set(spec) == {"active", "admitted", "denied", "preempted"}
+
+
+# -- end-to-end executor behavior ---------------------------------------------
+
+
+class TestSpeculativeExecution:
+    def test_predicted_brush_becomes_a_hit(self, spec_service):
+        async def scenario():
+            for start in (0, 100):
+                await spec_service.execute(
+                    make_req(brush_query(start, start + 100), session="s"))
+                await speculation_settled(spec_service)
+            result = await spec_service.execute(
+                make_req(brush_query(200, 300), session="s"))
+            return result
+
+        result = asyncio.run(scenario())
+        assert result.stats["speculate"]["hit"] is True
+        stats = spec_service.speculator.stats()
+        assert stats["completed"] > 0
+        assert stats["hits"] >= 1
+
+    def test_unpredicted_query_is_not_a_hit(self, spec_service):
+        async def scenario():
+            await spec_service.execute(
+                make_req(brush_query(0, 100), session="s"))
+            await speculation_settled(spec_service)
+            return await spec_service.execute(
+                make_req(SpatialAggregation.sum_of("fare"), session="s"))
+
+        result = asyncio.run(scenario())
+        assert result.stats["speculate"]["hit"] is False
+
+    def test_results_identical_with_and_without_speculation(
+            self, simple_regions):
+        script = [brush_query(s, s + 100) for s in range(0, 500, 100)]
+        script += [brush_query(s, s + 100) for s in (100, 200)]  # revisit
+
+        def replay(speculate):
+            manager = make_manager()
+            manager.add_region_set(simple_regions)
+            svc = QueryService(manager, max_concurrency=4, max_queue=8,
+                               speculate=speculate,
+                               speculate_budget_ms=2000.0)
+            try:
+                async def scenario():
+                    out = []
+                    for query in script:
+                        result = await svc.execute(
+                            make_req(query, session="s"))
+                        out.append(result)
+                        if speculate:
+                            await speculation_settled(svc)
+                    return out
+
+                return asyncio.run(scenario())
+            finally:
+                svc.close()
+
+        on = replay(True)
+        off = replay(False)
+        for a, b in zip(on, off):
+            assert np.array_equal(a.values, b.values)
+            assert np.array_equal(a.lower, b.lower)
+            assert np.array_equal(a.upper, b.upper)
+
+    def test_new_gesture_supersedes_pending_items(self, spec_service):
+        speculator = spec_service.speculator
+
+        async def scenario():
+            await spec_service.execute(
+                make_req(brush_query(0, 100), session="s"))
+            await spec_service.execute(
+                make_req(brush_query(100, 200), session="s"))
+            # Stop the drain so planned items stay queued, then observe
+            # a fresh gesture: the stale generation must be discarded.
+            speculator.enabled = False
+            speculator.observe(make_req(brush_query(200, 300),
+                                        session="s"))
+            speculator.enabled = True
+            pending = len(speculator._pending)
+            speculator.observe(make_req(brush_query(700, 800),
+                                        session="s"))
+            assert speculator.superseded >= pending
+            await speculation_settled(spec_service)
+
+        asyncio.run(scenario())
+
+    def test_disabled_speculator_does_nothing(self, manager):
+        svc = QueryService(manager, max_concurrency=4, max_queue=8,
+                           speculate=False)
+        try:
+            async def scenario():
+                for start in (0, 100, 200):
+                    await svc.execute(
+                        make_req(brush_query(start, start + 100),
+                                 session="s"))
+
+            asyncio.run(scenario())
+            stats = svc.speculator.stats()
+            assert stats["enabled"] is False
+            assert stats["issued"] == 0
+            assert stats["observed"] == 0
+        finally:
+            svc.close()
+
+    def test_stats_threaded_through_service_and_pool(self, spec_service):
+        stats = spec_service.stats()
+        assert "speculate" in stats
+        for field in ("issued", "completed", "hits", "shed"):
+            assert field in stats["speculate"]
+        for worker in stats["pool"]["workers"]:
+            assert "spec_queries" in worker
+
+
+# -- shed-first under overload ------------------------------------------------
+
+
+class TestShedFirst:
+    def test_speculation_never_holds_slots_while_real_queries_wait(
+            self, simple_regions):
+        manager = make_manager()
+        manager.add_region_set(simple_regions)
+        svc = QueryService(manager, max_concurrency=2, max_queue=64,
+                           speculate=True, speculate_budget_ms=5000.0)
+        violations = []
+
+        async def scenario():
+            # Prime the model so speculative work is flowing.
+            for start in (0, 100, 200):
+                await svc.execute(
+                    make_req(brush_query(start, start + 100), session="s"))
+            await speculation_settled(svc)
+
+            stop = asyncio.Event()
+
+            async def watchdog():
+                # The shed-first invariant, sampled continuously: real
+                # work queued implies zero speculative slot holders.
+                while not stop.is_set():
+                    if svc.admission.waiting > 0 \
+                            and svc.admission.spec_active > 0:
+                        violations.append(
+                            (svc.admission.waiting,
+                             svc.admission.spec_active))
+                    await asyncio.sleep(0)
+
+            watch = asyncio.create_task(watchdog())
+            # 16x overload: 32 distinct real queries over 2 slots, the
+            # gesture stream continuing so speculation keeps trying.
+            burst = [svc.execute(make_req(
+                brush_query(s, s + 50), session=f"c{i}"))
+                for i, s in enumerate(range(0, 1600, 50))]
+            results = await asyncio.gather(*burst, return_exceptions=True)
+            stop.set()
+            await watch
+            return results
+
+        try:
+            results = asyncio.run(scenario())
+            real_failures = [r for r in results if isinstance(r, Exception)
+                             and not isinstance(r, OverloadedError)]
+            assert real_failures == []
+            assert violations == []
+        finally:
+            svc.close()
+
+    def test_speculative_leader_preemption_spares_real_joiner(
+            self, spec_service):
+        """Extends the ref-counted-cancel suite: cancelling the
+        speculative participant must not kill a real query that joined
+        the same flight."""
+        from repro.serve.speculate import WorkItem
+
+        svc = spec_service
+        speculator = svc.speculator
+        release = threading.Event()
+        original_run = svc._run
+
+        def gated_run(req, key, cancel, engine=None, speculative=False):
+            release.wait(timeout=10.0)
+            return original_run(req, key, cancel, engine, speculative)
+
+        svc._run = gated_run
+        query = brush_query(0, 100)
+        req = make_req(query, session="s")
+        spec_req = make_req(query, session="s", speculative=True)
+        key = svc.query_key(spec_req)
+        worker = svc.workers.worker_for(key)
+        item = WorkItem(req=spec_req, key=key, kind="brush+1",
+                        work="query", score=1.0, predicted_ms=1.0)
+
+        async def scenario():
+            spec_task = asyncio.create_task(speculator._run_item(item))
+            await until(lambda: key in worker.flight._flights)
+            flight = worker.flight._flights[key]
+            real_task = asyncio.create_task(svc.execute(req))
+            await until(lambda: flight.refs >= 2)
+            # A real request needing capacity preempts the speculative
+            # holder — which cancels the speculative *participant*.
+            assert svc.admission.preempt_speculative() == 1
+            await until(spec_task.done)
+            assert spec_task.cancelled()
+            # The flight survives for the real joiner.
+            assert not flight.task.cancelled()
+            release.set()
+            return await real_task
+
+        try:
+            result = asyncio.run(scenario())
+        finally:
+            svc._run = original_run
+            release.set()
+        direct = svc.manager.engine.execute(
+            svc.manager.dataset("trips"),
+            svc.manager.region_set("simple"), query)
+        assert np.array_equal(result.values, direct.values)
+        assert worker.flight.cancelled_flights == 0
+
+    def test_denied_speculation_retries_as_real_work(self, spec_service):
+        """A real query joining a speculative flight that admission
+        denies must transparently re-run as real work."""
+        from repro.serve.speculate import WorkItem
+
+        svc = spec_service
+        query = brush_query(300, 400)
+        spec_req = make_req(query, session="s", speculative=True)
+        key = svc.query_key(spec_req)
+        item = WorkItem(req=spec_req, key=key, kind="brush+1",
+                        work="query", score=1.0, predicted_ms=1.0)
+
+        async def scenario():
+            # Fill every slot so the speculative grant is denied the
+            # moment it asks.
+            gate = asyncio.Event()
+
+            async def hog():
+                async with svc.admission.slot():
+                    await gate.wait()
+
+            hogs = [asyncio.create_task(hog()) for _ in range(4)]
+            await until(lambda: svc.admission.active == 4)
+            # Task order is deterministic: the speculative item runs
+            # first and registers the flight, the real query joins it
+            # in the next slice, and only then does the speculative
+            # ``start`` run — and get denied.
+            spec_task = asyncio.create_task(svc.speculator._run_item(item))
+            real_task = asyncio.create_task(
+                svc.execute(make_req(query, session="s")))
+            await until(lambda: svc.speculator.shed_denied == 1)
+            gate.set()
+            await spec_task
+            result = await real_task
+            for h in hogs:
+                await h
+            return result
+
+        result = asyncio.run(scenario())
+        assert svc.speculator.shed_denied == 1
+        assert svc.errors == 0
+        direct = svc.manager.engine.execute(
+            svc.manager.dataset("trips"),
+            svc.manager.region_set("simple"), query)
+        assert np.array_equal(result.values, direct.values)
