@@ -59,12 +59,14 @@ BENCH_FILES = {
     "BENCH_shard.json": "benchmarks/bench_shard_scaling.py",
     "BENCH_accurate.json": "benchmarks/bench_accurate_intervals.py",
     "BENCH_speculate.json": "benchmarks/bench_speculate_session.py",
+    "BENCH_obs.json": "benchmarks/bench_obs_overhead.py",
 }
 
 
 def load_bench(name: str) -> dict | None:
-    """Read one BENCH record; warn (never crash) when it is absent
-    or unparseable, so a partial checkout still gets a report."""
+    """Read one BENCH record; warn (never crash) when it is absent,
+    unparseable, or not a JSON object, so a partial or damaged
+    checkout still gets a report."""
     path = ROOT / name
     if not path.exists():
         print(f"WARN: {name} missing — regenerate with "
@@ -72,29 +74,55 @@ def load_bench(name: str) -> dict | None:
               file=sys.stderr)
         return None
     try:
-        return json.loads(path.read_text())
+        payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         print(f"WARN: {name} unreadable ({exc}) — regenerate with "
               f"`PYTHONPATH=src python {BENCH_FILES.get(name, '?')}`",
               file=sys.stderr)
         return None
+    if not isinstance(payload, dict):
+        print(f"WARN: {name} malformed (expected a JSON object, got "
+              f"{type(payload).__name__}) — regenerate with "
+              f"`PYTHONPATH=src python {BENCH_FILES.get(name, '?')}`",
+              file=sys.stderr)
+        return None
+    return payload
 
 
 def summarize_benches() -> int:
-    """One line per committed BENCH record; missing files warn."""
-    missing = 0
+    """One aligned table across every committed BENCH record.
+
+    Every file gets a row — present records show their benchmark name
+    and machine context, absent or malformed ones show their status —
+    so the table is a complete inventory, not just the healthy subset.
+    """
+    headers = ("file", "benchmark", "points", "cores", "python", "status")
+    rows = []
+    present = 0
     for name in BENCH_FILES:
+        path = ROOT / name
         payload = load_bench(name)
         if payload is None:
-            missing += 1
+            status = "missing" if not path.exists() else "malformed"
+            rows.append((name, "-", "-", "-", "-", status))
             continue
-        machine = payload.get("machine", {})
-        print(f"{name}: {payload.get('benchmark', '?')} @ "
-              f"{payload.get('points', '?')} points, "
-              f"{machine.get('cpu_count', '?')} core(s), "
-              f"python {machine.get('python', '?')}")
-    print(f"{len(BENCH_FILES) - missing}/{len(BENCH_FILES)} "
-          f"records present")
+        present += 1
+        machine = payload.get("machine") or {}
+        points = payload.get("points")
+        rows.append((name,
+                     str(payload.get("benchmark", "?")),
+                     f"{points:,}" if isinstance(points, int) else "?",
+                     str(machine.get("cpu_count", "?")),
+                     str(machine.get("python", "?")),
+                     "ok"))
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*headers))
+    print(fmt.format(*("-" * w for w in widths)))
+    for row in rows:
+        print(fmt.format(*row))
+    print(f"{present}/{len(BENCH_FILES)} records present")
     return 0
 
 

@@ -83,11 +83,21 @@ def _remote_query(args) -> int:
     t0 = time.perf_counter()
     result = client.query(None, None, sql=args.sql,
                           method=args.method,
-                          deadline_ms=args.deadline_ms)
+                          deadline_ms=args.deadline_ms,
+                          trace=bool(args.trace))
     elapsed = time.perf_counter() - t0
     print(f"-- remote {args.url}")
     print(f"-- method={result.method} regions={len(result.region_names)} "
           f"latency={elapsed * 1000:.1f}ms (network included)")
+    if args.trace:
+        from .obs import render
+
+        trace_ref = result.stats.get("trace") or {}
+        request_id = trace_ref.get("request_id")
+        if request_id:
+            payload = client.trace(request_id)
+            print(f"-- trace {request_id}:")
+            print(render(payload["trace"]))
     plan = result.stats.get("plan") or {}
     degraded = plan.get("degraded")
     if degraded and degraded.get("applied"):
@@ -117,9 +127,20 @@ def _cmd_query(args) -> int:
         workers=args.workers,
         kernel=args.kernel)
 
+    trace_root = None
     t0 = time.perf_counter()
-    result = engine.execute(table, regions, parsed.aggregation,
-                            method=args.method)
+    if args.trace:
+        from .obs import Tracer
+
+        # Entering the root span makes it the current context span, so
+        # engine spans nest under it on this (the only) thread.
+        trace_root = Tracer().start("query", sql=args.sql)
+        with trace_root:
+            result = engine.execute(table, regions, parsed.aggregation,
+                                    method=args.method)
+    else:
+        result = engine.execute(table, regions, parsed.aggregation,
+                                method=args.method)
     elapsed = time.perf_counter() - t0
 
     print(f"-- {parsed.describe()}")
@@ -172,6 +193,11 @@ def _cmd_query(args) -> int:
                   f"{blocks.get('misses', 0)} scattered, "
                   f"{blocks.get('reuse_fraction', 0.0) * 100:.0f}% of "
                   f"pixels assembled from cache")
+    if trace_root is not None:
+        from .obs import render
+
+        print("-- trace:")
+        print(render(trace_root))
     if args.csv:
         with open(args.csv, "w", newline="") as handle:
             writer = csv.writer(handle)
@@ -355,7 +381,9 @@ def _cmd_serve(args) -> int:
         default_deadline_ms=args.deadline_ms,
         shards=args.shards,
         speculate=args.speculate,
-        speculate_budget_ms=args.speculate_budget_ms)
+        speculate_budget_ms=args.speculate_budget_ms,
+        slow_query_ms=args.slow_query_ms,
+        model_dir=args.model_dir)
     server = QueryServer(service, host=args.host, port=args.port)
 
     async def run() -> None:
@@ -372,6 +400,10 @@ def _cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        # Persists the gesture model (--model-dir) and stops the
+        # speculator/worker pool.
+        service.close()
     return 0
 
 
@@ -531,6 +563,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: all cores; small inputs always "
                           "run serial)")
     _add_kernel_arg(qry)
+    qry.add_argument("--trace", action="store_true",
+                     help="record and print a hierarchical span tree "
+                          "for the query (works locally and via --url)")
     qry.add_argument("--top", type=int, default=10,
                      help="print the top-N regions")
     qry.add_argument("--csv", help="write full results to this CSV")
@@ -615,6 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--speculate-budget-ms", type=float, default=250.0,
                      help="predicted-cost budget per gesture for "
                           "speculative warm-up work")
+    srv.add_argument("--slow-query-ms", type=float, default=None,
+                     help="trace every request and keep a span-tree "
+                          "dump of any slower than this threshold "
+                          "(served at /v1/slow)")
+    srv.add_argument("--model-dir", default=None,
+                     help="directory persisting the gesture-transition "
+                          "model across restarts (loaded on start, "
+                          "saved on shutdown)")
     _add_kernel_arg(srv)
     srv.set_defaults(func=_cmd_serve)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 
 from ..errors import GeometryError, QueryCancelled, QueryError
+from ..obs.trace import span
 from ..raster import FragmentTable, Viewport
 from ..table import PointTable
 from .backends import ExecutionPlan, backend_names, get_backend, has_backend
@@ -161,12 +162,16 @@ class SpatialAggregationEngine:
                 raise QueryCancelled("query cancelled before dispatch")
             hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
             blocks0 = self.ctx.cache.block_snapshot()
-            result = execute_dataset(self.ctx, plan, method=method)
+            with span("store.execute") as s:
+                result = execute_dataset(self.ctx, plan, method=method)
+            s.set(rows=result.stats.get("points_after_filter"))
             self._attach_stats(result, plan, hits0, misses0, blocks0, t0)
             return result
 
         if method == "auto":
-            chosen = self.planner.choose(self.ctx, plan)
+            with span("plan") as s:
+                chosen = self.planner.choose(self.ctx, plan)
+            s.set(chosen=chosen)
         else:
             if not has_backend(method):
                 raise QueryError(
@@ -185,7 +190,8 @@ class SpatialAggregationEngine:
             raise QueryCancelled("query cancelled before dispatch")
         hits0, misses0 = self.ctx.cache.hits, self.ctx.cache.misses
         blocks0 = self.ctx.cache.block_snapshot()
-        result = get_backend(chosen).run(self.ctx, plan)
+        with span("backend.run", backend=chosen):
+            result = get_backend(chosen).run(self.ctx, plan)
         self._attach_stats(result, plan, hits0, misses0, blocks0, t0)
         if plan.decision.get("decision", {}).get("planned"):
             # Feed the observed latency back into the planner's

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry import BBox
+from ..obs.trace import span
 from ..raster import (
     FragmentTable,
     Viewport,
@@ -371,56 +372,60 @@ def assemble_canvases(ctx, table: PointTable, query: SpatialAggregation,
     def key(kind, lvl, bx, by):
         return block_key(table_fp, query, kind, grid, lvl, bx, by)
 
-    for bx, by, view_sl, block_sl in grid_block_tiles(viewport):
-        info["blocks"] += 1
-        visible = ((view_sl[0].stop - view_sl[0].start)
-                   * (view_sl[1].stop - view_sl[1].start))
-        planes = {}
-        missing = []
-        for kind in kinds:
-            plane = cache.get(key(kind, level, bx, by))
-            if plane is None:
-                missing.append(kind)
-            else:
-                planes[kind] = plane
-        derived = False
-        if missing and level > 0 and all(
-                k in _ALWAYS_DERIVABLE or derive_sums for k in missing):
-            children = {}
-            for kind in missing:
-                quads = [cache.peek(key(kind, level - 1,
-                                        2 * bx + rx, 2 * by + ry))
-                         for ry in (0, 1) for rx in (0, 1)]
-                if any(q is None for q in quads):
-                    children = None
-                    break
-                children[kind] = quads
-            if children is not None:
+    with span("pyramid.assemble") as sp:
+        for bx, by, view_sl, block_sl in grid_block_tiles(viewport):
+            info["blocks"] += 1
+            visible = ((view_sl[0].stop - view_sl[0].start)
+                       * (view_sl[1].stop - view_sl[1].start))
+            planes = {}
+            missing = []
+            for kind in kinds:
+                plane = cache.get(key(kind, level, bx, by))
+                if plane is None:
+                    missing.append(kind)
+                else:
+                    planes[kind] = plane
+            derived = False
+            if missing and level > 0 and all(
+                    k in _ALWAYS_DERIVABLE or derive_sums for k in missing):
+                children = {}
                 for kind in missing:
-                    tl, tr, bl, br = children[kind]
-                    quad = np.empty((2 * size, 2 * size), dtype=np.float64)
-                    quad[:size, :size] = tl
-                    quad[:size, size:] = tr
-                    quad[size:, :size] = bl
-                    quad[size:, size:] = br
-                    plane = reduce2x2(quad, PYRAMID_OPS[kind])
+                    quads = [cache.peek(key(kind, level - 1,
+                                            2 * bx + rx, 2 * by + ry))
+                             for ry in (0, 1) for rx in (0, 1)]
+                    if any(q is None for q in quads):
+                        children = None
+                        break
+                    children[kind] = quads
+                if children is not None:
+                    for kind in missing:
+                        tl, tr, bl, br = children[kind]
+                        quad = np.empty((2 * size, 2 * size),
+                                        dtype=np.float64)
+                        quad[:size, :size] = tl
+                        quad[:size, size:] = tr
+                        quad[size:, :size] = bl
+                        quad[size:, size:] = br
+                        plane = reduce2x2(quad, PYRAMID_OPS[kind])
+                        cache.put(key(kind, level, bx, by), plane)
+                        planes[kind] = plane
+                    missing = []
+                    derived = True
+            if missing:
+                fresh, points = scatter(bx, by, tuple(missing))
+                for kind, plane in fresh.items():
                     cache.put(key(kind, level, bx, by), plane)
                     planes[kind] = plane
-                missing = []
-                derived = True
-        if missing:
-            fresh, points = scatter(bx, by, tuple(missing))
-            for kind, plane in fresh.items():
-                cache.put(key(kind, level, bx, by), plane)
-                planes[kind] = plane
-            info["scattered"] += 1
-            info["scattered_pixels"] += visible
-            info["points_scattered"] += points
-        else:
-            info["derived" if derived else "hits"] += 1
-            info["assembled_pixels"] += visible
-        for kind in kinds:
-            canvases[kind][view_sl] = planes[kind][block_sl]
+                info["scattered"] += 1
+                info["scattered_pixels"] += visible
+                info["points_scattered"] += points
+            else:
+                info["derived" if derived else "hits"] += 1
+                info["assembled_pixels"] += visible
+            for kind in kinds:
+                canvases[kind][view_sl] = planes[kind][block_sl]
+    sp.set(blocks=info["blocks"], hits=info["hits"],
+           derived=info["derived"], scattered=info["scattered"])
 
     cache.note_blocks(
         hits=info["hits"], misses=info["scattered"],

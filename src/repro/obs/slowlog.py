@@ -1,0 +1,73 @@
+"""The slow-query log: span trees for queries that blew their budget.
+
+Wiring tracing to a threshold turns it from a debugging tool into a
+standing safety net: with ``serve --slow-query-ms 200`` every request
+is traced (the spans are cheap once a trace is active), but only the
+ones that finish over the threshold are kept — rendered to the server
+log and retained for ``GET /v1/slow``.  The ring is bounded, so a
+pathological workload can't grow the log without bound.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+
+from .trace import render
+
+log = logging.getLogger("repro.slowlog")
+
+
+class SlowQueryLog:
+    """Threshold-gated ring of slow-query trace dumps."""
+
+    def __init__(self, threshold_ms: float | None = None,
+                 capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.threshold_ms = (None if threshold_ms is None
+                             else float(threshold_ms))
+        self._ring: deque = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self.noted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def note(self, request_id: str, wall_ms: float, root: dict,
+             summary: dict | None = None) -> bool:
+        """Record one finished trace if it crossed the threshold.
+
+        ``root`` is the span tree in dict form (already detached from
+        the live trace), ``summary`` whatever small context the caller
+        wants alongside (dataset, method, shed/degraded flags).
+        Returns whether the query was logged.
+        """
+        if self.threshold_ms is None or wall_ms < self.threshold_ms:
+            return False
+        entry = {
+            "request_id": request_id,
+            "wall_ms": float(wall_ms),
+            "threshold_ms": self.threshold_ms,
+            "summary": dict(summary) if summary else {},
+            "trace": root,
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self.noted += 1
+        log.warning("slow query %s: %.1fms (threshold %.1fms)\n%s",
+                    request_id, wall_ms, self.threshold_ms, render(root))
+        return True
+
+    def entries(self) -> list[dict]:
+        """Retained slow queries, oldest first — the ``/v1/slow`` body."""
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"enabled": self.enabled,
+                    "threshold_ms": self.threshold_ms,
+                    "noted": self.noted, "held": len(self._ring)}

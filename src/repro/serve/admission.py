@@ -35,6 +35,7 @@ import asyncio
 import contextlib
 
 from ..errors import OverloadedError
+from ..obs.trace import span
 
 #: Baseline client back-off when shed; scaled up with queue depth.
 BASE_RETRY_AFTER_MS = 100.0
@@ -99,37 +100,41 @@ class AdmissionController:
         if self._spec_holders and \
                 self.active + self.spec_active >= self.max_concurrency:
             self.preempt_speculative()
-        if self._waiting >= self.max_queue:
-            self.shed_queue_full += 1
-            raise OverloadedError(
-                f"queue full ({self._waiting} waiting, "
-                f"{self.active} running)",
-                retry_after_ms=self.retry_after_ms())
-        if max_wait_s is None:
-            max_wait_s = self.max_wait_s
-        self._waiting += 1
-        acquired = False
-        try:
-            try:
-                # asyncio.timeout, not wait_for: on 3.11, cancelling a
-                # task parked in wait_for(sem.acquire()) can deadlock
-                # loop teardown (the inner acquire future and the outer
-                # cancellation race); timeout's cancel-count mechanism
-                # does not have that failure mode.
-                async with asyncio.timeout(max_wait_s):
-                    await self._semaphore.acquire()
-                    acquired = True
-            except TimeoutError:
-                if acquired:
-                    # The permit arrived in the same beat the timeout
-                    # fired; give it back before shedding.
-                    self._semaphore.release()
-                self.shed_wait_timeout += 1
+        with span("admission.wait") as sp:
+            if self._waiting >= self.max_queue:
+                self.shed_queue_full += 1
+                sp.set(shed="queue_full")
                 raise OverloadedError(
-                    f"no slot freed within {max_wait_s:.1f}s",
-                    retry_after_ms=self.retry_after_ms()) from None
-        finally:
-            self._waiting -= 1
+                    f"queue full ({self._waiting} waiting, "
+                    f"{self.active} running)",
+                    retry_after_ms=self.retry_after_ms())
+            if max_wait_s is None:
+                max_wait_s = self.max_wait_s
+            self._waiting += 1
+            acquired = False
+            try:
+                try:
+                    # asyncio.timeout, not wait_for: on 3.11, cancelling
+                    # a task parked in wait_for(sem.acquire()) can
+                    # deadlock loop teardown (the inner acquire future
+                    # and the outer cancellation race); timeout's
+                    # cancel-count mechanism does not have that failure
+                    # mode.
+                    async with asyncio.timeout(max_wait_s):
+                        await self._semaphore.acquire()
+                        acquired = True
+                except TimeoutError:
+                    if acquired:
+                        # The permit arrived in the same beat the
+                        # timeout fired; give it back before shedding.
+                        self._semaphore.release()
+                    self.shed_wait_timeout += 1
+                    sp.set(shed="wait_timeout")
+                    raise OverloadedError(
+                        f"no slot freed within {max_wait_s:.1f}s",
+                        retry_after_ms=self.retry_after_ms()) from None
+            finally:
+                self._waiting -= 1
         self.active += 1
         self.admitted += 1
         try:

@@ -97,6 +97,20 @@ class ServeClient:
         finally:
             conn.close()
 
+    def _get_text(self, path: str) -> str:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            body = resp.read()
+            if resp.status != 200:
+                _raise_for_payload(resp.status,
+                                   json.loads(body.decode("utf-8")),
+                                   resp.getheader("Retry-After"))
+            return body.decode("utf-8")
+        finally:
+            conn.close()
+
     # -- endpoints ---------------------------------------------------------
 
     def health(self) -> dict:
@@ -104,6 +118,24 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self._get_json("/v1/stats")
+
+    def metrics(self) -> dict:
+        """The process-wide metrics registry as JSON."""
+        return self._get_json("/v1/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The metrics registry in the Prometheus text format."""
+        return self._get_text("/v1/metrics?format=prometheus")
+
+    def trace(self, request_id: str | None = None) -> dict:
+        """Retained trace ids (no argument) or one full span tree."""
+        if request_id is None:
+            return self._get_json("/v1/trace")
+        return self._get_json(f"/v1/trace/{quote(request_id)}")
+
+    def slow_queries(self) -> dict:
+        """The server's slow-query log entries."""
+        return self._get_json("/v1/slow")
 
     def plan_viewport(self, regions: str, resolution: int | None = None):
         """The server-planned :class:`~repro.core.pyramid.GridViewport`

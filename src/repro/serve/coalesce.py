@@ -25,6 +25,8 @@ import asyncio
 import threading
 from dataclasses import dataclass, field
 
+from ..obs.trace import span
+
 
 @dataclass
 class Flight:
@@ -60,7 +62,11 @@ class SingleFlight:
         """
         flight = self._flights.get(key)
         if flight is None:
+            role = "leader"
             cancel = threading.Event()
+            # ensure_future copies the *current* context at task
+            # creation, so the leader's execution inherits any active
+            # trace span from this caller.
             task = asyncio.ensure_future(start(cancel))
             flight = Flight(task=task, cancel=cancel)
             self._flights[key] = flight
@@ -77,12 +83,14 @@ class SingleFlight:
 
             task.add_done_callback(_cleanup)
         else:
+            role = "joiner"
             self.coalesced += 1
         flight.refs += 1
         try:
             # shield(): cancelling *this* caller must not cancel the
             # shared task other participants still await.
-            return await asyncio.shield(flight.task)
+            with span("flight.wait", role=role):
+                return await asyncio.shield(flight.task)
         except asyncio.CancelledError:
             if not flight.task.done():
                 flight.refs -= 1

@@ -50,6 +50,10 @@ REQUEST_KNOBS = {
     # prefetcher keep one transition model per analyst.  Never part of
     # the query's cache/coalescing key — two sessions issuing the same
     # query still coalesce.
+    # Record a hierarchical span tree for this request; the response
+    # stats carry a ``trace.request_id`` the client can fetch back via
+    # ``GET /v1/trace/<request_id>``.
+    "trace": False,
     "session": None,
     # Grid-snapped map window (see viewport_to_json): pan/zoom gestures
     # send the full viewport, so block-aligned cache keys match across

@@ -2,10 +2,15 @@
 
 A deliberately small HTTP/1.1 implementation over
 ``asyncio.start_server`` (the container has no web framework, and the
-protocol needs exactly three routes):
+protocol needs only a handful of routes):
 
 * ``GET /v1/health`` — liveness;
 * ``GET /v1/stats``  — service counters (admission, coalescing, cache);
+* ``GET /v1/metrics`` — the process-wide metrics registry (JSON, or
+  the Prometheus text format with ``?format=prometheus``);
+* ``GET /v1/trace`` / ``GET /v1/trace/<request_id>`` — the ring buffer
+  of recent request traces and one full span tree;
+* ``GET /v1/slow`` — the slow-query log (threshold-gated span dumps);
 * ``GET /v1/viewport?regions=...&resolution=...`` — the server-planned
   canvas grid viewport for a region set, so remote clients can express
   pan/zoom gestures on exactly the grid the server caches blocks on;
@@ -188,6 +193,20 @@ class QueryServer:
             await self._send_json(writer, "200 OK",
                                   jsonable(self.service.stats()))
             return
+        if method == "GET" and path.split("?", 1)[0] == "/v1/metrics":
+            await self._metrics(path, writer)
+            return
+        if method == "GET" and (path == "/v1/trace"
+                                or path.startswith("/v1/trace/")):
+            await self._trace(path, writer)
+            return
+        if method == "GET" and path == "/v1/slow":
+            await self._send_json(
+                writer, "200 OK",
+                {"v": 1, "kind": "slow_queries",
+                 "slowlog": self.service.slowlog.stats(),
+                 "entries": self.service.slowlog.entries()})
+            return
         if method == "GET" and path.split("?", 1)[0] == "/v1/viewport":
             await self._plan_viewport(path, writer)
             return
@@ -202,6 +221,56 @@ class QueryServer:
             writer, "404 Not Found",
             {"kind": "error", "error": "NotFound",
              "message": f"no route {method} {path}"})
+
+    async def _metrics(self, path: str,
+                       writer: asyncio.StreamWriter) -> None:
+        """GET /v1/metrics: the process-wide registry, refreshed with
+        the service's current gauge readings.  JSON by default;
+        ``?format=prometheus`` renders the text exposition format."""
+        from urllib.parse import parse_qs, urlsplit
+
+        from ..obs import REGISTRY, sample_service_stats
+
+        sample_service_stats(self.service.stats())
+        params = parse_qs(urlsplit(path).query)
+        fmt = params.get("format", ["json"])[0]
+        if fmt == "prometheus":
+            body = REGISTRY.render_prometheus().encode("utf-8")
+            try:
+                writer.write(_head("200 OK",
+                                   "text/plain; version=0.0.4",
+                                   len(body)) + body)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                self.disconnects += 1
+            return
+        await self._send_json(writer, "200 OK",
+                              {"v": 1, "kind": "metrics",
+                               **REGISTRY.snapshot()})
+
+    async def _trace(self, path: str,
+                     writer: asyncio.StreamWriter) -> None:
+        """GET /v1/trace lists retained request ids; /v1/trace/<id>
+        returns that request's full span tree."""
+        tracer = self.service.tracer
+        if path == "/v1/trace":
+            await self._send_json(writer, "200 OK",
+                                  {"v": 1, "kind": "traces",
+                                   "tracer": tracer.stats(),
+                                   "request_ids": tracer.ids()})
+            return
+        request_id = path[len("/v1/trace/"):]
+        payload = tracer.get(request_id)
+        if payload is None:
+            await self._send_json(
+                writer, "404 Not Found",
+                {"kind": "error", "error": "NotFound",
+                 "message": f"no retained trace {request_id!r}"})
+            return
+        await self._send_json(writer, "200 OK",
+                              {"v": 1, "kind": "trace",
+                               "request_id": request_id,
+                               "trace": payload})
 
     async def _plan_viewport(self, path: str,
                              writer: asyncio.StreamWriter) -> None:

@@ -28,10 +28,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 from ..core.cache import fingerprint
 from ..core.tiling import iter_tiled_partials
 from ..errors import ProtocolError, QueryError
+from ..obs import REGISTRY, SlowQueryLog, Tracer, record_query_stats
+from ..obs.trace import activate, span
 from ..urbane.datamanager import DataManager
 from .admission import AdmissionController
 from .pool import ServeWorkerPool
@@ -60,7 +63,10 @@ class QueryService:
                  default_deadline_ms: float | None = None,
                  shards: int = 1,
                  speculate: bool = False,
-                 speculate_budget_ms: float = 250.0):
+                 speculate_budget_ms: float = 250.0,
+                 slow_query_ms: float | None = None,
+                 model_dir: str | None = None,
+                 trace_retain: int = 64):
         self.manager = manager
         self.admission = AdmissionController(
             max_concurrency=max_concurrency, max_queue=max_queue,
@@ -80,6 +86,15 @@ class QueryService:
         # even when disabled so stats keep a stable shape.
         self.speculator = Speculator(self, budget_ms=speculate_budget_ms,
                                      enabled=bool(speculate))
+        # Observability: a ring buffer of recent request traces and a
+        # threshold-gated slow-query log.  Tracing stays off unless a
+        # request asks for it or the slow-query log needs every request
+        # timed; the span fast path makes the quiet case near-free.
+        self.tracer = Tracer(retain=trace_retain)
+        self.slowlog = SlowQueryLog(threshold_ms=slow_query_ms)
+        self.model_dir = model_dir
+        if model_dir:
+            self.speculator.load_model(model_dir)
 
     @property
     def flight(self):
@@ -181,12 +196,55 @@ class QueryService:
                 return engine.ctx.cache.get_or_build(key, build)
             return build()
 
-        if speculative:
-            with engine.ctx.cache.speculative_inserts():
-                return run_cached()
-        return run_cached()
+        def dispatch():
+            if speculative:
+                with engine.ctx.cache.speculative_inserts():
+                    return run_cached()
+            return run_cached()
+
+        # run_in_executor does not propagate contextvars, so the
+        # request's root span (when tracing) rides in on the request
+        # dict and is re-activated on this pool thread.
+        with activate(req.get("_span")), span("execute"):
+            return dispatch()
 
     async def execute(self, req: dict):
+        """Serve one non-streaming request; returns a private
+        :class:`~repro.core.result.AggregationResult` copy.
+
+        When the request asks for a trace (``trace`` knob) or the
+        slow-query log is armed, the whole request runs under a root
+        span: admission wait, coalesce join, execution (including
+        grafted child-process shard spans) all land in one tree, kept
+        in the tracer's ring buffer under a ``request_id`` the client
+        can fetch back via ``GET /v1/trace/<id>``.
+        """
+        traced = bool(req.get("trace")) or self.slowlog.enabled
+        if not traced:
+            return await self._execute(req)
+        request_id = self.tracer.new_request_id()
+        root = self.tracer.start("request", request_id=request_id)
+        req["_span"] = root
+        result = None
+        try:
+            with root:
+                root.set(dataset=req.get("dataset") or req.get("sql"))
+                result = await self._execute(req)
+        finally:
+            payload = root.to_dict()
+            self.tracer.keep(request_id, payload)
+            self.slowlog.note(
+                request_id, root.wall_s * 1000.0, payload,
+                summary={"dataset": req.get("dataset"),
+                         "method": req.get("method")})
+        # Only an explicit ``trace`` knob surfaces the reference in the
+        # response stats — slowlog-armed tracing stays server-side.
+        if req.get("trace"):
+            result.stats["trace"] = {"request_id": request_id,
+                                     "wall_ms": root.wall_s * 1000.0}
+        return result
+
+    async def _execute(self, req: dict):
         """Serve one non-streaming request; returns a private
         :class:`~repro.core.result.AggregationResult` copy.
 
@@ -196,6 +254,7 @@ class QueryService:
         sees distinct work.  A shed leader sheds its joiners with it —
         shared fate, shared ``retry_after``.
         """
+        t0 = time.perf_counter()
         if req.get("sql"):
             self._parse_sql(req)
         self.queries += 1
@@ -227,6 +286,7 @@ class QueryService:
                 result = await worker.flight.run(key, start)
         except Exception:
             self.errors += 1
+            REGISTRY.counter("repro_errors_total").inc()
             raise
         # Feed the gesture model and (re)plan during think time — the
         # answer is already on its way out.
@@ -235,6 +295,10 @@ class QueryService:
         # responses must not alias one another's arrays or stats.
         copy = result.copy()
         copy.stats["speculate"] = {"hit": bool(spec_hit)}
+        # Metrics record once per *served response*: coalesced joiners
+        # each count, so registry totals reconcile with summed
+        # per-response stats.
+        record_query_stats(copy.stats, time.perf_counter() - t0)
         return copy
 
     # -- streaming queries -------------------------------------------------
@@ -330,11 +394,15 @@ class QueryService:
                 "reuse_fraction": blocks.get("reuse_fraction", 0.0),
             },
             "speculate": self.speculator.stats(),
+            "tracer": self.tracer.stats(),
+            "slowlog": self.slowlog.stats(),
             "datasets": sorted(self.manager.dataset_names
                                + list(self._streams)),
             "region_sets": self.manager.region_set_names,
         }
 
     def close(self) -> None:
+        if self.model_dir:
+            self.speculator.save_model(self.model_dir)
         self.speculator.close()
         self.workers.close()

@@ -48,9 +48,12 @@ to speculation off.
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..core.backends.base import ExecutionPlan
 from ..core.pyramid import GridViewport
@@ -90,6 +93,12 @@ _RING_WEIGHT = 0.25
 #: Completed warm-ups remembered for hit attribution (bounded; the
 #: cache itself is the source of truth for whether the entry survived).
 _MAX_WARMED = 512
+
+#: Sidecar file name for the persisted transition table
+#: (``serve --model-dir``).
+MODEL_FILENAME = "gesture_model.json"
+
+log = logging.getLogger("repro.speculate")
 
 
 # -- gesture classification ---------------------------------------------------
@@ -202,6 +211,35 @@ class GestureModel:
             trace.last_pan = pan
         self.observed += 1
         return kind
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The transition table in sidecar form.
+
+        Only the cross-session knowledge persists: the table and its
+        observation count.  Per-session state (the last request a
+        prediction would extend) is deliberately ephemeral — a restart
+        has no sessions.
+        """
+        return {
+            "version": 1,
+            "observed": self.observed,
+            "transitions": [[frm, to, count] for (frm, to), count
+                            in sorted(self.transitions.items())],
+        }
+
+    def load_json(self, payload: dict) -> None:
+        """Fold a persisted sidecar into this model (additive, so a
+        table loaded on top of live observations never loses either)."""
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise ValueError("unrecognized gesture-model payload")
+        for entry in payload.get("transitions") or []:
+            frm, to, count = entry
+            edge = (str(frm), str(to))
+            self.transitions[edge] = (self.transitions.get(edge, 0)
+                                      + int(count))
+        self.observed += int(payload.get("observed", 0))
 
     # -- prediction --------------------------------------------------------
 
@@ -598,6 +636,43 @@ class Speculator:
         finally:
             self._inflight.discard(item.key)
             self._joined.discard(item.key)
+
+    # -- persistence -------------------------------------------------------
+
+    def load_model(self, model_dir) -> bool:
+        """Reload a persisted transition table; returns whether one
+        loaded.  Missing and malformed sidecars both warm-start from
+        scratch — persistence must never block serving."""
+        path = Path(model_dir) / MODEL_FILENAME
+        try:
+            payload = json.loads(path.read_text())
+            self.model.load_json(payload)
+        except FileNotFoundError:
+            return False
+        except (OSError, TypeError, ValueError) as exc:
+            log.warning("ignoring unreadable gesture model %s: %s",
+                        path, exc)
+            return False
+        log.info("loaded gesture model from %s (%d observations)",
+                 path, self.model.observed)
+        return True
+
+    def save_model(self, model_dir) -> bool:
+        """Persist the transition table (atomic tmp + rename); returns
+        whether the write landed."""
+        directory = Path(model_dir)
+        path = directory / MODEL_FILENAME
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(self.model.to_json(), indent=2)
+                           + "\n")
+            tmp.replace(path)
+        except OSError as exc:
+            log.warning("could not persist gesture model to %s: %s",
+                        path, exc)
+            return False
+        return True
 
     # -- lifecycle / introspection -----------------------------------------
 

@@ -44,6 +44,7 @@ from ..core.aggregates import BOUNDABLE_AGGREGATES, COUNT, PartialAggregate
 from ..core.parallel import _even_ranges, _fork_map
 from ..core.tiling import fold_tile_join
 from ..errors import QueryCancelled
+from ..obs.trace import graft, span
 from .prefetch import PartitionPrefetcher
 
 
@@ -153,36 +154,55 @@ def scatter_gather_canvases(dataset, survivors, query, viewport, kinds,
         if os.getpid() != parent_pid:
             dataset._after_fork()
         t0 = time.perf_counter()
-        prefetcher = PartitionPrefetcher(dataset, indices, depth)
-        canvases = _empty_canvases(kinds, viewport.num_pixels)
-        after_filter = in_viewport = rows = 0
-        for pos, index in enumerate(indices):
-            if cancel is not None and cancel.is_set():
-                raise QueryCancelled(
-                    "sharded scan cancelled between partitions")
-            prefetcher.advance(pos)
-            table = dataset.partition_table(index)
-            pixel_ids, values, n_filter = _project_partition(
-                table, query, viewport)
-            after_filter += n_filter
-            in_viewport += len(pixel_ids)
-            rows += infos[index].rows
-            _accumulate(canvases, pixel_ids, values)
+        # Fork children inherit the live trace context copy-on-write, so
+        # this span nests under the parent's scan span — but its appends
+        # land in the child's memory.  The subtree rides home serialized
+        # in the merge payload and the parent grafts it (pooled runs
+        # only; in-process it attached to the live tree directly).
+        with span("shard.scan", shard=shard_id) as sp:
+            prefetcher = PartitionPrefetcher(dataset, indices, depth)
+            canvases = _empty_canvases(kinds, viewport.num_pixels)
+            after_filter = in_viewport = rows = 0
+            for pos, index in enumerate(indices):
+                if cancel is not None and cancel.is_set():
+                    raise QueryCancelled(
+                        "sharded scan cancelled between partitions")
+                prefetcher.advance(pos)
+                table = dataset.partition_table(index)
+                pixel_ids, values, n_filter = _project_partition(
+                    table, query, viewport)
+                after_filter += n_filter
+                in_viewport += len(pixel_ids)
+                rows += infos[index].rows
+                _accumulate(canvases, pixel_ids, values)
+        sp.set(partitions=len(indices), rows=rows, pid=os.getpid())
         return canvases, {
             "shard": shard_id, "partitions": len(indices), "rows": rows,
             "points_after_filter": after_filter,
             "points_in_viewport": in_viewport,
             "time_s": time.perf_counter() - t0,
             "prefetch": prefetcher.stats(),
+            "trace": sp.to_dict(),
         }
 
     tasks = [(i, indices) for i, indices in enumerate(shards)]
-    results, pooled = _fork_map(run_shard, tasks, len(tasks))
+    # The parent-side map span covers pool setup + the blocking wait,
+    # so the fork/dispatch cost the child spans cannot see still lands
+    # in the trace as a leaf.
+    with span("shard.map", shards=len(tasks)):
+        results, pooled = _fork_map(run_shard, tasks, len(tasks))
 
     merged = _empty_canvases(kinds, viewport.num_pixels)
     per_shard = []
     after_filter = in_viewport = 0
     for canvases, shard_stats in results:
+        # The child-process span subtree: graft it under the live span
+        # for pooled runs; in-process it already attached (grafting
+        # would double-count), and either way the payload stays out of
+        # the response stats.
+        payload = shard_stats.pop("trace", None)
+        if pooled:
+            graft(payload)
         merge_canvases(merged, canvases, kinds)
         after_filter += shard_stats["points_after_filter"]
         in_viewport += shard_stats["points_in_viewport"]
@@ -227,60 +247,67 @@ def scatter_gather_tiles(dataset, survivors, query, regions, viewport,
         if os.getpid() != parent_pid:
             dataset._after_fork()
         t0 = time.perf_counter()
-        part = PartialAggregate.empty(agg, len(regions))
-        mass_in = np.zeros(len(regions))
-        mass_out = np.zeros(len(regions))
-        paged = 0
-        prefetch = {"depth": depth, "issued": 0, "advised": 0}
-        for tile_vp, col0, row0 in tiles[lo:hi]:
-            if cancel is not None and cancel.is_set():
-                raise QueryCancelled(
-                    "sharded tiled scan cancelled between tiles")
-            local_ids = [gid for gid, gb in enumerate(geom_boxes)
-                         if gb.intersects(tile_vp.bbox)]
-            if not local_ids:
-                continue
-            touching = [
-                index for index in survivors
-                if infos[index].bbox is None
-                or infos[index].bbox.intersects(tile_vp.bbox)]
-            prefetcher = PartitionPrefetcher(dataset, touching, depth)
-            canvases = _empty_canvases(kinds, tile_vp.num_pixels)
-            for pos, index in enumerate(touching):
-                prefetcher.advance(pos)
-                paged += 1
-                table = dataset.partition_table(index)
-                mask = query.filter_mask(table)
-                values = query.values_for(table)
-                x = table.x[mask]
-                y = table.y[mask]
-                if values is not None:
-                    values = values[mask]
-                ix, iy = viewport.pixel_of(x, y)
-                sel = ((ix >= col0) & (ix < col0 + tile_vp.width)
-                       & (iy >= row0) & (iy < row0 + tile_vp.height))
-                local_pix = ((iy[sel] - row0) * tile_vp.width
-                             + (ix[sel] - col0))
-                local_vals = values[sel] if values is not None else None
-                _accumulate(canvases, local_pix, local_vals)
-            pstats = prefetcher.stats()
-            prefetch["issued"] += pstats["issued"]
-            prefetch["advised"] += pstats["advised"]
-            mass = None
-            if agg in BOUNDABLE_AGGREGATES:
-                mass = (canvases["count"] if agg == COUNT
-                        else canvases["mass"])
-            fold_tile_join(geometries, local_ids, query, tile_vp, canvases,
-                           mass, part, mass_in, mass_out)
+        # See scatter_gather_canvases.run_shard: the span subtree rides
+        # home serialized in the merge payload for pooled runs.
+        with span("shard.scan", shard=shard_id, tiles=hi - lo) as sp:
+            part = PartialAggregate.empty(agg, len(regions))
+            mass_in = np.zeros(len(regions))
+            mass_out = np.zeros(len(regions))
+            paged = 0
+            prefetch = {"depth": depth, "issued": 0, "advised": 0}
+            for tile_vp, col0, row0 in tiles[lo:hi]:
+                if cancel is not None and cancel.is_set():
+                    raise QueryCancelled(
+                        "sharded tiled scan cancelled between tiles")
+                local_ids = [gid for gid, gb in enumerate(geom_boxes)
+                             if gb.intersects(tile_vp.bbox)]
+                if not local_ids:
+                    continue
+                touching = [
+                    index for index in survivors
+                    if infos[index].bbox is None
+                    or infos[index].bbox.intersects(tile_vp.bbox)]
+                prefetcher = PartitionPrefetcher(dataset, touching, depth)
+                canvases = _empty_canvases(kinds, tile_vp.num_pixels)
+                for pos, index in enumerate(touching):
+                    prefetcher.advance(pos)
+                    paged += 1
+                    table = dataset.partition_table(index)
+                    mask = query.filter_mask(table)
+                    values = query.values_for(table)
+                    x = table.x[mask]
+                    y = table.y[mask]
+                    if values is not None:
+                        values = values[mask]
+                    ix, iy = viewport.pixel_of(x, y)
+                    sel = ((ix >= col0) & (ix < col0 + tile_vp.width)
+                           & (iy >= row0) & (iy < row0 + tile_vp.height))
+                    local_pix = ((iy[sel] - row0) * tile_vp.width
+                                 + (ix[sel] - col0))
+                    local_vals = (values[sel] if values is not None
+                                  else None)
+                    _accumulate(canvases, local_pix, local_vals)
+                pstats = prefetcher.stats()
+                prefetch["issued"] += pstats["issued"]
+                prefetch["advised"] += pstats["advised"]
+                mass = None
+                if agg in BOUNDABLE_AGGREGATES:
+                    mass = (canvases["count"] if agg == COUNT
+                            else canvases["mass"])
+                fold_tile_join(geometries, local_ids, query, tile_vp,
+                               canvases, mass, part, mass_in, mass_out)
+        sp.set(partitions_paged=paged, pid=os.getpid())
         return part, mass_in, mass_out, {
             "shard": shard_id, "tiles": hi - lo,
             "partitions_paged": paged,
             "time_s": time.perf_counter() - t0,
             "prefetch": prefetch,
+            "trace": sp.to_dict(),
         }
 
     tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
-    results, pooled = _fork_map(run_shard, tasks, len(tasks))
+    with span("shard.map", shards=len(tasks)):
+        results, pooled = _fork_map(run_shard, tasks, len(tasks))
 
     part = PartialAggregate.empty(agg, len(regions))
     mass_in = np.zeros(len(regions))
@@ -288,6 +315,9 @@ def scatter_gather_tiles(dataset, survivors, query, regions, viewport,
     per_shard = []
     paged = 0
     for shard_part, shard_in, shard_out, shard_stats in results:
+        payload = shard_stats.pop("trace", None)
+        if pooled:
+            graft(payload)
         part.merge(shard_part)
         mass_in += shard_in
         mass_out += shard_out
@@ -377,27 +407,35 @@ def prescatter_blocks(ctx, dataset, table, query, viewport, scatter,
         if os.getpid() != parent_pid:
             dataset._after_fork()
         t0 = time.perf_counter()
-        base_partitions = scanned["partitions"]
-        out = []
-        for bx, by, missing in needs[lo:hi]:
-            if cancel is not None and cancel.is_set():
-                raise QueryCancelled(
-                    "sharded block scatter cancelled between blocks")
-            planes, points = scatter(bx, by, missing)
-            out.append((bx, by, planes, points))
-        # Delta relative to entry: in a fork child this is the shard's
-        # own contribution (the parent's dict is untouched); in the
-        # in-process fallback the shared closure already accumulated
-        # it, and the parent must not add it again.
-        delta = scanned["partitions"] - base_partitions
+        # See scatter_gather_canvases.run_shard: the span subtree rides
+        # home serialized in the merge payload for pooled runs.
+        with span("shard.prescatter", shard=shard_id,
+                  blocks=hi - lo) as sp:
+            base_partitions = scanned["partitions"]
+            out = []
+            for bx, by, missing in needs[lo:hi]:
+                if cancel is not None and cancel.is_set():
+                    raise QueryCancelled(
+                        "sharded block scatter cancelled between blocks")
+                planes, points = scatter(bx, by, missing)
+                out.append((bx, by, planes, points))
+            # Delta relative to entry: in a fork child this is the
+            # shard's own contribution (the parent's dict is
+            # untouched); in the in-process fallback the shared closure
+            # already accumulated it, and the parent must not add it
+            # again.
+            delta = scanned["partitions"] - base_partitions
+        sp.set(pid=os.getpid())
         return out, dict(scanned["after_filter"]), delta, {
             "shard": shard_id, "blocks": hi - lo,
             "time_s": time.perf_counter() - t0,
             "prefetch": {"depth": 0, "issued": 0, "advised": 0},
+            "trace": sp.to_dict(),
         }
 
     tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
-    results, pooled = _fork_map(run_shard, tasks, len(tasks))
+    with span("shard.map", shards=len(tasks)):
+        results, pooled = _fork_map(run_shard, tasks, len(tasks))
 
     grid = viewport.grid
     level = viewport.level
@@ -405,6 +443,9 @@ def prescatter_blocks(ctx, dataset, table, query, viewport, scatter,
     per_shard = []
     blocks_installed = 0
     for out, after_filter, partitions, shard_stats in results:
+        payload = shard_stats.pop("trace", None)
+        if pooled:
+            graft(payload)
         for bx, by, planes, _points in out:
             for kind, plane in planes.items():
                 ctx.cache.put(

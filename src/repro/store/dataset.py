@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import SchemaError
+from ..obs.trace import span
 from ..table import PointTable
 from ..table.column import CATEGORICAL, Column
 from .format import (
@@ -127,7 +128,8 @@ class Dataset:
                 self.mount_hits += 1
                 return entry[0]
             info = self.manifest.partitions[index]
-            table = self._map_partition(info)
+            with span("store.mount", partition=index):
+                table = self._map_partition(info)
             self.mounts += 1
             self._mounted[index] = (table, info.nbytes)
             self._mapped_bytes += info.nbytes

@@ -62,6 +62,7 @@ from ..core.result import AggregationResult
 from ..core.tiling import fold_tile_join, make_tiles
 from ..errors import QueryCancelled, QueryError
 from ..geometry import BBox
+from ..obs.trace import span
 from ..raster import Viewport
 from ..shard import (
     prescatter_blocks,
@@ -338,7 +339,9 @@ def _execute_bounded(ctx, dataset, pruner, plan,
     regions, query = plan.regions, plan.query
     viewport = plan.viewport or ctx.plan_viewport(regions, resolution,
                                                   None)
-    prune = pruner.prune(query.filters, viewport)
+    with span("store.prune") as sp:
+        prune = pruner.prune(query.filters, viewport)
+    sp.set(scanned=len(prune.indices), pruned=prune.pruned)
     survivors = prune.indices
 
     agg = query.agg
@@ -356,36 +359,41 @@ def _execute_bounded(ctx, dataset, pruner, plan,
 
     t_points0 = time.perf_counter()
     pooled = False
-    if shard_decision["use"]:
-        canvases, scan_stats, pooled = scatter_gather_canvases(
-            dataset, survivors, query, viewport, kinds,
-            shard_decision, plan.cancel)
-        if plan.cancel is not None and plan.cancel.is_set():
-            raise QueryCancelled("store scan cancelled")
-    elif decision["use"] and len(survivors) > 1:
-        canvases, scan_stats, pooled = _scan_canvases_parallel(
-            dataset, survivors, query, viewport, kinds,
-            decision["workers"], plan.cancel)
-        if plan.cancel is not None and plan.cancel.is_set():
-            raise QueryCancelled("store scan cancelled")
-    else:
-        canvases, scan_stats = _scan_canvases(
-            dataset, survivors, query, viewport, kinds, plan.cancel)
+    with span("store.scan") as sp:
+        if shard_decision["use"]:
+            canvases, scan_stats, pooled = scatter_gather_canvases(
+                dataset, survivors, query, viewport, kinds,
+                shard_decision, plan.cancel)
+            if plan.cancel is not None and plan.cancel.is_set():
+                raise QueryCancelled("store scan cancelled")
+        elif decision["use"] and len(survivors) > 1:
+            canvases, scan_stats, pooled = _scan_canvases_parallel(
+                dataset, survivors, query, viewport, kinds,
+                decision["workers"], plan.cancel)
+            if plan.cancel is not None and plan.cancel.is_set():
+                raise QueryCancelled("store scan cancelled")
+        else:
+            canvases, scan_stats = _scan_canvases(
+                dataset, survivors, query, viewport, kinds, plan.cancel)
+    sp.set(mode="parallel" if pooled else "serial",
+           partitions=len(survivors))
     t_points = time.perf_counter() - t_points0
 
     t_join0 = time.perf_counter()
-    fragments = ctx.fragments_for(regions, viewport)
-    estimate = _join_covered(fragments, canvases, agg)
-    lower = upper = None
-    if agg in BOUNDABLE_AGGREGATES:
-        if agg == COUNT:
-            mass = canvases["count"]
-        elif with_mass:
-            mass = canvases["mass"]
-        else:
-            # Proven non-negative: |v| == v, the sum canvas is the mass.
-            mass = canvases["sum"]
-        lower, upper = boundary_mass_bounds(fragments, estimate, mass)
+    with span("store.join"):
+        fragments = ctx.fragments_for(regions, viewport)
+        estimate = _join_covered(fragments, canvases, agg)
+        lower = upper = None
+        if agg in BOUNDABLE_AGGREGATES:
+            if agg == COUNT:
+                mass = canvases["count"]
+            elif with_mass:
+                mass = canvases["mass"]
+            else:
+                # Proven non-negative: |v| == v, the sum canvas is the
+                # mass.
+                mass = canvases["sum"]
+            lower, upper = boundary_mass_bounds(fragments, estimate, mass)
     t_join = time.perf_counter() - t_join0
 
     stats = {
@@ -481,7 +489,9 @@ def _execute_assembled(ctx, dataset, pruner, plan,
     # Filters only — block content must be viewport-independent (see
     # _store_block_scatter); the viewport still prunes the per-block
     # partition stream via the block/partition bbox test.
-    prune = pruner.prune(query.filters, None)
+    with span("store.prune") as sp:
+        prune = pruner.prune(query.filters, None)
+    sp.set(scanned=len(prune.indices), pruned=prune.pruned)
     shard_decision = ctx.parallel.decide_shards(len(prune.indices),
                                                 prune.rows_scanned)
     plan.decision = _plan_payload(
@@ -502,11 +512,12 @@ def _execute_assembled(ctx, dataset, pruner, plan,
     # Coarse SUM/mass blocks are never derived by reduction out-of-core
     # (no integer-valuedness proof without scanning); COUNT/MIN/MAX
     # still derive.
-    result = assembled_bounded_join(
-        ctx, dataset, regions, query, viewport,
-        fragments=ctx.fragments_for(regions, viewport),
-        scatter=scatter, derive_sums=False,
-        method="store-pyramid-raster-join")
+    with span("store.join"):
+        result = assembled_bounded_join(
+            ctx, dataset, regions, query, viewport,
+            fragments=ctx.fragments_for(regions, viewport),
+            scatter=scatter, derive_sums=False,
+            method="store-pyramid-raster-join")
     result.stats["points_after_filter"] = sum(
         scanned["after_filter"].values())
     result.stats["store"] = prune.stats()
@@ -531,7 +542,9 @@ def _execute_tiled(ctx, dataset, pruner, plan, resolution,
     regions, query = plan.regions, plan.query
     agg = query.agg
     viewport = Viewport.fit(regions.bbox, resolution)
-    prune = pruner.prune(query.filters, viewport)
+    with span("store.prune") as sp:
+        prune = pruner.prune(query.filters, viewport)
+    sp.set(scanned=len(prune.indices), pruned=prune.pruned)
     survivors = prune.indices
     plan.decision = _plan_payload(
         ctx, plan, dataset, prune, "store-tiled", plan.method, resolution,
@@ -558,40 +571,43 @@ def _execute_tiled(ctx, dataset, pruner, plan, resolution,
     mass_out = np.zeros(len(regions))
     partitions_paged = 0
 
-    for tile_vp, col0, row0 in tiles:
-        if plan.cancel is not None and plan.cancel.is_set():
-            raise QueryCancelled("tiled store scan cancelled between tiles")
-        local_ids = [gid for gid, gb in enumerate(geom_boxes)
-                     if gb.intersects(tile_vp.bbox)]
-        if not local_ids:
-            # The in-memory tiled join also folds nothing here.
-            continue
-        canvases = _empty_canvases(kinds, tile_vp.num_pixels)
-        for index in survivors:
-            info = dataset.partitions[index]
-            if info.bbox is not None and \
-                    not info.bbox.intersects(tile_vp.bbox):
+    with span("store.scan", mode="tiled", tiles=len(tiles)):
+        for tile_vp, col0, row0 in tiles:
+            if plan.cancel is not None and plan.cancel.is_set():
+                raise QueryCancelled(
+                    "tiled store scan cancelled between tiles")
+            local_ids = [gid for gid, gb in enumerate(geom_boxes)
+                         if gb.intersects(tile_vp.bbox)]
+            if not local_ids:
+                # The in-memory tiled join also folds nothing here.
                 continue
-            partitions_paged += 1
-            table = dataset.partition_table(index)
-            mask = query.filter_mask(table)
-            values = query.values_for(table)
-            x = table.x[mask]
-            y = table.y[mask]
-            if values is not None:
-                values = values[mask]
-            ix, iy = viewport.pixel_of(x, y)
-            sel = ((ix >= col0) & (ix < col0 + tile_vp.width)
-                   & (iy >= row0) & (iy < row0 + tile_vp.height))
-            local_pix = ((iy[sel] - row0) * tile_vp.width
-                         + (ix[sel] - col0))
-            local_vals = values[sel] if values is not None else None
-            _accumulate(canvases, local_pix, local_vals)
-        mass = None
-        if agg in BOUNDABLE_AGGREGATES:
-            mass = canvases["count"] if agg == COUNT else canvases["mass"]
-        fold_tile_join(geometries, local_ids, query, tile_vp, canvases,
-                       mass, part, mass_in, mass_out)
+            canvases = _empty_canvases(kinds, tile_vp.num_pixels)
+            for index in survivors:
+                info = dataset.partitions[index]
+                if info.bbox is not None and \
+                        not info.bbox.intersects(tile_vp.bbox):
+                    continue
+                partitions_paged += 1
+                table = dataset.partition_table(index)
+                mask = query.filter_mask(table)
+                values = query.values_for(table)
+                x = table.x[mask]
+                y = table.y[mask]
+                if values is not None:
+                    values = values[mask]
+                ix, iy = viewport.pixel_of(x, y)
+                sel = ((ix >= col0) & (ix < col0 + tile_vp.width)
+                       & (iy >= row0) & (iy < row0 + tile_vp.height))
+                local_pix = ((iy[sel] - row0) * tile_vp.width
+                             + (ix[sel] - col0))
+                local_vals = values[sel] if values is not None else None
+                _accumulate(canvases, local_pix, local_vals)
+            mass = None
+            if agg in BOUNDABLE_AGGREGATES:
+                mass = (canvases["count"] if agg == COUNT
+                        else canvases["mass"])
+            fold_tile_join(geometries, local_ids, query, tile_vp, canvases,
+                           mass, part, mass_in, mass_out)
 
     estimate = part.finalize()
     lower = upper = None
@@ -622,9 +638,10 @@ def _finish_tiled(ctx, dataset, plan, prune, resolution, viewport, tiles,
     shard order (see :func:`repro.shard.scatter_gather_tiles`)."""
     regions, query = plan.regions, plan.query
     agg = query.agg
-    part, mass_in, mass_out, scan_stats, pooled = scatter_gather_tiles(
-        dataset, prune.indices, query, regions, viewport, tiles, kinds,
-        shard_decision, plan.cancel)
+    with span("store.scan", mode="sharded-tiled", tiles=len(tiles)):
+        part, mass_in, mass_out, scan_stats, pooled = scatter_gather_tiles(
+            dataset, prune.indices, query, regions, viewport, tiles, kinds,
+            shard_decision, plan.cancel)
     if plan.cancel is not None and plan.cancel.is_set():
         raise QueryCancelled("tiled store scan cancelled")
     estimate = part.finalize()

@@ -298,6 +298,56 @@ class TestThreadSafety:
             assert cache.total_bytes == sum(
                 e.nbytes for e in cache._entries.values())
 
+    def test_byte_ledger_survives_concurrent_insert_evict_soak(self):
+        """Randomized soak with the evictor permanently hot: a tiny
+        budget, many distinct keys and oversized values keep every put
+        evicting while other threads insert, invalidate and clear —
+        the byte ledger must still equal a full recount at the end."""
+        import threading
+
+        cache = QueryCache(max_bytes=16 << 10, max_entries=16)
+        errors = []
+
+        def worker(seed):
+            gen = np.random.default_rng(seed)
+            try:
+                for i in range(400):
+                    key = (f"p{int(gen.integers(0, 4))}",
+                           int(gen.integers(0, 64)))
+                    op = gen.random()
+                    if op < 0.45:
+                        cache.put(key,
+                                  np.zeros(int(gen.integers(16, 512))))
+                    elif op < 0.70:
+                        cache.get_or_build(
+                            key,
+                            lambda: np.zeros(int(gen.integers(16, 512))))
+                    elif op < 0.85:
+                        cache.get(key)
+                    elif op < 0.93:
+                        with cache.speculative_inserts():
+                            cache.put(key, np.zeros(64))
+                    elif op < 0.99:
+                        cache.invalidate(f"p{int(gen.integers(0, 4))}")
+                    else:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.evictions > 0  # the soak actually exercised LRU
+        with cache._lock:
+            recount = sum(e.nbytes for e in cache._entries.values())
+            assert cache._bytes == recount
+            assert cache._bytes >= 0
+            assert len(cache._entries) <= cache.max_entries
+
     def test_single_flight_builds_once_under_contention(self):
         import threading
         import time as _time

@@ -1,0 +1,16 @@
+"""Obs-suite fixtures: every test leaves tracing disabled behind it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import disable
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Tracing's enable switch is process-global and sticky; reset it
+    around every test so suites cannot order-couple through it."""
+    disable()
+    yield
+    disable()

@@ -1,0 +1,87 @@
+"""Instrumentation completeness: a store-backed sharded traced query
+must explain >=90% of its wall time, grafted child-process spans
+included."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import ParallelConfig, SpatialAggregation, SpatialAggregationEngine
+from repro.obs import Tracer, render
+from repro.obs.trace import leaf_coverage
+from repro.store import build_store
+from repro.table import F
+
+from tests.store.conftest import HOUR, make_store_table
+
+
+@pytest.fixture(scope="module")
+def traced_store(tmp_path_factory):
+    table = make_store_table(30_000, seed=7)
+    path = tmp_path_factory.mktemp("obs-store") / "pts"
+    return build_store(table, path, partition_rows=1_024, grid=4,
+                       time_column="t", time_bucket_seconds=2 * HOUR)
+
+
+def _walk(node, out):
+    out.append(node)
+    for child in node.get("children") or []:
+        _walk(child, out)
+    return out
+
+
+def test_sharded_store_trace_covers_wall_time(traced_store, simple_regions):
+    engine = SpatialAggregationEngine(
+        default_resolution=256,
+        parallel=ParallelConfig(shards=2, prefetch_depth=1,
+                                serial_threshold=100))
+    # Warm one-time costs (partition mounts, canvas grids) so the
+    # traced query measures steady-state execution; a different filter
+    # keeps it a cache miss.
+    engine.execute(traced_store, simple_regions,
+                   SpatialAggregation.count(F("fare") > 90))
+
+    root = Tracer().start("query")
+    with root:
+        result = engine.execute(traced_store, simple_regions,
+                                SpatialAggregation.count(F("fare") > 5))
+    tree = root.to_dict()
+
+    nodes = _walk(tree, [])
+    names = {n["name"] for n in nodes}
+    assert "store.execute" in names
+    assert "store.prune" in names
+    assert "store.scan" in names
+    assert "shard.map" in names
+
+    shard_spans = [n for n in nodes if n["name"] == "shard.scan"]
+    pooled = (result.stats.get("shards") or {}).get("pooled")
+    if pooled:
+        # Grafted child-process subtrees: one per shard, each recorded
+        # in a different worker process.
+        pids = {n["attrs"].get("pid") for n in shard_spans}
+        assert len(shard_spans) >= 2
+        assert os.getpid() not in pids
+    assert shard_spans, "shard scans must appear in the trace"
+
+    coverage = leaf_coverage(tree)
+    assert coverage >= 0.9, f"coverage {coverage:.2f}\n{render(tree)}"
+
+
+def test_untraced_query_records_nothing(traced_store, simple_regions):
+    from repro.obs import current_span
+
+    engine = SpatialAggregationEngine(
+        default_resolution=256,
+        parallel=ParallelConfig(shards=2, prefetch_depth=1,
+                                serial_threshold=100))
+    result = engine.execute(traced_store, simple_regions,
+                            SpatialAggregation.count(F("fare") > 40))
+    assert current_span() is None
+    # No trace payload leaks into untraced response stats.
+    assert "trace" not in result.stats
+    shards = result.stats.get("shards") or {}
+    for shard in shards.get("per_shard", []):
+        assert "trace" not in shard

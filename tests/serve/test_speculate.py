@@ -219,6 +219,100 @@ class TestGestureModel:
         assert all(s < momentum_score for s, v in pans if v != momentum)
 
 
+# -- model persistence --------------------------------------------------------
+
+
+def trained_model(steps=5):
+    model = GestureModel()
+    for start in range(0, steps * 100, 100):
+        model.observe(make_req(brush_query(start, start + 100),
+                               session="s"))
+    return model
+
+
+class TestModelPersistence:
+    def test_sidecar_round_trip(self):
+        model = trained_model()
+        fresh = GestureModel()
+        fresh.load_json(model.to_json())
+        assert fresh.transitions == model.transitions
+        assert fresh.observed == model.observed
+
+    def test_sidecar_is_json_serializable_and_versioned(self):
+        import json
+
+        payload = json.loads(json.dumps(trained_model().to_json()))
+        assert payload["version"] == 1
+        fresh = GestureModel()
+        fresh.load_json(payload)
+        assert fresh.observed == trained_model().observed
+
+    def test_load_folds_additively(self):
+        model = trained_model()
+        before = dict(model.transitions)
+        model.load_json(model.to_json())
+        assert model.transitions == {e: 2 * c for e, c in before.items()}
+
+    def test_load_rejects_unversioned_payloads(self):
+        with pytest.raises(ValueError):
+            GestureModel().load_json({"transitions": []})
+        with pytest.raises(ValueError):
+            GestureModel().load_json([1, 2])
+
+    def test_save_and_load_via_speculator(self, spec_service, tmp_path):
+        spec = spec_service.speculator
+        spec.model.load_json(trained_model().to_json())
+        assert spec.save_model(tmp_path) is True
+        sidecar = tmp_path / "gesture_model.json"
+        assert sidecar.exists()
+
+        fresh = QueryService(make_manager(), speculate=True)
+        try:
+            assert fresh.speculator.load_model(tmp_path) is True
+            assert (fresh.speculator.model.transitions
+                    == spec.model.transitions)
+        finally:
+            fresh.close()
+
+    def test_load_missing_sidecar_is_silent(self, spec_service, tmp_path,
+                                            caplog):
+        with caplog.at_level("WARNING", logger="repro.speculate"):
+            assert spec_service.speculator.load_model(tmp_path) is False
+        assert not caplog.records
+
+    def test_load_malformed_sidecar_warns(self, spec_service, tmp_path,
+                                          caplog):
+        (tmp_path / "gesture_model.json").write_text("not json")
+        with caplog.at_level("WARNING", logger="repro.speculate"):
+            assert spec_service.speculator.load_model(tmp_path) is False
+        assert any("ignoring unreadable gesture model" in r.message
+                   for r in caplog.records)
+
+    def test_load_wrong_version_warns(self, spec_service, tmp_path,
+                                      caplog):
+        (tmp_path / "gesture_model.json").write_text(
+            '{"version": 99, "transitions": []}')
+        with caplog.at_level("WARNING", logger="repro.speculate"):
+            assert spec_service.speculator.load_model(tmp_path) is False
+        assert any("ignoring unreadable" in r.message
+                   for r in caplog.records)
+
+    def test_service_persists_on_close_and_loads_on_start(self, tmp_path):
+        svc = QueryService(make_manager(), speculate=True,
+                           model_dir=str(tmp_path))
+        svc.speculator.model.load_json(trained_model().to_json())
+        observed = svc.speculator.model.observed
+        svc.close()
+        assert (tmp_path / "gesture_model.json").exists()
+
+        reborn = QueryService(make_manager(), speculate=True,
+                              model_dir=str(tmp_path))
+        try:
+            assert reborn.speculator.model.observed == observed
+        finally:
+            reborn.close()
+
+
 # -- the speculation planner --------------------------------------------------
 
 
